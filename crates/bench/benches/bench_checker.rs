@@ -1,0 +1,33 @@
+//! Experiment E6: model-checker performance across model sizes, plus the
+//! XML round-trip cost of the Models (XML) artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prophet_bench::{branchy_model, chain_model};
+use prophet_check::{check_model, McfConfig};
+use prophet_uml::xmi::{model_from_xml, model_to_xml};
+
+fn bench_checker(c: &mut Criterion) {
+    let config = McfConfig::default();
+    let mut group = c.benchmark_group("checker");
+    for &n in &[100usize, 1000, 5000] {
+        let model = chain_model(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("chain", n), &model, |b, m| {
+            b.iter(|| check_model(m, &config))
+        });
+    }
+    let branchy = branchy_model(1000, 8);
+    group.bench_function("branchy_1000", |b| b.iter(|| check_model(&branchy, &config)));
+    group.finish();
+
+    let mut group = c.benchmark_group("xml");
+    let model = chain_model(1000);
+    let xml = model_to_xml(&model);
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("serialize_1000", |b| b.iter(|| model_to_xml(&model)));
+    group.bench_function("parse_1000", |b| b.iter(|| model_from_xml(&xml).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Experiments E1/E4/E5: end-to-end estimation cost for each evaluation
+//! model — kernel 6, the Figure-7 sample model, Jacobi at two scales, and
+//! the LAPW0-like hybrid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_core::project::Project;
+use prophet_estimator::EstimatorOptions;
+use prophet_machine::SystemParams;
+use prophet_workloads::models::{jacobi_model, kernel6_model, lapw0_model, sample_model};
+
+fn quiet(project: Project) -> Project {
+    // Sweeps and benches don't need traces.
+    project.with_options(EstimatorOptions { trace: false, ..Default::default() })
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate");
+
+    let kernel6 = quiet(Project::new(kernel6_model(1000, 10, 1e-9)));
+    group.bench_function("kernel6_fig3", |b| b.iter(|| kernel6.run().unwrap()));
+
+    let sample = quiet(Project::new(sample_model()));
+    group.bench_function("sample_fig7", |b| b.iter(|| sample.run().unwrap()));
+
+    let jacobi4 = quiet(
+        Project::new(jacobi_model(100_000, 10, 1e-8)).with_system(SystemParams::flat_mpi(4, 1)),
+    );
+    group.bench_function("jacobi_p4", |b| b.iter(|| jacobi4.run().unwrap()));
+
+    let jacobi16 = quiet(
+        Project::new(jacobi_model(100_000, 10, 1e-8)).with_system(SystemParams::flat_mpi(16, 1)),
+    );
+    group.bench_function("jacobi_p16", |b| b.iter(|| jacobi16.run().unwrap()));
+
+    let lapw0 = quiet(Project::new(lapw0_model(64, 16, 1e-5)).with_system(SystemParams {
+        nodes: 4,
+        cpus_per_node: 2,
+        processes: 4,
+        threads_per_process: 2,
+    }));
+    group.bench_function("lapw0_hybrid_4x2", |b| b.iter(|| lapw0.run().unwrap()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation A1: cost-function evaluation strategy.
+//!
+//! Interpreted AST walking (hash-map variable lookups) vs the
+//! slot-compiled form (dense frame, functions inlined). The estimator
+//! elaborates each cost expression once per element execution, so this
+//! ratio bounds how much elaboration-time headroom the compiled form
+//! buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_expr::{parse_expression, CompiledExpr, Env, FunctionDef, Slots, Value};
+
+fn bench_expr(c: &mut Criterion) {
+    let mut env = Env::new();
+    env.define_function(FunctionDef::parse("G", &["n"], "n * 0.5 + 1").unwrap());
+    env.define_function(
+        FunctionDef::parse("F", &["x"], "G(x) * (x > 8 ? log2(x) : 1) + 0.25 * pid").unwrap(),
+    );
+    env.set_var("P", Value::Num(16.0));
+    env.set_var("pid", Value::Num(3.0));
+
+    let expr = parse_expression("F(P) + min(P, 8) * 0.125 + (pid % 2 == 0 ? 1 : 2)").unwrap();
+
+    let mut group = c.benchmark_group("expr/eval");
+    group.bench_function("interpreted", |b| {
+        b.iter(|| expr.eval(&mut env).unwrap())
+    });
+
+    let mut slots = Slots::new();
+    let compiled = CompiledExpr::compile(&expr, &env, &mut slots).unwrap();
+    let frame = slots.frame_from_env(&env);
+    group.bench_function("compiled", |b| b.iter(|| compiled.eval(&frame).unwrap()));
+
+    // Parse cost for completeness (checker + transformation both parse).
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_expression("F(P) + min(P, 8) * 0.125 + (pid % 2 == 0 ? 1 : 2)").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expr);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment E3 + ablation A3: simulation-engine throughput.
+//!
+//! Event throughput of the CSIM-substitute kernel on an M/M/c facility
+//! workload, with both calendar implementations (binary heap vs
+//! insertion-sorted vec).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prophet_sim::{
+    Action, CalendarKind, Config, Discipline, FacilityId, Process, ProcCtx, Resumed, Simulator,
+};
+
+struct Worker {
+    cpu: FacilityId,
+    left: u32,
+    stream: String,
+}
+
+impl Process for Worker {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>, why: Resumed) -> Action {
+        match why {
+            Resumed::Start | Resumed::UseDone(_) => {
+                if self.left == 0 {
+                    return Action::Terminate;
+                }
+                self.left -= 1;
+                let mut rng = ctx.random_stream(&self.stream);
+                Action::Use(self.cpu, rng.exponential(0.1))
+            }
+            _ => Action::Terminate,
+        }
+    }
+}
+
+fn run_load(kind: CalendarKind, workers: usize, jobs_each: u32) -> u64 {
+    let mut sim = Simulator::new(Config { calendar: kind, ..Default::default() });
+    let cpu = sim.add_facility("cpu", 4, Discipline::Fcfs);
+    for w in 0..workers {
+        sim.spawn(
+            &format!("w{w}"),
+            Box::new(Worker { cpu, left: jobs_each, stream: format!("svc{w}") }),
+        );
+    }
+    sim.run().unwrap().events_processed
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/throughput");
+    for &workers in &[8usize, 64, 256] {
+        let jobs = 100u32;
+        // Event count is deterministic; use it as the throughput unit.
+        let events = run_load(CalendarKind::BinaryHeap, workers, jobs);
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("binary_heap", workers), &workers, |b, &w| {
+            b.iter(|| run_load(CalendarKind::BinaryHeap, w, jobs))
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_vec", workers), &workers, |b, &w| {
+            b.iter(|| run_load(CalendarKind::SortedVec, w, jobs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

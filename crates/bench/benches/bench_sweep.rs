@@ -1,0 +1,21 @@
+//! Experiment E4: SP sweeps — serial vs crossbeam-parallel execution of
+//! independent simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_core::project::Project;
+use prophet_core::sweep::{mpi_grid, sweep_parallel, sweep_serial};
+use prophet_workloads::models::jacobi_model;
+
+fn bench_sweep(c: &mut Criterion) {
+    let project = Project::new(jacobi_model(100_000, 10, 1e-8));
+    let points = mpi_grid(&[1, 2, 4, 8, 16], 1);
+
+    let mut group = c.benchmark_group("sweep/jacobi_5pts");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| sweep_serial(&project, &points)));
+    group.bench_function("parallel", |b| b.iter(|| sweep_parallel(&project, &points, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

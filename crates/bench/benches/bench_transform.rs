@@ -1,0 +1,35 @@
+//! Experiment E2 / Figure 5: transformation scalability.
+//!
+//! Measures the Figure-5 algorithm (UML → C++ text and UML → executable
+//! IR) across model sizes and shapes. The paper claims "machine-efficient
+//! model evaluation" motivates the C++ target; this bench quantifies the
+//! transformation side of that pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prophet_bench::{branchy_model, chain_model, nested_model};
+use prophet_core::transform::{to_cpp, to_program};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform/chain");
+    for &n in &[10usize, 100, 1000, 5000] {
+        let model = chain_model(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("to_cpp", n), &model, |b, m| {
+            b.iter(|| to_cpp(m).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("to_program", n), &model, |b, m| {
+            b.iter(|| to_program(m).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transform/shapes");
+    let nested = nested_model(8, 16);
+    group.bench_function("nested_8x16_to_cpp", |b| b.iter(|| to_cpp(&nested).unwrap()));
+    let branchy = branchy_model(512, 8);
+    group.bench_function("branchy_512_to_cpp", |b| b.iter(|| to_cpp(&branchy).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A2: traversal strategy — explicit-stack navigator vs the
+//! recursive walk (which materializes the step list eagerly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prophet_bench::{chain_model, nested_model};
+use prophet_uml::{
+    ContentHandler, ExplicitStackNavigator, Model, RecursiveWalk, Traverser, VisitPhase,
+};
+
+/// A handler that counts visits without allocating.
+#[derive(Default)]
+struct Counter {
+    visits: usize,
+}
+
+impl ContentHandler for Counter {
+    fn visit_element(&mut self, _m: &Model, _e: prophet_uml::ElementId, _p: VisitPhase) {
+        self.visits += 1;
+    }
+}
+
+fn bench_traverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traverse");
+    for (label, model) in [
+        ("chain_2000", chain_model(2000)),
+        ("nested_16x16", nested_model(16, 16)),
+    ] {
+        let size = model.element_count() as u64;
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(BenchmarkId::new("explicit_stack", label), &model, |b, m| {
+            b.iter(|| {
+                let mut nav = ExplicitStackNavigator::new(m.main_diagram());
+                let mut counter = Counter::default();
+                Traverser::new().traverse(m, &mut nav, &mut counter);
+                counter.visits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recursive_walk", label), &model, |b, m| {
+            b.iter(|| {
+                let mut nav = RecursiveWalk::new(m, m.main_diagram());
+                let mut counter = Counter::default();
+                Traverser::new().traverse(m, &mut nav, &mut counter);
+                counter.visits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traverse);
+criterion_main!(benches);

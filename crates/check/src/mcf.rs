@@ -1,0 +1,140 @@
+//! The Model Checking File (MCF): rule selection and severities.
+//!
+//! The MCF is an XML document of the form:
+//!
+//! ```xml
+//! <mcf>
+//!   <rule id="PP006" severity="error"/>
+//!   <rule id="PP011" severity="warning"/>
+//!   <rule id="PP002" enabled="false"/>
+//! </mcf>
+//! ```
+//!
+//! Rules not mentioned keep their defaults. [`McfConfig::default`] enables
+//! every rule at its default severity.
+
+use prophet_xml::{parse_document, XmlError, XmlResult};
+use std::collections::HashMap;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Must be fixed before transformation.
+    Error,
+    /// Suspicious but transformable.
+    Warning,
+}
+
+/// Rule configuration parsed from (or defaulted in lieu of) an MCF file.
+/// The default configuration enables every rule at its default severity.
+#[derive(Debug, Clone, Default)]
+pub struct McfConfig {
+    overrides: HashMap<String, Option<Severity>>, // None = disabled
+}
+
+impl McfConfig {
+    /// Parse an MCF XML document.
+    pub fn from_xml(xml: &str) -> XmlResult<Self> {
+        let doc = parse_document(xml)?;
+        if doc.root.name != "mcf" {
+            return Err(XmlError::structural(format!("expected <mcf>, found <{}>", doc.root.name)));
+        }
+        let mut config = Self::default();
+        for r in doc.root.children_named("rule") {
+            let id = r.required_attr("id")?.to_string();
+            if r.attr("enabled") == Some("false") {
+                config.overrides.insert(id, None);
+                continue;
+            }
+            let severity = match r.attr("severity") {
+                Some("error") | None => Severity::Error,
+                Some("warning") => Severity::Warning,
+                Some(other) => {
+                    return Err(XmlError::structural(format!("unknown severity `{other}`")))
+                }
+            };
+            config.overrides.insert(id, Some(severity));
+        }
+        Ok(config)
+    }
+
+    /// Serialize this configuration to MCF XML (only overrides are listed).
+    pub fn to_xml(&self) -> String {
+        let mut root = prophet_xml::Element::new("mcf");
+        let mut ids: Vec<_> = self.overrides.keys().collect();
+        ids.sort();
+        for id in ids {
+            let mut r = prophet_xml::Element::new("rule").with_attr("id", id.clone());
+            match &self.overrides[id] {
+                None => r.set_attr("enabled", "false"),
+                Some(Severity::Error) => r.set_attr("severity", "error"),
+                Some(Severity::Warning) => r.set_attr("severity", "warning"),
+            }
+            root.push_element(r);
+        }
+        prophet_xml::Document::with_root(root).to_xml_string()
+    }
+
+    /// Disable a rule by id.
+    pub fn disable(&mut self, id: &str) {
+        self.overrides.insert(id.to_string(), None);
+    }
+
+    /// Force a severity for a rule.
+    pub fn set_severity(&mut self, id: &str, severity: Severity) {
+        self.overrides.insert(id.to_string(), Some(severity));
+    }
+
+    /// Effective severity of a rule: `None` means disabled.
+    pub fn severity_of(&self, id: &str) -> Option<Severity> {
+        match self.overrides.get(id) {
+            Some(over) => *over,
+            None => Some(crate::rules::default_severity(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all() {
+        let c = McfConfig::default();
+        for rule in crate::rules::all_rules() {
+            assert!(c.severity_of(rule.id()).is_some(), "{} disabled by default", rule.id());
+        }
+    }
+
+    #[test]
+    fn parse_mcf() {
+        let c = McfConfig::from_xml(
+            r#"<mcf>
+                 <rule id="PP006" severity="warning"/>
+                 <rule id="PP002" enabled="false"/>
+               </mcf>"#,
+        )
+        .unwrap();
+        assert_eq!(c.severity_of("PP006"), Some(Severity::Warning));
+        assert_eq!(c.severity_of("PP002"), None);
+        // Unmentioned rules keep defaults.
+        assert!(c.severity_of("PP001").is_some());
+    }
+
+    #[test]
+    fn bad_severity_rejected() {
+        assert!(McfConfig::from_xml(r#"<mcf><rule id="PP001" severity="fatal"/></mcf>"#).is_err());
+        assert!(McfConfig::from_xml(r#"<notmcf/>"#).is_err());
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let mut c = McfConfig::default();
+        c.disable("PP002");
+        c.set_severity("PP011", Severity::Warning);
+        let xml = c.to_xml();
+        let back = McfConfig::from_xml(&xml).unwrap();
+        assert_eq!(back.severity_of("PP002"), None);
+        assert_eq!(back.severity_of("PP011"), Some(Severity::Warning));
+    }
+}

@@ -1,0 +1,48 @@
+//! # prophet-core
+//!
+//! The top of the Performance Prophet stack: the paper's transformation
+//! methodology wired end to end (Pllana et al., ICPP-W 2008).
+//!
+//! * [`transform`] — **the paper's contribution**: the automatic
+//!   transformation of a UML performance model into its machine-efficient
+//!   representations. One structural traversal (the Figure-6 traverser +
+//!   flow recovery) feeds two backends:
+//!   [`transform::to_cpp`] emits the C++ PMP text (Figure 8), and
+//!   [`transform::to_program`] lowers to the executable
+//!   [`prophet_estimator::Program`] IR that the Performance Estimator
+//!   evaluates by simulation,
+//! * [`project`] — the Teuta-session equivalent: a model plus system
+//!   parameters (SP) and configuration (CF), with check → transform →
+//!   estimate → trace as one call,
+//! * [`sweep`] — parallel parameter sweeps (crossbeam scoped threads, one
+//!   deterministic simulation per configuration) powering the speedup
+//!   experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prophet_core::project::Project;
+//! use prophet_machine::SystemParams;
+//! use prophet_uml::ModelBuilder;
+//!
+//! let mut b = ModelBuilder::new("demo");
+//! let main = b.main_diagram();
+//! let i = b.initial(main, "start");
+//! let a = b.action(main, "Work", "0.5");
+//! let f = b.final_node(main, "end");
+//! b.flow(main, i, a);
+//! b.flow(main, a, f);
+//!
+//! let project = Project::new(b.build()).with_system(SystemParams::default());
+//! let run = project.run().unwrap();
+//! assert_eq!(run.evaluation.predicted_time, 0.5);
+//! assert!(run.cpp.program.contains("work.execute(uid, pid, tid, 0.5);"));
+//! ```
+
+pub mod project;
+pub mod sweep;
+pub mod transform;
+
+pub use project::{Project, ProjectError, RunArtifacts};
+pub use sweep::{sweep_parallel, sweep_serial, SweepPoint, SweepResult};
+pub use transform::{to_cpp, to_program, TransformError};

@@ -1,0 +1,212 @@
+//! A Prophet project: the Teuta-session equivalent.
+//!
+//! Holds a model plus the system parameters (SP) and tool configuration
+//! (CF) of the Figure-2 architecture, and exposes the full pipeline:
+//! model check (MCF) → transformation (PMP + IR) → performance estimation
+//! → trace (TF).
+
+use crate::transform::{to_cpp, to_program, TransformError};
+use prophet_check::{check_model, Diagnostic, McfConfig};
+use prophet_codegen::CppUnit;
+use prophet_estimator::{Estimator, EstimatorError, EstimatorOptions, Evaluation, Program};
+use prophet_machine::{CommParams, MachineModel, SystemParams};
+use prophet_uml::Model;
+use prophet_xml::XmlResult;
+use std::fmt;
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum ProjectError {
+    /// The model checker found error-severity diagnostics.
+    Check(Vec<Diagnostic>),
+    /// Transformation failed.
+    Transform(TransformError),
+    /// Evaluation failed.
+    Estimate(EstimatorError),
+    /// Invalid system parameters.
+    Machine(String),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::Check(diags) => {
+                writeln!(f, "model check failed with {} finding(s):", diags.len())?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            ProjectError::Transform(e) => write!(f, "{e}"),
+            ProjectError::Estimate(e) => write!(f, "{e}"),
+            ProjectError::Machine(m) => write!(f, "machine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// Everything one pipeline run produces.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Model-check diagnostics (warnings included).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The generated C++ PMP.
+    pub cpp: CppUnit,
+    /// The executable IR.
+    pub program: Program,
+    /// The evaluation (predicted time, report, TF).
+    pub evaluation: Evaluation,
+}
+
+/// A modeling session: model + SP + CF.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// The UML performance model.
+    pub model: Model,
+    /// System parameters (SP).
+    pub system: SystemParams,
+    /// Communication parameters of the machine model.
+    pub comm: CommParams,
+    /// Model-checking configuration (MCF).
+    pub mcf: McfConfig,
+    /// Estimator options (CF-level settings: seed, tracing, limits).
+    pub options: EstimatorOptions,
+}
+
+impl Project {
+    /// Project with default SP (1×1), default MCF, default options.
+    pub fn new(model: Model) -> Self {
+        Self {
+            model,
+            system: SystemParams::default(),
+            comm: CommParams::default(),
+            mcf: McfConfig::default(),
+            options: EstimatorOptions::default(),
+        }
+    }
+
+    /// Set system parameters.
+    pub fn with_system(mut self, sp: SystemParams) -> Self {
+        self.system = sp;
+        self
+    }
+
+    /// Set communication parameters.
+    pub fn with_comm(mut self, comm: CommParams) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Set the MCF.
+    pub fn with_mcf(mut self, mcf: McfConfig) -> Self {
+        self.mcf = mcf;
+        self
+    }
+
+    /// Set estimator options.
+    pub fn with_options(mut self, options: EstimatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Load the model from its XML representation.
+    pub fn from_model_xml(xml: &str) -> XmlResult<Self> {
+        Ok(Self::new(prophet_uml::xmi::model_from_xml(xml)?))
+    }
+
+    /// Serialize the model to XML (the `Models (XML)` artifact).
+    pub fn model_xml(&self) -> String {
+        prophet_uml::xmi::model_to_xml(&self.model)
+    }
+
+    /// Run the model checker only.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        check_model(&self.model, &self.mcf)
+    }
+
+    /// Run the full pipeline: check → transform (both targets) →
+    /// estimate.
+    pub fn run(&self) -> Result<RunArtifacts, ProjectError> {
+        let diagnostics = self.check();
+        if diagnostics.iter().any(Diagnostic::is_error) {
+            return Err(ProjectError::Check(
+                diagnostics.into_iter().filter(Diagnostic::is_error).collect(),
+            ));
+        }
+        let cpp = to_cpp(&self.model).map_err(ProjectError::Transform)?;
+        let program = to_program(&self.model).map_err(ProjectError::Transform)?;
+        let machine =
+            MachineModel::new(self.system, self.comm).map_err(ProjectError::Machine)?;
+        let evaluation = Estimator::new(machine, self.options.clone())
+            .evaluate(&program)
+            .map_err(ProjectError::Estimate)?;
+        Ok(RunArtifacts { diagnostics, cpp, program, evaluation })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_uml::ModelBuilder;
+
+    fn simple_model() -> Model {
+        let mut b = ModelBuilder::new("proj");
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let a = b.action(main, "Work", "1.5");
+        let f = b.final_node(main, "end");
+        b.flow(main, i, a);
+        b.flow(main, a, f);
+        b.build()
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let run = Project::new(simple_model()).run().unwrap();
+        assert_eq!(run.evaluation.predicted_time, 1.5);
+        assert!(run.cpp.program.contains("work.execute"));
+        assert_eq!(run.program.body.leaf_count(), 1);
+        assert!(!run.evaluation.trace.is_empty());
+    }
+
+    #[test]
+    fn check_gate_blocks_bad_models() {
+        let mut b = ModelBuilder::new("bad");
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let a = b.action(main, "Oops", "1 +");
+        let f = b.final_node(main, "end");
+        b.flow(main, i, a);
+        b.flow(main, a, f);
+        let err = Project::new(b.build()).run().unwrap_err();
+        match err {
+            ProjectError::Check(diags) => {
+                assert!(diags.iter().any(|d| d.rule == "PP006"), "{diags:?}");
+            }
+            other => panic!("expected check failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn model_xml_roundtrip_through_project() {
+        let p = Project::new(simple_model());
+        let xml = p.model_xml();
+        let p2 = Project::from_model_xml(&xml).unwrap();
+        let r1 = p.run().unwrap();
+        let r2 = p2.run().unwrap();
+        assert_eq!(r1.evaluation.predicted_time, r2.evaluation.predicted_time);
+        assert_eq!(r1.cpp.model_text(), r2.cpp.model_text());
+    }
+
+    #[test]
+    fn invalid_sp_reported() {
+        let p = Project::new(simple_model()).with_system(SystemParams {
+            nodes: 4,
+            cpus_per_node: 1,
+            processes: 2,
+            threads_per_process: 1,
+        });
+        assert!(matches!(p.run().unwrap_err(), ProjectError::Machine(_)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Parallel parameter sweeps over system configurations.
+//!
+//! The paper's workflow evaluates one model under many SP configurations
+//! ("the performance can be predicted and design decisions can be
+//! influenced without time-consuming modifications of large portions of
+//! an implemented program"). Each configuration is one deterministic
+//! simulation; configurations are independent, so we parallelize *across*
+//! simulations with crossbeam scoped threads — never inside one
+//! (DESIGN.md §5).
+
+use crate::project::Project;
+use crate::transform::to_program;
+use parking_lot::Mutex;
+use prophet_estimator::{Estimator, EstimatorOptions, Program};
+use prophet_machine::{MachineModel, SystemParams};
+
+/// One configuration to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// System parameters of this configuration.
+    pub sp: SystemParams,
+}
+
+/// One configuration's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The configuration.
+    pub sp: SystemParams,
+    /// Predicted time, or an error message.
+    pub outcome: Result<f64, String>,
+}
+
+impl SweepResult {
+    /// Predicted time if the run succeeded.
+    pub fn time(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().copied()
+    }
+}
+
+fn eval_point(program: &Program, project: &Project, sp: SystemParams) -> SweepResult {
+    let outcome = MachineModel::new(sp, project.comm)
+        .map_err(|e| e.to_string())
+        .and_then(|machine| {
+            let options = EstimatorOptions {
+                trace: false, // sweeps don't need traces
+                ..project.options.clone()
+            };
+            Estimator::new(machine, options)
+                .evaluate(program)
+                .map(|e| e.predicted_time)
+                .map_err(|e| e.to_string())
+        });
+    SweepResult { sp, outcome }
+}
+
+/// Evaluate every point serially (baseline for the parallel-sweep bench).
+pub fn sweep_serial(project: &Project, points: &[SweepPoint]) -> Vec<SweepResult> {
+    let program = match to_program(&project.model) {
+        Ok(p) => p,
+        Err(e) => {
+            return points
+                .iter()
+                .map(|pt| SweepResult { sp: pt.sp, outcome: Err(e.to_string()) })
+                .collect()
+        }
+    };
+    points.iter().map(|pt| eval_point(&program, project, pt.sp)).collect()
+}
+
+/// Evaluate points in parallel with crossbeam scoped threads.
+///
+/// Results are returned in input order regardless of completion order.
+/// `threads = 0` selects the available parallelism.
+pub fn sweep_parallel(project: &Project, points: &[SweepPoint], threads: usize) -> Vec<SweepResult> {
+    let program = match to_program(&project.model) {
+        Ok(p) => p,
+        Err(e) => {
+            return points
+                .iter()
+                .map(|pt| SweepResult { sp: pt.sp, outcome: Err(e.to_string()) })
+                .collect()
+        }
+    };
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let threads = threads.min(points.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new(vec![None; points.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let result = eval_point(&program, project, points[i].sp);
+                results.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every index processed"))
+        .collect()
+}
+
+/// Convenience: a `(nodes × cpus)` grid of flat-MPI configurations.
+pub fn mpi_grid(node_counts: &[usize], cpus_per_node: usize) -> Vec<SweepPoint> {
+    node_counts
+        .iter()
+        .map(|&n| SweepPoint { sp: SystemParams::flat_mpi(n, cpus_per_node) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_uml::ModelBuilder;
+
+    /// A model whose time shrinks with more processes: a parallelizable
+    /// region plus a serial part (Amdahl shape).
+    fn scalable_project() -> Project {
+        let mut b = ModelBuilder::new("amdahl");
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let serial = b.action(main, "Serial", "1.0");
+        let par = b.action(main, "Par", "8.0 / P");
+        let f = b.final_node(main, "end");
+        b.flow(main, i, serial);
+        b.flow(main, serial, par);
+        b.flow(main, par, f);
+        Project::new(b.build())
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let project = scalable_project();
+        let points = mpi_grid(&[1, 2, 4, 8], 1);
+        let serial = sweep_serial(&project, &points);
+        let parallel = sweep_parallel(&project, &points, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.sp, b.sp);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn speedup_shape_is_amdahl() {
+        let project = scalable_project();
+        let points = mpi_grid(&[1, 2, 4, 8], 1);
+        let results = sweep_parallel(&project, &points, 0);
+        let times: Vec<f64> = results.iter().map(|r| r.time().unwrap()).collect();
+        assert_eq!(times[0], 9.0); // 1 + 8
+        assert_eq!(times[1], 5.0); // 1 + 4
+        assert_eq!(times[2], 3.0); // 1 + 2
+        assert_eq!(times[3], 2.0); // 1 + 1
+        // Monotone improvement with diminishing returns.
+        assert!(times.windows(2).all(|w| w[1] < w[0]));
+        let speedup8 = times[0] / times[3];
+        assert!(speedup8 < 8.0, "Amdahl bound");
+    }
+
+    #[test]
+    fn failed_points_carry_errors() {
+        let project = scalable_project();
+        // processes < nodes is invalid.
+        let bad = SweepPoint {
+            sp: SystemParams { nodes: 4, cpus_per_node: 1, processes: 2, threads_per_process: 1 },
+        };
+        let results = sweep_parallel(&project, &[bad], 2);
+        assert!(results[0].outcome.is_err());
+    }
+
+    #[test]
+    fn results_in_input_order() {
+        let project = scalable_project();
+        let points = mpi_grid(&[8, 1, 4, 2], 1);
+        let results = sweep_parallel(&project, &points, 3);
+        let order: Vec<usize> = results.iter().map(|r| r.sp.processes).collect();
+        assert_eq!(order, vec![8, 1, 4, 2]);
+    }
+}

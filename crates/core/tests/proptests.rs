@@ -1,0 +1,102 @@
+//! Property tests over the whole pipeline: random well-formed models must
+//! check, transform (both targets), and evaluate without panicking, and
+//! chain-model predictions must equal the sum of their costs.
+
+use proptest::prelude::*;
+use prophet_check::{check_model, McfConfig};
+use prophet_core::project::Project;
+use prophet_core::transform::{to_cpp, to_program};
+use prophet_machine::SystemParams;
+use prophet_uml::{Model, ModelBuilder};
+
+/// Random linear chain with constant numeric costs.
+fn chain(costs: Vec<u16>) -> (Model, f64) {
+    let mut b = ModelBuilder::new("chain");
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let mut prev = i;
+    let mut total = 0.0;
+    for (k, c) in costs.iter().enumerate() {
+        let cost = *c as f64 / 1000.0;
+        total += cost;
+        let a = b.action(main, &format!("A{k}"), &format!("{cost}"));
+        b.flow(main, prev, a);
+        prev = a;
+    }
+    let f = b.final_node(main, "end");
+    b.flow(main, prev, f);
+    (b.build(), total)
+}
+
+/// Random branch pattern driven by a global set in a fragment.
+fn branchy(gv: i64, then_cost: u16, else_cost: u16) -> (Model, f64) {
+    let mut b = ModelBuilder::new("branchy");
+    b.global("GV", prophet_uml::VarType::Int, Some("0"));
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let setter = b.action(main, "Setter", "0");
+    b.attach_code(setter, &format!("GV = {gv};"));
+    let d = b.decision(main, "dec");
+    let x = b.action(main, "Then", &format!("{}", then_cost as f64 / 1000.0));
+    let y = b.action(main, "Else", &format!("{}", else_cost as f64 / 1000.0));
+    let m = b.merge(main, "merge");
+    let f = b.final_node(main, "end");
+    b.flow(main, i, setter);
+    b.flow(main, setter, d);
+    b.guarded_flow(main, d, x, "GV > 0");
+    b.guarded_flow(main, d, y, "else");
+    b.flow(main, x, m);
+    b.flow(main, y, m);
+    b.flow(main, m, f);
+    let expected = if gv > 0 { then_cost } else { else_cost } as f64 / 1000.0;
+    (b.build(), expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_prediction_is_sum_of_costs(costs in prop::collection::vec(0u16..2000, 1..24)) {
+        let (model, total) = chain(costs);
+        let run = Project::new(model).run().unwrap();
+        prop_assert!((run.evaluation.predicted_time - total).abs() < 1e-9,
+            "{} vs {}", run.evaluation.predicted_time, total);
+    }
+
+    #[test]
+    fn chain_prediction_independent_of_ranks(costs in prop::collection::vec(0u16..1000, 1..12), p in 1usize..9) {
+        // A communication-free SPMD chain takes the same time on any P.
+        let (model, total) = chain(costs);
+        let run = Project::new(model)
+            .with_system(SystemParams::flat_mpi(p, 1))
+            .run()
+            .unwrap();
+        prop_assert!((run.evaluation.predicted_time - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_takes_the_fragment_driven_arm(gv in -3i64..4, t in 0u16..1000, e in 0u16..1000) {
+        let (model, expected) = branchy(gv, t, e);
+        let run = Project::new(model).run().unwrap();
+        prop_assert!((run.evaluation.predicted_time - expected).abs() < 1e-9,
+            "{} vs {expected}", run.evaluation.predicted_time);
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_wellformed_models(costs in prop::collection::vec(0u16..100, 1..10)) {
+        let (model, _) = chain(costs);
+        let diags = check_model(&model, &McfConfig::default());
+        prop_assert!(diags.iter().all(|d| !d.is_error()));
+        let _ = to_cpp(&model).unwrap();
+        let _ = to_program(&model).unwrap();
+    }
+
+    #[test]
+    fn cpp_and_ir_agree_on_element_counts(costs in prop::collection::vec(0u16..100, 1..32)) {
+        let (model, _) = chain(costs.clone());
+        let unit = to_cpp(&model).unwrap();
+        let program = to_program(&model).unwrap();
+        prop_assert_eq!(unit.program.matches(".execute(").count(), costs.len());
+        prop_assert_eq!(program.body.leaf_count(), costs.len());
+    }
+}

@@ -1,0 +1,796 @@
+//! Per-process elaboration of the Program IR into primitive timed ops.
+//!
+//! Model state (globals mutated by code fragments, guards, loop counts,
+//! cost functions) does not depend on simulated time, so each MPI
+//! process's execution can be fully elaborated *before* simulation: the
+//! result is a [`PrimOp`] list the simulation process replays. Collective
+//! operations are expanded into control messages + an analytic hold (see
+//! crate docs).
+
+use crate::program::{MpiOp, Program, Step};
+use prophet_expr::{exec_fragment, Env, ExprError, Value};
+use prophet_machine::MachineModel;
+use std::fmt;
+
+/// A primitive timed operation executed by the simulation process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimOp {
+    /// Trace marker: element entered.
+    Enter(String),
+    /// Trace marker: element exited.
+    Exit(String),
+    /// Occupy one CPU of the owning node for `seconds`.
+    Compute {
+        /// Element name.
+        element: String,
+        /// Service time.
+        seconds: f64,
+    },
+    /// Send `bytes` to rank `dest` (eager; sender pays only overhead).
+    SendTo {
+        /// Element name.
+        element: String,
+        /// Destination rank.
+        dest: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Message tag (user tags ≥ 0; control tags < 0).
+        tag: i64,
+    },
+    /// Receive from rank `src` with tag `tag`; complete at the Hockney
+    /// arrival time.
+    RecvFrom {
+        /// Element name.
+        element: String,
+        /// Expected source rank.
+        src: usize,
+        /// Expected tag.
+        tag: i64,
+        /// Transfer bytes (for arrival-time computation; must match the
+        /// sender's size in a well-formed model).
+        bytes: u64,
+    },
+    /// Hold (no CPU): used for analytic collective costs.
+    Wait {
+        /// Element name.
+        element: String,
+        /// Duration.
+        seconds: f64,
+    },
+    /// Run thread-team arms concurrently on the node's CPU facility, then
+    /// join. Used for both `<<parallel+>>` regions and UML fork/join.
+    Threads {
+        /// Element name (trace label).
+        element: String,
+        /// Per-thread op lists.
+        arms: Vec<Vec<PrimOp>>,
+    },
+    /// Acquire the process-local lock with this id (blocks; `<<critical+>>`).
+    Lock(usize),
+    /// Release a previously acquired lock.
+    Unlock(usize),
+}
+
+/// Elaboration failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlattenError(pub String);
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flatten error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+impl From<ExprError> for FlattenError {
+    fn from(e: ExprError) -> Self {
+        FlattenError(e.to_string())
+    }
+}
+
+/// Limits guarding runaway elaboration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlattenLimits {
+    /// Maximum primitive ops per process.
+    pub max_ops: usize,
+    /// Maximum loop iterations per `<<loop+>>` instance.
+    pub max_loop_iterations: u64,
+}
+
+impl Default for FlattenLimits {
+    fn default() -> Self {
+        Self { max_ops: 5_000_000, max_loop_iterations: 1_000_000 }
+    }
+}
+
+/// Elaborate `program` for MPI process `pid`.
+pub fn flatten_for_process(
+    program: &Program,
+    machine: &MachineModel,
+    pid: usize,
+    limits: FlattenLimits,
+) -> Result<Vec<PrimOp>, FlattenError> {
+    let sp = machine.sp;
+    let mut env = Env::new();
+    // System properties, exactly the execute() parameters of the paper
+    // plus machine shape: uid (user/run id), pid, tid, P (process count),
+    // N (total CPUs), M (nodes), threads.
+    env.set_num("uid", 0.0);
+    env.set_num("pid", pid as f64);
+    env.set_num("tid", 0.0);
+    env.set_num("P", sp.processes as f64);
+    env.set_num("N", sp.total_cpus() as f64);
+    env.set_num("M", sp.nodes as f64);
+    env.set_num("nodes", sp.nodes as f64);
+    env.set_num("cpus", sp.cpus_per_node as f64);
+    env.set_num("threads", sp.threads_per_process as f64);
+    for (name, init) in program.globals.iter().chain(&program.locals) {
+        env.set_num(name.clone(), *init);
+    }
+    for f in &program.functions {
+        env.define_function(f.clone());
+    }
+
+    let mut fl = Flattener {
+        machine,
+        pid,
+        limits,
+        collective_seq: 0,
+        ops_emitted: 0,
+        locks: Vec::new(),
+    };
+    let mut out = Vec::new();
+    fl.walk(&program.body, &mut env, &mut out)?;
+    Ok(out)
+}
+
+/// Number of distinct locks referenced by an op list (including nested
+/// thread arms). The estimator creates one 1-server facility per lock.
+pub fn lock_count(ops: &[PrimOp]) -> usize {
+    fn scan(ops: &[PrimOp], max: &mut usize) {
+        for op in ops {
+            match op {
+                PrimOp::Lock(id) | PrimOp::Unlock(id) => *max = (*max).max(id + 1),
+                PrimOp::Threads { arms, .. } => {
+                    for a in arms {
+                        scan(a, max);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut max = 0;
+    scan(ops, &mut max);
+    max
+}
+
+/// Control-message tag space for collectives: tag = COLLECTIVE_BASE - seq.
+pub const COLLECTIVE_BASE: i64 = -1_000_000;
+/// Tag space for thread-team join notifications.
+pub const JOIN_BASE: i64 = -2_000_000;
+
+struct Flattener<'a> {
+    machine: &'a MachineModel,
+    pid: usize,
+    limits: FlattenLimits,
+    /// Per-process collective sequence number; SPMD programs agree on it.
+    collective_seq: i64,
+    ops_emitted: usize,
+    /// Interned lock names for `<<critical+>>`.
+    locks: Vec<String>,
+}
+
+impl<'a> Flattener<'a> {
+    fn emit(&mut self, out: &mut Vec<PrimOp>, op: PrimOp) -> Result<(), FlattenError> {
+        self.ops_emitted += 1;
+        if self.ops_emitted > self.limits.max_ops {
+            return Err(FlattenError(format!(
+                "process {} exceeds {} primitive operations; raise EstimatorOptions::max_ops or simplify the model",
+                self.pid, self.limits.max_ops
+            )));
+        }
+        out.push(op);
+        Ok(())
+    }
+
+    fn eval_num(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<f64, FlattenError> {
+        expr.eval(env)
+            .and_then(Value::as_num)
+            .map_err(|e| FlattenError(format!("{what}: {e}")))
+    }
+
+    fn eval_rank(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<usize, FlattenError> {
+        let v = self.eval_num(expr, env, what)?;
+        let p = self.machine.sp.processes;
+        let r = v.round();
+        if r < 0.0 || r >= p as f64 {
+            return Err(FlattenError(format!("{what}: rank {r} out of range 0..{p}")));
+        }
+        Ok(r as usize)
+    }
+
+    fn eval_bytes(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<u64, FlattenError> {
+        let v = self.eval_num(expr, env, what)?;
+        if v < 0.0 || !v.is_finite() {
+            return Err(FlattenError(format!("{what}: invalid size {v}")));
+        }
+        Ok(v.round() as u64)
+    }
+
+    fn walk(&mut self, step: &Step, env: &mut Env, out: &mut Vec<PrimOp>) -> Result<(), FlattenError> {
+        match step {
+            Step::Nop => Ok(()),
+            Step::Seq(items) => {
+                for s in items {
+                    self.walk(s, env, out)?;
+                }
+                Ok(())
+            }
+            Step::Exec { name, cost, code } => {
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                if !code.is_empty() {
+                    exec_fragment(code, env)
+                        .map_err(|e| FlattenError(format!("code fragment of `{name}`: {e}")))?;
+                }
+                let seconds = match cost {
+                    Some(expr) => {
+                        let t = self.eval_num(expr, env, &format!("cost of `{name}`"))?;
+                        if !(t.is_finite() && t >= 0.0) {
+                            return Err(FlattenError(format!(
+                                "cost of `{name}` evaluated to invalid time {t}"
+                            )));
+                        }
+                        t
+                    }
+                    None => 0.0,
+                };
+                self.emit(out, PrimOp::Compute { element: name.clone(), seconds })?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Branch(arms) => {
+                for (guard, arm) in arms {
+                    let taken = match guard {
+                        Some(g) => g
+                            .eval(env)
+                            .map_err(|e| FlattenError(format!("guard: {e}")))?
+                            .truthy(),
+                        None => true,
+                    };
+                    if taken {
+                        return self.walk(arm, env, out);
+                    }
+                }
+                Ok(()) // no arm taken: decision falls through
+            }
+            Step::Composite { name, body } => {
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                self.walk(body, env, out)?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Loop { name, count, var, body } => {
+                let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
+                if !(n.is_finite() && n >= 0.0) {
+                    return Err(FlattenError(format!(
+                        "iterations of `{name}` evaluated to invalid count {n}"
+                    )));
+                }
+                let n = n.round() as u64;
+                if n > self.limits.max_loop_iterations {
+                    return Err(FlattenError(format!(
+                        "loop `{name}` unrolls to {n} iterations (limit {})",
+                        self.limits.max_loop_iterations
+                    )));
+                }
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                let saved = var.as_ref().and_then(|v| env.get_var(v));
+                for i in 0..n {
+                    if let Some(v) = var {
+                        env.set_num(v.clone(), i as f64);
+                    }
+                    self.walk(body, env, out)?;
+                }
+                if let Some(v) = var {
+                    match saved {
+                        Some(old) => env.set_var(v.clone(), old),
+                        None => {
+                            env.remove_var(v);
+                        }
+                    }
+                }
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Parallel(arms) => {
+                // UML fork/join: one thread per arm.
+                let mut arm_ops = Vec::with_capacity(arms.len());
+                for (t, arm) in arms.iter().enumerate() {
+                    let mut thread_env = env.clone();
+                    thread_env.set_num("tid", t as f64);
+                    let mut ops = Vec::new();
+                    self.walk_thread(arm, &mut thread_env, &mut ops)?;
+                    arm_ops.push(ops);
+                }
+                self.emit(
+                    out,
+                    PrimOp::Threads { element: "fork".into(), arms: arm_ops },
+                )
+            }
+            Step::ParallelRegion { name, threads, body } => {
+                let team = match threads {
+                    Some(expr) => {
+                        let t = self.eval_num(expr, env, &format!("threads of `{name}`"))?;
+                        if t < 1.0 || t > 4096.0 {
+                            return Err(FlattenError(format!(
+                                "threads of `{name}` evaluated to invalid team size {t}"
+                            )));
+                        }
+                        t.round() as usize
+                    }
+                    None => self.machine.sp.threads_per_process,
+                };
+                let mut arm_ops = Vec::with_capacity(team);
+                for t in 0..team {
+                    let mut thread_env = env.clone();
+                    thread_env.set_num("tid", t as f64);
+                    let mut ops = Vec::new();
+                    self.walk_thread(body, &mut thread_env, &mut ops)?;
+                    arm_ops.push(ops);
+                }
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                self.emit(out, PrimOp::Threads { element: name.clone(), arms: arm_ops })?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Critical { name, lock, body } => {
+                let id = self.lock_id(lock);
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                self.emit(out, PrimOp::Lock(id))?;
+                self.walk(body, env, out)?;
+                self.emit(out, PrimOp::Unlock(id))?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Mpi { name, op } => self.walk_mpi(name, op, env, out),
+        }
+    }
+
+    fn lock_id(&mut self, lock: &str) -> usize {
+        match self.locks.iter().position(|l| l == lock) {
+            Some(i) => i,
+            None => {
+                self.locks.push(lock.to_string());
+                self.locks.len() - 1
+            }
+        }
+    }
+
+    /// Threads may compute but not communicate (MPI inside an OpenMP
+    /// region is rejected — the common MPI_THREAD_FUNNELED restriction).
+    fn walk_thread(&mut self, step: &Step, env: &mut Env, out: &mut Vec<PrimOp>) -> Result<(), FlattenError> {
+        match step {
+            Step::Mpi { name, .. } => Err(FlattenError(format!(
+                "MPI element `{name}` inside a thread team is not supported (MPI_THREAD_FUNNELED)"
+            ))),
+            Step::ParallelRegion { name, .. } => Err(FlattenError(format!(
+                "nested parallel region `{name}` is not supported"
+            ))),
+            Step::Parallel(_) => {
+                Err(FlattenError("nested fork inside a thread team is not supported".into()))
+            }
+            Step::Critical { name, lock, body } => {
+                // Keep thread restrictions in force inside the body.
+                let id = self.lock_id(lock);
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                self.emit(out, PrimOp::Lock(id))?;
+                self.walk_thread(body, env, out)?;
+                self.emit(out, PrimOp::Unlock(id))?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Seq(items) => {
+                for s in items {
+                    self.walk_thread(s, env, out)?;
+                }
+                Ok(())
+            }
+            Step::Composite { name, body } => {
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                self.walk_thread(body, env, out)?;
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Loop { name, count, var, body } => {
+                // Re-implement loop semantics with thread restrictions.
+                let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
+                if !(n.is_finite() && n >= 0.0) {
+                    return Err(FlattenError(format!(
+                        "iterations of `{name}` evaluated to invalid count {n}"
+                    )));
+                }
+                let n = n.round() as u64;
+                if n > self.limits.max_loop_iterations {
+                    return Err(FlattenError(format!(
+                        "loop `{name}` unrolls to {n} iterations (limit {})",
+                        self.limits.max_loop_iterations
+                    )));
+                }
+                self.emit(out, PrimOp::Enter(name.clone()))?;
+                let saved = var.as_ref().and_then(|v| env.get_var(v));
+                for i in 0..n {
+                    if let Some(v) = var {
+                        env.set_num(v.clone(), i as f64);
+                    }
+                    self.walk_thread(body, env, out)?;
+                }
+                if let Some(v) = var {
+                    match saved {
+                        Some(old) => env.set_var(v.clone(), old),
+                        None => {
+                            env.remove_var(v);
+                        }
+                    }
+                }
+                self.emit(out, PrimOp::Exit(name.clone()))
+            }
+            Step::Branch(arms) => {
+                for (guard, arm) in arms {
+                    let taken = match guard {
+                        Some(g) => g
+                            .eval(env)
+                            .map_err(|e| FlattenError(format!("guard: {e}")))?
+                            .truthy(),
+                        None => true,
+                    };
+                    if taken {
+                        return self.walk_thread(arm, env, out);
+                    }
+                }
+                Ok(())
+            }
+            other => self.walk(other, env, out),
+        }
+    }
+
+    fn walk_mpi(
+        &mut self,
+        name: &str,
+        op: &MpiOp,
+        env: &mut Env,
+        out: &mut Vec<PrimOp>,
+    ) -> Result<(), FlattenError> {
+        let sp = self.machine.sp;
+        let p = sp.processes;
+        let me = self.pid;
+        self.emit(out, PrimOp::Enter(name.to_string()))?;
+        match op {
+            MpiOp::Send { dest, size, tag } => {
+                let dest = self.eval_rank(dest, env, &format!("dest of `{name}`"))?;
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                self.emit(out, PrimOp::SendTo { element: name.to_string(), dest, bytes, tag: *tag })?;
+            }
+            MpiOp::Recv { src, tag } => {
+                let src = self.eval_rank(src, env, &format!("src of `{name}`"))?;
+                self.emit(
+                    out,
+                    PrimOp::RecvFrom { element: name.to_string(), src, tag: *tag, bytes: 0 },
+                )?;
+            }
+            MpiOp::Broadcast { root, size } => {
+                let root = self.eval_rank(root, env, &format!("root of `{name}`"))?;
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                let cost = self.machine.comm.broadcast_time(p, bytes);
+                self.emit_collective(name, root, cost, out)?;
+            }
+            MpiOp::Reduce { root, size } => {
+                let root = self.eval_rank(root, env, &format!("root of `{name}`"))?;
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                let cost = self.machine.comm.reduce_time(p, bytes);
+                self.emit_collective(name, root, cost, out)?;
+            }
+            MpiOp::Allreduce { size } => {
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                let cost = self.machine.comm.allreduce_time(p, bytes);
+                self.emit_collective(name, 0, cost, out)?;
+            }
+            MpiOp::Scatter { root, size } => {
+                let root = self.eval_rank(root, env, &format!("root of `{name}`"))?;
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                let cost = self.machine.comm.scatter_time(p, bytes);
+                self.emit_collective(name, root, cost, out)?;
+            }
+            MpiOp::Gather { root, size } => {
+                let root = self.eval_rank(root, env, &format!("root of `{name}`"))?;
+                let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
+                let cost = self.machine.comm.gather_time(p, bytes);
+                self.emit_collective(name, root, cost, out)?;
+            }
+            MpiOp::Barrier => {
+                let cost = self.machine.comm.barrier_time(p);
+                self.emit_collective(name, 0, cost, out)?;
+            }
+        }
+        self.emit(out, PrimOp::Exit(name.to_string()))?;
+        // tag field of Send is user-facing; pid/me silence only when p==1.
+        let _ = me;
+        Ok(())
+    }
+
+    /// Collective expansion: synchronize through rank `root` with
+    /// zero-byte control messages, then hold the analytic cost.
+    fn emit_collective(
+        &mut self,
+        name: &str,
+        root: usize,
+        cost: f64,
+        out: &mut Vec<PrimOp>,
+    ) -> Result<(), FlattenError> {
+        let p = self.machine.sp.processes;
+        let tag = COLLECTIVE_BASE - self.collective_seq;
+        self.collective_seq += 1;
+        if p > 1 {
+            if self.pid == root {
+                // Gather phase: receive a control message from every other
+                // rank (in rank order — deterministic and deadlock-free
+                // since all are already sent or will be).
+                for other in (0..p).filter(|&r| r != root) {
+                    self.emit(
+                        out,
+                        PrimOp::RecvFrom { element: name.to_string(), src: other, tag, bytes: 0 },
+                    )?;
+                }
+                // Release phase.
+                for other in (0..p).filter(|&r| r != root) {
+                    self.emit(
+                        out,
+                        PrimOp::SendTo { element: name.to_string(), dest: other, bytes: 0, tag },
+                    )?;
+                }
+            } else {
+                self.emit(
+                    out,
+                    PrimOp::SendTo { element: name.to_string(), dest: root, bytes: 0, tag },
+                )?;
+                self.emit(
+                    out,
+                    PrimOp::RecvFrom { element: name.to_string(), src: root, tag, bytes: 0 },
+                )?;
+            }
+        }
+        if cost > 0.0 {
+            self.emit(out, PrimOp::Wait { element: name.to_string(), seconds: cost })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_expr::{parse_expression, parse_statements, FunctionDef};
+    use prophet_machine::{CommParams, SystemParams};
+
+    fn machine(p: usize) -> MachineModel {
+        MachineModel::new(SystemParams::flat_mpi(p.max(1), 1), CommParams::default()).unwrap()
+    }
+
+    fn exec(name: &str, cost: &str) -> Step {
+        Step::Exec {
+            name: name.into(),
+            cost: Some(parse_expression(cost).unwrap()),
+            code: vec![],
+        }
+    }
+
+    #[test]
+    fn exec_becomes_enter_compute_exit() {
+        let mut p = Program::new("t");
+        p.body = exec("A1", "2.5");
+        let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                PrimOp::Enter("A1".into()),
+                PrimOp::Compute { element: "A1".into(), seconds: 2.5 },
+                PrimOp::Exit("A1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn code_fragment_affects_later_guard() {
+        // Figure 7: A1's fragment sets GV = 1; the branch then takes SA.
+        let mut p = Program::new("t");
+        p.globals.push(("GV".into(), 0.0));
+        p.body = Step::Seq(vec![
+            Step::Exec {
+                name: "A1".into(),
+                cost: None,
+                code: parse_statements("GV = 1;").unwrap(),
+            },
+            Step::Branch(vec![
+                (Some(parse_expression("GV == 1").unwrap()), exec("SA1", "1")),
+                (None, exec("A2", "1")),
+            ]),
+        ]);
+        let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
+        let names: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o {
+                PrimOp::Compute { element, .. } => Some(element.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["A1", "SA1"]);
+    }
+
+    #[test]
+    fn cost_functions_and_system_vars() {
+        let mut p = Program::new("t");
+        p.functions.push(FunctionDef::parse("F", &["x"], "0.5 * x + 0.125 * pid").unwrap());
+        p.body = exec("A", "F(P)");
+        let ops = flatten_for_process(&p, &machine(4), 2, Default::default()).unwrap();
+        match &ops[1] {
+            PrimOp::Compute { seconds, .. } => assert_eq!(*seconds, 0.5 * 4.0 + 0.125 * 2.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_unrolls_with_variable() {
+        let mut p = Program::new("t");
+        p.body = Step::Loop {
+            name: "L".into(),
+            count: parse_expression("3").unwrap(),
+            var: Some("i".into()),
+            body: Box::new(exec("S", "1 + i")),
+        };
+        let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
+        let costs: Vec<f64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                PrimOp::Compute { seconds, .. } => Some(*seconds),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(costs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn loop_limit_enforced() {
+        let mut p = Program::new("t");
+        p.body = Step::Loop {
+            name: "L".into(),
+            count: parse_expression("10").unwrap(),
+            var: None,
+            body: Box::new(exec("S", "1")),
+        };
+        let limits = FlattenLimits { max_loop_iterations: 5, ..Default::default() };
+        let err = flatten_for_process(&p, &machine(1), 0, limits).unwrap_err();
+        assert!(err.0.contains("unrolls"), "{err}");
+    }
+
+    #[test]
+    fn send_recv_resolve_ranks() {
+        let mut p = Program::new("t");
+        p.body = Step::Branch(vec![
+            (
+                Some(parse_expression("pid == 0").unwrap()),
+                Step::Mpi {
+                    name: "s".into(),
+                    op: MpiOp::Send {
+                        dest: parse_expression("pid + 1").unwrap(),
+                        size: parse_expression("1024").unwrap(),
+                        tag: 7,
+                    },
+                },
+            ),
+            (
+                None,
+                Step::Mpi {
+                    name: "r".into(),
+                    op: MpiOp::Recv { src: parse_expression("pid - 1").unwrap(), tag: 7 },
+                },
+            ),
+        ]);
+        let m = machine(2);
+        let ops0 = flatten_for_process(&p, &m, 0, Default::default()).unwrap();
+        let ops1 = flatten_for_process(&p, &m, 1, Default::default()).unwrap();
+        assert!(ops0.iter().any(|o| matches!(o, PrimOp::SendTo { dest: 1, bytes: 1024, tag: 7, .. })));
+        assert!(ops1.iter().any(|o| matches!(o, PrimOp::RecvFrom { src: 0, tag: 7, .. })));
+    }
+
+    #[test]
+    fn rank_out_of_range_rejected() {
+        let mut p = Program::new("t");
+        p.body = Step::Mpi {
+            name: "s".into(),
+            op: MpiOp::Send {
+                dest: parse_expression("5").unwrap(),
+                size: parse_expression("0").unwrap(),
+                tag: 0,
+            },
+        };
+        let err = flatten_for_process(&p, &machine(2), 0, Default::default()).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn barrier_expands_to_ctrl_messages() {
+        let mut p = Program::new("t");
+        p.body = Step::Mpi { name: "bar".into(), op: MpiOp::Barrier };
+        let m = machine(3);
+        let root_ops = flatten_for_process(&p, &m, 0, Default::default()).unwrap();
+        let leaf_ops = flatten_for_process(&p, &m, 1, Default::default()).unwrap();
+        let recvs = root_ops.iter().filter(|o| matches!(o, PrimOp::RecvFrom { .. })).count();
+        let sends = root_ops.iter().filter(|o| matches!(o, PrimOp::SendTo { .. })).count();
+        assert_eq!((recvs, sends), (2, 2), "root gathers then releases");
+        let recvs = leaf_ops.iter().filter(|o| matches!(o, PrimOp::RecvFrom { .. })).count();
+        let sends = leaf_ops.iter().filter(|o| matches!(o, PrimOp::SendTo { .. })).count();
+        assert_eq!((recvs, sends), (1, 1));
+        // Both hold the same analytic cost.
+        let wait = |ops: &[PrimOp]| {
+            ops.iter()
+                .find_map(|o| match o {
+                    PrimOp::Wait { seconds, .. } => Some(*seconds),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(wait(&root_ops), wait(&leaf_ops));
+    }
+
+    #[test]
+    fn single_process_collective_is_free() {
+        let mut p = Program::new("t");
+        p.body = Step::Mpi { name: "bar".into(), op: MpiOp::Barrier };
+        let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
+        assert_eq!(ops, vec![PrimOp::Enter("bar".into()), PrimOp::Exit("bar".into())]);
+    }
+
+    #[test]
+    fn parallel_region_builds_thread_arms() {
+        let mut p = Program::new("t");
+        p.body = Step::ParallelRegion {
+            name: "R".into(),
+            threads: Some(parse_expression("3").unwrap()),
+            body: Box::new(exec("W", "1 + tid")),
+        };
+        let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
+        let team = ops
+            .iter()
+            .find_map(|o| match o {
+                PrimOp::Threads { arms, .. } => Some(arms),
+                _ => None,
+            })
+            .expect("threads op");
+        assert_eq!(team.len(), 3);
+        // Each thread's compute reflects its tid.
+        for (t, arm) in team.iter().enumerate() {
+            let cost = arm
+                .iter()
+                .find_map(|o| match o {
+                    PrimOp::Compute { seconds, .. } => Some(*seconds),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(cost, 1.0 + t as f64);
+        }
+    }
+
+    #[test]
+    fn mpi_inside_threads_rejected() {
+        let mut p = Program::new("t");
+        p.body = Step::ParallelRegion {
+            name: "R".into(),
+            threads: Some(parse_expression("2").unwrap()),
+            body: Box::new(Step::Mpi { name: "bar".into(), op: MpiOp::Barrier }),
+        };
+        let err = flatten_for_process(&p, &machine(2), 0, Default::default()).unwrap_err();
+        assert!(err.0.contains("MPI_THREAD_FUNNELED"), "{err}");
+    }
+
+    #[test]
+    fn negative_cost_rejected() {
+        let mut p = Program::new("t");
+        p.body = exec("A", "-1");
+        let err = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap_err();
+        assert!(err.0.contains("invalid time"), "{err}");
+    }
+}

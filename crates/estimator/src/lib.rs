@@ -1,0 +1,48 @@
+//! # prophet-estimator
+//!
+//! The **Performance Estimator** of the Performance Prophet architecture
+//! (Pllana et al., ICPP-W 2008, Figure 2): "The Performance Estimator
+//! estimates the performance of a parallel and distributed program on a
+//! target computer architecture. … The program model is integrated with
+//! the machine model to create the model of the whole computer system.
+//! The Performance Estimator evaluates the integrated model of computing
+//! system and generates the corresponding performance results."
+//!
+//! * [`program`] — the executable **Program IR**: the machine-efficient
+//!   representation the UML model is transformed into (the role the C++
+//!   PMP plays in the original; prophet-core lowers the same flow tree to
+//!   both),
+//! * [`flatten`] — per-process elaboration: walks the IR for each MPI
+//!   process, evaluating code fragments, guards, loop counts and cost
+//!   functions eagerly, producing a list of primitive timed operations
+//!   (compute / send / recv / collective / thread team),
+//! * [`interp`] — the simulation process that replays primitive ops on
+//!   the CSIM-substitute engine (CPU facilities, mailboxes),
+//! * [`estimator`] — the driver: integrate program model + machine model,
+//!   run, produce a [`prophet_trace::TraceFile`] (TF) and an
+//!   [`Evaluation`].
+//!
+//! ## Semantics notes (substitutions documented in DESIGN.md)
+//!
+//! * Point-to-point messages are *eager*: the sender pays a small CPU
+//!   overhead, the receiver completes at
+//!   `send_time + α + size·β` (Hockney).
+//! * Collectives synchronize all ranks through zero-cost control
+//!   messages, then every rank holds the analytic collective time from
+//!   the machine model — semantics of a synchronizing collective with
+//!   log-tree cost shape.
+//! * `<<parallel+>>` regions spawn thread processes on the owning node's
+//!   CPU facility; more threads than CPUs queue (real contention).
+//! * Model state (globals mutated by code fragments) evolves
+//!   deterministically and independently of simulated time, so it is
+//!   evaluated eagerly at flatten time; inside thread teams each thread
+//!   sees a private copy of the environment.
+
+pub mod estimator;
+pub mod flatten;
+pub mod interp;
+pub mod program;
+
+pub use estimator::{Estimator, EstimatorError, EstimatorOptions, Evaluation};
+pub use flatten::{flatten_for_process, FlattenError, PrimOp};
+pub use program::{MpiOp, Program, Step};

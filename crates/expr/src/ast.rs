@@ -1,0 +1,378 @@
+//! Expression and statement trees for the cost-function language.
+
+use std::fmt;
+
+/// Binary operators, in C precedence families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (floating-point remainder, like C `fmod`)
+    Rem,
+    /// `^` — power. Not C syntax; emitted as `std::pow(a, b)` by the C++
+    /// backend.
+    Pow,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// Source-syntax spelling (also valid C++ except `Pow`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Pow => "^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// Binding power for printing with minimal parentheses
+    /// (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+            BinOp::Pow => 7,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal (`true` / `false`).
+    Bool(bool),
+    /// Variable reference — a model variable (`GV`, `P`) or a system
+    /// property the estimator injects (`pid`, `tid`, `uid`, `P`, `N`).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `cond ? then : else`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call — builtin or model-defined cost function.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Number of nodes in this expression tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Bool(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, e) => 1 + e.node_count(),
+            Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Cond(c, t, f) => 1 + c.node_count() + t.node_count() + f.node_count(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+        }
+    }
+
+    /// Collect free variable names (not function names) into `out`,
+    /// preserving first-occurrence order without duplicates.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Num(_) | Expr::Bool(_) => {}
+            Expr::Unary(_, e) => e.free_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Cond(c, t, f) => {
+                c.free_vars(out);
+                t.free_vars(out);
+                f.free_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collect called function names into `out` (first occurrence order).
+    pub fn called_functions(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Call(name, args) => {
+                if !out.iter().any(|x| x == name) {
+                    out.push(name.clone());
+                }
+                for a in args {
+                    a.called_functions(out);
+                }
+            }
+            Expr::Unary(_, e) => e.called_functions(out),
+            Expr::Binary(_, a, b) => {
+                a.called_functions(out);
+                b.called_functions(out);
+            }
+            Expr::Cond(c, t, f) => {
+                c.called_functions(out);
+                t.called_functions(out);
+                f.called_functions(out);
+            }
+            _ => {}
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary(op, e) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                };
+                write!(f, "{sym}")?;
+                e.fmt_prec(f, 8)
+            }
+            Expr::Binary(op, a, b) => {
+                let p = op.precedence();
+                let need = p < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, p)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right operand parenthesized at p+1: our printer treats all
+                // binaries as left-associative.
+                b.fmt_prec(f, p + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Cond(c, t, e) => {
+                let need = parent > 0;
+                if need {
+                    write!(f, "(")?;
+                }
+                c.fmt_prec(f, 1)?;
+                write!(f, " ? ")?;
+                t.fmt_prec(f, 0)?;
+                write!(f, " : ")?;
+                e.fmt_prec(f, 0)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// A statement of the code-fragment language (Figure 7(b) of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x = expr;` — declare a (fragment-local) variable.
+    Decl(String, Expr),
+    /// `x = expr;`
+    Assign(String, Expr),
+    /// Bare expression statement `expr;` (evaluated for effect/validation).
+    Expr(Expr),
+    /// `if (cond) { … } else { … }` — else branch optional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { … }` — the evaluator imposes an iteration cap.
+    While(Expr, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Number of statement nodes (for metrics/size tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Stmt::Decl(..) | Stmt::Assign(..) | Stmt::Expr(..) => 1,
+            Stmt::If(_, t, e) => {
+                1 + t.iter().map(Stmt::node_count).sum::<usize>()
+                    + e.iter().map(Stmt::node_count).sum::<usize>()
+            }
+            Stmt::While(_, b) => 1 + b.iter().map(Stmt::node_count).sum::<usize>(),
+        }
+    }
+
+    /// Variables assigned anywhere in this statement (incl. declarations).
+    pub fn assigned_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Decl(n, _) | Stmt::Assign(n, _) => {
+                if !out.iter().any(|x| x == n) {
+                    out.push(n.clone());
+                }
+            }
+            Stmt::Expr(_) => {}
+            Stmt::If(_, t, e) => {
+                for s in t.iter().chain(e) {
+                    s.assigned_vars(out);
+                }
+            }
+            Stmt::While(_, b) => {
+                for s in b {
+                    s.assigned_vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Decl(n, e) => write!(f, "var {n} = {e};"),
+            Stmt::Assign(n, e) => write!(f, "{n} = {e};"),
+            Stmt::Expr(e) => write!(f, "{e};"),
+            Stmt::If(c, t, e) => {
+                write!(f, "if ({c}) {{ ")?;
+                for s in t {
+                    write!(f, "{s} ")?;
+                }
+                write!(f, "}}")?;
+                if !e.is_empty() {
+                    write!(f, " else {{ ")?;
+                    for s in e {
+                        write!(f, "{s} ")?;
+                    }
+                    write!(f, "}}")?;
+                }
+                Ok(())
+            }
+            Stmt::While(c, b) => {
+                write!(f, "while ({c}) {{ ")?;
+                for s in b {
+                    write!(f, "{s} ")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_statements};
+
+    #[test]
+    fn display_minimal_parens() {
+        let e = parse_expression("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for src in [
+            "a + b * c - d / e",
+            "f(x, y + 1) ? 2 : g()",
+            "-x ^ 2",
+            "!(a && b) || c",
+            "a - (b - c)",
+            "min(1, max(2, 3))",
+        ] {
+            let e1 = parse_expression(src).unwrap();
+            let e2 = parse_expression(&e1.to_string()).unwrap();
+            assert_eq!(e1, e2, "src = {src}");
+        }
+    }
+
+    #[test]
+    fn free_vars_and_calls() {
+        let e = parse_expression("FA1(P) + GV * pid - FA1(tid)").unwrap();
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["P", "GV", "pid", "tid"]);
+        let mut fns = Vec::new();
+        e.called_functions(&mut fns);
+        assert_eq!(fns, vec!["FA1"]);
+    }
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(parse_expression("1 + 2").unwrap().node_count(), 3);
+        let ss = parse_statements("x = 1; if (x > 0) { y = 2; } else { y = 3; }").unwrap();
+        assert_eq!(ss.iter().map(Stmt::node_count).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn assigned_vars() {
+        let ss = parse_statements("GV = 1; if (GV > 0) { P = 4; }").unwrap();
+        let mut vars = Vec::new();
+        for s in &ss {
+            s.assigned_vars(&mut vars);
+        }
+        assert_eq!(vars, vec!["GV", "P"]);
+    }
+}

@@ -1,0 +1,279 @@
+//! C++ emission for expressions, statements and cost-function definitions.
+//!
+//! This is the expression-level half of the paper's UML→C++ transformation:
+//! the PMP generator (prophet-codegen) calls into this module to render
+//! cost functions such as
+//!
+//! ```cpp
+//! double FA1(){ return 0.04 + 0.01 * P; };
+//! ```
+//!
+//! matching the shape of Figure 8(a), lines 31–54, and to render associated
+//! code fragments (Figure 8(b), lines 72–75).
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::env::FunctionDef;
+
+/// Render an expression as C++ source.
+///
+/// Differences from the `Display` form of [`Expr`]: the power operator becomes
+/// `std::pow(a, b)` and boolean literals keep their C++ spelling.
+pub fn expr_to_cpp(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent: u8) {
+    match e {
+        Expr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Var(v) => out.push_str(v),
+        Expr::Unary(op, inner) => {
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            });
+            write_expr(out, inner, 8);
+        }
+        Expr::Binary(BinOp::Pow, a, b) => {
+            out.push_str("std::pow(");
+            write_expr(out, a, 0);
+            out.push_str(", ");
+            write_expr(out, b, 0);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let p = op.precedence();
+            let need = p < parent;
+            if need {
+                out.push('(');
+            }
+            write_expr(out, a, p);
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            write_expr(out, b, p + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Cond(c, t, f) => {
+            let need = parent > 0;
+            if need {
+                out.push('(');
+            }
+            write_expr(out, c, 1);
+            out.push_str(" ? ");
+            write_expr(out, t, 0);
+            out.push_str(" : ");
+            write_expr(out, f, 0);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Call(name, args) => {
+            // Builtins map to the <cmath> names used by CSIM-era C++.
+            let cpp_name = match name.as_str() {
+                "abs" => "std::fabs",
+                "floor" => "std::floor",
+                "ceil" => "std::ceil",
+                "round" => "std::round",
+                "sqrt" => "std::sqrt",
+                "exp" => "std::exp",
+                "log" => "std::log",
+                "log2" => "std::log2",
+                "log10" => "std::log10",
+                "sin" => "std::sin",
+                "cos" => "std::cos",
+                "tanh" => "std::tanh",
+                "min" => "std::min",
+                "max" => "std::max",
+                "pow" => "std::pow",
+                "fmod" => "std::fmod",
+                other => other,
+            };
+            out.push_str(cpp_name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Render a cost-function definition as a C++ function, in the one-line
+/// style of Figure 8(a): `double FA1(){ return ...; };`
+///
+/// Parameters are typed `double` — the paper passes `pid` etc. as plain
+/// numeric parameters (`double FSA2(int pid)` appears in the figure; using
+/// `double` uniformly keeps the interpreted and generated semantics
+/// identical).
+pub fn function_to_cpp(def: &FunctionDef) -> String {
+    let params = def
+        .params
+        .iter()
+        .map(|p| format!("double {p}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("double {}({}){{ return {}; }};", def.name, params, expr_to_cpp(&def.body))
+}
+
+/// Render a statement at the given indent depth (two spaces per level).
+pub fn stmt_to_cpp(s: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, indent);
+    out
+}
+
+/// Render a whole fragment (sequence of statements).
+pub fn fragment_to_cpp(stmts: &[Stmt], indent: usize) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        write_stmt(&mut out, s, indent);
+    }
+    out
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    match s {
+        Stmt::Decl(n, e) => {
+            pad(out, indent);
+            out.push_str(&format!("double {n} = {};\n", expr_to_cpp(e)));
+        }
+        Stmt::Assign(n, e) => {
+            pad(out, indent);
+            out.push_str(&format!("{n} = {};\n", expr_to_cpp(e)));
+        }
+        Stmt::Expr(e) => {
+            pad(out, indent);
+            out.push_str(&format!("{};\n", expr_to_cpp(e)));
+        }
+        Stmt::If(c, t, els) => {
+            pad(out, indent);
+            out.push_str(&format!("if ({}) {{\n", expr_to_cpp(c)));
+            for s in t {
+                write_stmt(out, s, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+            if els.is_empty() {
+                out.push('\n');
+            } else if els.len() == 1 {
+                if let Stmt::If(..) = &els[0] {
+                    // `else if` chain — matches the paper's Figure 8(b)
+                    // if-else-if rendering of UML decision nodes.
+                    out.push_str(" else ");
+                    let mut chain = String::new();
+                    write_stmt(&mut chain, &els[0], indent);
+                    out.push_str(chain.trim_start());
+                } else {
+                    out.push_str(" else {\n");
+                    write_stmt(out, &els[0], indent + 1);
+                    pad(out, indent);
+                    out.push_str("}\n");
+                }
+            } else {
+                out.push_str(" else {\n");
+                for s in els {
+                    write_stmt(out, s, indent + 1);
+                }
+                pad(out, indent);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While(c, body) => {
+            pad(out, indent);
+            out.push_str(&format!("while ({}) {{\n", expr_to_cpp(c)));
+            for s in body {
+                write_stmt(out, s, indent + 1);
+            }
+            pad(out, indent);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_statements};
+
+    #[test]
+    fn pow_becomes_std_pow() {
+        let e = parse_expression("2 ^ n + 1").unwrap();
+        assert_eq!(expr_to_cpp(&e), "std::pow(2, n) + 1");
+    }
+
+    #[test]
+    fn builtins_map_to_cmath() {
+        let e = parse_expression("log2(P) + min(a, b)").unwrap();
+        assert_eq!(expr_to_cpp(&e), "std::log2(P) + std::min(a, b)");
+    }
+
+    #[test]
+    fn user_calls_pass_through() {
+        let e = parse_expression("FA1(P)").unwrap();
+        assert_eq!(expr_to_cpp(&e), "FA1(P)");
+    }
+
+    #[test]
+    fn figure8_style_function() {
+        let def = FunctionDef::parse("FA1", &[], "0.04 + 0.01 * P").unwrap();
+        assert_eq!(function_to_cpp(&def), "double FA1(){ return 0.04 + 0.01 * P; };");
+    }
+
+    #[test]
+    fn parameterized_function() {
+        let def = FunctionDef::parse("FSA2", &["pid"], "0.1 * pid").unwrap();
+        assert_eq!(function_to_cpp(&def), "double FSA2(double pid){ return 0.1 * pid; };");
+    }
+
+    #[test]
+    fn fragment_rendering() {
+        let ss = parse_statements("GV = 1; P = 4;").unwrap();
+        assert_eq!(fragment_to_cpp(&ss, 1), "  GV = 1;\n  P = 4;\n");
+    }
+
+    #[test]
+    fn if_else_if_chain() {
+        let ss = parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+            .unwrap();
+        let cpp = stmt_to_cpp(&ss[0], 0);
+        assert_eq!(
+            cpp,
+            "if (a) {\n  x = 1;\n} else if (b) {\n  x = 2;\n} else {\n  x = 3;\n}\n"
+        );
+    }
+
+    #[test]
+    fn while_and_decl() {
+        let ss = parse_statements("var i = 0; while (i < 3) { i = i + 1; }").unwrap();
+        let cpp = fragment_to_cpp(&ss, 0);
+        assert!(cpp.starts_with("double i = 0;\nwhile (i < 3) {\n  i = i + 1;\n}\n"), "{cpp}");
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        let e = parse_expression("(a + b) * c").unwrap();
+        assert_eq!(expr_to_cpp(&e), "(a + b) * c");
+        let e = parse_expression("a - (b - c)").unwrap();
+        assert_eq!(expr_to_cpp(&e), "a - (b - c)");
+    }
+}

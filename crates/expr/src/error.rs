@@ -1,0 +1,72 @@
+//! Errors for lexing, parsing and evaluation of the cost-function language.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type ExprResult<T> = Result<T, ExprError>;
+
+/// A lexing, parsing or evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Lexer error at a byte offset within the source.
+    Lex {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset into the source string.
+        offset: usize,
+    },
+    /// Parser error at a byte offset within the source.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset into the source string.
+        offset: usize,
+    },
+    /// Runtime evaluation error (undefined variable, type mismatch, …).
+    Eval {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl ExprError {
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        ExprError::Eval { message: message.into() }
+    }
+
+    /// The error message, independent of kind.
+    pub fn message(&self) -> &str {
+        match self {
+            ExprError::Lex { message, .. }
+            | ExprError::Parse { message, .. }
+            | ExprError::Eval { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { message, offset } => write!(f, "lex error at offset {offset}: {message}"),
+            ExprError::Parse { message, offset } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            ExprError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_kinds() {
+        assert!(ExprError::Lex { message: "bad char".into(), offset: 3 }
+            .to_string()
+            .contains("offset 3"));
+        assert!(ExprError::eval("undefined variable `x`").to_string().contains("undefined"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Pratt parser for expressions and a recursive-descent parser for the
+//! statement (code-fragment) language.
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::error::{ExprError, ExprResult};
+use crate::token::{Token, TokenKind, Tokenizer};
+
+/// Parse a single expression; trailing input is an error.
+pub fn parse_expression(src: &str) -> ExprResult<Expr> {
+    let mut p = Parser::new(src)?;
+    let e = p.expression(0)?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parse a sequence of statements (a code fragment); trailing input is an
+/// error. The empty string parses to an empty fragment.
+pub fn parse_statements(src: &str) -> ExprResult<Vec<Stmt>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Token-stream parser. Exposed so callers can parse an expression and then
+/// inspect the remaining tokens (used by the model checker for diagnostics).
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `src` and position at the first token.
+    pub fn new(src: &str) -> ExprResult<Self> {
+        Ok(Self { tokens: Tokenizer::new(src).tokenize()?, pos: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> ExprResult<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                message: format!("expected {what}, found {:?}", self.peek()),
+                offset: self.offset(),
+            })
+        }
+    }
+
+    /// True when all input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        *self.peek() == TokenKind::Eof
+    }
+
+    /// Error unless at end of input.
+    pub fn expect_eof(&self) -> ExprResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                message: format!("unexpected trailing input: {:?}", self.peek()),
+                offset: self.offset(),
+            })
+        }
+    }
+
+    fn binop_of(kind: &TokenKind) -> Option<BinOp> {
+        Some(match kind {
+            TokenKind::Plus => BinOp::Add,
+            TokenKind::Minus => BinOp::Sub,
+            TokenKind::Star => BinOp::Mul,
+            TokenKind::Slash => BinOp::Div,
+            TokenKind::Percent => BinOp::Rem,
+            TokenKind::Caret => BinOp::Pow,
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::AndAnd => BinOp::And,
+            TokenKind::OrOr => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    /// Pratt expression parser. `min_bp` is the minimum binding power the
+    /// caller accepts.
+    pub fn expression(&mut self, min_bp: u8) -> ExprResult<Expr> {
+        let mut lhs = self.prefix()?;
+        loop {
+            // `?:` — lowest precedence, right-associative.
+            if *self.peek() == TokenKind::Question && min_bp == 0 {
+                self.advance();
+                let then = self.expression(0)?;
+                self.expect(&TokenKind::Colon, "`:` of conditional")?;
+                let els = self.expression(0)?;
+                lhs = Expr::Cond(Box::new(lhs), Box::new(then), Box::new(els));
+                continue;
+            }
+            let Some(op) = Self::binop_of(self.peek()) else { break };
+            let bp = op.precedence();
+            if bp < min_bp {
+                break;
+            }
+            self.advance();
+            // Left-associative: parse the rhs at bp+1. (`^` is also treated
+            // left-associatively; the C++ backend emits nested std::pow, so
+            // associativity is explicit there anyway.)
+            let rhs = self.expression(bp + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> ExprResult<Expr> {
+        let offset = self.offset();
+        match self.advance() {
+            TokenKind::Number(n) => Ok(Expr::Num(n)),
+            TokenKind::Minus => Ok(Expr::Unary(UnOp::Neg, Box::new(self.expression(8)?))),
+            TokenKind::Not => Ok(Expr::Unary(UnOp::Not, Box::new(self.expression(8)?))),
+            TokenKind::LParen => {
+                let e = self.expression(0)?;
+                self.expect(&TokenKind::RParen, "closing `)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                _ => {
+                    if *self.peek() == TokenKind::LParen {
+                        self.advance();
+                        let mut args = Vec::new();
+                        if *self.peek() != TokenKind::RParen {
+                            loop {
+                                args.push(self.expression(0)?);
+                                if *self.peek() == TokenKind::Comma {
+                                    self.advance();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "closing `)` of call")?;
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => Err(ExprError::Parse {
+                message: format!("unexpected token {other:?} at start of expression"),
+                offset,
+            }),
+        }
+    }
+
+    /// Parse one statement of the fragment language.
+    pub fn statement(&mut self) -> ExprResult<Stmt> {
+        let offset = self.offset();
+        match self.peek().clone() {
+            TokenKind::Ident(name) if name == "if" => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "`(` after `if`")?;
+                let cond = self.expression(0)?;
+                self.expect(&TokenKind::RParen, "`)` after condition")?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), TokenKind::Ident(k) if k == "else") {
+                    self.advance();
+                    if matches!(self.peek(), TokenKind::Ident(k) if k == "if") {
+                        // `else if` sugar: wrap the nested if.
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            TokenKind::Ident(name) if name == "while" => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "`(` after `while`")?;
+                let cond = self.expression(0)?;
+                self.expect(&TokenKind::RParen, "`)` after condition")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            TokenKind::Ident(name) if name == "var" => {
+                self.advance();
+                let var = match self.advance() {
+                    TokenKind::Ident(v) => v,
+                    other => {
+                        return Err(ExprError::Parse {
+                            message: format!("expected variable name after `var`, found {other:?}"),
+                            offset,
+                        })
+                    }
+                };
+                self.expect(&TokenKind::Assign, "`=` in declaration")?;
+                let e = self.expression(0)?;
+                self.expect(&TokenKind::Semi, "`;` after declaration")?;
+                Ok(Stmt::Decl(var, e))
+            }
+            // Lookahead: `ident =` is an assignment, otherwise an
+            // expression statement.
+            TokenKind::Ident(name)
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) =>
+            {
+                self.advance();
+                self.advance();
+                let e = self.expression(0)?;
+                self.expect(&TokenKind::Semi, "`;` after assignment")?;
+                Ok(Stmt::Assign(name, e))
+            }
+            _ => {
+                let e = self.expression(0)?;
+                self.expect(&TokenKind::Semi, "`;` after expression")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn block(&mut self) -> ExprResult<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if self.at_eof() {
+                return Err(ExprError::Parse {
+                    message: "unterminated block (missing `}`)".into(),
+                    offset: self.offset(),
+                });
+            }
+            out.push(self.statement()?);
+        }
+        self.advance();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Num(1.0)),
+                Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Num(2.0)), Box::new(Expr::Num(3.0))))
+            )
+        );
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_expression("10 - 3 - 2").unwrap();
+        assert_eq!(e.to_string(), "10 - 3 - 2");
+        // ((10-3)-2) = 5, not 10-(3-2)=9 — checked in eval tests too.
+        match e {
+            Expr::Binary(BinOp::Sub, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::Sub, _, _)));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn conditional_right_assoc() {
+        let e = parse_expression("a ? 1 : b ? 2 : 3").unwrap();
+        match e {
+            Expr::Cond(_, _, els) => assert!(matches!(*els, Expr::Cond(..))),
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn calls_with_args() {
+        let e = parse_expression("max(a, min(b, 3))").unwrap();
+        assert_eq!(e.to_string(), "max(a, min(b, 3))");
+    }
+
+    #[test]
+    fn zero_arg_call_vs_var() {
+        assert_eq!(parse_expression("F()").unwrap(), Expr::Call("F".into(), vec![]));
+        assert_eq!(parse_expression("F").unwrap(), Expr::Var("F".into()));
+    }
+
+    #[test]
+    fn bool_literals() {
+        assert_eq!(parse_expression("true").unwrap(), Expr::Bool(true));
+        assert_eq!(parse_expression("false").unwrap(), Expr::Bool(false));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_expression("1 + 2 3").is_err());
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_expression("(1").is_err());
+    }
+
+    #[test]
+    fn statement_forms() {
+        let ss = parse_statements(
+            "var t = 0; GV = 1; if (GV > 0) { t = t + 1; } else if (GV < 0) { t = 2; } while (t < 3) { t = t + 1; } F(t);",
+        )
+        .unwrap();
+        assert_eq!(ss.len(), 5);
+        assert!(matches!(ss[0], Stmt::Decl(..)));
+        assert!(matches!(ss[1], Stmt::Assign(..)));
+        assert!(matches!(ss[2], Stmt::If(..)));
+        assert!(matches!(ss[3], Stmt::While(..)));
+        assert!(matches!(ss[4], Stmt::Expr(..)));
+    }
+
+    #[test]
+    fn else_if_desugars() {
+        let ss = parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
+        assert_eq!(ss.len(), 1);
+        match &ss[0] {
+            Stmt::If(_, _, els) => {
+                assert_eq!(els.len(), 1);
+                assert!(matches!(&els[0], Stmt::If(..)));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn empty_fragment_ok() {
+        assert!(parse_statements("").unwrap().is_empty());
+        assert!(parse_statements("   // just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let e = parse_statements("x = 1").unwrap_err();
+        assert!(e.message().contains(";"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_block_reported() {
+        let e = parse_statements("if (a) { x = 1;").unwrap_err();
+        assert!(e.message().contains("}"), "{e}");
+    }
+
+    #[test]
+    fn equality_vs_assignment_in_expr() {
+        // `a == b` inside an expression statement parses as equality.
+        let ss = parse_statements("a == 1;").unwrap();
+        assert!(matches!(&ss[0], Stmt::Expr(Expr::Binary(BinOp::Eq, _, _))));
+    }
+}

@@ -1,0 +1,362 @@
+//! Lexer for the cost-function language.
+
+use crate::error::{ExprError, ExprResult};
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (integers and floats share one representation).
+    Number(f64),
+    /// Identifier or keyword (`if`, `else`, `while`, `var`, `true`, `false`
+    /// are recognized by the parser, not the lexer).
+    Ident(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^` (power; emitted as `std::pow` in C++)
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Hand-written lexer. Comments (`// …` to end of line and `/* … */`) are
+/// skipped, matching the C++ fragments the original tool pasted through.
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lex the entire input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> ExprResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) -> ExprResult<()> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(ExprError::Lex {
+                                    message: "unterminated block comment".into(),
+                                    offset: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> ExprResult<Token> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, offset });
+        };
+        let single = |k: TokenKind| Token { kind: k, offset };
+        macro_rules! two {
+            ($second:expr, $two:expr, $one:expr) => {{
+                self.pos += 1;
+                if self.peek() == Some($second) {
+                    self.pos += 1;
+                    Ok(single($two))
+                } else {
+                    Ok(single($one))
+                }
+            }};
+        }
+        match c {
+            b'0'..=b'9' | b'.' => self.lex_number(offset),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                    self.pos += 1;
+                }
+                Ok(Token { kind: TokenKind::Ident(self.src[offset..self.pos].to_string()), offset })
+            }
+            b'+' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Plus))
+            }
+            b'-' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Minus))
+            }
+            b'*' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Star))
+            }
+            b'/' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Slash))
+            }
+            b'%' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Percent))
+            }
+            b'^' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Caret))
+            }
+            b'(' => {
+                self.pos += 1;
+                Ok(single(TokenKind::LParen))
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(single(TokenKind::RParen))
+            }
+            b'{' => {
+                self.pos += 1;
+                Ok(single(TokenKind::LBrace))
+            }
+            b'}' => {
+                self.pos += 1;
+                Ok(single(TokenKind::RBrace))
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Comma))
+            }
+            b';' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Semi))
+            }
+            b'?' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Question))
+            }
+            b':' => {
+                self.pos += 1;
+                Ok(single(TokenKind::Colon))
+            }
+            b'=' => two!(b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two!(b'=', TokenKind::Ne, TokenKind::Not),
+            b'<' => two!(b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two!(b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek2() == Some(b'&') {
+                    self.pos += 2;
+                    Ok(single(TokenKind::AndAnd))
+                } else {
+                    Err(ExprError::Lex { message: "expected `&&`".into(), offset })
+                }
+            }
+            b'|' => {
+                if self.peek2() == Some(b'|') {
+                    self.pos += 2;
+                    Ok(single(TokenKind::OrOr))
+                } else {
+                    Err(ExprError::Lex { message: "expected `||`".into(), offset })
+                }
+            }
+            other => Err(ExprError::Lex {
+                message: format!("unexpected character `{}`", other as char),
+                offset,
+            }),
+        }
+    }
+
+    fn lex_number(&mut self, offset: usize) -> ExprResult<Token> {
+        let mut saw_digit = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            saw_digit = true;
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                saw_digit = true;
+                self.pos += 1;
+            }
+        }
+        if !saw_digit {
+            return Err(ExprError::Lex { message: "lone `.` is not a number".into(), offset });
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `2e` followed by ident).
+                self.pos = save;
+            }
+        }
+        let text = &self.src[offset..self.pos];
+        let value: f64 = text
+            .parse()
+            .map_err(|_| ExprError::Lex { message: format!("bad number `{text}`"), offset })?;
+        Ok(Token { kind: TokenKind::Number(value), offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        Tokenizer::new(s).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(kinds("2.5e-2"), vec![TokenKind::Number(0.025), TokenKind::Eof]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b && c != d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 // line\n + /* block */ 2"),
+            vec![TokenKind::Number(1.0), TokenKind::Plus, TokenKind::Number(2.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        let e = Tokenizer::new("1 /* oops").tokenize().unwrap_err();
+        assert!(e.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_char_reports_offset() {
+        let e = Tokenizer::new("a @ b").tokenize().unwrap_err();
+        match e {
+            ExprError::Lex { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_ampersand_rejected() {
+        assert!(Tokenizer::new("a & b").tokenize().is_err());
+    }
+
+    #[test]
+    fn exponent_backtrack() {
+        // `2e` then identifier `x` — `e` is not an exponent here.
+        let ks = kinds("2e");
+        assert_eq!(ks[0], TokenKind::Number(2.0));
+        assert_eq!(ks[1], TokenKind::Ident("e".into()));
+    }
+}

@@ -1,0 +1,218 @@
+//! Communication cost model: Hockney point-to-point plus log-tree
+//! collectives.
+//!
+//! Point-to-point transfer time is `α + size·β` with `(α, β)` chosen by
+//! locality (same node or different nodes). Collectives use the standard
+//! binomial-tree / linear formulas found in MPI performance literature;
+//! the Performance Estimator applies them when evaluating the profile's
+//! `<<broadcast>>`, `<<reduce>>`, `<<barrier>>`, … building blocks.
+
+use crate::params::SystemParams;
+
+/// Raw latency/bandwidth parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommParams {
+    /// Intra-node latency (s), e.g. shared-memory copy startup.
+    pub intra_latency: f64,
+    /// Intra-node bandwidth (bytes/s).
+    pub intra_bandwidth: f64,
+    /// Inter-node latency (s).
+    pub inter_latency: f64,
+    /// Inter-node bandwidth (bytes/s).
+    pub inter_bandwidth: f64,
+    /// Sender-side CPU overhead per message (s) — the time the sending
+    /// process is busy before the message is in flight.
+    pub send_overhead: f64,
+}
+
+impl Default for CommParams {
+    /// Defaults shaped on a mid-2000s Gigabit-Ethernet cluster (the class
+    /// of machine the paper's tooling targeted): ~50 µs inter-node
+    /// latency, ~100 MB/s inter-node bandwidth, ~1 µs / ~2 GB/s intra-node.
+    fn default() -> Self {
+        Self {
+            intra_latency: 1.0e-6,
+            intra_bandwidth: 2.0e9,
+            inter_latency: 50.0e-6,
+            inter_bandwidth: 100.0e6,
+            send_overhead: 1.0e-6,
+        }
+    }
+}
+
+impl CommParams {
+    /// An idealized fast interconnect (InfiniBand-class) for sensitivity
+    /// sweeps.
+    pub fn fast_interconnect() -> Self {
+        Self {
+            inter_latency: 2.0e-6,
+            inter_bandwidth: 1.0e9,
+            ..Self::default()
+        }
+    }
+}
+
+/// The communication model: [`CommParams`] bound to a machine shape.
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel {
+    /// Raw parameters.
+    pub params: CommParams,
+    sp: SystemParams,
+}
+
+impl CommModel {
+    /// Bind parameters to a system shape.
+    pub fn new(params: CommParams, sp: SystemParams) -> Self {
+        Self { params, sp }
+    }
+
+    /// The bound system parameters.
+    pub fn system(&self) -> &SystemParams {
+        &self.sp
+    }
+
+    /// Point-to-point transfer time between two processes.
+    pub fn ptp_time(&self, from_pid: usize, to_pid: usize, size_bytes: u64) -> f64 {
+        if from_pid == to_pid {
+            return 0.0;
+        }
+        let same_node = self.sp.node_of(from_pid) == self.sp.node_of(to_pid);
+        self.ptp_by_locality(same_node, size_bytes)
+    }
+
+    /// Point-to-point time given only locality.
+    pub fn ptp_by_locality(&self, same_node: bool, size_bytes: u64) -> f64 {
+        let (alpha, beta_inv) = if same_node {
+            (self.params.intra_latency, self.params.intra_bandwidth)
+        } else {
+            (self.params.inter_latency, self.params.inter_bandwidth)
+        };
+        alpha + size_bytes as f64 / beta_inv
+    }
+
+    /// Worst-case (inter-node if the job spans nodes) point-to-point time —
+    /// used by the analytic collective formulas.
+    fn ptp_worst(&self, size_bytes: u64) -> f64 {
+        self.ptp_by_locality(self.sp.nodes <= 1, size_bytes)
+    }
+
+    fn log2_ceil(p: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            (p as f64).log2().ceil()
+        }
+    }
+
+    /// Binomial-tree broadcast of `size_bytes` among `p` processes.
+    pub fn broadcast_time(&self, p: usize, size_bytes: u64) -> f64 {
+        Self::log2_ceil(p) * self.ptp_worst(size_bytes)
+    }
+
+    /// Binomial-tree reduce (same shape as broadcast, plus a per-step
+    /// combine that we fold into the transfer).
+    pub fn reduce_time(&self, p: usize, size_bytes: u64) -> f64 {
+        Self::log2_ceil(p) * self.ptp_worst(size_bytes)
+    }
+
+    /// Allreduce as reduce + broadcast (the classic two-phase bound).
+    pub fn allreduce_time(&self, p: usize, size_bytes: u64) -> f64 {
+        self.reduce_time(p, size_bytes) + self.broadcast_time(p, size_bytes)
+    }
+
+    /// Dissemination barrier: ⌈log2 p⌉ zero-byte exchanges.
+    pub fn barrier_time(&self, p: usize) -> f64 {
+        Self::log2_ceil(p) * self.ptp_worst(0)
+    }
+
+    /// Linear scatter: the root sends `p − 1` chunks of `size/p`.
+    pub fn scatter_time(&self, p: usize, total_size_bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let chunk = total_size_bytes / p as u64;
+        (p as f64 - 1.0) * self.ptp_worst(chunk)
+    }
+
+    /// Linear gather (mirror of scatter).
+    pub fn gather_time(&self, p: usize, total_size_bytes: u64) -> f64 {
+        self.scatter_time(p, total_size_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(nodes: usize, cpn: usize) -> CommModel {
+        CommModel::new(CommParams::default(), SystemParams::flat_mpi(nodes, cpn))
+    }
+
+    #[test]
+    fn ptp_locality() {
+        let m = model(2, 2); // pids 0,1 on node0; 2,3 on node1
+        let intra = m.ptp_time(0, 1, 1024);
+        let inter = m.ptp_time(0, 2, 1024);
+        assert!(inter > intra * 10.0, "inter {inter} should dwarf intra {intra}");
+        assert_eq!(m.ptp_time(1, 1, 1024), 0.0);
+    }
+
+    #[test]
+    fn ptp_is_affine_in_size() {
+        let m = model(2, 1);
+        let t1 = m.ptp_time(0, 1, 1000);
+        let t2 = m.ptp_time(0, 1, 2000);
+        let t3 = m.ptp_time(0, 1, 3000);
+        assert!(((t2 - t1) - (t3 - t2)).abs() < 1e-15);
+        assert!(t1 > m.params.inter_latency);
+    }
+
+    #[test]
+    fn broadcast_scales_logarithmically() {
+        let m8 = model(8, 1);
+        let m16 = model(16, 1);
+        let b8 = m8.broadcast_time(8, 4096);
+        let b16 = m16.broadcast_time(16, 4096);
+        assert!((b16 / b8 - 4.0 / 3.0).abs() < 1e-9, "log8=3 vs log16=4 steps");
+    }
+
+    #[test]
+    fn single_process_collectives_free() {
+        let m = model(1, 1);
+        assert_eq!(m.broadcast_time(1, 1 << 20), 0.0);
+        assert_eq!(m.barrier_time(1), 0.0);
+        assert_eq!(m.scatter_time(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn allreduce_is_reduce_plus_broadcast() {
+        let m = model(4, 1);
+        assert!(
+            (m.allreduce_time(4, 512) - (m.reduce_time(4, 512) + m.broadcast_time(4, 512))).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn barrier_uses_zero_byte_messages() {
+        let m = model(4, 1);
+        assert!((m.barrier_time(4) - 2.0 * m.params.inter_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_linear_in_p() {
+        let m8 = model(8, 1);
+        // chunk = size/p, (p-1) sends.
+        let total = 8 * 1024u64;
+        let expect = 7.0 * m8.ptp_by_locality(false, 1024);
+        assert!((m8.scatter_time(8, total) - expect).abs() < 1e-12);
+        assert_eq!(m8.gather_time(8, total), m8.scatter_time(8, total));
+    }
+
+    #[test]
+    fn single_node_job_uses_intra_params() {
+        let m = CommModel::new(CommParams::default(), SystemParams::flat_mpi(1, 8));
+        let b = m.broadcast_time(8, 0);
+        assert!((b - 3.0 * m.params.intra_latency).abs() < 1e-12, "{b}");
+    }
+}

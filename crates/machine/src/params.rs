@@ -1,0 +1,159 @@
+//! System parameters (SP): the architectural description Teuta passes to
+//! the Performance Estimator.
+
+/// The paper's SP set: "the number of computational nodes, the number of
+/// processors per node, the number of processes, and the number of
+/// threads."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemParams {
+    /// Computational nodes in the machine.
+    pub nodes: usize,
+    /// Processors (cores) per node.
+    pub cpus_per_node: usize,
+    /// MPI processes in the program model.
+    pub processes: usize,
+    /// OpenMP threads per process (team size for `<<parallel+>>` regions
+    /// that don't specify their own).
+    pub threads_per_process: usize,
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self { nodes: 1, cpus_per_node: 1, processes: 1, threads_per_process: 1 }
+    }
+}
+
+impl SystemParams {
+    /// A homogeneous cluster: `nodes` × `cpus_per_node`, one process per
+    /// node, threads matching the cpu count.
+    pub fn cluster(nodes: usize, cpus_per_node: usize) -> Self {
+        Self { nodes, cpus_per_node, processes: nodes, threads_per_process: cpus_per_node }
+    }
+
+    /// Flat MPI: one process per cpu, single-threaded.
+    pub fn flat_mpi(nodes: usize, cpus_per_node: usize) -> Self {
+        Self { nodes, cpus_per_node, processes: nodes * cpus_per_node, threads_per_process: 1 }
+    }
+
+    /// Total processor count.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+
+    /// Node hosting an MPI process: block distribution, matching common
+    /// `mpirun` placement.
+    ///
+    /// # Panics
+    /// Panics if `pid >= processes`.
+    pub fn node_of(&self, pid: usize) -> usize {
+        assert!(pid < self.processes, "pid {pid} out of range (P={})", self.processes);
+        // Block distribution over nodes.
+        pid * self.nodes / self.processes
+    }
+
+    /// Validate internal consistency; returns an explanatory error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.cpus_per_node == 0 || self.processes == 0 || self.threads_per_process == 0 {
+            return Err("all system parameters must be positive".into());
+        }
+        if self.processes < self.nodes {
+            return Err(format!(
+                "{} processes on {} nodes would leave nodes idle; processes must be >= nodes",
+                self.processes, self.nodes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize as the SP XML fragment.
+    pub fn to_xml(&self) -> String {
+        format!(
+            "<sp nodes=\"{}\" cpusPerNode=\"{}\" processes=\"{}\" threadsPerProcess=\"{}\"/>",
+            self.nodes, self.cpus_per_node, self.processes, self.threads_per_process
+        )
+    }
+
+    /// Parse from the SP XML fragment.
+    pub fn from_xml(xml: &str) -> Result<Self, String> {
+        // Minimal attribute scraping to avoid a crate dependency cycle;
+        // the full XML stack lives above this crate.
+        let get = |key: &str| -> Result<usize, String> {
+            let pat = format!("{key}=\"");
+            let start = xml.find(&pat).ok_or_else(|| format!("missing `{key}`"))? + pat.len();
+            let end = xml[start..].find('"').ok_or("unterminated attribute")? + start;
+            xml[start..end].parse().map_err(|_| format!("bad value for `{key}`"))
+        };
+        let sp = Self {
+            nodes: get("nodes")?,
+            cpus_per_node: get("cpusPerNode")?,
+            processes: get("processes")?,
+            threads_per_process: get("threadsPerProcess")?,
+        };
+        sp.validate()?;
+        Ok(sp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = SystemParams::cluster(4, 8);
+        assert_eq!(c.total_cpus(), 32);
+        assert_eq!(c.processes, 4);
+        assert_eq!(c.threads_per_process, 8);
+        let f = SystemParams::flat_mpi(4, 8);
+        assert_eq!(f.processes, 32);
+        assert_eq!(f.threads_per_process, 1);
+    }
+
+    #[test]
+    fn block_distribution() {
+        let sp = SystemParams::flat_mpi(4, 2); // 8 processes, 4 nodes
+        let nodes: Vec<_> = (0..8).map(|p| sp.node_of(p)).collect();
+        assert_eq!(nodes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn uneven_distribution_covers_all_nodes() {
+        let sp = SystemParams { nodes: 3, cpus_per_node: 2, processes: 7, threads_per_process: 1 };
+        let mut used = [false; 3];
+        for p in 0..7 {
+            used[sp.node_of(p)] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_bounds() {
+        SystemParams::default().node_of(1);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SystemParams::default().validate().is_ok());
+        assert!(SystemParams { nodes: 0, ..Default::default() }.validate().is_err());
+        assert!(SystemParams { nodes: 4, cpus_per_node: 1, processes: 2, threads_per_process: 1 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let sp = SystemParams::cluster(4, 8);
+        let xml = sp.to_xml();
+        assert_eq!(SystemParams::from_xml(&xml).unwrap(), sp);
+    }
+
+    #[test]
+    fn xml_errors() {
+        assert!(SystemParams::from_xml("<sp nodes=\"2\"/>").is_err());
+        assert!(SystemParams::from_xml(
+            "<sp nodes=\"0\" cpusPerNode=\"1\" processes=\"1\" threadsPerProcess=\"1\"/>"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! # prophet-sim
+//!
+//! A process-oriented discrete-event simulation (DES) engine — the
+//! substrate that replaces **CSIM** in the Performance Prophet architecture
+//! (Figure 2 of Pllana et al., ICPP-W 2008: the Performance Estimator
+//! evaluates the integrated program+machine model on the "CSIM Simulation
+//! Engine").
+//!
+//! CSIM is a commercial C/C++ library; this crate re-implements the
+//! primitives Performance Prophet relies on:
+//!
+//! * **processes** — model entities (one per simulated MPI process or
+//!   OpenMP thread) that alternate between computing and waiting,
+//! * **`hold(t)`** — advance a process through simulated time,
+//! * **facilities** — servers with queues (CPUs, interconnect links),
+//!   reserved/used/released by processes,
+//! * **mailboxes** — typed message queues used to model MPI messages,
+//! * **events** — binary synchronization flags (barriers, broadcasts),
+//! * **storages** — counting resources (memory, bandwidth tokens),
+//! * **statistics** — utilizations, queue lengths, response times.
+//!
+//! ## Execution model
+//!
+//! Rust has no built-in coroutines, so processes are written as *resumable
+//! state machines*: the kernel calls [`Process::resume`] with the reason
+//! the process woke up ([`Resumed`]), and the process returns the next
+//! *blocking* request ([`Action`]). Non-blocking operations (sending a
+//! message, releasing a facility, spawning a process, setting an event)
+//! are performed immediately through [`ProcCtx`]. This is the classic
+//! event-driven encoding of process-oriented simulation; determinism falls
+//! out for free because the kernel is single-threaded and every queue is
+//! FIFO with a stable tie-break.
+//!
+//! ## Determinism
+//!
+//! Runs are reproducible bit-for-bit: the event calendar breaks time ties
+//! by insertion sequence, queues are FIFO, and all randomness comes from
+//! named [`random::RandomStream`]s derived from the configured seed.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prophet_sim::{Action, Process, ProcCtx, Resumed, Simulator};
+//!
+//! /// A process that computes for 1.5 time units and terminates.
+//! struct Worker;
+//! impl Process for Worker {
+//!     fn resume(&mut self, _ctx: &mut ProcCtx<'_>, why: Resumed) -> Action {
+//!         match why {
+//!             Resumed::Start => Action::Hold(1.5),
+//!             _ => Action::Terminate,
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(Default::default());
+//! sim.spawn("worker", Box::new(Worker));
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.end_time, 1.5);
+//! ```
+
+pub mod calendar;
+pub mod facility;
+pub mod kernel;
+pub mod mailbox;
+pub mod random;
+pub mod stats;
+pub mod storage;
+pub mod time;
+
+pub use calendar::{BinaryHeapCalendar, Calendar, CalendarKind, SortedVecCalendar};
+pub use facility::{Discipline, Facility, FacilityStats};
+pub use kernel::{
+    Action, Config, EventId, FacilityId, MailboxId, ProcCtx, Process, ProcessId, Resumed,
+    SimError, SimReport, Simulator, StorageId,
+};
+pub use mailbox::{Mailbox, Msg};
+pub use random::RandomStream;
+pub use stats::{Histogram, Tally, TimeWeighted};
+pub use storage::Storage;
+pub use time::SimTime;

@@ -1,0 +1,176 @@
+//! Named, reproducible random streams.
+//!
+//! CSIM gives each model entity its own random stream so structural model
+//! changes don't reshuffle unrelated randomness. We reproduce that: every
+//! stream is derived from `(master_seed, stream_name)` via FNV-1a, so a
+//! stream's sequence depends only on its name and the master seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible random stream with the distributions the estimator and
+/// workload generators need.
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    rng: StdRng,
+    /// Cached second normal variate from Box-Muller.
+    spare_normal: Option<f64>,
+}
+
+impl RandomStream {
+    /// Derive a stream from the master seed and a stable name.
+    pub fn derive(master_seed: u64, name: &str) -> Self {
+        // FNV-1a over the name, folded with the master seed.
+        let mut h: u64 = 0xcbf29ce484222325 ^ master_seed.rotate_left(17);
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Avoid the all-zero seed edge case.
+        let seed = if h == 0 { 0x9e3779b97f4a7c15 } else { h };
+        Self { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo, "uniform requires hi > lo");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi >= lo, "uniform_int requires hi >= lo");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential requires a positive mean");
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Normal via Box-Muller (no `rand_distr` dependency).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal requires std_dev >= 0");
+        if let Some(z) = self.spare_normal.take() {
+            return mean + std_dev * z;
+        }
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        mean + std_dev * r * theta.cos()
+    }
+
+    /// Truncated normal: resampled into `[lo, hi]` (at most 64 attempts,
+    /// then clamped — keeps worst-case cost bounded and deterministic).
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        for _ in 0..64 {
+            let x = self.normal(mean, std_dev);
+            if x >= lo && x <= hi {
+                return x;
+            }
+        }
+        mean.clamp(lo, hi)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_range(0.0..1.0) < p.clamp(0.0, 1.0)
+    }
+
+    /// Raw u64 (for shuffles and derived decisions).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let mut a = RandomStream::derive(42, "arrivals");
+        let mut b = RandomStream::derive(42, "arrivals");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_by_name() {
+        let mut a = RandomStream::derive(42, "arrivals");
+        let mut b = RandomStream::derive(42, "service");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn seeds_change_streams() {
+        let mut a = RandomStream::derive(1, "s");
+        let mut b = RandomStream::derive(2, "s");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut s = RandomStream::derive(7, "exp");
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| s.exponential(2.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut s = RandomStream::derive(7, "exp2");
+        assert!((0..10_000).all(|_| s.exponential(1.0) > 0.0));
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut s = RandomStream::derive(11, "norm");
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.normal(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut s = RandomStream::derive(3, "uni");
+        for _ in 0..10_000 {
+            let x = s.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+            let i = s.uniform_int(1, 6);
+            assert!((1..=6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn normal_clamped_in_bounds() {
+        let mut s = RandomStream::derive(5, "clamp");
+        for _ in 0..1000 {
+            let x = s.normal_clamped(0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut s = RandomStream::derive(9, "coin");
+        let hits = (0..100_000).filter(|_| s.chance(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p ≈ {p}");
+    }
+}

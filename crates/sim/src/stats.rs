@@ -1,0 +1,366 @@
+//! Statistics collectors: tallies, time-weighted averages, histograms.
+//!
+//! These mirror CSIM's `table`/`qtable` reporting facilities, which the
+//! Performance Estimator uses for utilizations, queue lengths and response
+//! times in the trace file (TF).
+
+/// Streaming mean/variance/min/max over observations (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if self.count == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another tally into this one (parallel sweep aggregation).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean = (n1 * self.mean + n2 * other.mean) / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (queue length,
+/// busy servers, …).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: f64,
+    integral: f64,
+    start: f64,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(0.0, 0.0)
+    }
+}
+
+impl TimeWeighted {
+    /// Start tracking `initial` at time `start`.
+    pub fn new(initial: f64, start: f64) -> Self {
+        Self { value: initial, last_change: start, integral: 0.0, start, max: initial }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous change (time must be
+    /// monotone — the kernel guarantees it).
+    pub fn set(&mut self, value: f64, now: f64) {
+        assert!(now >= self.last_change, "TimeWeighted: time went backwards");
+        self.integral += self.value * (now - self.last_change);
+        self.value = value;
+        self.last_change = now;
+        self.max = self.max.max(value);
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, delta: f64, now: f64) {
+        let v = self.value + delta;
+        self.set(v, now);
+    }
+
+    /// Current value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: f64) -> f64 {
+        let span = now - self.start;
+        if span <= 0.0 {
+            return self.value;
+        }
+        (self.integral + self.value * (now - self.last_change)) / span
+    }
+
+    /// Integral of the signal over `[start, now]`.
+    pub fn integral(&self, now: f64) -> f64 {
+        self.integral + self.value * (now - self.last_change)
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    tally: Tally,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram needs at least one bin");
+        assert!(hi > lo, "Histogram range must be non-empty");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, tally: Tally::new() }
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, x: f64) {
+        self.tally.record(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts (not including under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at/above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.tally.count()
+    }
+
+    /// Summary statistics of raw observations.
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Approximate quantile from bin midpoints (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.bins.iter().sum::<u64>() + self.underflow + self.overflow;
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * w;
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert_eq!(t.mean(), 5.0);
+        assert_eq!(t.variance(), 4.0);
+        assert_eq!(t.std_dev(), 2.0);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.sum(), 40.0);
+    }
+
+    #[test]
+    fn tally_empty() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+    }
+
+    #[test]
+    fn tally_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(2.0, 1.0); // 0 for [0,1)
+        tw.set(4.0, 3.0); // 2 for [1,3)
+        // 4 for [3,5]
+        assert_eq!(tw.mean(5.0), (0.0 + 4.0 + 8.0) / 5.0);
+        assert_eq!(tw.integral(5.0), 12.0);
+        assert_eq!(tw.max(), 4.0);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new(1.0, 0.0);
+        tw.add(1.0, 2.0);
+        tw.add(-2.0, 4.0);
+        assert_eq!(tw.current(), 0.0);
+        assert_eq!(tw.mean(4.0), (1.0 * 2.0 + 2.0 * 2.0) / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_monotonicity() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(1.0, 5.0);
+        tw.set(2.0, 4.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let median = h.quantile(0.5);
+        assert!((median - 49.5).abs() <= 1.0, "median ≈ {median}");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}

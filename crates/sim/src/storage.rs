@@ -1,0 +1,183 @@
+//! Storages: counting resources (CSIM `storage`), e.g. memory pools or
+//! bandwidth tokens.
+
+use crate::kernel::ProcessId;
+use crate::stats::TimeWeighted;
+use std::collections::VecDeque;
+
+/// A counting resource with FIFO blocking acquisition.
+///
+/// FIFO granting means a large request at the head blocks smaller ones
+/// behind it — that is deliberate (no starvation of large requests), and
+/// matches CSIM's storage semantics.
+#[derive(Debug)]
+pub struct Storage {
+    name: String,
+    capacity: u64,
+    available: u64,
+    waiters: VecDeque<(ProcessId, u64)>,
+    in_use: TimeWeighted,
+}
+
+impl Storage {
+    /// Create a storage with `capacity` units, all available.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        assert!(capacity > 0, "storage capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            available: capacity,
+            waiters: VecDeque::new(),
+            in_use: TimeWeighted::new(0.0, 0.0),
+        }
+    }
+
+    /// Storage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently available units.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// Attempt to acquire `amount` units for `pid` at `now`.
+    ///
+    /// Returns `true` if granted immediately; otherwise queues the request.
+    ///
+    /// # Errors
+    /// Errors if `amount` exceeds total capacity (would deadlock forever).
+    pub fn acquire(&mut self, pid: ProcessId, amount: u64, now: f64) -> Result<bool, String> {
+        if amount > self.capacity {
+            return Err(format!(
+                "request of {amount} exceeds capacity {} of storage `{}`",
+                self.capacity, self.name
+            ));
+        }
+        if self.waiters.is_empty() && amount <= self.available {
+            self.available -= amount;
+            self.in_use.add(amount as f64, now);
+            Ok(true)
+        } else {
+            self.waiters.push_back((pid, amount));
+            Ok(false)
+        }
+    }
+
+    /// Return `amount` units at `now`. Returns the processes whose queued
+    /// requests are now granted (in FIFO order).
+    ///
+    /// # Errors
+    /// Errors if the release would exceed capacity (double release).
+    pub fn release(&mut self, amount: u64, now: f64) -> Result<Vec<ProcessId>, String> {
+        if self.available + amount > self.capacity {
+            return Err(format!(
+                "release of {amount} exceeds capacity of storage `{}` ({} already available)",
+                self.name, self.available
+            ));
+        }
+        self.available += amount;
+        self.in_use.add(-(amount as f64), now);
+        let mut granted = Vec::new();
+        while let Some(&(pid, want)) = self.waiters.front() {
+            if want <= self.available {
+                self.available -= want;
+                self.in_use.add(want as f64, now);
+                self.waiters.pop_front();
+                granted.push(pid);
+            } else {
+                break; // strict FIFO: head blocks the rest
+            }
+        }
+        Ok(granted)
+    }
+
+    /// Number of queued requests.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Waiting processes (diagnostics / deadlock reports).
+    pub fn waiters(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.waiters.iter().map(|(p, _)| *p)
+    }
+
+    /// Time-weighted mean units in use over `[0, now]`.
+    pub fn mean_in_use(&self, now: f64) -> f64 {
+        self.in_use.mean(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: usize) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn acquire_release() {
+        let mut s = Storage::new("mem", 10);
+        assert!(s.acquire(pid(1), 6, 0.0).unwrap());
+        assert_eq!(s.available(), 4);
+        assert!(!s.acquire(pid(2), 6, 0.0).unwrap());
+        let granted = s.release(6, 1.0).unwrap();
+        assert_eq!(granted, vec![pid(2)]);
+        assert_eq!(s.available(), 4);
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut s = Storage::new("mem", 10);
+        assert!(s.acquire(pid(1), 11, 0.0).is_err());
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut s = Storage::new("mem", 10);
+        assert!(s.release(1, 0.0).is_err());
+    }
+
+    #[test]
+    fn fifo_head_blocks() {
+        let mut s = Storage::new("mem", 10);
+        assert!(s.acquire(pid(1), 10, 0.0).unwrap());
+        assert!(!s.acquire(pid(2), 8, 0.0).unwrap());
+        assert!(!s.acquire(pid(3), 1, 0.0).unwrap());
+        // Releasing 5 is not enough for pid2 (head) — pid3 must NOT jump.
+        assert!(s.release(5, 1.0).unwrap().is_empty());
+        assert_eq!(s.waiting(), 2);
+        // Releasing 5 more grants pid2 (8) and then pid3 (1).
+        let granted = s.release(5, 2.0).unwrap();
+        assert_eq!(granted, vec![pid(2), pid(3)]);
+    }
+
+    #[test]
+    fn mean_in_use() {
+        let mut s = Storage::new("mem", 4);
+        assert!(s.acquire(pid(1), 4, 0.0).unwrap());
+        s.release(4, 2.0).unwrap();
+        // 4 units for 2s of a 4s window = 2.0 mean.
+        assert!((s.mean_in_use(4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_grant_requires_empty_queue() {
+        let mut s = Storage::new("mem", 10);
+        assert!(s.acquire(pid(1), 9, 0.0).unwrap());
+        assert!(!s.acquire(pid(2), 5, 0.0).unwrap());
+        // 1 unit is available and pid3 wants 1, but pid2 is queued: FIFO.
+        assert!(!s.acquire(pid(3), 1, 0.0).unwrap());
+        assert_eq!(s.waiting(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation time: a totally ordered wrapper over `f64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulated time in seconds.
+///
+/// Invariant: the contained value is finite and non-negative; constructors
+/// enforce it, which is what makes `Ord` sound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    ///
+    /// # Panics
+    /// Panics on NaN, infinity, or negative values — those are programming
+    /// errors in cost functions and must not silently corrupt the calendar.
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "SimTime must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// Construct, returning `None` for invalid values instead of panicking.
+    pub fn try_new(seconds: f64) -> Option<Self> {
+        (seconds.is_finite() && seconds >= 0.0).then_some(SimTime(seconds))
+    }
+
+    /// Seconds as `f64`.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: construction guarantees finite values.
+        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.min(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(t - SimTime::new(0.5), 1.5);
+        let mut u = SimTime::ZERO;
+        u += 3.0;
+        assert_eq!(u.seconds(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn try_new() {
+        assert!(SimTime::try_new(1.0).is_some());
+        assert!(SimTime::try_new(-1.0).is_none());
+        assert!(SimTime::try_new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn display_fixed_precision() {
+        assert_eq!(SimTime::new(0.5).to_string(), "0.500000");
+    }
+}

@@ -1,0 +1,305 @@
+//! Trace analysis: the data behind Teuta's *Charts* performance
+//! visualization.
+
+use crate::event::{EventKind, TraceFile};
+use std::collections::HashMap;
+
+/// Aggregated statistics for one performance modeling element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementProfile {
+    /// Element name.
+    pub element: String,
+    /// Number of completed executions across all processes.
+    pub count: u64,
+    /// Total inclusive time (sum over executions, all processes).
+    pub total_time: f64,
+    /// Mean inclusive time per execution.
+    pub mean_time: f64,
+    /// Maximum single execution time.
+    pub max_time: f64,
+}
+
+/// One bar of a per-process Gantt chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttSegment {
+    /// Process id.
+    pub pid: usize,
+    /// Thread id.
+    pub tid: usize,
+    /// Element name.
+    pub element: String,
+    /// Segment start time.
+    pub start: f64,
+    /// Segment end time.
+    pub end: f64,
+}
+
+/// A named chart series (x, y) — consumed by the visualization layer or
+/// exported as CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSeries {
+    /// Series name.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ChartSeries {
+    /// CSV encoding (`x,y` rows with a `# name` header).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\nx,y\n", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+/// Analysis over a [`TraceFile`].
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Per-element profiles, sorted by descending total time.
+    pub profile: Vec<ElementProfile>,
+    /// Gantt segments in start order.
+    pub gantt: Vec<GanttSegment>,
+    /// Per-process busy time (sum of segment lengths on tid 0 and others).
+    pub busy_time: HashMap<usize, f64>,
+    /// Run end time.
+    pub end_time: f64,
+    /// Unmatched enter events (element names) — nonempty indicates a
+    /// malformed trace.
+    pub unmatched: Vec<String>,
+}
+
+impl TraceAnalysis {
+    /// Analyze a trace: match enter/exit pairs per `(pid, tid)` with a
+    /// stack (elements nest like calls).
+    pub fn analyze(tf: &TraceFile) -> Self {
+        let mut stacks: HashMap<(usize, usize), Vec<(String, f64)>> = HashMap::new();
+        let mut gantt = Vec::new();
+        let mut totals: HashMap<String, (u64, f64, f64)> = HashMap::new();
+        let mut busy: HashMap<usize, f64> = HashMap::new();
+        let mut unmatched = Vec::new();
+
+        for ev in &tf.events {
+            match ev.kind {
+                EventKind::Enter => {
+                    stacks.entry((ev.pid, ev.tid)).or_default().push((ev.element.clone(), ev.time));
+                }
+                EventKind::Exit => {
+                    let stack = stacks.entry((ev.pid, ev.tid)).or_default();
+                    match stack.pop() {
+                        Some((name, start)) if name == ev.element => {
+                            let dur = ev.time - start;
+                            gantt.push(GanttSegment {
+                                pid: ev.pid,
+                                tid: ev.tid,
+                                element: name.clone(),
+                                start,
+                                end: ev.time,
+                            });
+                            let slot = totals.entry(name).or_insert((0, 0.0, 0.0));
+                            slot.0 += 1;
+                            slot.1 += dur;
+                            slot.2 = slot.2.max(dur);
+                            // Busy time counts only leaf time? Inclusive
+                            // double-counts nesting; attribute to the
+                            // innermost frame: only count if stack empty
+                            // after pop (outermost) — we instead count
+                            // leaf segments: if nothing was pushed since,
+                            // this is a leaf. Simpler robust choice:
+                            // accumulate leaf time = dur minus child time
+                            // is complex; we count outermost segments for
+                            // busy time.
+                            if stack.is_empty() {
+                                *busy.entry(ev.pid).or_default() += dur;
+                            }
+                        }
+                        Some((name, start)) => {
+                            unmatched.push(format!("exit `{}` while `{name}` open", ev.element));
+                            stack.push((name, start));
+                        }
+                        None => unmatched.push(format!("exit `{}` with empty stack", ev.element)),
+                    }
+                }
+                _ => {}
+            }
+        }
+        for stack in stacks.values() {
+            for (name, _) in stack {
+                unmatched.push(format!("enter `{name}` never exited"));
+            }
+        }
+
+        gantt.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.pid.cmp(&b.pid)));
+        let mut profile: Vec<ElementProfile> = totals
+            .into_iter()
+            .map(|(element, (count, total, max))| ElementProfile {
+                element,
+                count,
+                total_time: total,
+                mean_time: total / count as f64,
+                max_time: max,
+            })
+            .collect();
+        profile.sort_by(|a, b| b.total_time.total_cmp(&a.total_time).then(a.element.cmp(&b.element)));
+
+        Self { profile, gantt, busy_time: busy, end_time: tf.end_time, unmatched }
+    }
+
+    /// Profile entry for one element.
+    pub fn element(&self, name: &str) -> Option<&ElementProfile> {
+        self.profile.iter().find(|p| p.element == name)
+    }
+
+    /// Mean CPU efficiency: busy time / (end × processes).
+    pub fn efficiency(&self, processes: usize) -> f64 {
+        if self.end_time <= 0.0 || processes == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_time.values().sum();
+        busy / (self.end_time * processes as f64)
+    }
+
+    /// Communication summary: per-process send/recv counts (from the
+    /// `MsgSend`/`MsgRecv` records) — the compute-vs-communicate view of
+    /// the Charts component.
+    pub fn comm_summary(&self, tf: &crate::event::TraceFile) -> Vec<(usize, u64, u64)> {
+        let mut per: HashMap<usize, (u64, u64)> = HashMap::new();
+        for ev in &tf.events {
+            match ev.kind {
+                EventKind::MsgSend => per.entry(ev.pid).or_default().0 += 1,
+                EventKind::MsgRecv => per.entry(ev.pid).or_default().1 += 1,
+                _ => {}
+            }
+        }
+        let mut out: Vec<(usize, u64, u64)> =
+            per.into_iter().map(|(pid, (s, r))| (pid, s, r)).collect();
+        out.sort();
+        out
+    }
+
+    /// Chart series: cumulative completed element executions over time.
+    pub fn throughput_series(&self, name: &str) -> ChartSeries {
+        let mut points = Vec::new();
+        let mut count = 0.0;
+        for seg in &self.gantt {
+            if seg.element == name {
+                count += 1.0;
+                points.push((seg.end, count));
+            }
+        }
+        ChartSeries { name: format!("completions:{name}"), points }
+    }
+}
+
+/// Speedup series from per-configuration run times: `(p, T1/Tp)`.
+pub fn speedup_series(runs: &[(usize, f64)]) -> ChartSeries {
+    let t1 = runs
+        .iter()
+        .find(|(p, _)| *p == 1)
+        .map(|(_, t)| *t)
+        .unwrap_or_else(|| runs.first().map(|(_, t)| *t).unwrap_or(1.0));
+    ChartSeries {
+        name: "speedup".into(),
+        points: runs.iter().map(|(p, t)| (*p as f64, t1 / *t)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(time: f64, pid: usize, element: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent { time, pid, tid: 0, element: element.into(), kind }
+    }
+
+    fn nested_trace() -> TraceFile {
+        let mut tf = TraceFile::new("t", 2);
+        tf.push(ev(0.0, 0, "SA", EventKind::Enter));
+        tf.push(ev(0.0, 0, "SA1", EventKind::Enter));
+        tf.push(ev(1.0, 0, "SA1", EventKind::Exit));
+        tf.push(ev(1.0, 0, "SA2", EventKind::Enter));
+        tf.push(ev(3.0, 0, "SA2", EventKind::Exit));
+        tf.push(ev(3.0, 0, "SA", EventKind::Exit));
+        tf.push(ev(3.0, 1, "A2", EventKind::Enter));
+        tf.push(ev(4.0, 1, "A2", EventKind::Exit));
+        tf
+    }
+
+    #[test]
+    fn profiles_and_nesting() {
+        let a = TraceAnalysis::analyze(&nested_trace());
+        assert!(a.unmatched.is_empty(), "{:?}", a.unmatched);
+        let sa = a.element("SA").unwrap();
+        assert_eq!(sa.count, 1);
+        assert_eq!(sa.total_time, 3.0);
+        let sa2 = a.element("SA2").unwrap();
+        assert_eq!(sa2.total_time, 2.0);
+        // Profile sorted by total time descending: SA first.
+        assert_eq!(a.profile[0].element, "SA");
+    }
+
+    #[test]
+    fn busy_counts_outermost_only() {
+        let a = TraceAnalysis::analyze(&nested_trace());
+        // pid0 busy 3.0 (SA), not 3+1+2.
+        assert_eq!(a.busy_time[&0], 3.0);
+        assert_eq!(a.busy_time[&1], 1.0);
+    }
+
+    #[test]
+    fn efficiency() {
+        let a = TraceAnalysis::analyze(&nested_trace());
+        // end 4.0, 2 processes → (3+1)/(4*2) = 0.5
+        assert!((a.efficiency(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_sorted() {
+        let a = TraceAnalysis::analyze(&nested_trace());
+        assert_eq!(a.gantt.len(), 4);
+        assert!(a.gantt.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn unmatched_detected() {
+        let mut tf = TraceFile::new("bad", 1);
+        tf.push(ev(0.0, 0, "A", EventKind::Enter));
+        tf.push(ev(1.0, 0, "B", EventKind::Exit));
+        let a = TraceAnalysis::analyze(&tf);
+        assert_eq!(a.unmatched.len(), 2, "{:?}", a.unmatched); // bad exit + dangling enter
+    }
+
+    #[test]
+    fn throughput_series_counts() {
+        let mut tf = TraceFile::new("t", 1);
+        for i in 0..3 {
+            tf.push(ev(i as f64, 0, "K", EventKind::Enter));
+            tf.push(ev(i as f64 + 0.5, 0, "K", EventKind::Exit));
+        }
+        let a = TraceAnalysis::analyze(&tf);
+        let s = a.throughput_series("K");
+        assert_eq!(s.points, vec![(0.5, 1.0), (1.5, 2.0), (2.5, 3.0)]);
+        assert!(s.to_csv().contains("x,y"));
+    }
+
+    #[test]
+    fn comm_summary_counts() {
+        let mut tf = TraceFile::new("c", 2);
+        tf.push(ev(0.0, 0, "s", EventKind::MsgSend));
+        tf.push(ev(0.1, 1, "r", EventKind::MsgRecv));
+        tf.push(ev(0.2, 0, "s", EventKind::MsgSend));
+        let a = TraceAnalysis::analyze(&tf);
+        assert_eq!(a.comm_summary(&tf), vec![(0, 2, 0), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn speedup() {
+        let s = speedup_series(&[(1, 10.0), (2, 5.5), (4, 3.0)]);
+        assert_eq!(s.points[0], (1.0, 1.0));
+        assert!((s.points[1].1 - 10.0 / 5.5).abs() < 1e-12);
+        assert!((s.points[2].1 - 10.0 / 3.0).abs() < 1e-12);
+    }
+}

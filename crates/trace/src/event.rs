@@ -1,0 +1,299 @@
+//! Trace events and the TF container.
+
+use prophet_xml::{Document, Element, WriteOptions, Writer, XmlError, XmlResult};
+
+/// What a trace record marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A performance modeling element began executing (its `execute()`
+    /// was entered, in the paper's C++ terms).
+    Enter,
+    /// The element finished.
+    Exit,
+    /// A message was sent (MPI building blocks).
+    MsgSend,
+    /// A message was received.
+    MsgRecv,
+    /// A synthetic marker (barriers, phase boundaries).
+    Marker,
+}
+
+impl EventKind {
+    /// Stable text name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::MsgSend => "send",
+            EventKind::MsgRecv => "recv",
+            EventKind::Marker => "marker",
+        }
+    }
+
+    /// Parse a text name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "enter" => EventKind::Enter,
+            "exit" => EventKind::Exit,
+            "send" => EventKind::MsgSend,
+            "recv" => EventKind::MsgRecv,
+            "marker" => EventKind::Marker,
+            _ => return None,
+        })
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time.
+    pub time: f64,
+    /// MPI process id.
+    pub pid: usize,
+    /// Thread id within the process (0 for the master thread).
+    pub tid: usize,
+    /// Performance modeling element name (`A1`, `Kernel6`, …).
+    pub element: String,
+    /// Record kind.
+    pub kind: EventKind,
+}
+
+/// A complete trace: ordered records plus run metadata.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFile {
+    /// Model name the trace came from.
+    pub model: String,
+    /// End time of the simulated run.
+    pub end_time: f64,
+    /// Number of processes in the run.
+    pub processes: usize,
+    /// Records in emission order (non-decreasing time).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceFile {
+    /// Empty trace for a model/run shape.
+    pub fn new(model: impl Into<String>, processes: usize) -> Self {
+        Self { model: model.into(), end_time: 0.0, processes, events: Vec::new() }
+    }
+
+    /// Append a record (keeps `end_time` monotone).
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| ev.time >= last.time),
+            "trace time went backwards"
+        );
+        self.end_time = self.end_time.max(ev.time);
+        self.events.push(ev);
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no records were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The line-oriented TF text format:
+    /// `time pid tid kind element`, one record per line, with a header.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# TF model={} processes={} end={}\n",
+            self.model, self.processes, self.end_time
+        );
+        for e in &self.events {
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                e.time,
+                e.pid,
+                e.tid,
+                e.kind.name(),
+                e.element
+            ));
+        }
+        out
+    }
+
+    /// Parse the TF text format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace file")?;
+        if !header.starts_with("# TF ") {
+            return Err("missing TF header".into());
+        }
+        let field = |key: &str| -> Result<&str, String> {
+            header
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                .ok_or_else(|| format!("header missing `{key}`"))
+        };
+        let mut tf = TraceFile::new(field("model")?, field("processes")?.parse().map_err(|_| "bad processes")?);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}", i + 2);
+            let time: f64 = parts.next().ok_or_else(|| err("missing time"))?.parse().map_err(|_| err("bad time"))?;
+            let pid: usize = parts.next().ok_or_else(|| err("missing pid"))?.parse().map_err(|_| err("bad pid"))?;
+            let tid: usize = parts.next().ok_or_else(|| err("missing tid"))?.parse().map_err(|_| err("bad tid"))?;
+            let kind = EventKind::parse(parts.next().ok_or_else(|| err("missing kind"))?)
+                .ok_or_else(|| err("unknown kind"))?;
+            let element = parts.next().ok_or_else(|| err("missing element"))?.to_string();
+            tf.push(TraceEvent { time, pid, tid, element, kind });
+        }
+        Ok(tf)
+    }
+
+    /// CSV encoding (for external charting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,pid,tid,kind,element\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.time,
+                e.pid,
+                e.tid,
+                e.kind.name(),
+                e.element
+            ));
+        }
+        out
+    }
+
+    /// XML encoding of the TF (streamed — traces can be large).
+    pub fn to_xml(&self) -> String {
+        let mut w = Writer::new(WriteOptions::default());
+        w.raw("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        w.newline();
+        w.start(
+            "trace",
+            &[
+                ("model", self.model.as_str()),
+                ("processes", &self.processes.to_string()),
+                ("end", &format!("{}", self.end_time)),
+            ],
+        );
+        for e in &self.events {
+            w.leaf(
+                "event",
+                &[
+                    ("t", &format!("{}", e.time)),
+                    ("pid", &e.pid.to_string()),
+                    ("tid", &e.tid.to_string()),
+                    ("kind", e.kind.name()),
+                    ("element", &e.element),
+                ],
+            );
+        }
+        w.end();
+        w.finish()
+    }
+
+    /// Parse the XML encoding.
+    pub fn from_xml(xml: &str) -> XmlResult<Self> {
+        let doc: Document = prophet_xml::parse_document(xml)?;
+        let root: &Element = &doc.root;
+        if root.name != "trace" {
+            return Err(XmlError::structural(format!("expected <trace>, found <{}>", root.name)));
+        }
+        let mut tf = TraceFile::new(
+            root.required_attr("model")?,
+            root.required_attr("processes")?
+                .parse()
+                .map_err(|_| XmlError::structural("bad processes attribute"))?,
+        );
+        for e in root.children_named("event") {
+            let kind = EventKind::parse(e.required_attr("kind")?)
+                .ok_or_else(|| XmlError::structural("unknown event kind"))?;
+            tf.push(TraceEvent {
+                time: e
+                    .required_attr("t")?
+                    .parse()
+                    .map_err(|_| XmlError::structural("bad event time"))?,
+                pid: e
+                    .required_attr("pid")?
+                    .parse()
+                    .map_err(|_| XmlError::structural("bad pid"))?,
+                tid: e
+                    .required_attr("tid")?
+                    .parse()
+                    .map_err(|_| XmlError::structural("bad tid"))?,
+                element: e.required_attr("element")?.to_string(),
+                kind,
+            });
+        }
+        Ok(tf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceFile {
+        let mut tf = TraceFile::new("demo", 2);
+        tf.push(TraceEvent { time: 0.0, pid: 0, tid: 0, element: "A1".into(), kind: EventKind::Enter });
+        tf.push(TraceEvent { time: 0.5, pid: 1, tid: 0, element: "A1".into(), kind: EventKind::Enter });
+        tf.push(TraceEvent { time: 1.0, pid: 0, tid: 0, element: "A1".into(), kind: EventKind::Exit });
+        tf.push(TraceEvent { time: 1.25, pid: 0, tid: 0, element: "s0".into(), kind: EventKind::MsgSend });
+        tf.push(TraceEvent { time: 1.5, pid: 1, tid: 0, element: "A1".into(), kind: EventKind::Exit });
+        tf
+    }
+
+    #[test]
+    fn push_tracks_end_time() {
+        let tf = sample();
+        assert_eq!(tf.end_time, 1.5);
+        assert_eq!(tf.len(), 5);
+        assert!(!tf.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let tf = sample();
+        let text = tf.to_text();
+        let back = TraceFile::from_text(&text).unwrap();
+        assert_eq!(back.model, "demo");
+        assert_eq!(back.processes, 2);
+        assert_eq!(back.events, tf.events);
+        assert_eq!(back.end_time, tf.end_time);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let tf = sample();
+        let back = TraceFile::from_xml(&tf.to_xml()).unwrap();
+        assert_eq!(back.events, tf.events);
+        assert_eq!(back.model, tf.model);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "time,pid,tid,kind,element");
+        assert_eq!(lines.len(), 6);
+        assert!(lines[4].ends_with("send,s0"));
+    }
+
+    #[test]
+    fn text_parse_errors() {
+        assert!(TraceFile::from_text("").is_err());
+        assert!(TraceFile::from_text("not a header\n").is_err());
+        let bad = "# TF model=m processes=1 end=0\nnot-a-time 0 0 enter A\n";
+        let err = TraceFile::from_text(bad).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in [EventKind::Enter, EventKind::Exit, EventKind::MsgSend, EventKind::MsgRecv, EventKind::Marker] {
+            assert_eq!(EventKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+}

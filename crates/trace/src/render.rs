@@ -1,0 +1,62 @@
+//! ASCII timeline rendering — the textual stand-in for Teuta's Animator.
+
+use crate::analysis::TraceAnalysis;
+
+/// Render per-process timelines as fixed-width ASCII art.
+///
+/// Each process gets one row of `width` cells covering `[0, end_time]`;
+/// a cell shows the first letter of the element executing there (the
+/// outermost segment covering the cell midpoint), or `.` when idle.
+pub fn render_timeline(analysis: &TraceAnalysis, processes: usize, width: usize) -> String {
+    let width = width.max(10);
+    let end = if analysis.end_time > 0.0 { analysis.end_time } else { 1.0 };
+    let mut out = String::new();
+    out.push_str(&format!("timeline 0.0 .. {:.6}s ({} cells)\n", analysis.end_time, width));
+    for pid in 0..processes {
+        let mut row = vec!['.'; width];
+        for seg in analysis.gantt.iter().filter(|s| s.pid == pid && s.tid == 0) {
+            let first = seg.element.chars().next().unwrap_or('#');
+            let lo = ((seg.start / end) * width as f64).floor() as usize;
+            let hi = (((seg.end / end) * width as f64).ceil() as usize).min(width);
+            for cell in row.iter_mut().take(hi).skip(lo.min(width)) {
+                // Inner segments overwrite outer ones — drawn later because
+                // gantt is sorted by start and children start no earlier.
+                *cell = first;
+            }
+        }
+        out.push_str(&format!("p{pid:<3} |{}|\n", row.into_iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent, TraceFile};
+
+    #[test]
+    fn renders_rows_per_process() {
+        let mut tf = TraceFile::new("t", 2);
+        tf.push(TraceEvent { time: 0.0, pid: 0, tid: 0, element: "Alpha".into(), kind: EventKind::Enter });
+        tf.push(TraceEvent { time: 5.0, pid: 0, tid: 0, element: "Alpha".into(), kind: EventKind::Exit });
+        tf.push(TraceEvent { time: 5.0, pid: 1, tid: 0, element: "Beta".into(), kind: EventKind::Enter });
+        tf.push(TraceEvent { time: 10.0, pid: 1, tid: 0, element: "Beta".into(), kind: EventKind::Exit });
+        let a = TraceAnalysis::analyze(&tf);
+        let art = render_timeline(&a, 2, 20);
+        let lines: Vec<_> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("p0"));
+        // First half of p0's row is 'A', second half idle.
+        assert!(lines[1].contains("AAAAAAAAAA.........."), "{art}");
+        assert!(lines[2].contains("..........BBBBBBBBBB"), "{art}");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let tf = TraceFile::new("t", 1);
+        let a = TraceAnalysis::analyze(&tf);
+        let art = render_timeline(&a, 1, 10);
+        assert!(art.contains("p0"));
+        assert!(art.contains(".........."));
+    }
+}

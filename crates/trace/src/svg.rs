@@ -1,0 +1,183 @@
+//! SVG Gantt-chart rendering — a richer stand-in for Teuta's chart
+//! window than the ASCII timeline.
+//!
+//! The output is self-contained SVG 1.1: one swim-lane per `(pid, tid)`
+//! flow, one rectangle per trace segment, colored deterministically by
+//! element name, with a time axis.
+
+use crate::analysis::TraceAnalysis;
+use std::collections::BTreeSet;
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total chart width in pixels (excluding the label gutter).
+    pub width: u32,
+    /// Height of one swim lane in pixels.
+    pub lane_height: u32,
+    /// Label gutter width in pixels.
+    pub gutter: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self { width: 800, lane_height: 22, gutter: 70 }
+    }
+}
+
+/// Deterministic pastel color for an element name.
+fn color_of(name: &str) -> String {
+    // FNV-1a hash → hue; fixed saturation/lightness keeps text readable.
+    let mut h: u32 = 0x811c9dc5;
+    for b in name.as_bytes() {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    format!("hsl({}, 65%, 70%)", h % 360)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Render the analyzed trace as an SVG Gantt chart.
+pub fn render_svg(analysis: &TraceAnalysis, options: &SvgOptions) -> String {
+    let end = if analysis.end_time > 0.0 { analysis.end_time } else { 1.0 };
+    // Lanes in (pid, tid) order, from the segments present.
+    let lanes: BTreeSet<(usize, usize)> =
+        analysis.gantt.iter().map(|s| (s.pid, s.tid)).collect();
+    let lanes: Vec<(usize, usize)> = lanes.into_iter().collect();
+    let lane_of = |pid: usize, tid: usize| -> usize {
+        lanes.iter().position(|&l| l == (pid, tid)).expect("lane exists")
+    };
+
+    let opt = options;
+    let chart_h = (lanes.len().max(1) as u32) * opt.lane_height;
+    let total_w = opt.gutter + opt.width + 10;
+    let total_h = chart_h + 40;
+    let x_of = |t: f64| opt.gutter as f64 + t / end * opt.width as f64;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{total_h}\" font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+
+    // Lane labels and separators.
+    for (i, (pid, tid)) in lanes.iter().enumerate() {
+        let y = i as u32 * opt.lane_height;
+        out.push_str(&format!(
+            "<text x=\"4\" y=\"{}\" fill=\"#333\">p{pid}.t{tid}</text>\n",
+            y + opt.lane_height / 2 + 4
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{g}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#eee\"/>\n",
+            g = opt.gutter,
+            x2 = opt.gutter + opt.width
+        ));
+    }
+
+    // Segments (sorted by start; children drawn over parents).
+    for seg in &analysis.gantt {
+        let lane = lane_of(seg.pid, seg.tid);
+        let x = x_of(seg.start);
+        let w = (x_of(seg.end) - x).max(1.0);
+        let y = lane as u32 * opt.lane_height + 2;
+        let h = opt.lane_height - 4;
+        out.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{h}\" fill=\"{}\" stroke=\"#666\" stroke-width=\"0.5\"><title>{} [{:.6}s – {:.6}s]</title></rect>\n",
+            color_of(&seg.element),
+            escape(&seg.element),
+            seg.start,
+            seg.end
+        ));
+        if w > 40.0 {
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{}\" fill=\"#222\">{}</text>\n",
+                x + 3.0,
+                y + h / 2 + 4,
+                escape(&seg.element)
+            ));
+        }
+    }
+
+    // Time axis.
+    let axis_y = chart_h + 14;
+    out.push_str(&format!(
+        "<line x1=\"{g}\" y1=\"{chart_h}\" x2=\"{x2}\" y2=\"{chart_h}\" stroke=\"#333\"/>\n",
+        g = opt.gutter,
+        x2 = opt.gutter + opt.width
+    ));
+    for i in 0..=4 {
+        let t = end * i as f64 / 4.0;
+        let x = x_of(t);
+        out.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{chart_h}\" x2=\"{x:.1}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            chart_h + 4
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{axis_y}\" fill=\"#333\">{t:.4}s</text>\n",
+            x - 14.0
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent, TraceFile};
+
+    fn trace() -> TraceAnalysis {
+        let mut events = Vec::new();
+        for (t0, t1, pid, el) in
+            [(0.0, 1.0, 0usize, "Alpha"), (0.5, 2.0, 1usize, "Beta"), (1.0, 1.5, 0, "Gamma")]
+        {
+            events.push(TraceEvent { time: t0, pid, tid: 0, element: el.into(), kind: EventKind::Enter });
+            events.push(TraceEvent { time: t1, pid, tid: 0, element: el.into(), kind: EventKind::Exit });
+        }
+        // Push in time order (the estimator emits monotone traces).
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let mut tf = TraceFile::new("t", 2);
+        for e in events {
+            tf.push(e);
+        }
+        TraceAnalysis::analyze(&tf)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = render_svg(&trace(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 3, "background + 3 segments");
+        assert!(svg.contains("p0.t0") && svg.contains("p1.t0"));
+        assert!(svg.contains("<title>Alpha"));
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        assert_eq!(color_of("A1"), color_of("A1"));
+        assert_ne!(color_of("A1"), color_of("A2"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn empty_trace_renders_valid_svg() {
+        let tf = TraceFile::new("empty", 1);
+        let svg = render_svg(&TraceAnalysis::analyze(&tf), &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn is_well_formed_xml() {
+        // Our own XML parser should accept the SVG output.
+        let svg = render_svg(&trace(), &SvgOptions::default());
+        prophet_xml::parse_document(&svg).expect("SVG is well-formed XML");
+    }
+}

@@ -1,0 +1,428 @@
+//! UML extension mechanisms: stereotypes, tag definitions, tagged values,
+//! and the performance-modeling profile of the paper.
+//!
+//! Figure 1 of the paper defines `<<action+>>` as a stereotype of the UML
+//! metaclass `Action` with tag definitions `id : Integer`,
+//! `type : String`, `time : Double`. This module reproduces that machinery
+//! generically and then instantiates the full profile used by Performance
+//! Prophet ([`performance_profile`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of a tag definition (metaattribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagType {
+    /// Whole numbers (`id`).
+    Integer,
+    /// Floating point (`time`).
+    Double,
+    /// Free text (`type`).
+    String,
+    /// Booleans.
+    Boolean,
+    /// A cost-function expression, validated by the model checker against
+    /// the prophet-expr grammar.
+    Expression,
+    /// An associated code fragment (statements), Figure 7(b).
+    Code,
+}
+
+impl fmt::Display for TagType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TagType::Integer => "Integer",
+            TagType::Double => "Double",
+            TagType::String => "String",
+            TagType::Boolean => "Boolean",
+            TagType::Expression => "Expression",
+            TagType::Code => "Code",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tag definition within a stereotype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagDef {
+    /// Tag name (`id`, `type`, `time`, `cost`, …).
+    pub name: String,
+    /// Value type.
+    pub tag_type: TagType,
+    /// Whether the model checker requires a value.
+    pub required: bool,
+}
+
+impl TagDef {
+    /// Convenience constructor.
+    pub fn new(name: &str, tag_type: TagType, required: bool) -> Self {
+        Self { name: name.into(), tag_type, required }
+    }
+}
+
+/// The UML metaclass a stereotype extends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseMetaclass {
+    /// UML `Action` ("the fundamental unit of behavior specification").
+    Action,
+    /// UML `Activity` / structured node.
+    Activity,
+    /// UML `ControlFlow` edges.
+    ControlFlow,
+}
+
+/// A stereotype definition (Figure 1(a)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stereotype {
+    /// Name without guillemets, e.g. `action+`.
+    pub name: String,
+    /// Extended metaclass.
+    pub base: BaseMetaclass,
+    /// Tag definitions.
+    pub tags: Vec<TagDef>,
+    /// Informal constraints, checked by prophet-check where machine-checkable.
+    pub constraints: Vec<String>,
+}
+
+impl Stereotype {
+    /// Look up a tag definition.
+    pub fn tag(&self, name: &str) -> Option<&TagDef> {
+        self.tags.iter().find(|t| t.name == name)
+    }
+
+    /// Guillemet display form: `<<action+>>`.
+    pub fn display_name(&self) -> String {
+        format!("<<{}>>", self.name)
+    }
+}
+
+/// A value given to a tag in a stereotype application (Figure 1(b)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagValue {
+    /// Integer value.
+    Int(i64),
+    /// Double value.
+    Num(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Expression source text (cost functions, guards, counts).
+    Expr(String),
+    /// Code fragment source text.
+    Code(String),
+}
+
+impl TagValue {
+    /// True if this value is acceptable for the given tag type.
+    pub fn matches(&self, tag_type: TagType) -> bool {
+        matches!(
+            (self, tag_type),
+            (TagValue::Int(_), TagType::Integer)
+                | (TagValue::Num(_), TagType::Double)
+                | (TagValue::Str(_), TagType::String)
+                | (TagValue::Bool(_), TagType::Boolean)
+                | (TagValue::Expr(_), TagType::Expression)
+                | (TagValue::Code(_), TagType::Code)
+        )
+    }
+
+    /// Render for XML storage.
+    pub fn to_text(&self) -> String {
+        match self {
+            TagValue::Int(i) => i.to_string(),
+            TagValue::Num(n) => n.to_string(),
+            TagValue::Str(s) | TagValue::Expr(s) | TagValue::Code(s) => s.clone(),
+            TagValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Parse from XML storage given the declared type.
+    pub fn from_text(tag_type: TagType, text: &str) -> Result<TagValue, String> {
+        Ok(match tag_type {
+            TagType::Integer => {
+                TagValue::Int(text.parse().map_err(|_| format!("bad Integer `{text}`"))?)
+            }
+            TagType::Double => {
+                TagValue::Num(text.parse().map_err(|_| format!("bad Double `{text}`"))?)
+            }
+            TagType::String => TagValue::Str(text.to_string()),
+            TagType::Boolean => {
+                TagValue::Bool(text.parse().map_err(|_| format!("bad Boolean `{text}`"))?)
+            }
+            TagType::Expression => TagValue::Expr(text.to_string()),
+            TagType::Code => TagValue::Code(text.to_string()),
+        })
+    }
+
+    /// Expression text, if this is an expression-like value.
+    pub fn as_expr(&self) -> Option<&str> {
+        match self {
+            TagValue::Expr(s) | TagValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A stereotype applied to a model element, with tagged values
+/// (Figure 1(b): `SampleAction «action+» {id = 1, type = SAMPLE,
+/// time = 10}`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StereotypeApplication {
+    /// The stereotype's name (`action+`).
+    pub stereotype: String,
+    /// Tagged values in insertion order.
+    pub values: Vec<(String, TagValue)>,
+}
+
+impl StereotypeApplication {
+    /// Apply `stereotype` with no tags yet.
+    pub fn new(stereotype: impl Into<String>) -> Self {
+        Self { stereotype: stereotype.into(), values: Vec::new() }
+    }
+
+    /// Builder-style tag assignment.
+    pub fn with(mut self, tag: &str, value: TagValue) -> Self {
+        self.set(tag, value);
+        self
+    }
+
+    /// Set (or replace) a tagged value.
+    pub fn set(&mut self, tag: &str, value: TagValue) {
+        if let Some(slot) = self.values.iter_mut().find(|(n, _)| n == tag) {
+            slot.1 = value;
+        } else {
+            self.values.push((tag.to_string(), value));
+        }
+    }
+
+    /// Read a tagged value.
+    pub fn get(&self, tag: &str) -> Option<&TagValue> {
+        self.values.iter().find(|(n, _)| n == tag).map(|(_, v)| v)
+    }
+
+    /// Guillemet + tags display form used by Teuta labels.
+    pub fn display(&self) -> String {
+        if self.values.is_empty() {
+            return format!("<<{}>>", self.stereotype);
+        }
+        let tags = self
+            .values
+            .iter()
+            .map(|(n, v)| format!("{n} = {}", v.to_text()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("<<{}>> {{{tags}}}", self.stereotype)
+    }
+}
+
+/// A profile: a named set of stereotypes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Profile name.
+    pub name: String,
+    stereotypes: BTreeMap<String, Stereotype>,
+}
+
+impl Profile {
+    /// Empty profile.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), stereotypes: BTreeMap::new() }
+    }
+
+    /// Add (or replace) a stereotype definition.
+    pub fn define(&mut self, s: Stereotype) {
+        self.stereotypes.insert(s.name.clone(), s);
+    }
+
+    /// Look up a stereotype by name.
+    pub fn get(&self, name: &str) -> Option<&Stereotype> {
+        self.stereotypes.get(name)
+    }
+
+    /// Iterate stereotypes in name order (deterministic).
+    pub fn stereotypes(&self) -> impl Iterator<Item = &Stereotype> {
+        self.stereotypes.values()
+    }
+
+    /// Number of stereotypes.
+    pub fn len(&self) -> usize {
+        self.stereotypes.len()
+    }
+
+    /// True when the profile defines no stereotypes.
+    pub fn is_empty(&self) -> bool {
+        self.stereotypes.is_empty()
+    }
+}
+
+/// The Performance Prophet profile: the paper's `<<action+>>` /
+/// `<<activity+>>` plus the message-passing and shared-memory building
+/// blocks of the authors' UML extension \[17, 18\].
+pub fn performance_profile() -> Profile {
+    let mut p = Profile::new("PerformanceProphet");
+
+    // Figure 1(a): action+ with id/type/time, plus the cost function and
+    // code fragment associations used in Section 4.
+    p.define(Stereotype {
+        name: "action+".into(),
+        base: BaseMetaclass::Action,
+        tags: vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("type", TagType::String, false),
+            TagDef::new("time", TagType::Double, false),
+            TagDef::new("cost", TagType::Expression, false),
+            TagDef::new("code", TagType::Code, false),
+        ],
+        constraints: vec!["models a single-entry single-exit code region".into()],
+    });
+
+    p.define(Stereotype {
+        name: "activity+".into(),
+        base: BaseMetaclass::Activity,
+        tags: vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("type", TagType::String, false),
+            TagDef::new("diagram", TagType::String, false),
+        ],
+        constraints: vec!["content is described by a nested activity diagram".into()],
+    });
+
+    // Structured repetition (kernels are loop-dominated — Section 3).
+    p.define(Stereotype {
+        name: "loop+".into(),
+        base: BaseMetaclass::Activity,
+        tags: vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("iterations", TagType::Expression, true),
+            TagDef::new("variable", TagType::String, false),
+        ],
+        constraints: vec!["body executes `iterations` times".into()],
+    });
+
+    // Message passing building blocks (MPI paradigm).
+    for (name, extra) in [
+        ("send", vec![TagDef::new("dest", TagType::Expression, true)]),
+        ("recv", vec![TagDef::new("src", TagType::Expression, true)]),
+        ("broadcast", vec![TagDef::new("root", TagType::Expression, true)]),
+        ("reduce", vec![TagDef::new("root", TagType::Expression, true)]),
+        ("allreduce", vec![]),
+        ("scatter", vec![TagDef::new("root", TagType::Expression, true)]),
+        ("gather", vec![TagDef::new("root", TagType::Expression, true)]),
+        ("barrier", vec![]),
+    ] {
+        let mut tags = vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("size", TagType::Expression, false),
+            TagDef::new("tag", TagType::Integer, false),
+        ];
+        tags.extend(extra);
+        p.define(Stereotype {
+            name: name.into(),
+            base: BaseMetaclass::Action,
+            tags,
+            constraints: vec![format!("models MPI {name}")],
+        });
+    }
+
+    // Shared-memory (OpenMP paradigm).
+    p.define(Stereotype {
+        name: "parallel+".into(),
+        base: BaseMetaclass::Activity,
+        tags: vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("threads", TagType::Expression, false),
+            TagDef::new("schedule", TagType::String, false),
+        ],
+        constraints: vec!["body is executed by a team of threads".into()],
+    });
+    p.define(Stereotype {
+        name: "critical+".into(),
+        base: BaseMetaclass::Activity,
+        tags: vec![
+            TagDef::new("id", TagType::Integer, false),
+            TagDef::new("lock", TagType::String, false),
+        ],
+        constraints: vec!["body is executed under mutual exclusion".into()],
+    });
+
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_definition() {
+        let p = performance_profile();
+        let s = p.get("action+").expect("action+ defined");
+        assert_eq!(s.base, BaseMetaclass::Action);
+        assert_eq!(s.tag("id").unwrap().tag_type, TagType::Integer);
+        assert_eq!(s.tag("type").unwrap().tag_type, TagType::String);
+        assert_eq!(s.tag("time").unwrap().tag_type, TagType::Double);
+        assert_eq!(s.display_name(), "<<action+>>");
+    }
+
+    #[test]
+    fn figure1_usage() {
+        // SampleAction «action+» {id = 1, type = SAMPLE, time = 10}
+        let app = StereotypeApplication::new("action+")
+            .with("id", TagValue::Int(1))
+            .with("type", TagValue::Str("SAMPLE".into()))
+            .with("time", TagValue::Num(10.0));
+        assert_eq!(app.display(), "<<action+>> {id = 1, type = SAMPLE, time = 10}");
+        assert_eq!(app.get("id"), Some(&TagValue::Int(1)));
+    }
+
+    #[test]
+    fn tag_value_type_checking() {
+        assert!(TagValue::Int(1).matches(TagType::Integer));
+        assert!(!TagValue::Int(1).matches(TagType::Double));
+        assert!(TagValue::Expr("P * 2".into()).matches(TagType::Expression));
+    }
+
+    #[test]
+    fn tag_value_text_roundtrip() {
+        for (v, t) in [
+            (TagValue::Int(-3), TagType::Integer),
+            (TagValue::Num(2.5), TagType::Double),
+            (TagValue::Str("SAMPLE".into()), TagType::String),
+            (TagValue::Bool(true), TagType::Boolean),
+            (TagValue::Expr("FA1(P)".into()), TagType::Expression),
+            (TagValue::Code("GV = 1;".into()), TagType::Code),
+        ] {
+            let text = v.to_text();
+            let back = TagValue::from_text(t, &text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(TagValue::from_text(TagType::Integer, "abc").is_err());
+        assert!(TagValue::from_text(TagType::Double, "1.2.3").is_err());
+        assert!(TagValue::from_text(TagType::Boolean, "yes").is_err());
+    }
+
+    #[test]
+    fn profile_contains_mpi_and_openmp_blocks() {
+        let p = performance_profile();
+        for s in ["send", "recv", "broadcast", "barrier", "reduce", "scatter", "gather", "allreduce", "parallel+", "critical+", "loop+"] {
+            assert!(p.get(s).is_some(), "missing stereotype {s}");
+        }
+        assert!(p.len() >= 13);
+        // Required tags enforced by definition.
+        assert!(p.get("send").unwrap().tag("dest").unwrap().required);
+        assert!(p.get("loop+").unwrap().tag("iterations").unwrap().required);
+    }
+
+    #[test]
+    fn set_replaces_value() {
+        let mut app = StereotypeApplication::new("action+");
+        app.set("time", TagValue::Num(1.0));
+        app.set("time", TagValue::Num(2.0));
+        assert_eq!(app.values.len(), 1);
+        assert_eq!(app.get("time"), Some(&TagValue::Num(2.0)));
+    }
+}

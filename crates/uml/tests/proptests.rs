@@ -1,0 +1,153 @@
+//! Property-based tests over randomly generated models: XMI roundtrip
+//! fidelity and traverser invariants.
+
+use proptest::prelude::*;
+use prophet_uml::xmi::{model_from_xml, model_to_xml};
+use prophet_uml::{
+    ContentHandler, ExplicitStackNavigator, Model, ModelBuilder, RecursiveWalk, Traverser,
+    VisitPhase,
+};
+
+/// Strategy: a random well-formed model — a main diagram with a chain of
+/// actions interleaved with decisions (guard/else to a merge), plus an
+/// optional composite with its own chain.
+fn model_strategy() -> impl Strategy<Value = Model> {
+    (
+        2usize..20,                              // chain length
+        prop::collection::vec(any::<bool>(), 2..20), // decision pattern
+        prop::option::of(1usize..6),             // composite body length
+        prop::collection::vec("[a-z]{1,6}", 0..4),   // extra globals
+    )
+        .prop_map(|(len, decisions, composite, globals)| {
+            let mut b = ModelBuilder::new("gen");
+            for (i, g) in globals.iter().enumerate() {
+                // Unique names: prefix with index.
+                b.global(&format!("g{i}_{g}"), prophet_uml::VarType::Double, Some("1"));
+            }
+            b.function("F", &["x"], "0.001 * x + 0.0001");
+            let main = b.main_diagram();
+            let init = b.initial(main, "start");
+            let mut prev = init;
+            for k in 0..len {
+                if decisions.get(k).copied().unwrap_or(false) {
+                    let d = b.decision(main, &format!("d{k}"));
+                    let x = b.action(main, &format!("X{k}"), "F(1)");
+                    let y = b.action(main, &format!("Y{k}"), "F(2)");
+                    let m = b.merge(main, &format!("m{k}"));
+                    b.flow(main, prev, d);
+                    b.guarded_flow(main, d, x, "P > 2");
+                    b.guarded_flow(main, d, y, "else");
+                    b.flow(main, x, m);
+                    b.flow(main, y, m);
+                    prev = m;
+                } else {
+                    let a = b.action(main, &format!("A{k}"), &format!("F({k})"));
+                    b.flow(main, prev, a);
+                    prev = a;
+                }
+            }
+            if let Some(body_len) = composite {
+                let sub = b.diagram("SubD");
+                let comp = b.call_activity(main, "Comp", sub);
+                b.flow(main, prev, comp);
+                prev = comp;
+                let mut sprev = None;
+                for k in 0..body_len {
+                    let a = b.action(sub, &format!("S{k}"), "F(1)");
+                    if let Some(p) = sprev {
+                        b.flow(sub, p, a);
+                    }
+                    sprev = Some(a);
+                }
+            }
+            let f = b.final_node(main, "end");
+            b.flow(main, prev, f);
+            b.build()
+        })
+}
+
+#[derive(Default)]
+struct Collector {
+    enters: Vec<String>,
+    leaves: Vec<String>,
+}
+
+impl ContentHandler for Collector {
+    fn visit_element(&mut self, model: &Model, e: prophet_uml::ElementId, phase: VisitPhase) {
+        let name = model.element(e).name.clone();
+        match phase {
+            VisitPhase::Enter => self.enters.push(name),
+            VisitPhase::Leave => self.leaves.push(name),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xmi_roundtrip_preserves_structure(model in model_strategy()) {
+        let xml = model_to_xml(&model);
+        let back = model_from_xml(&xml).unwrap();
+        prop_assert_eq!(back.element_count(), model.element_count());
+        prop_assert_eq!(back.diagrams.len(), model.diagrams.len());
+        prop_assert_eq!(&back.variables, &model.variables);
+        prop_assert_eq!(&back.functions, &model.functions);
+        for el in model.elements() {
+            let other = back.element_by_name(&el.name).expect("element survives");
+            prop_assert_eq!(other.kind.tag(), el.kind.tag());
+            prop_assert_eq!(
+                other.stereotype.as_ref().map(|s| &s.values),
+                el.stereotype.as_ref().map(|s| &s.values)
+            );
+        }
+        // Edge multisets per diagram (by endpoint names + guard).
+        for (d1, d2) in model.diagrams.iter().zip(&back.diagrams) {
+            let key = |m: &Model, d: &prophet_uml::Diagram| {
+                let mut v: Vec<(String, String, Option<String>)> = d
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        (
+                            m.element(e.from).name.clone(),
+                            m.element(e.to).name.clone(),
+                            e.guard.clone(),
+                        )
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(key(&model, d1), key(&back, d2));
+        }
+        // Second serialization is a fixpoint.
+        let xml2 = model_to_xml(&back);
+        let back2 = model_from_xml(&xml2).unwrap();
+        prop_assert_eq!(model_to_xml(&back2), xml2);
+    }
+
+    #[test]
+    fn navigators_always_agree(model in model_strategy()) {
+        let run = |nav: &mut dyn prophet_uml::Navigator| {
+            let mut c = Collector::default();
+            Traverser::new().traverse(&model, nav, &mut c);
+            (c.enters, c.leaves)
+        };
+        let a = run(&mut ExplicitStackNavigator::new(model.main_diagram()));
+        let b = run(&mut RecursiveWalk::new(&model, model.main_diagram()));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_element_entered_exactly_once(model in model_strategy()) {
+        let mut c = Collector::default();
+        let mut nav = ExplicitStackNavigator::new(model.main_diagram());
+        Traverser::new().traverse(&model, &mut nav, &mut c);
+        // Every element of every diagram reachable from main appears once.
+        prop_assert_eq!(c.enters.len(), c.leaves.len());
+        let mut sorted = c.enters.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), c.enters.len(), "duplicate visit");
+    }
+}

@@ -1,0 +1,354 @@
+//! Rust ports of Livermore Fortran kernels (McMahon, UCRL-53745) and the
+//! calibration harness.
+//!
+//! Kernel 6 is the paper's running example (Figure 3(a)):
+//!
+//! ```fortran
+//! DO  L = 1, M
+//!  DO  i = 2, N
+//!   DO  k = 1, i-1
+//!    W(i) = W(i) + B(i,k) * W(i-k)
+//!   END DO
+//!  END DO
+//! END DO
+//! ```
+//!
+//! The ports keep the original loop structure (1-based indices shifted to
+//! 0-based) so the flop counts used for cost-function calibration match
+//! the literature.
+
+use std::time::Instant;
+
+/// Kernel 1 — hydro fragment: `X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))`.
+pub fn lfk_kernel1(x: &mut [f64], y: &[f64], z: &[f64], q: f64, r: f64, t: f64) {
+    let n = x.len();
+    assert!(y.len() >= n && z.len() >= n + 11, "kernel 1 needs y[n], z[n+11]");
+    for k in 0..n {
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+}
+
+/// Kernel 3 — inner product.
+pub fn lfk_kernel3(x: &[f64], z: &[f64]) -> f64 {
+    assert_eq!(x.len(), z.len(), "kernel 3 needs equal lengths");
+    let mut q = 0.0;
+    for k in 0..x.len() {
+        q += z[k] * x[k];
+    }
+    q
+}
+
+/// Kernel 5 — tri-diagonal elimination, below diagonal:
+/// `X(i) = Z(i)*(Y(i) - X(i-1))`.
+pub fn lfk_kernel5(x: &mut [f64], y: &[f64], z: &[f64]) {
+    let n = x.len();
+    assert!(y.len() >= n && z.len() >= n, "kernel 5 needs y[n], z[n]");
+    for i in 1..n {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+}
+
+/// Kernel 6 — general linear recurrence equations (the paper's example).
+///
+/// `w` has length `n`; `b` is an `n × n` row-major matrix (only the lower
+/// triangle is read). Repeated `m` times like the Fortran original.
+pub fn lfk_kernel6(w: &mut [f64], b: &[f64], n: usize, m: usize) {
+    assert!(w.len() >= n, "kernel 6 needs w[n]");
+    assert!(b.len() >= n * n, "kernel 6 needs b[n*n]");
+    for _l in 0..m {
+        for i in 1..n {
+            let mut acc = w[i];
+            for k in 0..i {
+                acc += b[i * n + k] * w[i - k - 1];
+            }
+            w[i] = acc;
+        }
+    }
+}
+
+/// Kernel 2 — excerpt from an incomplete Cholesky conjugate gradient
+/// (ICCG): pairwise combine over a shrinking index range.
+pub fn lfk_kernel2(x: &mut [f64], v: &[f64]) {
+    let n = x.len();
+    assert!(v.len() >= n, "kernel 2 needs v[n]");
+    let mut ipntp = 0usize;
+    let mut ipnt = n;
+    // Each pass halves the active range, combining pairs — the classic
+    // log-depth reduction structure of the original kernel.
+    while ipnt - ipntp > 1 {
+        let len = ipnt - ipntp;
+        let half = len / 2;
+        for i in 0..half {
+            let a = ipntp + 2 * i;
+            let b = (a + 1).min(n - 1);
+            x[ipntp + i] = x[a] - v[a] * x[b];
+        }
+        ipnt = ipntp + half;
+        ipntp = 0;
+        if half <= 1 {
+            break;
+        }
+    }
+}
+
+/// Kernel 4 — banded linear equations: dot-products over strided bands.
+pub fn lfk_kernel4(x: &mut [f64], y: &[f64], band: usize) {
+    let n = x.len();
+    assert!(y.len() >= n, "kernel 4 needs y[n]");
+    if n < band + 1 {
+        return;
+    }
+    for j in (band..n).step_by(band) {
+        let mut temp = 0.0;
+        let lo = j.saturating_sub(band);
+        for k in lo..j {
+            temp += x[k] * y[k];
+        }
+        x[j] -= temp;
+    }
+}
+
+/// Kernel 9 — integrate predictors: long polynomial combine per element.
+#[allow(clippy::too_many_arguments)]
+pub fn lfk_kernel9(px: &mut [f64], stride: usize, c: &[f64; 10]) {
+    assert!(stride >= 13, "kernel 9 rows need at least 13 columns");
+    let rows = px.len() / stride;
+    for i in 0..rows {
+        let row = &mut px[i * stride..(i + 1) * stride];
+        row[0] = c[0]
+            + c[1] * (c[2] * row[4] + c[3] * row[5] + c[4] * row[6] + c[5] * row[7]
+                + c[6] * row[8] + c[7] * row[9] + c[8] * row[10] + c[9] * row[11])
+            + row[2];
+    }
+}
+
+/// Kernel 11 — first sum (prefix sum).
+pub fn lfk_kernel11(x: &mut [f64], y: &[f64]) {
+    let n = x.len();
+    assert!(y.len() >= n, "kernel 11 needs y[n]");
+    if n == 0 {
+        return;
+    }
+    x[0] = y[0];
+    for k in 1..n {
+        x[k] = x[k - 1] + y[k];
+    }
+}
+
+/// Kernel 12 — first difference.
+pub fn lfk_kernel12(x: &mut [f64], y: &[f64]) {
+    let n = x.len();
+    assert!(y.len() >= n + 1, "kernel 12 needs y[n+1]");
+    for k in 0..n {
+        x[k] = y[k + 1] - y[k];
+    }
+}
+
+/// Kernel 7 — equation of state fragment.
+pub fn lfk_kernel7(x: &mut [f64], y: &[f64], z: &[f64], u: &[f64], r: f64, t: f64) {
+    let n = x.len();
+    assert!(y.len() >= n + 6 && z.len() >= n + 6 && u.len() >= n + 6, "kernel 7 bounds");
+    for k in 0..n {
+        x[k] = u[k]
+            + r * (z[k] + r * y[k])
+            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + r * (u[k + 5] + r * u[k + 4])));
+    }
+}
+
+/// Floating-point operation count of one kernel-6 sweep
+/// (2 flops per inner iteration; Σ_{i=1}^{n-1} i inner iterations).
+pub fn kernel6_flops(n: usize, m: usize) -> u64 {
+    let inner = (n as u64) * (n as u64 - 1) / 2;
+    2 * inner * m as u64
+}
+
+/// Calibration result for a kernel: the measured seconds-per-flop feeds
+/// the model's cost function `FK6`.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Problem size used.
+    pub n: usize,
+    /// Outer repetitions used.
+    pub m: usize,
+    /// Measured wall time for the whole run (seconds).
+    pub seconds: f64,
+    /// Derived seconds per floating-point operation.
+    pub seconds_per_flop: f64,
+}
+
+/// Measure kernel 6 on this host — the reproduction's stand-in for the
+/// profiling step of Section 3.
+pub fn calibrate_kernel6(n: usize, m: usize) -> Calibration {
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| 0.5 / (i % 97 + 1) as f64).collect();
+    // Warm-up sweep (touch the pages, fill caches).
+    lfk_kernel6(&mut w, &b, n, 1);
+    let start = Instant::now();
+    lfk_kernel6(&mut w, &b, n, m);
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    // Defeat dead-code elimination.
+    std::hint::black_box(&w);
+    let flops = kernel6_flops(n, m).max(1);
+    Calibration { n, m, seconds, seconds_per_flop: seconds / flops as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel1_matches_formula() {
+        let n = 64;
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let z: Vec<f64> = (0..n + 11).map(|i| (i as f64) * 0.5).collect();
+        let mut x = vec![0.0; n];
+        lfk_kernel1(&mut x, &y, &z, 1.0, 2.0, 3.0);
+        for k in 0..n {
+            let expect = 1.0 + y[k] * (2.0 * z[k + 10] + 3.0 * z[k + 11]);
+            assert_eq!(x[k], expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn kernel3_is_dot_product() {
+        let x = vec![1.0, 2.0, 3.0];
+        let z = vec![4.0, 5.0, 6.0];
+        assert_eq!(lfk_kernel3(&x, &z), 32.0);
+    }
+
+    #[test]
+    fn kernel5_recurrence() {
+        let mut x = vec![1.0, 0.0, 0.0];
+        let y = vec![0.0, 2.0, 3.0];
+        let z = vec![0.0, 10.0, 100.0];
+        lfk_kernel5(&mut x, &y, &z);
+        assert_eq!(x[1], 10.0 * (2.0 - 1.0));
+        assert_eq!(x[2], 100.0 * (3.0 - 10.0));
+    }
+
+    #[test]
+    fn kernel6_small_case_by_hand() {
+        // n = 3, m = 1, b[i][k] = 1:
+        // i=1: w1 += b*w0           → w1' = w1 + w0
+        // i=2: w2 += b*w1' + b*w0   → w2' = w2 + w1' + w0
+        let mut w = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0; 9];
+        lfk_kernel6(&mut w, &b, 3, 1);
+        assert_eq!(w, vec![1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn kernel6_m_repeats() {
+        let mut w1 = vec![1.0, 2.0, 3.0, 4.0];
+        let mut w2 = w1.clone();
+        let b = vec![0.25; 16];
+        lfk_kernel6(&mut w1, &b, 4, 2);
+        lfk_kernel6(&mut w2, &b, 4, 1);
+        lfk_kernel6(&mut w2, &b, 4, 1);
+        assert_eq!(w1, w2, "m=2 equals two m=1 sweeps");
+    }
+
+    #[test]
+    fn kernel7_matches_formula_at_zero() {
+        let n = 8;
+        let y = vec![1.0; n + 6];
+        let z = vec![2.0; n + 6];
+        let u: Vec<f64> = (0..n + 6).map(|i| i as f64).collect();
+        let mut x = vec![0.0; n];
+        lfk_kernel7(&mut x, &y, &z, &u, 0.5, 0.25);
+        let k = 0usize;
+        let r = 0.5;
+        let t = 0.25;
+        let expect = u[k]
+            + r * (z[k] + r * y[k])
+            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + r * (u[k + 5] + r * u[k + 4])));
+        assert_eq!(x[0], expect);
+    }
+
+    #[test]
+    fn kernel2_pairwise_combine() {
+        // Two elements: exactly one combine step.
+        let mut x = vec![1.0, 2.0];
+        let v = vec![0.5, 0.5];
+        lfk_kernel2(&mut x, &v);
+        assert_eq!(x[0], 1.0 - 0.5 * 2.0);
+
+        // Larger input: terminates and changes the head of the array.
+        let mut x: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let v = vec![0.25; 64];
+        lfk_kernel2(&mut x, &v);
+        assert!(x[0].is_finite());
+        assert_ne!(x[0], 1.0);
+    }
+
+    #[test]
+    fn kernel4_banded_update() {
+        let mut x = vec![1.0; 12];
+        let y = vec![2.0; 12];
+        lfk_kernel4(&mut x, &y, 4);
+        // x[4] -= sum(x[0..4] * y[0..4]) = 1 - 8 = -7.
+        assert_eq!(x[4], -7.0);
+        // Untouched below the band.
+        assert_eq!(x[3], 1.0);
+    }
+
+    #[test]
+    fn kernel9_polynomial_rows() {
+        let stride = 13;
+        let mut px = vec![1.0; stride * 3];
+        let c = [0.5; 10];
+        lfk_kernel9(&mut px, stride, &c);
+        // row[0] = c0 + c1*(8 * 0.5 * 1.0) + row[2] = 0.5 + 0.5*4 + 1 = 3.5
+        assert_eq!(px[0], 3.5);
+        assert_eq!(px[stride], 3.5);
+        // Other columns untouched.
+        assert_eq!(px[1], 1.0);
+    }
+
+    #[test]
+    fn kernel11_prefix_sum() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let mut x = vec![0.0; 4];
+        lfk_kernel11(&mut x, &y);
+        assert_eq!(x, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn kernel12_first_difference() {
+        let y = vec![1.0, 4.0, 9.0, 16.0, 25.0];
+        let mut x = vec![0.0; 4];
+        lfk_kernel12(&mut x, &y);
+        assert_eq!(x, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn kernel11_and_12_are_inverses() {
+        let y: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let mut sums = vec![0.0; 32];
+        lfk_kernel11(&mut sums, &y);
+        // diff of [0, sums...] recovers y.
+        let padded: Vec<f64> = std::iter::once(0.0).chain(sums.iter().copied()).collect();
+        let mut back = vec![0.0; 32];
+        lfk_kernel12(&mut back, &padded);
+        for (a, b) in back.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flop_count() {
+        // n=4: inner iterations 1+2+3 = 6, ×2 flops, ×m.
+        assert_eq!(kernel6_flops(4, 1), 12);
+        assert_eq!(kernel6_flops(4, 10), 120);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_scales() {
+        let c = calibrate_kernel6(128, 4);
+        assert!(c.seconds > 0.0);
+        assert!(c.seconds_per_flop > 0.0);
+        assert!(c.seconds_per_flop < 1e-3, "implausibly slow: {}", c.seconds_per_flop);
+    }
+}

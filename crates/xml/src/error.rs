@@ -1,0 +1,60 @@
+//! Error type for XML parsing and writing with source positions.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// A parse or structural error, carrying the 1-based line and column at
+/// which it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// 1-based column number in the input.
+    pub column: usize,
+}
+
+impl XmlError {
+    /// Create an error at an explicit position.
+    pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Self { message: message.into(), line, column }
+    }
+
+    /// Create an error with no meaningful position (e.g. structural errors
+    /// detected after parsing). Positions are reported as `0:0`.
+    pub fn structural(message: impl Into<String>) -> Self {
+        Self { message: message.into(), line: 0, column: 0 }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "xml error: {}", self.message)
+        } else {
+            write!(f, "xml error at {}:{}: {}", self.line, self.column, self.message)
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = XmlError::new("unexpected '<'", 3, 14);
+        assert_eq!(e.to_string(), "xml error at 3:14: unexpected '<'");
+    }
+
+    #[test]
+    fn display_structural() {
+        let e = XmlError::structural("two roots");
+        assert_eq!(e.to_string(), "xml error: two roots");
+    }
+}

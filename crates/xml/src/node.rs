@@ -1,0 +1,352 @@
+//! DOM-style XML tree: [`Document`], [`Element`], [`Node`].
+
+use crate::error::{XmlError, XmlResult};
+use crate::reader::{Event, Reader};
+use crate::writer::{WriteOptions, Writer};
+
+/// A child of an [`Element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Nested element.
+    Element(Element),
+    /// Character data (entity-decoded).
+    Text(String),
+    /// CDATA section (verbatim).
+    CData(String),
+    /// Comment.
+    Comment(String),
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name (possibly prefixed, e.g. `xmi:XMI`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: add/overwrite an attribute and return `self`.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder-style: append a child element and return `self`.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: append a text node and return `self`.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Look up an attribute or return a structural error naming the element.
+    pub fn required_attr(&self, name: &str) -> XmlResult<&str> {
+        self.attr(name).ok_or_else(|| {
+            XmlError::structural(format!("element `<{}>` is missing required attribute `{name}`", self.name))
+        })
+    }
+
+    /// Set an attribute, replacing an existing one of the same name.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| n == &name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Append a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Append a text node.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Iterate over child elements only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with the given name, or a structural error.
+    pub fn required_child(&self, name: &str) -> XmlResult<&Element> {
+        self.child(name).ok_or_else(|| {
+            XmlError::structural(format!("element `<{}>` is missing required child `<{name}>`", self.name))
+        })
+    }
+
+    /// Concatenated text content of this element (direct text/CDATA
+    /// children only, not recursive).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            match c {
+                Node::Text(t) | Node::CData(t) => out.push_str(t),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Recursively count elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// Depth-first search for the first descendant (or self) matching `pred`.
+    pub fn find<'a>(&'a self, pred: &dyn Fn(&Element) -> bool) -> Option<&'a Element> {
+        if pred(self) {
+            return Some(self);
+        }
+        for c in self.child_elements() {
+            if let Some(hit) = c.find(pred) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// Serialize this element (and subtree) with the given options.
+    pub fn write(&self, options: &WriteOptions) -> String {
+        let mut w = Writer::new(options.clone());
+        w.element(self);
+        w.finish()
+    }
+}
+
+/// A parsed XML document: optional declaration and a single root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Content of the `<?xml ...?>` declaration, if present.
+    pub declaration: Option<String>,
+    /// The root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wrap an element as a document with a standard declaration.
+    pub fn with_root(root: Element) -> Self {
+        Self { declaration: Some("version=\"1.0\" encoding=\"UTF-8\"".into()), root }
+    }
+
+    /// Parse a complete document. Exactly one root element is required;
+    /// leading/trailing comments, PIs and whitespace are permitted.
+    pub fn parse(input: &str) -> XmlResult<Document> {
+        let mut reader = Reader::new(input);
+        let mut declaration = None;
+        let mut root: Option<Element> = None;
+        loop {
+            match reader.next_event()? {
+                Event::XmlDecl(d) => declaration = Some(d),
+                Event::Comment(_) | Event::ProcessingInstruction(_) => {}
+                Event::Text(t) => {
+                    debug_assert!(t.trim().is_empty(), "reader rejects non-ws text outside root");
+                }
+                Event::StartElement { name, attributes, self_closing } => {
+                    if root.is_some() {
+                        return Err(XmlError::structural("document has more than one root element"));
+                    }
+                    root = Some(Self::build_element(&mut reader, name, attributes, self_closing)?);
+                }
+                Event::EndElement { name } => {
+                    return Err(XmlError::structural(format!("unexpected `</{name}>` at top level")))
+                }
+                Event::CData(_) => {
+                    return Err(XmlError::structural("CDATA outside the root element"))
+                }
+                Event::Eof => break,
+            }
+        }
+        match root {
+            Some(root) => Ok(Document { declaration, root }),
+            None => Err(XmlError::structural("document has no root element")),
+        }
+    }
+
+    fn build_element(
+        reader: &mut Reader<'_>,
+        name: String,
+        attributes: Vec<(String, String)>,
+        self_closing: bool,
+    ) -> XmlResult<Element> {
+        let mut elem = Element { name, attributes, children: Vec::new() };
+        if self_closing {
+            return Ok(elem);
+        }
+        loop {
+            match reader.next_event()? {
+                Event::StartElement { name, attributes, self_closing } => {
+                    let child = Self::build_element(reader, name, attributes, self_closing)?;
+                    elem.children.push(Node::Element(child));
+                }
+                Event::EndElement { .. } => return Ok(elem),
+                Event::Text(t) => {
+                    // Drop pure inter-element whitespace and trim the rest:
+                    // the Prophet formats are data-oriented and
+                    // pretty-printed, so indentation around text is noise.
+                    // Interior whitespace is preserved.
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        elem.children.push(Node::Text(trimmed.to_string()));
+                    }
+                }
+                Event::CData(t) => elem.children.push(Node::CData(t)),
+                Event::Comment(c) => elem.children.push(Node::Comment(c)),
+                Event::ProcessingInstruction(_) | Event::XmlDecl(_) => {}
+                Event::Eof => {
+                    return Err(XmlError::structural(format!("unexpected EOF inside `<{}>`", elem.name)))
+                }
+            }
+        }
+    }
+
+    /// Serialize with default (pretty) options.
+    pub fn to_xml_string(&self) -> String {
+        self.write(&WriteOptions::default())
+    }
+
+    /// Serialize with explicit options.
+    pub fn write(&self, options: &WriteOptions) -> String {
+        let mut w = Writer::new(options.clone());
+        if let Some(d) = &self.declaration {
+            w.raw(&format!("<?xml {d}?>"));
+            w.newline();
+        }
+        w.element(&self.root);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_tree() {
+        let d = Document::parse("<m a=\"1\"><x/><y>t</y></m>").unwrap();
+        assert_eq!(d.root.name, "m");
+        assert_eq!(d.root.attr("a"), Some("1"));
+        assert_eq!(d.root.child_elements().count(), 2);
+        assert_eq!(d.root.child("y").unwrap().text(), "t");
+    }
+
+    #[test]
+    fn builder_api() {
+        let e = Element::new("model")
+            .with_attr("name", "demo")
+            .with_child(Element::new("action").with_attr("id", "1"))
+            .with_child(Element::new("note").with_text("hi"));
+        assert_eq!(e.subtree_size(), 3);
+        assert_eq!(e.child("action").unwrap().attr("id"), Some("1"));
+        assert_eq!(e.child("note").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("a");
+        e.set_attr("k", "1");
+        e.set_attr("k", "2");
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.attr("k"), Some("2"));
+    }
+
+    #[test]
+    fn required_accessors_report_names() {
+        let e = Element::new("model");
+        let err = e.required_attr("id").unwrap_err();
+        assert!(err.message.contains("model") && err.message.contains("id"));
+        let err = e.required_child("diagram").unwrap_err();
+        assert!(err.message.contains("diagram"));
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        assert!(Document::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(Document::parse("  <!-- only a comment -->  ").is_err());
+    }
+
+    #[test]
+    fn whitespace_dropped_text_kept() {
+        let d = Document::parse("<a>\n  <b>keep me</b>\n</a>").unwrap();
+        assert_eq!(d.root.children.len(), 1);
+        assert_eq!(d.root.child("b").unwrap().text(), "keep me");
+    }
+
+    #[test]
+    fn find_descendant() {
+        let d = Document::parse("<a><b><c id=\"7\"/></b></a>").unwrap();
+        let hit = d.root.find(&|e| e.attr("id") == Some("7")).unwrap();
+        assert_eq!(hit.name, "c");
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let d = Document::parse("<a><x/><y/><x/></a>").unwrap();
+        assert_eq!(d.root.children_named("x").count(), 2);
+    }
+
+    #[test]
+    fn cdata_preserved_in_tree() {
+        let d = Document::parse("<a><![CDATA[if (x < 1) {}]]></a>").unwrap();
+        assert_eq!(d.root.text(), "if (x < 1) {}");
+        let out = d.to_xml_string();
+        assert!(out.contains("<![CDATA[if (x < 1) {}]]>"), "{out}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let src = r#"<model name="sample &amp; co">
+  <vars><var name="GV" type="int" scope="global"/></vars>
+  <diagram id="main"><action id="A1" cost="FA1()"/></diagram>
+</model>"#;
+        let d1 = Document::parse(src).unwrap();
+        let d2 = Document::parse(&d1.to_xml_string()).unwrap();
+        assert_eq!(d1.root, d2.root);
+    }
+}

@@ -1,0 +1,527 @@
+//! Pull (event-based) XML parser.
+//!
+//! [`Reader`] yields a stream of [`Event`]s. The DOM layer in
+//! [`crate::node`] is built on top of it, but the reader can also be used
+//! directly for streaming consumption of large trace files.
+
+use crate::error::{XmlError, XmlResult};
+
+/// One parsing event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<?xml version="1.0" ...?>` declaration (content between `<?xml` and `?>`).
+    XmlDecl(String),
+    /// Start tag: name plus attribute `(name, value)` pairs. `self_closing`
+    /// is true for `<a/>`; no matching [`Event::EndElement`] follows then.
+    StartElement {
+        /// Element name as written (may include a namespace prefix).
+        name: String,
+        /// Attributes in document order, values entity-decoded.
+        attributes: Vec<(String, String)>,
+        /// Whether the tag was written `<name .../>`.
+        self_closing: bool,
+    },
+    /// End tag `</name>`.
+    EndElement {
+        /// Element name as written.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded. Pure inter-element
+    /// whitespace is still reported; consumers decide whether to keep it.
+    Text(String),
+    /// `<![CDATA[...]]>` section, verbatim content.
+    CData(String),
+    /// `<!-- ... -->` comment content.
+    Comment(String),
+    /// `<?target data?>` processing instruction (other than the XML decl).
+    ProcessingInstruction(String),
+    /// End of input reached.
+    Eof,
+}
+
+/// A pull parser over an in-memory string.
+///
+/// The reader performs well-formedness checks that are local to the token
+/// stream (tag syntax, entity syntax, attribute quoting, duplicate
+/// attributes). Tag *balance* is checked by maintaining an open-element
+/// stack, so `</b>` closing `<a>` is rejected at the reader level already.
+pub struct Reader<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+    stack: Vec<String>,
+    seen_root: bool,
+    done: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            src: input,
+            pos: 0,
+            line: 1,
+            col: 1,
+            stack: Vec::new(),
+            seen_root: false,
+            done: false,
+        }
+    }
+
+    /// Current open-element depth (useful for streaming consumers).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::new(msg, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.input.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        // Advance over the whole UTF-8 scalar so string slices at `pos`
+        // always fall on character boundaries.
+        let width = if b < 0x80 {
+            1
+        } else {
+            self.src[self.pos..].chars().next().map_or(1, char::len_utf8)
+        };
+        self.pos += width;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn consume_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Scan until the delimiter string; returns the content before it and
+    /// consumes the delimiter. Errors if the delimiter never appears.
+    fn take_until(&mut self, delim: &str, what: &str) -> XmlResult<String> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.starts_with(delim) {
+                let content = self.src[start..self.pos].to_string();
+                self.consume_str(delim);
+                return Ok(content);
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated {what} (expected `{delim}`)")))
+    }
+
+    fn read_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if (c as char).is_alphabetic() || c == b'_' || c == b':' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_alphanumeric() || matches!(ch, '_' | ':' | '.' | '-') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn decode_entities(&self, raw: &str, line: usize, col: usize) -> XmlResult<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.char_indices();
+        while let Some((i, c)) = chars.next() {
+            if c != '&' {
+                out.push(c);
+                continue;
+            }
+            let rest = &raw[i + 1..];
+            let semi = rest.find(';').ok_or_else(|| {
+                XmlError::new("unterminated entity reference (missing ';')", line, col)
+            })?;
+            let ent = &rest[..semi];
+            match ent {
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "amp" => out.push('&'),
+                "apos" => out.push('\''),
+                "quot" => out.push('"'),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                        XmlError::new(format!("bad hex character reference `&{ent};`"), line, col)
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        XmlError::new(format!("invalid code point in `&{ent};`"), line, col)
+                    })?);
+                }
+                _ if ent.starts_with('#') => {
+                    let cp = ent[1..].parse::<u32>().map_err(|_| {
+                        XmlError::new(format!("bad character reference `&{ent};`"), line, col)
+                    })?;
+                    out.push(char::from_u32(cp).ok_or_else(|| {
+                        XmlError::new(format!("invalid code point in `&{ent};`"), line, col)
+                    })?);
+                }
+                _ => {
+                    return Err(XmlError::new(
+                        format!("unknown entity `&{ent};` (DTD entities are unsupported)"),
+                        line,
+                        col,
+                    ))
+                }
+            }
+            // Skip past the entity body and the ';'.
+            for _ in 0..ent.len() + 1 {
+                chars.next();
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_attr_value(&mut self) -> XmlResult<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("attribute value must be quoted")),
+        };
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = self.src[start..self.pos].to_string();
+                self.bump();
+                if raw.contains('<') {
+                    return Err(XmlError::new("`<` not allowed in attribute value", line, col));
+                }
+                return self.decode_entities(&raw, line, col);
+            }
+            self.bump();
+        }
+        Err(XmlError::new("unterminated attribute value", line, col))
+    }
+
+    fn read_tag(&mut self) -> XmlResult<Event> {
+        // self.pos is at '<'
+        self.bump();
+        match self.peek() {
+            Some(b'/') => {
+                self.bump();
+                let name = self.read_name()?;
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return Err(self.err(format!("malformed end tag `</{name}`")));
+                }
+                match self.stack.pop() {
+                    Some(open) if open == name => Ok(Event::EndElement { name }),
+                    Some(open) => {
+                        Err(self.err(format!("mismatched end tag: expected `</{open}>`, found `</{name}>`")))
+                    }
+                    None => Err(self.err(format!("end tag `</{name}>` with no open element"))),
+                }
+            }
+            Some(b'!') => {
+                if self.consume_str("!--") {
+                    let content = self.take_until("-->", "comment")?;
+                    if content.contains("--") {
+                        return Err(self.err("`--` not allowed inside a comment"));
+                    }
+                    Ok(Event::Comment(content))
+                } else if self.consume_str("![CDATA[") {
+                    let content = self.take_until("]]>", "CDATA section")?;
+                    Ok(Event::CData(content))
+                } else if self.starts_with("!DOCTYPE") {
+                    Err(self.err("DOCTYPE declarations are not supported"))
+                } else {
+                    Err(self.err("unrecognized markup after `<!`"))
+                }
+            }
+            Some(b'?') => {
+                self.bump();
+                let content = self.take_until("?>", "processing instruction")?;
+                if content.starts_with("xml")
+                    && content[3..].chars().next().is_none_or(|c| c.is_whitespace())
+                {
+                    Ok(Event::XmlDecl(content[3..].trim().to_string()))
+                } else {
+                    Ok(Event::ProcessingInstruction(content))
+                }
+            }
+            _ => {
+                let name = self.read_name()?;
+                let mut attributes: Vec<(String, String)> = Vec::new();
+                loop {
+                    let before = self.pos;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            self.stack.push(name.clone());
+                            self.seen_root = true;
+                            return Ok(Event::StartElement { name, attributes, self_closing: false });
+                        }
+                        Some(b'/') => {
+                            self.bump();
+                            if self.bump() != Some(b'>') {
+                                return Err(self.err("expected `>` after `/`"));
+                            }
+                            self.seen_root = true;
+                            return Ok(Event::StartElement { name, attributes, self_closing: true });
+                        }
+                        Some(_) => {
+                            if self.pos == before {
+                                return Err(self.err("expected whitespace before attribute"));
+                            }
+                            let aname = self.read_name()?;
+                            self.skip_ws();
+                            if self.bump() != Some(b'=') {
+                                return Err(self.err(format!("expected `=` after attribute `{aname}`")));
+                            }
+                            self.skip_ws();
+                            let value = self.read_attr_value()?;
+                            if attributes.iter().any(|(n, _)| n == &aname) {
+                                return Err(self.err(format!("duplicate attribute `{aname}`")));
+                            }
+                            attributes.push((aname, value));
+                        }
+                        None => return Err(self.err(format!("unterminated start tag `<{name}`"))),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produce the next event. After [`Event::Eof`] every further call
+    /// returns `Eof` again.
+    pub fn next_event(&mut self) -> XmlResult<Event> {
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if self.pos >= self.input.len() {
+            if !self.stack.is_empty() {
+                return Err(self.err(format!("unexpected end of input: `<{}>` is still open", self.stack.last().unwrap())));
+            }
+            self.done = true;
+            return Ok(Event::Eof);
+        }
+        if self.peek() == Some(b'<') {
+            if self.peek_at(1).is_none() {
+                return Err(self.err("lone `<` at end of input"));
+            }
+            return self.read_tag();
+        }
+        // Text run up to the next '<'.
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'<' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = &self.src[start..self.pos];
+        if raw.contains("]]>") {
+            return Err(XmlError::new("`]]>` not allowed in character data", line, col));
+        }
+        let text = self.decode_entities(raw, line, col)?;
+        if self.stack.is_empty() && !text.trim().is_empty() {
+            return Err(XmlError::new("character data outside the root element", line, col));
+        }
+        Ok(Event::Text(text))
+    }
+
+    /// Drain all remaining events into a vector (testing/debug helper).
+    pub fn collect_events(mut self) -> XmlResult<Vec<Event>> {
+        let mut out = Vec::new();
+        loop {
+            let ev = self.next_event()?;
+            let eof = ev == Event::Eof;
+            out.push(ev);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<Event> {
+        Reader::new(s).collect_events().unwrap()
+    }
+
+    fn parse_err(s: &str) -> XmlError {
+        Reader::new(s).collect_events().unwrap_err()
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a></a>");
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartElement { name: "a".into(), attributes: vec![], self_closing: false },
+                Event::EndElement { name: "a".into() },
+                Event::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let ev = events(r#"<a x="1" y='two'/>"#);
+        assert_eq!(
+            ev[0],
+            Event::StartElement {
+                name: "a".into(),
+                attributes: vec![("x".into(), "1".into()), ("y".into(), "two".into())],
+                self_closing: true
+            }
+        );
+    }
+
+    #[test]
+    fn text_and_entities() {
+        let ev = events("<a>x &lt;&amp;&gt; y&#65;&#x42;</a>");
+        assert_eq!(ev[1], Event::Text("x <&> yAB".into()));
+    }
+
+    #[test]
+    fn cdata_passthrough() {
+        let ev = events("<a><![CDATA[<raw>&stuff]]></a>");
+        assert_eq!(ev[1], Event::CData("<raw>&stuff".into()));
+    }
+
+    #[test]
+    fn comments_and_pi() {
+        let ev = events("<?xml version=\"1.0\"?><!-- note --><a><?pi data?></a>");
+        assert_eq!(ev[0], Event::XmlDecl("version=\"1.0\"".into()));
+        assert_eq!(ev[1], Event::Comment(" note ".into()));
+        assert_eq!(ev[3], Event::ProcessingInstruction("pi data".into()));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = parse_err("<a><b></a></b>");
+        assert!(e.message.contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let e = parse_err("<a><b></b>");
+        assert!(e.message.contains("still open"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let e = parse_err(r#"<a x="1" x="2"/>"#);
+        assert!(e.message.contains("duplicate attribute"), "{e}");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let e = parse_err("<a>&nbsp;</a>");
+        assert!(e.message.contains("unknown entity"), "{e}");
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        let e = parse_err("<!DOCTYPE html><a/>");
+        assert!(e.message.contains("DOCTYPE"), "{e}");
+    }
+
+    #[test]
+    fn attr_value_entities() {
+        let ev = events(r#"<a v="&quot;x&quot; &amp; y"/>"#);
+        assert_eq!(
+            ev[0],
+            Event::StartElement {
+                name: "a".into(),
+                attributes: vec![("v".into(), "\"x\" & y".into())],
+                self_closing: true
+            }
+        );
+    }
+
+    #[test]
+    fn error_position_is_tracked() {
+        let e = parse_err("<a>\n  <b x=>\n</a>");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("quoted"), "{e}");
+    }
+
+    #[test]
+    fn nested_depth() {
+        let mut r = Reader::new("<a><b><c/></b></a>");
+        r.next_event().unwrap();
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap();
+        assert_eq!(r.depth(), 2);
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let e = parse_err("<a><!-- oops</a>");
+        assert!(e.message.contains("unterminated comment"), "{e}");
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        let e = parse_err("<a><!-- x -- y --></a>");
+        assert!(e.message.contains("--"), "{e}");
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let e = parse_err("stray<a/>");
+        assert!(e.message.contains("outside the root"), "{e}");
+    }
+
+    #[test]
+    fn whitespace_outside_root_ok() {
+        let ev = events("  <a/>  ");
+        assert!(matches!(ev[0], Event::Text(_)));
+        assert!(matches!(ev[1], Event::StartElement { .. }));
+    }
+}

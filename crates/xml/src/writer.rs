@@ -1,0 +1,268 @@
+//! XML serialization with configurable pretty-printing.
+
+use crate::node::{Element, Node};
+use crate::{escape_attr, escape_text};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indent string per nesting level (empty ⇒ compact single-line output).
+    pub indent: String,
+    /// Newline between elements; ignored when `indent` is empty.
+    pub newline: String,
+    /// Collapse empty elements to `<a/>` rather than `<a></a>`.
+    pub self_close_empty: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        Self { indent: "  ".into(), newline: "\n".into(), self_close_empty: true }
+    }
+}
+
+impl WriteOptions {
+    /// Compact: no indentation or newlines, smallest output.
+    pub fn compact() -> Self {
+        Self { indent: String::new(), newline: String::new(), self_close_empty: true }
+    }
+}
+
+/// Streaming serializer used by [`Element::write`] and available directly
+/// for emitting large documents (e.g. trace files) without building a DOM.
+pub struct Writer {
+    options: WriteOptions,
+    out: String,
+    depth: usize,
+    /// Stack of open tag names for the streaming API.
+    open: Vec<String>,
+}
+
+impl Writer {
+    /// Create a writer with the given options.
+    pub fn new(options: WriteOptions) -> Self {
+        Self { options, out: String::new(), depth: 0, open: Vec::new() }
+    }
+
+    fn pretty(&self) -> bool {
+        !self.options.indent.is_empty()
+    }
+
+    fn put_indent(&mut self) {
+        if self.pretty() {
+            for _ in 0..self.depth {
+                self.out.push_str(&self.options.indent);
+            }
+        }
+    }
+
+    /// Append raw text with no escaping (used for declarations).
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    /// Append a newline if pretty-printing.
+    pub fn newline(&mut self) {
+        if self.pretty() {
+            self.out.push_str(&self.options.newline);
+        }
+    }
+
+    /// Streaming API: open an element with attributes.
+    pub fn start(&mut self, name: &str, attrs: &[(&str, &str)]) {
+        self.put_indent();
+        self.out.push('<');
+        self.out.push_str(name);
+        for (k, v) in attrs {
+            self.out.push(' ');
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(v));
+            self.out.push('"');
+        }
+        self.out.push('>');
+        self.newline();
+        self.depth += 1;
+        self.open.push(name.to_string());
+    }
+
+    /// Streaming API: emit a self-contained leaf `<name k="v".../>`.
+    pub fn leaf(&mut self, name: &str, attrs: &[(&str, &str)]) {
+        self.put_indent();
+        self.out.push('<');
+        self.out.push_str(name);
+        for (k, v) in attrs {
+            self.out.push(' ');
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(v));
+            self.out.push('"');
+        }
+        self.out.push_str("/>");
+        self.newline();
+    }
+
+    /// Streaming API: close the innermost open element.
+    ///
+    /// # Panics
+    /// Panics if no element is open — that is a programming error in the
+    /// serializer's caller, not a data error.
+    pub fn end(&mut self) {
+        let name = self.open.pop().expect("Writer::end with no open element");
+        self.depth -= 1;
+        self.put_indent();
+        self.out.push_str("</");
+        self.out.push_str(&name);
+        self.out.push('>');
+        self.newline();
+    }
+
+    /// Serialize a DOM element (and subtree) at the current depth.
+    pub fn element(&mut self, e: &Element) {
+        self.put_indent();
+        self.out.push('<');
+        self.out.push_str(&e.name);
+        for (k, v) in &e.attributes {
+            self.out.push(' ');
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(v));
+            self.out.push('"');
+        }
+        if e.children.is_empty() && self.options.self_close_empty {
+            self.out.push_str("/>");
+            self.newline();
+            return;
+        }
+        self.out.push('>');
+
+        // Leaf elements containing only text are kept on one line even in
+        // pretty mode: `<name>text</name>`.
+        let only_text = e.children.iter().all(|c| matches!(c, Node::Text(_) | Node::CData(_)));
+        if only_text {
+            for c in &e.children {
+                match c {
+                    Node::Text(t) => self.out.push_str(&escape_text(t)),
+                    Node::CData(t) => {
+                        self.out.push_str("<![CDATA[");
+                        self.out.push_str(t);
+                        self.out.push_str("]]>");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            self.out.push_str("</");
+            self.out.push_str(&e.name);
+            self.out.push('>');
+            self.newline();
+            return;
+        }
+
+        self.newline();
+        self.depth += 1;
+        for c in &e.children {
+            match c {
+                Node::Element(child) => self.element(child),
+                Node::Text(t) => {
+                    self.put_indent();
+                    self.out.push_str(&escape_text(t));
+                    self.newline();
+                }
+                Node::CData(t) => {
+                    self.put_indent();
+                    self.out.push_str("<![CDATA[");
+                    self.out.push_str(t);
+                    self.out.push_str("]]>");
+                    self.newline();
+                }
+                Node::Comment(t) => {
+                    self.put_indent();
+                    self.out.push_str("<!--");
+                    self.out.push_str(t);
+                    self.out.push_str("-->");
+                    self.newline();
+                }
+            }
+        }
+        self.depth -= 1;
+        self.put_indent();
+        self.out.push_str("</");
+        self.out.push_str(&e.name);
+        self.out.push('>');
+        self.newline();
+    }
+
+    /// Consume the writer and return the output.
+    ///
+    /// # Panics
+    /// Panics if streaming elements are still open.
+    pub fn finish(self) -> String {
+        assert!(self.open.is_empty(), "Writer::finish with {} open element(s)", self.open.len());
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    #[test]
+    fn pretty_output_shape() {
+        let e = Element::new("m")
+            .with_attr("a", "1")
+            .with_child(Element::new("x"))
+            .with_child(Element::new("y").with_text("t"));
+        let s = e.write(&WriteOptions::default());
+        assert_eq!(s, "<m a=\"1\">\n  <x/>\n  <y>t</y>\n</m>\n");
+    }
+
+    #[test]
+    fn compact_output_shape() {
+        let e = Element::new("m").with_child(Element::new("x").with_attr("k", "v"));
+        let s = e.write(&WriteOptions::compact());
+        assert_eq!(s, "<m><x k=\"v\"/></m>");
+    }
+
+    #[test]
+    fn attr_escaping_roundtrips() {
+        let e = Element::new("a").with_attr("v", "x \"y\" <z> & \n tab\t");
+        let s = e.write(&WriteOptions::compact());
+        let d = parse_document(&s).unwrap();
+        assert_eq!(d.root.attr("v"), Some("x \"y\" <z> & \n tab\t"));
+    }
+
+    #[test]
+    fn text_escaping_roundtrips() {
+        let e = Element::new("a").with_text("1 < 2 && 3 > 2");
+        let s = e.write(&WriteOptions::compact());
+        let d = parse_document(&s).unwrap();
+        assert_eq!(d.root.text(), "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn streaming_api() {
+        let mut w = Writer::new(WriteOptions::default());
+        w.start("trace", &[("run", "1")]);
+        w.leaf("event", &[("t", "0.5"), ("kind", "enter")]);
+        w.leaf("event", &[("t", "1.5"), ("kind", "exit")]);
+        w.end();
+        let s = w.finish();
+        let d = parse_document(&s).unwrap();
+        assert_eq!(d.root.children_named("event").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "open element")]
+    fn finish_with_open_element_panics() {
+        let mut w = Writer::new(WriteOptions::default());
+        w.start("a", &[]);
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn no_self_close_option() {
+        let e = Element::new("a");
+        let opts = WriteOptions { self_close_empty: false, ..WriteOptions::compact() };
+        assert_eq!(e.write(&opts), "<a></a>");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: serialize→parse roundtrips for arbitrary trees.
+
+use prophet_xml::{parse_document, Document, Element, Node, WriteOptions};
+use proptest::prelude::*;
+
+/// Strategy for XML names in our subset.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+/// Text content without leading/trailing whitespace (the DOM drops
+/// inter-element whitespace, so normalized text roundtrips exactly).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' ]{1,20}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' \t\n]{0,16}".prop_map(|s| s)
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), attr_value_strategy()), 0..4),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // set_attr dedupes names
+            }
+            if let Some(t) = text {
+                e.push_text(t);
+            }
+            e
+        });
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                for c in children {
+                    e.push_element(c);
+                }
+                e
+            })
+    })
+}
+
+/// Merge adjacent text nodes so structural equality is insensitive to how
+/// the parser chunks character data.
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attributes = e.attributes.clone();
+    let mut pending = String::new();
+    for c in &e.children {
+        match c {
+            Node::Text(t) | Node::CData(t) => pending.push_str(t),
+            Node::Element(child) => {
+                if !pending.is_empty() {
+                    out.push_text(std::mem::take(&mut pending));
+                }
+                out.push_element(normalize(child));
+            }
+            Node::Comment(_) => {}
+        }
+    }
+    if !pending.is_empty() {
+        out.push_text(pending);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_roundtrip(e in element_strategy()) {
+        let doc = Document::with_root(e.clone());
+        let s = doc.to_xml_string();
+        let parsed = parse_document(&s).unwrap();
+        prop_assert_eq!(normalize(&parsed.root), normalize(&e));
+    }
+
+    #[test]
+    fn compact_roundtrip(e in element_strategy()) {
+        let doc = Document::with_root(e.clone());
+        let s = doc.write(&WriteOptions::compact());
+        let parsed = parse_document(&s).unwrap();
+        prop_assert_eq!(normalize(&parsed.root), normalize(&e));
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        // Arbitrary input must produce Ok or Err, never a panic.
+        let _ = parse_document(&s);
+    }
+
+    #[test]
+    fn subtree_size_consistent(e in element_strategy()) {
+        let n = e.subtree_size();
+        let children: usize = e.child_elements().map(|c| c.subtree_size()).sum();
+        prop_assert_eq!(n, children + 1);
+    }
+}

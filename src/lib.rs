@@ -1,0 +1,34 @@
+//! # prophet — Performance Prophet in Rust
+//!
+//! Umbrella crate of the reproduction of *"Automatic Performance Model
+//! Transformation from UML to C++"* (Pllana, Benkner, Xhafa, Barolli —
+//! ICPP Workshops 2008). Re-exports the whole stack:
+//!
+//! | module | crate | role in the paper's architecture (Figure 2) |
+//! |---|---|---|
+//! | [`uml`] | prophet-uml | Teuta's model layer: activity diagrams, stereotypes, traverser |
+//! | [`xml`] | prophet-xml | Models (XML) / MCF / CF file substrate |
+//! | [`expr`] | prophet-expr | cost-function & code-fragment language |
+//! | [`check`] | prophet-check | Model Checker + MCF |
+//! | [`codegen`] | prophet-codegen | UML→C++ transformation (Figure 5) → PMP |
+//! | [`sim`] | prophet-sim | CSIM-substitute simulation engine |
+//! | [`machine`] | prophet-machine | machine model from SP |
+//! | [`estimator`] | prophet-estimator | Performance Estimator |
+//! | [`trace`] | prophet-trace | TF trace files + visualization data |
+//! | [`core`] | prophet-core | transformation pipeline, projects, sweeps |
+//! | [`workloads`] | prophet-workloads | Livermore kernels + experiment models |
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction map.
+
+pub use prophet_check as check;
+pub use prophet_codegen as codegen;
+pub use prophet_core as core;
+pub use prophet_estimator as estimator;
+pub use prophet_expr as expr;
+pub use prophet_machine as machine;
+pub use prophet_sim as sim;
+pub use prophet_trace as trace;
+pub use prophet_uml as uml;
+pub use prophet_workloads as workloads;
+pub use prophet_xml as xml;

@@ -1,0 +1,213 @@
+//! `prophet` — command-line front-end to the Performance Prophet
+//! reproduction.
+//!
+//! ```text
+//! prophet check     <model.xml> [--mcf <mcf.xml>]
+//! prophet transform <model.xml> [--full] [--skeleton]
+//! prophet estimate  <model.xml> [--nodes N] [--cpus C] [--processes P]
+//!                   [--threads T] [--trace <tf.txt>] [--timeline]
+//! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C]
+//! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
+//! ```
+//!
+//! `demo` prints a ready-made model as XML, so a full round trip is:
+//!
+//! ```text
+//! prophet demo sample > sample.xml
+//! prophet check sample.xml
+//! prophet transform sample.xml
+//! prophet estimate sample.xml --nodes 2 --cpus 2 --timeline
+//! ```
+
+use prophet::check::McfConfig;
+use prophet::codegen::generate_skeleton;
+use prophet::core::project::Project;
+use prophet::core::sweep::{sweep_parallel, SweepPoint};
+use prophet::machine::SystemParams;
+use prophet::trace::{render_timeline, TraceAnalysis};
+use prophet::workloads::models;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "transform" => cmd_transform(&args[1..]),
+        "estimate" => cmd_estimate(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "demo" => cmd_demo(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_project(args: &[String]) -> Result<Project, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing model file\n{}", usage()))?;
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Project::from_model_xml(&xml).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut project = load_project(args)?;
+    if let Some(mcf_path) = flag_value(args, "--mcf") {
+        let mcf_xml = std::fs::read_to_string(mcf_path)
+            .map_err(|e| format!("cannot read `{mcf_path}`: {e}"))?;
+        project = project.with_mcf(McfConfig::from_xml(&mcf_xml).map_err(|e| e.to_string())?);
+    }
+    let diags = project.check();
+    if diags.is_empty() {
+        println!("model `{}` conforms ({} elements)", project.model.name, project.model.element_count());
+        return Ok(());
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    if errors > 0 {
+        Err(format!("{errors} error(s)"))
+    } else {
+        println!("{} warning(s), no errors", diags.len());
+        Ok(())
+    }
+}
+
+fn cmd_transform(args: &[String]) -> Result<(), String> {
+    let project = load_project(args)?;
+    if has_flag(args, "--skeleton") {
+        let skel = generate_skeleton(&project.model).map_err(|e| e.to_string())?;
+        println!("{skel}");
+        return Ok(());
+    }
+    let unit = prophet::core::transform::to_cpp(&project.model).map_err(|e| e.to_string())?;
+    if has_flag(args, "--full") {
+        println!("{}", unit.full_text());
+    } else {
+        println!("{}", unit.model_text());
+    }
+    Ok(())
+}
+
+fn system_from(args: &[String]) -> Result<SystemParams, String> {
+    let nodes = flag_value(args, "--nodes").map(|s| s.parse()).transpose().map_err(|_| "bad --nodes")?.unwrap_or(1);
+    let cpus = flag_value(args, "--cpus").map(|s| s.parse()).transpose().map_err(|_| "bad --cpus")?.unwrap_or(1);
+    let processes = flag_value(args, "--processes")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --processes")?
+        .unwrap_or(nodes * cpus);
+    let threads = flag_value(args, "--threads")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --threads")?
+        .unwrap_or(1);
+    let sp = SystemParams { nodes, cpus_per_node: cpus, processes, threads_per_process: threads };
+    sp.validate()?;
+    Ok(sp)
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let sp = system_from(args)?;
+    let project = load_project(args)?.with_system(sp);
+    let run = project.run().map_err(|e| e.to_string())?;
+    println!(
+        "model `{}` on {} node(s) × {} cpu(s), {} process(es) × {} thread(s)",
+        run.program.name, sp.nodes, sp.cpus_per_node, sp.processes, sp.threads_per_process
+    );
+    println!("predicted execution time: {:.6} s", run.evaluation.predicted_time);
+    println!(
+        "simulation: {} events, {} processes completed",
+        run.evaluation.report.events_processed, run.evaluation.report.processes_completed
+    );
+    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    println!("\nelement profile:");
+    for p in analysis.profile.iter().take(12) {
+        println!(
+            "  {:<18} count={:<5} total={:.6}s mean={:.6}s",
+            p.element, p.count, p.total_time, p.mean_time
+        );
+    }
+    if let Some(path) = flag_value(args, "--trace") {
+        std::fs::write(path, run.evaluation.trace.to_text())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("\ntrace written to {path}");
+    }
+    if has_flag(args, "--timeline") {
+        println!("\n{}", render_timeline(&analysis, sp.processes, 72));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let project = load_project(args)?;
+    let nodes_list = flag_value(args, "--nodes").ok_or("sweep requires --nodes 1,2,4,...")?;
+    let cpus: usize = flag_value(args, "--cpus").map(|s| s.parse()).transpose().map_err(|_| "bad --cpus")?.unwrap_or(1);
+    let points: Vec<SweepPoint> = nodes_list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map(|n| SweepPoint { sp: SystemParams::flat_mpi(n, cpus) })
+                .map_err(|_| format!("bad node count `{s}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let results = sweep_parallel(&project, &points, 0);
+    println!("{:>8} {:>8} {:>14} {:>9}", "nodes", "P", "time(s)", "speedup");
+    let base = results.iter().find_map(|r| r.time());
+    for r in &results {
+        match &r.outcome {
+            Ok(t) => {
+                let speedup = base.map(|b| b / t).unwrap_or(1.0);
+                println!("{:>8} {:>8} {:>14.6} {:>9.2}", r.sp.nodes, r.sp.processes, t, speedup);
+            }
+            Err(e) => println!("{:>8} {:>8}  failed: {e}", r.sp.nodes, r.sp.processes),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let which = args.first().map(String::as_str).unwrap_or("sample");
+    let model = match which {
+        "sample" => models::sample_model(),
+        "kernel6" => models::kernel6_model(1000, 10, 1e-9),
+        "jacobi" => models::jacobi_model(1_000_000, 20, 1e-8),
+        "lapw0" => models::lapw0_model(64, 32, 1e-4),
+        "pipeline" => models::pipeline_model(32, 0.01, 4096),
+        "master_worker" => models::master_worker_model(64, 0.01, 256),
+        other => return Err(format!("unknown demo `{other}`")),
+    };
+    println!("{}", prophet::uml::xmi::model_to_xml(&model));
+    Ok(())
+}

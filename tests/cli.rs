@@ -1,0 +1,126 @@
+//! Integration tests for the `prophet` CLI binary, driving the same
+//! workflow a user would: demo → check → transform → estimate → sweep.
+
+use std::process::Command;
+
+fn prophet(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_model(name: &str, which: &str) -> std::path::PathBuf {
+    let (ok, xml, err) = prophet(&["demo", which]);
+    assert!(ok, "demo failed: {err}");
+    let path = std::env::temp_dir().join(format!("prophet-cli-test-{name}.xml"));
+    std::fs::write(&path, xml).unwrap();
+    path
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _out, err) = prophet(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _out, err) = prophet(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn demo_check_transform_estimate_roundtrip() {
+    let model = temp_model("roundtrip", "sample");
+    let model = model.to_str().unwrap();
+
+    let (ok, out, err) = prophet(&["check", model]);
+    assert!(ok, "{err}");
+    assert!(out.contains("conforms"), "{out}");
+
+    let (ok, out, _) = prophet(&["transform", model]);
+    assert!(ok);
+    assert!(out.contains("a1.execute(uid, pid, tid, FA1());"), "{out}");
+    assert!(out.contains("double FSA2(double pid)"), "{out}");
+
+    let (ok, out, _) = prophet(&["transform", model, "--full"]);
+    assert!(ok);
+    assert!(out.contains("class ActionPlus"), "{out}");
+
+    let (ok, out, _) = prophet(&["estimate", model, "--nodes", "2", "--cpus", "1", "--timeline"]);
+    assert!(ok);
+    assert!(out.contains("predicted execution time: 0.900000 s"), "{out}");
+    assert!(out.contains("p0"), "{out}");
+}
+
+#[test]
+fn skeleton_generation() {
+    let model = temp_model("skeleton", "jacobi");
+    let (ok, out, err) = prophet(&["transform", model.to_str().unwrap(), "--skeleton"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("MPI_Init(&argc, &argv);"), "{out}");
+    assert!(out.contains("MPI_Allreduce"), "{out}");
+    assert!(out.contains("TODO: implement Compute"), "{out}");
+}
+
+#[test]
+fn sweep_prints_speedup_table() {
+    let model = temp_model("sweep", "jacobi");
+    let (ok, out, err) =
+        prophet(&["sweep", model.to_str().unwrap(), "--nodes", "1,2,4"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("speedup"), "{out}");
+    // Three data rows.
+    assert_eq!(out.lines().count(), 4, "{out}");
+}
+
+#[test]
+fn estimate_writes_trace_file() {
+    let model = temp_model("trace", "sample");
+    let tf_path = std::env::temp_dir().join("prophet-cli-test-trace.txt");
+    let (ok, _out, err) = prophet(&[
+        "estimate",
+        model.to_str().unwrap(),
+        "--trace",
+        tf_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let tf = std::fs::read_to_string(&tf_path).unwrap();
+    assert!(tf.starts_with("# TF model=sample"), "{tf}");
+}
+
+#[test]
+fn check_reports_errors_on_broken_model() {
+    // Corrupt a valid model by injecting an unparsable cost expression.
+    let model = temp_model("broken", "sample");
+    let xml = std::fs::read_to_string(&model).unwrap();
+    let broken = xml.replace("value=\"FA1()\"", "value=\"FA1() +\"");
+    let path = std::env::temp_dir().join("prophet-cli-test-broken.xml");
+    std::fs::write(&path, broken).unwrap();
+    let (ok, out, err) = prophet(&["check", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("PP006") || err.contains("PP006"), "out: {out}\nerr: {err}");
+}
+
+#[test]
+fn invalid_sp_rejected() {
+    let model = temp_model("badsp", "sample");
+    let (ok, _out, err) = prophet(&[
+        "estimate",
+        model.to_str().unwrap(),
+        "--nodes",
+        "4",
+        "--processes",
+        "2",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("processes"), "{err}");
+}
