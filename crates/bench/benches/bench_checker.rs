@@ -17,7 +17,9 @@ fn bench_checker(c: &mut Criterion) {
         });
     }
     let branchy = branchy_model(1000, 8);
-    group.bench_function("branchy_1000", |b| b.iter(|| check_model(&branchy, &config)));
+    group.bench_function("branchy_1000", |b| {
+        b.iter(|| check_model(&branchy, &config))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("xml");

@@ -1,44 +1,50 @@
 //! Experiments E1/E4/E5: end-to-end estimation cost for each evaluation
 //! model — kernel 6, the Figure-7 sample model, Jacobi at two scales, and
 //! the LAPW0-like hybrid.
+//!
+//! Every model is compiled into a `Session` once outside the timing
+//! loop; the measured cost is evaluation alone, which is what the
+//! compile-once engine pays per scenario.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use prophet_core::project::Project;
-use prophet_estimator::EstimatorOptions;
+use prophet_core::{Scenario, Session};
 use prophet_machine::SystemParams;
 use prophet_workloads::models::{jacobi_model, kernel6_model, lapw0_model, sample_model};
-
-fn quiet(project: Project) -> Project {
-    // Sweeps and benches don't need traces.
-    project.with_options(EstimatorOptions { trace: false, ..Default::default() })
-}
 
 fn bench_estimator(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimate");
 
-    let kernel6 = quiet(Project::new(kernel6_model(1000, 10, 1e-9)));
-    group.bench_function("kernel6_fig3", |b| b.iter(|| kernel6.run().unwrap()));
+    // Sweeps and benches don't need traces.
+    let quiet = Scenario::default().without_trace();
 
-    let sample = quiet(Project::new(sample_model()));
-    group.bench_function("sample_fig7", |b| b.iter(|| sample.run().unwrap()));
+    let kernel6 = Session::new(kernel6_model(1000, 10, 1e-9)).expect("compile");
+    group.bench_function("kernel6_fig3", |b| {
+        b.iter(|| kernel6.evaluate(&quiet).unwrap())
+    });
 
-    let jacobi4 = quiet(
-        Project::new(jacobi_model(100_000, 10, 1e-8)).with_system(SystemParams::flat_mpi(4, 1)),
-    );
-    group.bench_function("jacobi_p4", |b| b.iter(|| jacobi4.run().unwrap()));
+    let sample = Session::new(sample_model()).expect("compile");
+    group.bench_function("sample_fig7", |b| {
+        b.iter(|| sample.evaluate(&quiet).unwrap())
+    });
 
-    let jacobi16 = quiet(
-        Project::new(jacobi_model(100_000, 10, 1e-8)).with_system(SystemParams::flat_mpi(16, 1)),
-    );
-    group.bench_function("jacobi_p16", |b| b.iter(|| jacobi16.run().unwrap()));
+    let jacobi = Session::new(jacobi_model(100_000, 10, 1e-8)).expect("compile");
+    let p4 = Scenario::new(SystemParams::flat_mpi(4, 1)).without_trace();
+    group.bench_function("jacobi_p4", |b| b.iter(|| jacobi.evaluate(&p4).unwrap()));
 
-    let lapw0 = quiet(Project::new(lapw0_model(64, 16, 1e-5)).with_system(SystemParams {
+    let p16 = Scenario::new(SystemParams::flat_mpi(16, 1)).without_trace();
+    group.bench_function("jacobi_p16", |b| b.iter(|| jacobi.evaluate(&p16).unwrap()));
+
+    let lapw0 = Session::new(lapw0_model(64, 16, 1e-5)).expect("compile");
+    let hybrid = Scenario::new(SystemParams {
         nodes: 4,
         cpus_per_node: 2,
         processes: 4,
         threads_per_process: 2,
-    }));
-    group.bench_function("lapw0_hybrid_4x2", |b| b.iter(|| lapw0.run().unwrap()));
+    })
+    .without_trace();
+    group.bench_function("lapw0_hybrid_4x2", |b| {
+        b.iter(|| lapw0.evaluate(&hybrid).unwrap())
+    });
 
     group.finish();
 }

@@ -21,9 +21,7 @@ fn bench_expr(c: &mut Criterion) {
     let expr = parse_expression("F(P) + min(P, 8) * 0.125 + (pid % 2 == 0 ? 1 : 2)").unwrap();
 
     let mut group = c.benchmark_group("expr/eval");
-    group.bench_function("interpreted", |b| {
-        b.iter(|| expr.eval(&mut env).unwrap())
-    });
+    group.bench_function("interpreted", |b| b.iter(|| expr.eval(&mut env).unwrap()));
 
     let mut slots = Slots::new();
     let compiled = CompiledExpr::compile(&expr, &env, &mut slots).unwrap();

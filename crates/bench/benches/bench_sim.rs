@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prophet_sim::{
-    Action, CalendarKind, Config, Discipline, FacilityId, Process, ProcCtx, Resumed, Simulator,
+    Action, CalendarKind, Config, Discipline, FacilityId, ProcCtx, Process, Resumed, Simulator,
 };
 
 struct Worker {
@@ -32,12 +32,19 @@ impl Process for Worker {
 }
 
 fn run_load(kind: CalendarKind, workers: usize, jobs_each: u32) -> u64 {
-    let mut sim = Simulator::new(Config { calendar: kind, ..Default::default() });
+    let mut sim = Simulator::new(Config {
+        calendar: kind,
+        ..Default::default()
+    });
     let cpu = sim.add_facility("cpu", 4, Discipline::Fcfs);
     for w in 0..workers {
         sim.spawn(
             &format!("w{w}"),
-            Box::new(Worker { cpu, left: jobs_each, stream: format!("svc{w}") }),
+            Box::new(Worker {
+                cpu,
+                left: jobs_each,
+                stream: format!("svc{w}"),
+            }),
         );
     }
     sim.run().unwrap().events_processed
@@ -50,12 +57,16 @@ fn bench_sim(c: &mut Criterion) {
         // Event count is deterministic; use it as the throughput unit.
         let events = run_load(CalendarKind::BinaryHeap, workers, jobs);
         group.throughput(Throughput::Elements(events));
-        group.bench_with_input(BenchmarkId::new("binary_heap", workers), &workers, |b, &w| {
-            b.iter(|| run_load(CalendarKind::BinaryHeap, w, jobs))
-        });
-        group.bench_with_input(BenchmarkId::new("sorted_vec", workers), &workers, |b, &w| {
-            b.iter(|| run_load(CalendarKind::SortedVec, w, jobs))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", workers),
+            &workers,
+            |b, &w| b.iter(|| run_load(CalendarKind::BinaryHeap, w, jobs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_vec", workers),
+            &workers,
+            |b, &w| b.iter(|| run_load(CalendarKind::SortedVec, w, jobs)),
+        );
     }
     group.finish();
 }

@@ -1,19 +1,79 @@
-//! Experiment E4: SP sweeps — serial vs crossbeam-parallel execution of
-//! independent simulations.
+//! Experiment E4: SP sweeps — serial vs parallel execution of
+//! independent simulations, and the compile-once [`Session`] path vs the
+//! legacy recompile-per-call API.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use prophet_core::project::Project;
-use prophet_core::sweep::{mpi_grid, sweep_parallel, sweep_serial};
+use prophet_core::{mpi_grid, transform_invocations, Session, SweepConfig, SweepPoint};
 use prophet_workloads::models::jacobi_model;
 
+fn grid_64() -> Vec<SweepPoint> {
+    // 64 points: node counts 1..=16 at 1/2/4/8 cpus each.
+    let nodes: Vec<usize> = (1..=16).collect();
+    let mut points = Vec::new();
+    for cpus in [1usize, 2, 4, 8] {
+        points.extend(mpi_grid(&nodes, cpus));
+    }
+    points
+}
+
 fn bench_sweep(c: &mut Criterion) {
-    let project = Project::new(jacobi_model(100_000, 10, 1e-8));
+    let model = jacobi_model(100_000, 10, 1e-8);
+    let session = Session::new(model.clone()).expect("compile");
     let points = mpi_grid(&[1, 2, 4, 8, 16], 1);
+
+    // Guard the compile-once contract before timing anything: a 64-point
+    // sweep through a Session performs check + transform exactly once
+    // (one `to_cpp` + one `to_program`, both at compile time — zero more
+    // during the sweep, however many points it has). The transform
+    // counter is thread-local, so run this guard sweep with `threads: 1`:
+    // every evaluation then happens on this thread and any re-transform
+    // would be counted here.
+    let before = transform_invocations();
+    let report = Session::new(model.clone()).expect("compile").sweep_with(
+        &grid_64(),
+        &SweepConfig {
+            threads: 1,
+            ..Default::default()
+        },
+        |_, _| {},
+    );
+    assert_eq!(report.points.len(), 64);
+    assert_eq!(report.failures(), 0);
+    assert_eq!(
+        transform_invocations() - before,
+        2,
+        "session sweep must transform exactly once per backend"
+    );
+
+    // Legacy single-shot API for comparison: recompiles on every call.
+    #[allow(deprecated)]
+    let legacy_project = prophet_core::Project::new(model);
+
+    let serial = SweepConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let parallel = SweepConfig::default();
 
     let mut group = c.benchmark_group("sweep/jacobi_5pts");
     group.sample_size(10);
-    group.bench_function("serial", |b| b.iter(|| sweep_serial(&project, &points)));
-    group.bench_function("parallel", |b| b.iter(|| sweep_parallel(&project, &points, 0)));
+    group.bench_function("serial", |b| {
+        b.iter(|| session.sweep_with(&points, &serial, |_, _| {}))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| session.sweep_with(&points, &parallel, |_, _| {}))
+    });
+    group.bench_function("session_sweep", |b| b.iter(|| session.sweep(&points)));
+    #[allow(deprecated)]
+    group.bench_function("legacy_recompiling_sweep", |b| {
+        b.iter(|| prophet_core::sweep_parallel(&legacy_project, &points, 0))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sweep/jacobi_64pts");
+    group.sample_size(10);
+    let big = grid_64();
+    group.bench_function("session_sweep", |b| b.iter(|| session.sweep(&big)));
     group.finish();
 }
 

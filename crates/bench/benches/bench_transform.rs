@@ -25,9 +25,13 @@ fn bench_transform(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("transform/shapes");
     let nested = nested_model(8, 16);
-    group.bench_function("nested_8x16_to_cpp", |b| b.iter(|| to_cpp(&nested).unwrap()));
+    group.bench_function("nested_8x16_to_cpp", |b| {
+        b.iter(|| to_cpp(&nested).unwrap())
+    });
     let branchy = branchy_model(512, 8);
-    group.bench_function("branchy_512_to_cpp", |b| b.iter(|| to_cpp(&branchy).unwrap()));
+    group.bench_function("branchy_512_to_cpp", |b| {
+        b.iter(|| to_cpp(&branchy).unwrap())
+    });
     group.finish();
 }
 

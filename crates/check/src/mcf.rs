@@ -37,7 +37,10 @@ impl McfConfig {
     pub fn from_xml(xml: &str) -> XmlResult<Self> {
         let doc = parse_document(xml)?;
         if doc.root.name != "mcf" {
-            return Err(XmlError::structural(format!("expected <mcf>, found <{}>", doc.root.name)));
+            return Err(XmlError::structural(format!(
+                "expected <mcf>, found <{}>",
+                doc.root.name
+            )));
         }
         let mut config = Self::default();
         for r in doc.root.children_named("rule") {
@@ -102,7 +105,11 @@ mod tests {
     fn default_enables_all() {
         let c = McfConfig::default();
         for rule in crate::rules::all_rules() {
-            assert!(c.severity_of(rule.id()).is_some(), "{} disabled by default", rule.id());
+            assert!(
+                c.severity_of(rule.id()).is_some(),
+                "{} disabled by default",
+                rule.id()
+            );
         }
     }
 

@@ -13,7 +13,9 @@ use std::collections::{HashMap, HashSet};
 /// system properties per the paper ("as parameters of cost functions may
 /// be used the properties of system components (such as number of
 /// processors, or the ID of process)").
-pub const SYSTEM_VARS: &[&str] = &["P", "pid", "tid", "uid", "N", "M", "nodes", "cpus", "threads"];
+pub const SYSTEM_VARS: &[&str] = &[
+    "P", "pid", "tid", "uid", "N", "M", "nodes", "cpus", "threads",
+];
 
 /// One finding of a rule.
 #[derive(Debug, Clone)]
@@ -50,7 +52,11 @@ impl std::fmt::Display for Diagnostic {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
-        write!(f, "{} [{}] at `{}`: {}", sev, self.rule, self.location, self.message)
+        write!(
+            f,
+            "{} [{}] at `{}`: {}",
+            sev, self.rule, self.location, self.message
+        )
     }
 }
 
@@ -68,8 +74,8 @@ pub trait Rule: Sync {
 pub fn default_severity(id: &str) -> Severity {
     match id {
         // Structural soundness and expression validity are hard errors.
-        "PP001" | "PP003" | "PP004" | "PP005" | "PP006" | "PP007" | "PP008" | "PP010"
-        | "PP011" | "PP014" => Severity::Error,
+        "PP001" | "PP003" | "PP004" | "PP005" | "PP006" | "PP007" | "PP008" | "PP010" | "PP011"
+        | "PP014" => Severity::Error,
         // Style/suspicion-level findings.
         _ => Severity::Warning,
     }
@@ -128,7 +134,10 @@ impl Rule for NamesAreIdentifiers {
         }
         for v in &model.variables {
             if !is_identifier(&v.name) {
-                out.push(Diagnostic::new(&v.name, "variable name is not a valid identifier"));
+                out.push(Diagnostic::new(
+                    &v.name,
+                    "variable name is not a valid identifier",
+                ));
             }
         }
     }
@@ -162,7 +171,10 @@ impl Rule for PerfElementNamesUnique {
 
 /// Entry node of a diagram: its initial node, or the unique node with no
 /// incoming edges (the paper's sub-diagram `SA` has no explicit initial).
-pub fn entry_of(model: &Model, diagram: prophet_uml::DiagramId) -> Result<prophet_uml::ElementId, String> {
+pub fn entry_of(
+    model: &Model,
+    diagram: prophet_uml::DiagramId,
+) -> Result<prophet_uml::ElementId, String> {
     let d = model.diagram(diagram);
     let initials: Vec<_> = d
         .nodes
@@ -184,7 +196,10 @@ pub fn entry_of(model: &Model, diagram: prophet_uml::DiagramId) -> Result<prophe
     match no_incoming.len() {
         1 => Ok(no_incoming[0]),
         0 if d.nodes.is_empty() => Err(format!("diagram `{}` is empty", d.name)),
-        0 => Err(format!("diagram `{}` has no entry (every node has an incoming edge)", d.name)),
+        0 => Err(format!(
+            "diagram `{}` has no entry (every node has an incoming edge)",
+            d.name
+        )),
         _ => Err(format!(
             "diagram `{}` has an ambiguous entry: {} start candidates",
             d.name,
@@ -274,7 +289,10 @@ impl Rule for DecisionGuardsWellFormed {
                 if outs.len() < 2 {
                     out.push(Diagnostic::new(
                         &el.name,
-                        format!("decision node has {} outgoing edge(s), needs at least 2", outs.len()),
+                        format!(
+                            "decision node has {} outgoing edge(s), needs at least 2",
+                            outs.len()
+                        ),
                     ));
                 }
                 let mut else_count = 0;
@@ -299,7 +317,10 @@ impl Rule for DecisionGuardsWellFormed {
                     }
                 }
                 if else_count > 1 {
-                    out.push(Diagnostic::new(&el.name, "decision node has multiple `else` edges"));
+                    out.push(Diagnostic::new(
+                        &el.name,
+                        "decision node has multiple `else` edges",
+                    ));
                 }
             }
         }
@@ -307,7 +328,16 @@ impl Rule for DecisionGuardsWellFormed {
 }
 
 /// Expression-valued tags that must parse.
-const EXPR_TAGS: &[&str] = &["cost", "iterations", "threads", "dest", "src", "root", "size", "count"];
+const EXPR_TAGS: &[&str] = &[
+    "cost",
+    "iterations",
+    "threads",
+    "dest",
+    "src",
+    "root",
+    "size",
+    "count",
+];
 
 /// PP006: expression tags parse.
 struct CostExpressionsParse;
@@ -375,7 +405,10 @@ impl Rule for FunctionsWellFormed {
         let mut names = HashSet::new();
         for f in &model.functions {
             if !is_identifier(&f.name) {
-                out.push(Diagnostic::new(&f.name, "function name is not a valid identifier"));
+                out.push(Diagnostic::new(
+                    &f.name,
+                    "function name is not a valid identifier",
+                ));
             }
             if !names.insert(f.name.as_str()) {
                 out.push(Diagnostic::new(&f.name, "function defined more than once"));
@@ -383,13 +416,17 @@ impl Rule for FunctionsWellFormed {
             let mut params = HashSet::new();
             for p in &f.params {
                 if !params.insert(p.as_str()) {
-                    out.push(Diagnostic::new(&f.name, format!("duplicate parameter `{p}`")));
+                    out.push(Diagnostic::new(
+                        &f.name,
+                        format!("duplicate parameter `{p}`"),
+                    ));
                 }
             }
             match parse_expression(&f.body) {
-                Err(err) => {
-                    out.push(Diagnostic::new(&f.name, format!("body does not parse: {err}")))
-                }
+                Err(err) => out.push(Diagnostic::new(
+                    &f.name,
+                    format!("body does not parse: {err}"),
+                )),
                 Ok(expr) => {
                     let mut called = Vec::new();
                     expr.called_functions(&mut called);
@@ -412,8 +449,7 @@ impl Rule for FunctionsWellFormed {
 /// Collect names visible to expressions on elements: declared variables
 /// plus system properties.
 fn visible_vars(model: &Model) -> HashSet<String> {
-    let mut vars: HashSet<String> =
-        model.variables.iter().map(|v| v.name.clone()).collect();
+    let mut vars: HashSet<String> = model.variables.iter().map(|v| v.name.clone()).collect();
     for s in SYSTEM_VARS {
         vars.insert((*s).to_string());
     }
@@ -527,7 +563,10 @@ impl Rule for TagsConformToProfile {
                 if def.required && app.get(&def.name).is_none() {
                     out.push(Diagnostic::new(
                         &el.name,
-                        format!("required tag `{}` of `<<{}>>` is missing", def.name, st.name),
+                        format!(
+                            "required tag `{}` of `<<{}>>` is missing",
+                            def.name, st.name
+                        ),
                     ));
                 }
             }
@@ -555,8 +594,11 @@ impl Rule for ControlFlowAcyclic {
                     *slot += 1;
                 }
             }
-            let mut queue: Vec<_> =
-                indeg.iter().filter(|(_, &deg)| deg == 0).map(|(&n, _)| n).collect();
+            let mut queue: Vec<_> = indeg
+                .iter()
+                .filter(|(_, &deg)| deg == 0)
+                .map(|(&n, _)| n)
+                .collect();
             queue.sort(); // determinism
             let mut removed = 0;
             while let Some(n) = queue.pop() {
@@ -612,13 +654,19 @@ impl Rule for ForkJoinShape {
                     NodeKind::Fork => {
                         forks += 1;
                         if d.outgoing(nid).count() < 2 {
-                            out.push(Diagnostic::new(&el.name, "fork has fewer than 2 outgoing edges"));
+                            out.push(Diagnostic::new(
+                                &el.name,
+                                "fork has fewer than 2 outgoing edges",
+                            ));
                         }
                     }
                     NodeKind::Join => {
                         joins += 1;
                         if d.incoming(nid).count() < 2 {
-                            out.push(Diagnostic::new(&el.name, "join has fewer than 2 incoming edges"));
+                            out.push(Diagnostic::new(
+                                &el.name,
+                                "join has fewer than 2 incoming edges",
+                            ));
                         }
                     }
                     _ => {}
@@ -648,7 +696,9 @@ impl Rule for NodesReachable {
             if d.nodes.is_empty() {
                 continue;
             }
-            let Ok(entry) = entry_of(model, d.id) else { continue };
+            let Ok(entry) = entry_of(model, d.id) else {
+                continue;
+            };
             let mut seen = HashSet::new();
             let mut stack = vec![entry];
             while let Some(n) = stack.pop() {
@@ -754,7 +804,10 @@ impl Rule for DecisionMergeDegree {
                     NodeKind::Decision => {}
                     NodeKind::Merge => {
                         if d.incoming(nid).count() < 2 {
-                            out.push(Diagnostic::new(&el.name, "merge node should join ≥ 2 flows"));
+                            out.push(Diagnostic::new(
+                                &el.name,
+                                "merge node should join ≥ 2 flows",
+                            ));
                         }
                         if d.outgoing(nid).count() != 1 {
                             out.push(Diagnostic::new(
@@ -784,8 +837,14 @@ impl Rule for CollectivesNotRankGuarded {
         "collectives not guarded by rank"
     }
     fn check(&self, model: &Model, out: &mut Vec<Diagnostic>) {
-        const COLLECTIVES: &[&str] =
-            &["barrier", "broadcast", "reduce", "allreduce", "scatter", "gather"];
+        const COLLECTIVES: &[&str] = &[
+            "barrier",
+            "broadcast",
+            "reduce",
+            "allreduce",
+            "scatter",
+            "gather",
+        ];
         for d in &model.diagrams {
             // For each decision, find rank-dependent guards and scan the
             // guarded arm (transitively, within this diagram) for
@@ -799,7 +858,9 @@ impl Rule for CollectivesNotRankGuarded {
                     if guard == "else" {
                         continue;
                     }
-                    let Ok(expr) = parse_expression(guard) else { continue };
+                    let Ok(expr) = parse_expression(guard) else {
+                        continue;
+                    };
                     let mut free = Vec::new();
                     expr.free_vars(&mut free);
                     if !free.iter().any(|v| v == "pid" || v == "tid") {
@@ -931,8 +992,14 @@ mod tests {
         };
         let diags = diags_for(&m);
         let pp005: Vec<_> = diags.iter().filter(|d| d.rule == "PP005").collect();
-        assert!(pp005.iter().any(|d| d.message.contains("does not parse")), "{diags:?}");
-        assert!(pp005.iter().any(|d| d.message.contains("no guard")), "{diags:?}");
+        assert!(
+            pp005.iter().any(|d| d.message.contains("does not parse")),
+            "{diags:?}"
+        );
+        assert!(
+            pp005.iter().any(|d| d.message.contains("no guard")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -962,9 +1029,22 @@ mod tests {
         b.function("G", &[], "Undefined(2)");
         let diags = diags_for(&b.build());
         let pp008: Vec<_> = diags.iter().filter(|d| d.rule == "PP008").collect();
-        assert!(pp008.iter().any(|d| d.message.contains("duplicate parameter")), "{diags:?}");
-        assert!(pp008.iter().any(|d| d.message.contains("more than once")), "{diags:?}");
-        assert!(pp008.iter().any(|d| d.message.contains("undefined function")), "{diags:?}");
+        assert!(
+            pp008
+                .iter()
+                .any(|d| d.message.contains("duplicate parameter")),
+            "{diags:?}"
+        );
+        assert!(
+            pp008.iter().any(|d| d.message.contains("more than once")),
+            "{diags:?}"
+        );
+        assert!(
+            pp008
+                .iter()
+                .any(|d| d.message.contains("undefined function")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -995,8 +1075,16 @@ mod tests {
         b.set_tag(a2, "time", TagValue::Str("ten".into())); // wrong type
         let diags = diags_for(&b.build());
         let pp010: Vec<_> = diags.iter().filter(|d| d.rule == "PP010").collect();
-        assert!(pp010.iter().any(|d| d.message.contains("no tag `nonsense`")), "{diags:?}");
-        assert!(pp010.iter().any(|d| d.message.contains("expects Double")), "{diags:?}");
+        assert!(
+            pp010
+                .iter()
+                .any(|d| d.message.contains("no tag `nonsense`")),
+            "{diags:?}"
+        );
+        assert!(
+            pp010.iter().any(|d| d.message.contains("expects Double")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -1006,7 +1094,9 @@ mod tests {
         b.mpi(main, "s0", "send", &[]); // missing required `dest`
         let diags = diags_for(&b.build());
         assert!(
-            diags.iter().any(|d| d.rule == "PP010" && d.message.contains("`dest`")),
+            diags
+                .iter()
+                .any(|d| d.rule == "PP010" && d.message.contains("`dest`")),
             "{diags:?}"
         );
     }
@@ -1023,7 +1113,9 @@ mod tests {
         b.flow(main, c, a); // back-edge
         let diags = diags_for(&b.build());
         assert!(
-            diags.iter().any(|d| d.rule == "PP011" && d.message.contains("loop+")),
+            diags
+                .iter()
+                .any(|d| d.rule == "PP011" && d.message.contains("loop+")),
             "{diags:?}"
         );
     }
@@ -1039,8 +1131,18 @@ mod tests {
         b.flow(main, fork, a); // only one branch; no join at all
         let diags = diags_for(&b.build());
         let pp012: Vec<_> = diags.iter().filter(|d| d.rule == "PP012").collect();
-        assert!(pp012.iter().any(|d| d.message.contains("fewer than 2 outgoing")), "{diags:?}");
-        assert!(pp012.iter().any(|d| d.message.contains("1 fork(s) but 0 join(s)")), "{diags:?}");
+        assert!(
+            pp012
+                .iter()
+                .any(|d| d.message.contains("fewer than 2 outgoing")),
+            "{diags:?}"
+        );
+        assert!(
+            pp012
+                .iter()
+                .any(|d| d.message.contains("1 fork(s) but 0 join(s)")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -1050,7 +1152,9 @@ mod tests {
         b.action(main, "Island", "1");
         let diags = diags_for(&b.build());
         assert!(
-            diags.iter().any(|d| d.rule == "PP013" && d.location == "Island"),
+            diags
+                .iter()
+                .any(|d| d.rule == "PP013" && d.location == "Island"),
             "{diags:?}"
         );
     }
@@ -1098,7 +1202,9 @@ mod tests {
         b.flow(main, m, f);
         let diags = diags_for(&b.build());
         assert!(
-            diags.iter().any(|d| d.rule == "PP016" && d.message.contains("diverge")),
+            diags
+                .iter()
+                .any(|d| d.rule == "PP016" && d.message.contains("diverge")),
             "{diags:?}"
         );
     }
@@ -1130,7 +1236,11 @@ mod tests {
         let main = b.main_diagram();
         b.action(main, "A9", "1 +");
         let diags = diags_for(&b.build());
-        let text = diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+        let text = diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("[PP006]"), "{text}");
         assert!(text.contains("error"), "{text}");
     }

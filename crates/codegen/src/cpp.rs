@@ -112,7 +112,9 @@ pub fn generate_cpp(model: &Model) -> Result<CppUnit, CodegenError> {
     let mut globals = String::new();
     for v in model.globals() {
         match &v.init {
-            Some(init) => globals.push_str(&format!("{} {} = {};\n", v.var_type.cpp(), v.name, init)),
+            Some(init) => {
+                globals.push_str(&format!("{} {} = {};\n", v.var_type.cpp(), v.name, init))
+            }
             None => globals.push_str(&format!("{} {};\n", v.var_type.cpp(), v.name)),
         }
     }
@@ -126,11 +128,7 @@ pub fn generate_cpp(model: &Model) -> Result<CppUnit, CodegenError> {
     for f in &model.functions {
         let body = parse_expression(&f.body)
             .map_err(|e| CodegenError(format!("cost function `{}`: {e}", f.name)))?;
-        let def = FunctionDef::new(
-            f.name.clone(),
-            f.params.clone(),
-            body,
-        );
+        let def = FunctionDef::new(f.name.clone(), f.params.clone(), body);
         cost_functions.push_str(&function_to_cpp(&def));
         cost_functions.push('\n');
     }
@@ -195,7 +193,13 @@ pub fn generate_cpp(model: &Model) -> Result<CppUnit, CodegenError> {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -426,13 +430,22 @@ mod tests {
         b.flow(main, i, k);
         b.flow(main, k, f);
         let unit = generate_cpp(&b.build()).unwrap();
-        assert!(unit.program.contains("ActionPlus kernel6(\"Kernel6\", 1);"), "{}", unit.program);
         assert!(
-            unit.program.contains("kernel6.execute(uid, pid, tid, FK6());"),
+            unit.program.contains("ActionPlus kernel6(\"Kernel6\", 1);"),
             "{}",
             unit.program
         );
-        assert!(unit.cost_functions.contains("double FK6(){ return"), "{}", unit.cost_functions);
+        assert!(
+            unit.program
+                .contains("kernel6.execute(uid, pid, tid, FK6());"),
+            "{}",
+            unit.program
+        );
+        assert!(
+            unit.cost_functions.contains("double FK6(){ return"),
+            "{}",
+            unit.cost_functions
+        );
     }
 
     #[test]
@@ -508,7 +521,12 @@ mod tests {
         b.flow(main, lp, f);
         b.action(body, "Step", "0.5");
         let unit = generate_cpp(&b.build()).unwrap();
-        assert!(unit.program.contains("for (int i_kLoop = 0; i_kLoop < 100; ++i_kLoop) { // KLoop"), "{}", unit.program);
+        assert!(
+            unit.program
+                .contains("for (int i_kLoop = 0; i_kLoop < 100; ++i_kLoop) { // KLoop"),
+            "{}",
+            unit.program
+        );
         assert!(unit.program.contains("step.execute"), "{}", unit.program);
     }
 
@@ -525,7 +543,8 @@ mod tests {
         b.action(body, "Work", "1.0 / threads");
         let unit = generate_cpp(&b.build()).unwrap();
         assert!(
-            unit.program.contains("#pragma omp parallel num_threads(threads) // Region"),
+            unit.program
+                .contains("#pragma omp parallel num_threads(threads) // Region"),
             "{}",
             unit.program
         );
@@ -542,7 +561,8 @@ mod tests {
         b.flow(main, a, f);
         let unit = generate_cpp(&b.build()).unwrap();
         assert!(
-            unit.program.contains("sampleAction.execute(uid, pid, tid, 10);"),
+            unit.program
+                .contains("sampleAction.execute(uid, pid, tid, 10);"),
             "{}",
             unit.program
         );
@@ -554,12 +574,21 @@ mod tests {
         let mut b = ModelBuilder::new("mpi");
         let main = b.main_diagram();
         let i = b.initial(main, "start");
-        let s = b.mpi(main, "send0", "send", &[("dest", TagValue::Expr("pid + 1".into()))]);
+        let s = b.mpi(
+            main,
+            "send0",
+            "send",
+            &[("dest", TagValue::Expr("pid + 1".into()))],
+        );
         let f = b.final_node(main, "end");
         b.flow(main, i, s);
         b.flow(main, s, f);
         let unit = generate_cpp(&b.build()).unwrap();
-        assert!(unit.program.contains("MpiSend send0(\"send0\""), "{}", unit.program);
+        assert!(
+            unit.program.contains("MpiSend send0(\"send0\""),
+            "{}",
+            unit.program
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl FlowNode {
 /// Reports malformed graphs with element names (no panics on user data).
 pub fn build_flow_tree(model: &Model, diagram: DiagramId) -> Result<FlowNode, String> {
     let entry = entry_of(model, diagram)?;
-    let mut builder = FlowBuilder { model, diagram, steps: 0 };
+    let mut builder = FlowBuilder {
+        model,
+        diagram,
+        steps: 0,
+    };
     let (flow, stopped_at) = builder.walk_chain(entry, &[])?;
     if let Some(stop) = stopped_at {
         return Err(format!(
@@ -86,7 +90,11 @@ fn entry_of(model: &Model, diagram: DiagramId) -> Result<ElementId, String> {
         return Ok(initials[0]);
     }
     if initials.len() > 1 {
-        return Err(format!("diagram `{}` has {} initial nodes", d.name, initials.len()));
+        return Err(format!(
+            "diagram `{}` has {} initial nodes",
+            d.name,
+            initials.len()
+        ));
     }
     let starts: Vec<_> = d
         .nodes
@@ -162,7 +170,10 @@ impl<'a> FlowBuilder<'a> {
                 }
                 NodeKind::CallActivity(sub) => {
                     let body = build_flow_tree(self.model, sub)?;
-                    items.push(FlowNode::Composite { element: at, body: Box::new(body) });
+                    items.push(FlowNode::Composite {
+                        element: at,
+                        body: Box::new(body),
+                    });
                 }
                 NodeKind::Merge => {
                     // A merge reached outside of a decision arm is just a
@@ -295,7 +306,10 @@ impl<'a> FlowBuilder<'a> {
     fn walk_fork(&mut self, fork: ElementId) -> Result<(FlowNode, Option<ElementId>), String> {
         let succ = self.successors(fork);
         if succ.len() < 2 {
-            return Err(format!("fork `{}` has fewer than 2 outgoing edges", self.name(fork)));
+            return Err(format!(
+                "fork `{}` has fewer than 2 outgoing edges",
+                self.name(fork)
+            ));
         }
         let joins: Vec<ElementId> = self
             .model
@@ -309,7 +323,10 @@ impl<'a> FlowBuilder<'a> {
         let mut seen_join: Option<ElementId> = None;
         for (guard, target) in succ {
             if guard.is_some() {
-                return Err(format!("edges out of fork `{}` must be unguarded", self.name(fork)));
+                return Err(format!(
+                    "edges out of fork `{}` must be unguarded",
+                    self.name(fork)
+                ));
             }
             let (flow, stopped) = self.walk_chain(target, &joins)?;
             let Some(j) = stopped else {
@@ -402,9 +419,13 @@ mod tests {
         b.flow(main, a4, f);
         let m = b.build();
         let flow = build_flow_tree(&m, m.main_diagram()).unwrap();
-        let FlowNode::Seq(items) = &flow else { panic!("{flow:?}") };
+        let FlowNode::Seq(items) = &flow else {
+            panic!("{flow:?}")
+        };
         assert_eq!(items.len(), 3); // A1, Branch, A4
-        let FlowNode::Branch(arms) = &items[1] else { panic!("{items:?}") };
+        let FlowNode::Branch(arms) = &items[1] else {
+            panic!("{items:?}")
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[0].0.as_deref(), Some("GV == 1"));
         assert_eq!(arms[1].0, None); // else arm last
@@ -428,7 +449,9 @@ mod tests {
         b.flow(main, mg, f);
         let m = b.build();
         let flow = build_flow_tree(&m, m.main_diagram()).unwrap();
-        let FlowNode::Branch(arms) = &flow else { panic!("{flow:?}") };
+        let FlowNode::Branch(arms) = &flow else {
+            panic!("{flow:?}")
+        };
         assert_eq!(arms[0].0.as_deref(), Some("GV > 0"));
         assert_eq!(arms[1].0, None);
     }
@@ -448,7 +471,9 @@ mod tests {
         b.flow(sub, s1, s2);
         let m = b.build();
         let flow = build_flow_tree(&m, m.main_diagram()).unwrap();
-        let FlowNode::Composite { body, .. } = &flow else { panic!("{flow:?}") };
+        let FlowNode::Composite { body, .. } = &flow else {
+            panic!("{flow:?}")
+        };
         assert_eq!(body.exec_count(), 2);
     }
 
@@ -470,7 +495,9 @@ mod tests {
         b.flow(main, jn, f);
         let m = b.build();
         let flow = build_flow_tree(&m, m.main_diagram()).unwrap();
-        let FlowNode::Parallel(arms) = &flow else { panic!("{flow:?}") };
+        let FlowNode::Parallel(arms) = &flow else {
+            panic!("{flow:?}")
+        };
         assert_eq!(arms.len(), 2);
     }
 
@@ -557,7 +584,9 @@ mod tests {
         b.flow(main, mg, f);
         let m = b.build();
         let flow = build_flow_tree(&m, m.main_diagram()).unwrap();
-        let FlowNode::Branch(arms) = &flow else { panic!("{flow:?}") };
+        let FlowNode::Branch(arms) = &flow else {
+            panic!("{flow:?}")
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[1].1, FlowNode::Empty);
     }

@@ -76,8 +76,19 @@ mod tests {
     fn prelude_matches_codegen_classes() {
         use crate::cpp::class_of_stereotype;
         for st in [
-            "action+", "activity+", "loop+", "parallel+", "critical+", "send", "recv",
-            "broadcast", "reduce", "allreduce", "scatter", "gather", "barrier",
+            "action+",
+            "activity+",
+            "loop+",
+            "parallel+",
+            "critical+",
+            "send",
+            "recv",
+            "broadcast",
+            "reduce",
+            "allreduce",
+            "scatter",
+            "gather",
+            "barrier",
         ] {
             let class = class_of_stereotype(st);
             assert!(

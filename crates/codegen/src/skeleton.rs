@@ -59,7 +59,12 @@ pub fn generate_skeleton(model: &Model) -> Result<String, CodegenError> {
     // Locals.
     for v in model.locals() {
         match &v.init {
-            Some(init) => out.push_str(&format!("    {} {} = {};\n", v.var_type.cpp(), v.name, init)),
+            Some(init) => out.push_str(&format!(
+                "    {} {} = {};\n",
+                v.var_type.cpp(),
+                v.name,
+                init
+            )),
             None => out.push_str(&format!("    {} {} = 0;\n", v.var_type.cpp(), v.name)),
         }
     }
@@ -82,7 +87,12 @@ fn pad(out: &mut String, indent: usize) {
     }
 }
 
-fn tag_cpp(model: &Model, eid: prophet_uml::ElementId, tag: &str, default: &str) -> Result<String, CodegenError> {
+fn tag_cpp(
+    model: &Model,
+    eid: prophet_uml::ElementId,
+    tag: &str,
+    default: &str,
+) -> Result<String, CodegenError> {
     let el = model.element(eid);
     match el.tag(tag) {
         Some(TagValue::Expr(src)) | Some(TagValue::Str(src)) => {
@@ -96,7 +106,12 @@ fn tag_cpp(model: &Model, eid: prophet_uml::ElementId, tag: &str, default: &str)
     }
 }
 
-fn emit(model: &Model, flow: &FlowNode, indent: usize, out: &mut String) -> Result<(), CodegenError> {
+fn emit(
+    model: &Model,
+    flow: &FlowNode,
+    indent: usize,
+    out: &mut String,
+) -> Result<(), CodegenError> {
     match flow {
         FlowNode::Empty => Ok(()),
         FlowNode::Seq(items) => {
@@ -335,7 +350,10 @@ mod tests {
         assert!(s.contains("void block_setup(int pid, int tid)"), "{s}");
         assert!(s.contains("/* TODO: implement Setup */"), "{s}");
         assert!(s.contains("block_setup(pid, 0);"), "{s}");
-        assert!(s.contains("for (int i_iterate = 0; i_iterate < (int)(10); ++i_iterate)"), "{s}");
+        assert!(
+            s.contains("for (int i_iterate = 0; i_iterate < (int)(10); ++i_iterate)"),
+            "{s}"
+        );
         // Code fragment became real code before the block call.
         let frag = s.find("GV = 1;\n").expect("fragment");
         let call = s.find("block_setup(pid, 0);").expect("call");
@@ -360,7 +378,10 @@ mod tests {
         b.action(region, "W", "0.1");
         let s = generate_skeleton(&b.build()).unwrap();
         assert!(s.contains("#include <omp.h>"), "{s}");
-        assert!(s.contains("#pragma omp parallel num_threads((int)(4)) /* R */"), "{s}");
+        assert!(
+            s.contains("#pragma omp parallel num_threads((int)(4)) /* R */"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -369,8 +390,21 @@ mod tests {
         let main = b.main_diagram();
         let i = b.initial(main, "start");
         let d = b.decision(main, "who");
-        let s0 = b.mpi(main, "S0", "send", &[("dest", TagValue::Expr("pid + 1".into())), ("size", TagValue::Expr("1024".into()))]);
-        let r0 = b.mpi(main, "R0", "recv", &[("src", TagValue::Expr("pid - 1".into()))]);
+        let s0 = b.mpi(
+            main,
+            "S0",
+            "send",
+            &[
+                ("dest", TagValue::Expr("pid + 1".into())),
+                ("size", TagValue::Expr("1024".into())),
+            ],
+        );
+        let r0 = b.mpi(
+            main,
+            "R0",
+            "recv",
+            &[("src", TagValue::Expr("pid - 1".into()))],
+        );
         let m = b.merge(main, "m");
         let f = b.final_node(main, "end");
         b.flow(main, i, d);
@@ -381,7 +415,12 @@ mod tests {
         b.flow(main, m, f);
         let s = generate_skeleton(&b.build()).unwrap();
         assert!(s.contains("if (pid == 0) {"), "{s}");
-        assert!(s.contains("MPI_Send(buf_s0, (int)(1024), MPI_BYTE, (int)(pid + 1), 0, MPI_COMM_WORLD)"), "{s}");
+        assert!(
+            s.contains(
+                "MPI_Send(buf_s0, (int)(1024), MPI_BYTE, (int)(pid + 1), 0, MPI_COMM_WORLD)"
+            ),
+            "{s}"
+        );
         assert!(s.contains("MPI_Recv(buf_r0, BUFSIZ, MPI_BYTE, (int)(pid - 1), 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE)"), "{s}");
     }
 }

@@ -11,38 +11,64 @@
 //!   [`transform::to_program`] lowers to the executable
 //!   [`prophet_estimator::Program`] IR that the Performance Estimator
 //!   evaluates by simulation,
-//! * [`project`] — the Teuta-session equivalent: a model plus system
-//!   parameters (SP) and configuration (CF), with check → transform →
-//!   estimate → trace as one call,
-//! * [`sweep`] — parallel parameter sweeps (crossbeam scoped threads, one
-//!   deterministic simulation per configuration) powering the speedup
-//!   experiments.
+//! * [`session`] — **the engine API**: [`Session::compile`] runs check +
+//!   transform exactly once; [`Session::evaluate`], [`Session::sweep`]
+//!   and [`Session::batch`] then answer any number of "what if"
+//!   scenarios against the immutable artifacts, in parallel and
+//!   lock-free,
+//! * [`error`] — the unified [`Error`] enum with `source()` chaining,
+//! * [`project`] / [`sweep`] — the deprecated single-shot API, kept as
+//!   thin shims over [`Session`] (see the [`project`] module docs for
+//!   the migration map).
 //!
 //! ## Quickstart
 //!
+//! Compile once, evaluate many scenarios:
+//!
 //! ```
-//! use prophet_core::project::Project;
+//! use prophet_core::{mpi_grid, Scenario, Session};
 //! use prophet_machine::SystemParams;
 //! use prophet_uml::ModelBuilder;
 //!
 //! let mut b = ModelBuilder::new("demo");
 //! let main = b.main_diagram();
 //! let i = b.initial(main, "start");
-//! let a = b.action(main, "Work", "0.5");
+//! let a = b.action(main, "Work", "8 / P");
 //! let f = b.final_node(main, "end");
 //! b.flow(main, i, a);
 //! b.flow(main, a, f);
 //!
-//! let project = Project::new(b.build()).with_system(SystemParams::default());
-//! let run = project.run().unwrap();
-//! assert_eq!(run.evaluation.predicted_time, 0.5);
-//! assert!(run.cpp.program.contains("work.execute(uid, pid, tid, 0.5);"));
+//! // Check + transform happen here, exactly once.
+//! let session = Session::new(b.build())?;
+//! assert!(session.cpp().program.contains("work.execute"));
+//!
+//! // One scenario...
+//! let run = session.evaluate(&Scenario::new(SystemParams::flat_mpi(2, 1)))?;
+//! assert_eq!(run.predicted_time, 4.0);
+//!
+//! // ...or a whole sweep, fanned out over worker threads.
+//! let report = session.sweep(&mpi_grid(&[1, 2, 4, 8], 1));
+//! assert_eq!(report.times()[3], Some(1.0));
+//! # Ok::<(), prophet_core::Error>(())
 //! ```
+//!
+//! Heterogeneous scenario sets (different interconnects, seeds — not
+//! just SP grids) go through [`Session::batch`]; progress streaming for
+//! both goes through [`Session::sweep_with`] / [`Session::batch_with`].
 
+pub mod error;
 pub mod project;
+pub mod session;
 pub mod sweep;
 pub mod transform;
 
+pub use error::{render_chain, render_chain_inline, Error};
+// Re-exported so `Scenario`/`Session` callers don't need a direct
+// prophet-estimator dependency for the types in the API surface.
+#[allow(deprecated)]
 pub use project::{Project, ProjectError, RunArtifacts};
-pub use sweep::{sweep_parallel, sweep_serial, SweepPoint, SweepResult};
-pub use transform::{to_cpp, to_program, TransformError};
+pub use prophet_estimator::{EstimatorOptions, Evaluation};
+pub use session::{mpi_grid, PointResult, Scenario, Session, SweepConfig, SweepPoint, SweepReport};
+#[allow(deprecated)]
+pub use sweep::{sweep_parallel, sweep_serial, SweepResult};
+pub use transform::{to_cpp, to_program, transform_invocations, TransformError};

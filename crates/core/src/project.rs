@@ -1,20 +1,49 @@
-//! A Prophet project: the Teuta-session equivalent.
+//! The legacy single-shot pipeline API, now a shim over [`Session`].
 //!
-//! Holds a model plus the system parameters (SP) and tool configuration
-//! (CF) of the Figure-2 architecture, and exposes the full pipeline:
-//! model check (MCF) → transformation (PMP + IR) → performance estimation
-//! → trace (TF).
+//! `Project::run()` re-checks and re-transforms the model on every call;
+//! [`Session`](crate::Session) does that work exactly once and then
+//! evaluates any number of scenarios. New code should compile a session:
+//!
+//! ```
+//! use prophet_core::{Scenario, Session};
+//! # use prophet_uml::ModelBuilder;
+//! # let mut b = ModelBuilder::new("m");
+//! # let d = b.main_diagram();
+//! # let i = b.initial(d, "start");
+//! # let a = b.action(d, "Work", "1.5");
+//! # let f = b.final_node(d, "end");
+//! # b.flow(d, i, a);
+//! # b.flow(d, a, f);
+//! # let model = b.build();
+//! let session = Session::new(model)?;
+//! let run = session.evaluate(&Scenario::default())?;
+//! assert_eq!(run.predicted_time, 1.5);
+//! # Ok::<(), prophet_core::Error>(())
+//! ```
+//!
+//! Migration map:
+//!
+//! | old | new |
+//! |---|---|
+//! | `Project::new(model).run()?` | `Session::new(model)?.evaluate(&Scenario::default())?` |
+//! | `.with_system(sp)` / `.with_comm(c)` / `.with_options(o)` | fields of [`Scenario`](crate::Scenario) |
+//! | `.with_mcf(mcf)` | argument of [`Session::compile`](crate::Session::compile) |
+//! | `sweep_parallel(&project, &points, n)` | [`Session::sweep`](crate::Session::sweep) / [`Session::sweep_with`](crate::Session::sweep_with) |
+//! | `ProjectError` | [`Error`](crate::Error) (with `source()` chaining) |
 
-use crate::transform::{to_cpp, to_program, TransformError};
+use crate::error::Error;
+use crate::session::{Scenario, Session};
 use prophet_check::{check_model, Diagnostic, McfConfig};
 use prophet_codegen::CppUnit;
-use prophet_estimator::{Estimator, EstimatorError, EstimatorOptions, Evaluation, Program};
-use prophet_machine::{CommParams, MachineModel, SystemParams};
+use prophet_estimator::{EstimatorError, EstimatorOptions, Evaluation, Program};
+use prophet_machine::{CommParams, MachineError, SystemParams};
 use prophet_uml::Model;
 use prophet_xml::XmlResult;
 use std::fmt;
 
-/// Pipeline failure.
+use crate::transform::TransformError;
+
+/// Pipeline failure of the legacy [`Project`] API.
 #[derive(Debug)]
 pub enum ProjectError {
     /// The model checker found error-severity diagnostics.
@@ -24,27 +53,42 @@ pub enum ProjectError {
     /// Evaluation failed.
     Estimate(EstimatorError),
     /// Invalid system parameters.
-    Machine(String),
+    Machine(MachineError),
 }
 
 impl fmt::Display for ProjectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProjectError::Check(diags) => {
-                writeln!(f, "model check failed with {} finding(s):", diags.len())?;
+                // No trailing newline, matching `Error::Check`'s Display.
+                write!(f, "model check failed with {} finding(s):", diags.len())?;
                 for d in diags {
-                    writeln!(f, "  {d}")?;
+                    write!(f, "\n  {d}")?;
                 }
                 Ok(())
             }
             ProjectError::Transform(e) => write!(f, "{e}"),
             ProjectError::Estimate(e) => write!(f, "{e}"),
-            ProjectError::Machine(m) => write!(f, "machine error: {m}"),
+            ProjectError::Machine(e) => write!(f, "machine error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ProjectError {}
+
+impl From<Error> for ProjectError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::Check(diags) => ProjectError::Check(diags),
+            Error::Transform(e) => ProjectError::Transform(e),
+            Error::Machine(e) => ProjectError::Machine(e),
+            Error::Estimate(e) => ProjectError::Estimate(e),
+            // The legacy API parsed XML before constructing a Project,
+            // so a parse failure can only surface as a transform error.
+            Error::Parse(e) => ProjectError::Transform(TransformError(e.to_string())),
+        }
+    }
+}
 
 /// Everything one pipeline run produces.
 #[derive(Debug)]
@@ -60,6 +104,10 @@ pub struct RunArtifacts {
 }
 
 /// A modeling session: model + SP + CF.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `prophet_core::Session`: compile once, evaluate many scenarios"
+)]
 #[derive(Debug, Clone)]
 pub struct Project {
     /// The UML performance model.
@@ -74,6 +122,7 @@ pub struct Project {
     pub options: EstimatorOptions,
 }
 
+#[allow(deprecated)]
 impl Project {
     /// Project with default SP (1×1), default MCF, default options.
     pub fn new(model: Model) -> Self {
@@ -125,27 +174,37 @@ impl Project {
         check_model(&self.model, &self.mcf)
     }
 
-    /// Run the full pipeline: check → transform (both targets) →
-    /// estimate.
-    pub fn run(&self) -> Result<RunArtifacts, ProjectError> {
-        let diagnostics = self.check();
-        if diagnostics.iter().any(Diagnostic::is_error) {
-            return Err(ProjectError::Check(
-                diagnostics.into_iter().filter(Diagnostic::is_error).collect(),
-            ));
+    /// The scenario equivalent of this project's SP/CF settings.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            system: self.system,
+            comm: self.comm,
+            options: self.options.clone(),
         }
-        let cpp = to_cpp(&self.model).map_err(ProjectError::Transform)?;
-        let program = to_program(&self.model).map_err(ProjectError::Transform)?;
-        let machine =
-            MachineModel::new(self.system, self.comm).map_err(ProjectError::Machine)?;
-        let evaluation = Estimator::new(machine, self.options.clone())
-            .evaluate(&program)
-            .map_err(ProjectError::Estimate)?;
-        Ok(RunArtifacts { diagnostics, cpp, program, evaluation })
+    }
+
+    /// Compile this project's model into a reusable [`Session`].
+    pub fn compile(&self) -> Result<Session, Error> {
+        Session::compile(self.model.clone(), self.mcf.clone())
+    }
+
+    /// Run the full pipeline: check → transform (both targets) →
+    /// estimate. Each call recompiles; prefer [`Session`].
+    pub fn run(&self) -> Result<RunArtifacts, ProjectError> {
+        let session = self.compile()?;
+        let evaluation = session.evaluate(&self.scenario())?;
+        let (diagnostics, cpp, program) = session.into_artifacts();
+        Ok(RunArtifacts {
+            diagnostics,
+            cpp,
+            program,
+            evaluation,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use prophet_uml::ModelBuilder;
@@ -208,5 +267,17 @@ mod tests {
             threads_per_process: 1,
         });
         assert!(matches!(p.run().unwrap_err(), ProjectError::Machine(_)));
+    }
+
+    #[test]
+    fn shim_agrees_with_session() {
+        let p = Project::new(simple_model()).with_system(SystemParams::flat_mpi(2, 1));
+        let via_project = p.run().unwrap().evaluation.predicted_time;
+        let via_session = Session::new(simple_model())
+            .unwrap()
+            .evaluate(&p.scenario())
+            .unwrap()
+            .predicted_time;
+        assert_eq!(via_project, via_session);
     }
 }

@@ -1,27 +1,26 @@
-//! Parallel parameter sweeps over system configurations.
+//! Legacy parameter-sweep entry points, now shims over the
+//! [`Session`](crate::Session) sweep core.
 //!
 //! The paper's workflow evaluates one model under many SP configurations
 //! ("the performance can be predicted and design decisions can be
 //! influenced without time-consuming modifications of large portions of
-//! an implemented program"). Each configuration is one deterministic
-//! simulation; configurations are independent, so we parallelize *across*
-//! simulations with crossbeam scoped threads — never inside one
-//! (DESIGN.md §5).
+//! an implemented program"). The old free functions here re-transformed
+//! the model on every call and collected results behind a mutex; the
+//! [`Session`](crate::Session) sweep compiles once and streams lock-free.
+//! The shims keep the exact legacy contract — `to_program` only (no model
+//! check, no C++ generation), single-line error strings — while the point
+//! evaluation itself runs on the new lock-free core. [`SweepPoint`] and
+//! [`mpi_grid`] stay current and are re-exported from [`crate::session`].
 
+use crate::error::Error;
+#[allow(deprecated)]
 use crate::project::Project;
+pub use crate::session::{mpi_grid, SweepPoint};
+use crate::session::{sweep_program, SweepConfig};
 use crate::transform::to_program;
-use parking_lot::Mutex;
-use prophet_estimator::{Estimator, EstimatorOptions, Program};
-use prophet_machine::{MachineModel, SystemParams};
+use prophet_machine::SystemParams;
 
-/// One configuration to evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SweepPoint {
-    /// System parameters of this configuration.
-    pub sp: SystemParams,
-}
-
-/// One configuration's outcome.
+/// One configuration's outcome in the legacy string-error format.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     /// The configuration.
@@ -37,92 +36,78 @@ impl SweepResult {
     }
 }
 
-fn eval_point(program: &Program, project: &Project, sp: SystemParams) -> SweepResult {
-    let outcome = MachineModel::new(sp, project.comm)
-        .map_err(|e| e.to_string())
-        .and_then(|machine| {
-            let options = EstimatorOptions {
-                trace: false, // sweeps don't need traces
-                ..project.options.clone()
-            };
-            Estimator::new(machine, options)
-                .evaluate(program)
-                .map(|e| e.predicted_time)
-                .map_err(|e| e.to_string())
-        });
-    SweepResult { sp, outcome }
+/// The legacy single-line error message: the innermost error's own
+/// `Display`, as the pre-`Session` sweeps reported it — not the
+/// multi-line `render_chain` form of the new API.
+fn legacy_message(e: &Error) -> String {
+    match e {
+        Error::Machine(m) => m.to_string(),
+        Error::Transform(t) => t.to_string(),
+        Error::Estimate(s) => s.to_string(),
+        other => crate::error::render_chain(other),
+    }
+}
+
+#[allow(deprecated)]
+fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> Vec<SweepResult> {
+    // Exactly what the legacy sweeps did per call: build the Program IR
+    // once — no model check, no C++ generation.
+    let program = match to_program(&project.model) {
+        Ok(p) => p,
+        Err(e) => {
+            // The legacy functions reported per-point errors rather than
+            // failing the sweep; keep that contract.
+            let msg = e.to_string();
+            return points
+                .iter()
+                .map(|pt| SweepResult {
+                    sp: pt.sp,
+                    outcome: Err(msg.clone()),
+                })
+                .collect();
+        }
+    };
+    let config = SweepConfig {
+        comm: project.comm,
+        options: project.options.clone(),
+        threads,
+    };
+    sweep_program(&program, points, &config, |_, _| {})
+        .points
+        .into_iter()
+        .map(|p| SweepResult {
+            sp: p.sp,
+            outcome: p.outcome.map_err(|e| legacy_message(&e)),
+        })
+        .collect()
 }
 
 /// Evaluate every point serially (baseline for the parallel-sweep bench).
+#[deprecated(since = "0.2.0", note = "use `Session::sweep_with` with `threads: 1`")]
+#[allow(deprecated)]
 pub fn sweep_serial(project: &Project, points: &[SweepPoint]) -> Vec<SweepResult> {
-    let program = match to_program(&project.model) {
-        Ok(p) => p,
-        Err(e) => {
-            return points
-                .iter()
-                .map(|pt| SweepResult { sp: pt.sp, outcome: Err(e.to_string()) })
-                .collect()
-        }
-    };
-    points.iter().map(|pt| eval_point(&program, project, pt.sp)).collect()
+    sweep_via_core(project, points, 1)
 }
 
-/// Evaluate points in parallel with crossbeam scoped threads.
+/// Evaluate points in parallel over scoped threads.
 ///
 /// Results are returned in input order regardless of completion order.
 /// `threads = 0` selects the available parallelism.
-pub fn sweep_parallel(project: &Project, points: &[SweepPoint], threads: usize) -> Vec<SweepResult> {
-    let program = match to_program(&project.model) {
-        Ok(p) => p,
-        Err(e) => {
-            return points
-                .iter()
-                .map(|pt| SweepResult { sp: pt.sp, outcome: Err(e.to_string()) })
-                .collect()
-        }
-    };
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        threads
-    };
-    let threads = threads.min(points.len().max(1));
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SweepResult>>> = Mutex::new(vec![None; points.len()]);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let result = eval_point(&program, project, points[i].sp);
-                results.lock()[i] = Some(result);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every index processed"))
-        .collect()
-}
-
-/// Convenience: a `(nodes × cpus)` grid of flat-MPI configurations.
-pub fn mpi_grid(node_counts: &[usize], cpus_per_node: usize) -> Vec<SweepPoint> {
-    node_counts
-        .iter()
-        .map(|&n| SweepPoint { sp: SystemParams::flat_mpi(n, cpus_per_node) })
-        .collect()
+#[deprecated(since = "0.2.0", note = "use `Session::sweep` / `Session::sweep_with`")]
+#[allow(deprecated)]
+pub fn sweep_parallel(
+    project: &Project,
+    points: &[SweepPoint],
+    threads: usize,
+) -> Vec<SweepResult> {
+    sweep_via_core(project, points, threads)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::Session;
     use prophet_uml::ModelBuilder;
 
     /// A model whose time shrinks with more processes: a parallelizable
@@ -138,6 +123,28 @@ mod tests {
         b.flow(main, serial, par);
         b.flow(main, par, f);
         Project::new(b.build())
+    }
+
+    #[test]
+    fn shim_skips_check_gate_like_legacy() {
+        // The legacy sweeps never ran the model checker: a model that
+        // fails a check rule but still transforms (here PP001, a name
+        // that is not a C identifier) must keep sweeping via the shim.
+        let mut b = ModelBuilder::new("legacy");
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let a = b.action(main, "Bad Name!", "2.0");
+        let f = b.final_node(main, "end");
+        b.flow(main, i, a);
+        b.flow(main, a, f);
+        let project = Project::new(b.build());
+        assert!(
+            project.check().iter().any(|d| d.is_error()),
+            "model must fail the checker for this test to mean anything"
+        );
+        let results = sweep_parallel(&project, &mpi_grid(&[1, 2], 1), 2);
+        assert_eq!(results[0].time(), Some(2.0));
+        assert_eq!(results[1].time(), Some(2.0));
     }
 
     #[test]
@@ -162,7 +169,7 @@ mod tests {
         assert_eq!(times[1], 5.0); // 1 + 4
         assert_eq!(times[2], 3.0); // 1 + 2
         assert_eq!(times[3], 2.0); // 1 + 1
-        // Monotone improvement with diminishing returns.
+                                   // Monotone improvement with diminishing returns.
         assert!(times.windows(2).all(|w| w[1] < w[0]));
         let speedup8 = times[0] / times[3];
         assert!(speedup8 < 8.0, "Amdahl bound");
@@ -173,7 +180,12 @@ mod tests {
         let project = scalable_project();
         // processes < nodes is invalid.
         let bad = SweepPoint {
-            sp: SystemParams { nodes: 4, cpus_per_node: 1, processes: 2, threads_per_process: 1 },
+            sp: SystemParams {
+                nodes: 4,
+                cpus_per_node: 1,
+                processes: 2,
+                threads_per_process: 1,
+            },
         };
         let results = sweep_parallel(&project, &[bad], 2);
         assert!(results[0].outcome.is_err());
@@ -186,5 +198,18 @@ mod tests {
         let results = sweep_parallel(&project, &points, 3);
         let order: Vec<usize> = results.iter().map(|r| r.sp.processes).collect();
         assert_eq!(order, vec![8, 1, 4, 2]);
+    }
+
+    #[test]
+    fn shim_matches_session_sweep() {
+        let project = scalable_project();
+        let points = mpi_grid(&[1, 2, 4, 8], 1);
+        let legacy = sweep_parallel(&project, &points, 0);
+        let session = Session::new(project.model.clone()).unwrap();
+        let report = session.sweep(&points);
+        for (a, b) in legacy.iter().zip(&report.points) {
+            assert_eq!(a.sp, b.sp);
+            assert_eq!(a.time(), b.time());
+        }
     }
 }

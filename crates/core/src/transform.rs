@@ -10,7 +10,25 @@ use prophet_codegen::{build_flow_tree, generate_cpp, CodegenError, CppUnit, Flow
 use prophet_estimator::{MpiOp, Program, Step};
 use prophet_expr::{parse_expression, parse_statements, FunctionDef};
 use prophet_uml::{Model, TagValue, VarScope};
+use std::cell::Cell;
 use std::fmt;
+
+thread_local! {
+    /// Per-thread count of structural transformations performed (both
+    /// backends). The compile-once [`crate::Session`] contract is
+    /// observable through this: a session adds exactly two (one
+    /// `to_cpp`, one `to_program`) no matter how many scenarios it
+    /// evaluates. Benches and tests assert on deltas of this counter;
+    /// it is thread-local so concurrently running tests cannot perturb
+    /// each other's deltas — measure on the thread that compiles and
+    /// evaluates (e.g. a `threads: 1` sweep).
+    static TRANSFORM_INVOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `to_cpp`/`to_program` calls so far on this thread.
+pub fn transform_invocations() -> u64 {
+    TRANSFORM_INVOCATIONS.with(Cell::get)
+}
 
 /// Transformation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +50,13 @@ impl From<CodegenError> for TransformError {
 
 /// UML → C++ (the PMP of Figure 8).
 pub fn to_cpp(model: &Model) -> Result<CppUnit, TransformError> {
+    TRANSFORM_INVOCATIONS.with(|c| c.set(c.get() + 1));
     Ok(generate_cpp(model)?)
 }
 
 /// UML → executable Program IR for the Performance Estimator.
 pub fn to_program(model: &Model) -> Result<Program, TransformError> {
+    TRANSFORM_INVOCATIONS.with(|c| c.set(c.get() + 1));
     let mut program = Program::new(model.name.clone());
 
     // Globals / locals (Figure 5 lines 9–12 and 20–23). Initializers are
@@ -63,7 +83,9 @@ pub fn to_program(model: &Model) -> Result<Program, TransformError> {
     for f in &model.functions {
         let body = parse_expression(&f.body)
             .map_err(|e| TransformError(format!("cost function `{}`: {e}", f.name)))?;
-        program.functions.push(FunctionDef::new(f.name.clone(), f.params.clone(), body));
+        program
+            .functions
+            .push(FunctionDef::new(f.name.clone(), f.params.clone(), body));
     }
 
     // Flow (lines 29–35) over the same structural tree as the C++ backend.
@@ -165,7 +187,10 @@ fn lower_flow(model: &Model, flow: &FlowNode) -> Result<Step, TransformError> {
                             .unwrap_or(prophet_expr::Expr::Num(0.0)),
                     },
                 },
-                Some("barrier") => Step::Mpi { name: el.name.clone(), op: MpiOp::Barrier },
+                Some("barrier") => Step::Mpi {
+                    name: el.name.clone(),
+                    op: MpiOp::Barrier,
+                },
                 _ => {
                     // <<action+>>: cost from the `cost` tag or the literal
                     // `time` tag (Figure 1(b)).
@@ -179,7 +204,11 @@ fn lower_flow(model: &Model, flow: &FlowNode) -> Result<Step, TransformError> {
                         })?,
                         None => Vec::new(),
                     };
-                    Step::Exec { name: el.name.clone(), cost, code }
+                    Step::Exec {
+                        name: el.name.clone(),
+                        cost,
+                        code,
+                    }
                 }
             }
         }
@@ -230,7 +259,10 @@ fn lower_flow(model: &Model, flow: &FlowNode) -> Result<Step, TransformError> {
                     },
                     body: Box::new(inner),
                 },
-                _ => Step::Composite { name: el.name.clone(), body: Box::new(inner) },
+                _ => Step::Composite {
+                    name: el.name.clone(),
+                    body: Box::new(inner),
+                },
             }
         }
     })
@@ -320,9 +352,23 @@ mod tests {
         b.flow(main, s0, bar);
         b.flow(main, bar, f);
         let prog = to_program(&b.build()).unwrap();
-        let Step::Seq(items) = &prog.body else { panic!("{:?}", prog.body) };
-        assert!(matches!(&items[0], Step::Mpi { op: MpiOp::Send { tag: 3, .. }, .. }));
-        assert!(matches!(&items[1], Step::Mpi { op: MpiOp::Barrier, .. }));
+        let Step::Seq(items) = &prog.body else {
+            panic!("{:?}", prog.body)
+        };
+        assert!(matches!(
+            &items[0],
+            Step::Mpi {
+                op: MpiOp::Send { tag: 3, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &items[1],
+            Step::Mpi {
+                op: MpiOp::Barrier,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -341,7 +387,9 @@ mod tests {
         b.action(lbody, "LS", "1");
         b.action(pbody, "PS", "1");
         let prog = to_program(&b.build()).unwrap();
-        let Step::Seq(items) = &prog.body else { panic!() };
+        let Step::Seq(items) = &prog.body else {
+            panic!()
+        };
         assert!(matches!(&items[0], Step::Loop { .. }));
         assert!(matches!(&items[1], Step::ParallelRegion { .. }));
     }

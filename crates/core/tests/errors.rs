@@ -1,0 +1,168 @@
+//! Error-path coverage for the unified `prophet_core::Error`: `source()`
+//! chains, `Display` formats, invalid-SP and parse-failure scenarios —
+//! through both the `Session` engine and the deprecated `Project` shim.
+
+use prophet_core::{render_chain, Error, Scenario, Session};
+use prophet_machine::SystemParams;
+use prophet_uml::{Model, ModelBuilder};
+use std::error::Error as StdError;
+
+fn good_model() -> Model {
+    let mut b = ModelBuilder::new("ok");
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let a = b.action(main, "Work", "1.0");
+    let f = b.final_node(main, "end");
+    b.flow(main, i, a);
+    b.flow(main, a, f);
+    b.build()
+}
+
+fn bad_cost_model() -> Model {
+    let mut b = ModelBuilder::new("bad");
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let a = b.action(main, "Oops", "1 +");
+    let f = b.final_node(main, "end");
+    b.flow(main, i, a);
+    b.flow(main, a, f);
+    b.build()
+}
+
+fn invalid_sp() -> SystemParams {
+    // processes < nodes is rejected by validation.
+    SystemParams {
+        nodes: 4,
+        cpus_per_node: 1,
+        processes: 2,
+        threads_per_process: 1,
+    }
+}
+
+#[test]
+fn machine_error_chains_through_source() {
+    let session = Session::new(good_model()).unwrap();
+    let err = session.evaluate(&Scenario::new(invalid_sp())).unwrap_err();
+    assert!(matches!(err, Error::Machine(_)));
+    // Top level names the stage...
+    assert_eq!(
+        err.to_string(),
+        "machine model rejected the system parameters"
+    );
+    // ...and source() carries the cause, with the real detail inside.
+    let source = err.source().expect("machine errors have a source");
+    assert!(
+        source.to_string().contains("processes must be >= nodes"),
+        "unexpected source: {source}"
+    );
+    // The rendered chain shows both levels.
+    let chain = render_chain(&err);
+    assert!(chain.contains("caused by:"), "{chain}");
+    assert!(chain.contains("processes must be >= nodes"), "{chain}");
+}
+
+#[test]
+fn parse_error_chains_through_source() {
+    let err = Session::from_model_xml("<model><unclosed>").unwrap_err();
+    assert!(matches!(err, Error::Parse(_)));
+    assert_eq!(err.to_string(), "model XML does not parse");
+    assert!(
+        err.source().is_some(),
+        "parse errors must carry the XML error"
+    );
+}
+
+#[test]
+fn check_error_lists_diagnostics_and_has_no_source() {
+    let err = Session::new(bad_cost_model()).unwrap_err();
+    let diags = err
+        .diagnostics()
+        .expect("check failure carries diagnostics");
+    assert!(!diags.is_empty());
+    // Display embeds the findings directly, so there is no deeper source.
+    assert!(err.to_string().contains("model check failed"));
+    assert!(err.source().is_none());
+}
+
+#[test]
+fn estimate_error_chains_through_source() {
+    // A receive that can never be matched deadlocks the simulation.
+    let mut b = ModelBuilder::new("stuck");
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let r = b.mpi(
+        main,
+        "r0",
+        "recv",
+        &[("src", prophet_uml::TagValue::Expr("1".into()))],
+    );
+    let f = b.final_node(main, "end");
+    b.flow(main, i, r);
+    b.flow(main, r, f);
+    let session = Session::new(b.build()).unwrap();
+    let err = session
+        .evaluate(&Scenario::new(SystemParams::flat_mpi(2, 1)))
+        .unwrap_err();
+    assert!(matches!(err, Error::Estimate(_)));
+    assert_eq!(err.to_string(), "performance evaluation failed");
+    let source = err.source().expect("estimate errors have a source");
+    assert!(
+        source.to_string().contains("deadlock"),
+        "unexpected source: {source}"
+    );
+}
+
+#[test]
+fn sweep_reports_typed_errors_per_point() {
+    let session = Session::new(good_model()).unwrap();
+    let points = [
+        prophet_core::SweepPoint {
+            sp: SystemParams::flat_mpi(2, 1),
+        },
+        prophet_core::SweepPoint { sp: invalid_sp() },
+    ];
+    let report = session.sweep(&points);
+    assert!(report.points[0].outcome.is_ok());
+    assert!(matches!(report.points[1].outcome, Err(Error::Machine(_))));
+    assert_eq!(report.failures(), 1);
+    assert_eq!(report.times(), vec![Some(1.0), None]);
+}
+
+#[test]
+#[allow(deprecated)]
+fn project_shim_maps_machine_errors() {
+    use prophet_core::{Project, ProjectError};
+    let err = Project::new(good_model())
+        .with_system(invalid_sp())
+        .run()
+        .unwrap_err();
+    match err {
+        ProjectError::Machine(machine) => {
+            assert!(machine.to_string().contains("processes must be >= nodes"));
+        }
+        other => panic!("expected machine error, got {other}"),
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn project_shim_maps_check_errors_and_displays_findings() {
+    use prophet_core::{Project, ProjectError};
+    let err = Project::new(bad_cost_model()).run().unwrap_err();
+    let text = err.to_string();
+    match err {
+        ProjectError::Check(diags) => assert!(!diags.is_empty()),
+        other => panic!("expected check error, got {other}"),
+    }
+    assert!(text.contains("model check failed"), "{text}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_sweep_carries_error_text() {
+    use prophet_core::{sweep_parallel, Project, SweepPoint};
+    let project = Project::new(good_model());
+    let results = sweep_parallel(&project, &[SweepPoint { sp: invalid_sp() }], 2);
+    let msg = results[0].outcome.as_ref().unwrap_err();
+    assert!(msg.contains("processes must be >= nodes"), "{msg}");
+}

@@ -2,12 +2,12 @@
 //! check, transform (both targets), and evaluate without panicking, and
 //! chain-model predictions must equal the sum of their costs.
 
-use proptest::prelude::*;
 use prophet_check::{check_model, McfConfig};
-use prophet_core::project::Project;
 use prophet_core::transform::{to_cpp, to_program};
+use prophet_core::{mpi_grid, Scenario, Session, SweepConfig};
 use prophet_machine::SystemParams;
 use prophet_uml::{Model, ModelBuilder};
+use proptest::prelude::*;
 
 /// Random linear chain with constant numeric costs.
 fn chain(costs: Vec<u16>) -> (Model, f64) {
@@ -58,28 +58,59 @@ proptest! {
     #[test]
     fn chain_prediction_is_sum_of_costs(costs in prop::collection::vec(0u16..2000, 1..24)) {
         let (model, total) = chain(costs);
-        let run = Project::new(model).run().unwrap();
-        prop_assert!((run.evaluation.predicted_time - total).abs() < 1e-9,
-            "{} vs {}", run.evaluation.predicted_time, total);
+        let run = Session::new(model).unwrap().evaluate(&Scenario::default()).unwrap();
+        prop_assert!((run.predicted_time - total).abs() < 1e-9,
+            "{} vs {}", run.predicted_time, total);
     }
 
     #[test]
     fn chain_prediction_independent_of_ranks(costs in prop::collection::vec(0u16..1000, 1..12), p in 1usize..9) {
         // A communication-free SPMD chain takes the same time on any P.
         let (model, total) = chain(costs);
-        let run = Project::new(model)
-            .with_system(SystemParams::flat_mpi(p, 1))
-            .run()
+        let run = Session::new(model)
+            .unwrap()
+            .evaluate(&Scenario::new(SystemParams::flat_mpi(p, 1)))
             .unwrap();
-        prop_assert!((run.evaluation.predicted_time - total).abs() < 1e-9);
+        prop_assert!((run.predicted_time - total).abs() < 1e-9);
     }
 
     #[test]
     fn branch_takes_the_fragment_driven_arm(gv in -3i64..4, t in 0u16..1000, e in 0u16..1000) {
         let (model, expected) = branchy(gv, t, e);
-        let run = Project::new(model).run().unwrap();
-        prop_assert!((run.evaluation.predicted_time - expected).abs() < 1e-9,
-            "{} vs {expected}", run.evaluation.predicted_time);
+        let run = Session::new(model).unwrap().evaluate(&Scenario::default()).unwrap();
+        prop_assert!((run.predicted_time - expected).abs() < 1e-9,
+            "{} vs {expected}", run.predicted_time);
+    }
+
+    #[test]
+    fn sweep_and_batch_agree_with_independent_evaluations(
+        costs in prop::collection::vec(0u16..1000, 1..10),
+        sizes in prop::collection::vec(1usize..9, 1..8),
+        threads in 0usize..5,
+    ) {
+        // One compiled session: `sweep`, `batch`, and N independent
+        // `evaluate` calls must produce identical predictions.
+        let (model, _) = chain(costs);
+        let session = Session::new(model).unwrap();
+
+        let points = mpi_grid(&sizes, 1);
+        let config = SweepConfig { threads, ..Default::default() };
+        let report = session.sweep_with(&points, &config, |_, _| {});
+
+        let scenarios: Vec<Scenario> = points
+            .iter()
+            .map(|pt| Scenario::new(pt.sp).without_trace())
+            .collect();
+        let batch = session.batch(&scenarios);
+
+        for ((pt, swept), batched) in points.iter().zip(&report.points).zip(&batch) {
+            let direct = session
+                .evaluate(&Scenario::new(pt.sp).without_trace())
+                .unwrap()
+                .predicted_time;
+            prop_assert_eq!(swept.time(), Some(direct));
+            prop_assert_eq!(batched.as_ref().unwrap().predicted_time, direct);
+        }
     }
 
     #[test]

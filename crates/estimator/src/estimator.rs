@@ -100,25 +100,42 @@ impl Estimator {
 
     /// Evaluate `program` on the configured machine.
     pub fn evaluate(&self, program: &Program) -> Result<Evaluation, EstimatorError> {
-        let sp = self.machine.sp;
+        Self::run(program, &self.machine, &self.options)
+    }
+
+    /// Evaluate `program` on `machine` with `options`, borrowing both.
+    ///
+    /// This is the reusable hot path behind compile-once sessions: one
+    /// immutable `Program` and one `EstimatorOptions` can serve any
+    /// number of evaluations (and any number of threads) without being
+    /// cloned or consumed. [`Estimator::evaluate`] delegates here.
+    pub fn run(
+        program: &Program,
+        machine: &MachineModel,
+        options: &EstimatorOptions,
+    ) -> Result<Evaluation, EstimatorError> {
+        let sp = machine.sp;
 
         // Phase 1: elaborate each rank.
         let mut rank_ops = Vec::with_capacity(sp.processes);
         for pid in 0..sp.processes {
-            rank_ops.push(flatten_for_process(program, &self.machine, pid, self.options.limits)?);
+            rank_ops.push(flatten_for_process(program, machine, pid, options.limits)?);
         }
 
         // Phase 2: integrate with the machine model in a fresh simulator.
         let mut sim = Simulator::new(Config {
-            seed: self.options.seed,
-            until: self.options.until,
-            calendar: self.options.calendar,
+            seed: options.seed,
+            until: options.until,
+            calendar: options.calendar,
             ..Default::default()
         });
-        let layout = self.machine.instantiate(&mut sim);
+        let layout = machine.instantiate(&mut sim);
         let mailboxes = Rc::new(layout.proc_mailboxes.clone());
-        let trace_sink = if self.options.trace {
-            Some(Rc::new(RefCell::new(TraceFile::new(program.name.clone(), sp.processes))))
+        let trace_sink = if options.trace {
+            Some(Rc::new(RefCell::new(TraceFile::new(
+                program.name.clone(),
+                sp.processes,
+            ))))
         } else {
             None
         };
@@ -138,9 +155,9 @@ impl Estimator {
             let proc = OpProcess::master(
                 pid,
                 ops,
-                self.machine.cpu_facility_of(&layout, pid),
+                machine.cpu_facility_of(&layout, pid),
                 Rc::clone(&mailboxes),
-                self.machine.comm,
+                machine.comm,
                 trace_sink.clone(),
                 Rc::new(locks),
                 Rc::clone(&error),
@@ -165,7 +182,11 @@ impl Estimator {
             None => TraceFile::new(program.name.clone(), sp.processes),
         };
 
-        Ok(Evaluation { predicted_time: report.end_time, report, trace })
+        Ok(Evaluation {
+            predicted_time: report.end_time,
+            report,
+            trace,
+        })
     }
 }
 
@@ -182,11 +203,17 @@ mod tests {
     }
 
     fn exec(name: &str, cost: &str) -> Step {
-        Step::Exec { name: name.into(), cost: Some(parse_expression(cost).unwrap()), code: vec![] }
+        Step::Exec {
+            name: name.into(),
+            cost: Some(parse_expression(cost).unwrap()),
+            code: vec![],
+        }
     }
 
     fn eval(program: &Program, m: MachineModel) -> Evaluation {
-        Estimator::new(m, EstimatorOptions::default()).evaluate(program).unwrap()
+        Estimator::new(m, EstimatorOptions::default())
+            .evaluate(program)
+            .unwrap()
     }
 
     #[test]
@@ -258,7 +285,13 @@ mod tests {
             ),
             (
                 None,
-                Step::Mpi { name: "r".into(), op: MpiOp::Recv { src: parse_expression("0").unwrap(), tag: 0 } },
+                Step::Mpi {
+                    name: "r".into(),
+                    op: MpiOp::Recv {
+                        src: parse_expression("0").unwrap(),
+                        tag: 0,
+                    },
+                },
             ),
         ]);
         let e = eval(&p, m);
@@ -276,10 +309,16 @@ mod tests {
         let mut p = Program::new("bar");
         p.body = Step::Seq(vec![
             Step::Branch(vec![
-                (Some(parse_expression("pid == 0").unwrap()), exec("slow", "5")),
+                (
+                    Some(parse_expression("pid == 0").unwrap()),
+                    exec("slow", "5"),
+                ),
                 (None, exec("fast", "1")),
             ]),
-            Step::Mpi { name: "b".into(), op: MpiOp::Barrier },
+            Step::Mpi {
+                name: "b".into(),
+                op: MpiOp::Barrier,
+            },
             exec("tail", "1"),
         ]);
         let e = eval(&p, machine(2, 1));
@@ -297,7 +336,12 @@ mod tests {
             body: Box::new(exec("W", "1")),
         };
         let m = MachineModel::new(
-            SystemParams { nodes: 1, cpus_per_node: 2, processes: 1, threads_per_process: 4 },
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 2,
+                processes: 1,
+                threads_per_process: 4,
+            },
             CommParams::default(),
         )
         .unwrap();
@@ -341,7 +385,12 @@ mod tests {
         let mut p = Program::new("fj");
         p.body = Step::Parallel(vec![exec("X", "2"), exec("Y", "3")]);
         let m = MachineModel::new(
-            SystemParams { nodes: 1, cpus_per_node: 2, processes: 1, threads_per_process: 2 },
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 2,
+                processes: 1,
+                threads_per_process: 2,
+            },
             CommParams::default(),
         )
         .unwrap();
@@ -368,7 +417,13 @@ mod tests {
         let mut p = Program::new("stuck");
         p.body = Step::Branch(vec![(
             Some(parse_expression("pid == 0").unwrap()),
-            Step::Mpi { name: "r".into(), op: MpiOp::Recv { src: parse_expression("1").unwrap(), tag: 0 } },
+            Step::Mpi {
+                name: "r".into(),
+                op: MpiOp::Recv {
+                    src: parse_expression("1").unwrap(),
+                    tag: 0,
+                },
+            },
         )]);
         let err = Estimator::new(machine(2, 1), EstimatorOptions::default())
             .evaluate(&p)
@@ -387,7 +442,10 @@ mod tests {
         p.body = exec("A", "1");
         let e = Estimator::new(
             machine(1, 1),
-            EstimatorOptions { trace: false, ..Default::default() },
+            EstimatorOptions {
+                trace: false,
+                ..Default::default()
+            },
         )
         .evaluate(&p)
         .unwrap();
@@ -400,7 +458,10 @@ mod tests {
         let mut p = Program::new("det");
         p.body = Step::Seq(vec![
             exec("A", "0.5 + 0.125 * pid"),
-            Step::Mpi { name: "b".into(), op: MpiOp::Barrier },
+            Step::Mpi {
+                name: "b".into(),
+                op: MpiOp::Barrier,
+            },
             exec("B", "1"),
         ]);
         let run = || {
@@ -428,12 +489,20 @@ mod tests {
             ])),
         };
         let m = MachineModel::new(
-            SystemParams { nodes: 1, cpus_per_node: 4, processes: 1, threads_per_process: 4 },
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 4,
+                processes: 1,
+                threads_per_process: 4,
+            },
             CommParams::default(),
         )
         .unwrap();
         let e = eval(&p, m);
-        assert_eq!(e.predicted_time, 5.0, "1s parallel + 4×1s serialized critical");
+        assert_eq!(
+            e.predicted_time, 5.0,
+            "1s parallel + 4×1s serialized critical"
+        );
     }
 
     #[test]
@@ -453,7 +522,12 @@ mod tests {
             },
         ]);
         let m = MachineModel::new(
-            SystemParams { nodes: 1, cpus_per_node: 2, processes: 1, threads_per_process: 2 },
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 2,
+                processes: 1,
+                threads_per_process: 2,
+            },
             CommParams::default(),
         )
         .unwrap();
@@ -465,11 +539,24 @@ mod tests {
     fn same_lock_excludes_across_fork_arms() {
         let mut p = Program::new("locks2");
         p.body = Step::Parallel(vec![
-            Step::Critical { name: "C1".into(), lock: "x".into(), body: Box::new(exec("W1", "2")) },
-            Step::Critical { name: "C2".into(), lock: "x".into(), body: Box::new(exec("W2", "2")) },
+            Step::Critical {
+                name: "C1".into(),
+                lock: "x".into(),
+                body: Box::new(exec("W1", "2")),
+            },
+            Step::Critical {
+                name: "C2".into(),
+                lock: "x".into(),
+                body: Box::new(exec("W2", "2")),
+            },
         ]);
         let m = MachineModel::new(
-            SystemParams { nodes: 1, cpus_per_node: 2, processes: 1, threads_per_process: 2 },
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 2,
+                processes: 1,
+                threads_per_process: 2,
+            },
             CommParams::default(),
         )
         .unwrap();

@@ -100,7 +100,10 @@ pub struct FlattenLimits {
 
 impl Default for FlattenLimits {
     fn default() -> Self {
-        Self { max_ops: 5_000_000, max_loop_iterations: 1_000_000 }
+        Self {
+            max_ops: 5_000_000,
+            max_loop_iterations: 1_000_000,
+        }
     }
 }
 
@@ -195,23 +198,40 @@ impl<'a> Flattener<'a> {
         Ok(())
     }
 
-    fn eval_num(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<f64, FlattenError> {
+    fn eval_num(
+        &self,
+        expr: &prophet_expr::Expr,
+        env: &mut Env,
+        what: &str,
+    ) -> Result<f64, FlattenError> {
         expr.eval(env)
             .and_then(Value::as_num)
             .map_err(|e| FlattenError(format!("{what}: {e}")))
     }
 
-    fn eval_rank(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<usize, FlattenError> {
+    fn eval_rank(
+        &self,
+        expr: &prophet_expr::Expr,
+        env: &mut Env,
+        what: &str,
+    ) -> Result<usize, FlattenError> {
         let v = self.eval_num(expr, env, what)?;
         let p = self.machine.sp.processes;
         let r = v.round();
         if r < 0.0 || r >= p as f64 {
-            return Err(FlattenError(format!("{what}: rank {r} out of range 0..{p}")));
+            return Err(FlattenError(format!(
+                "{what}: rank {r} out of range 0..{p}"
+            )));
         }
         Ok(r as usize)
     }
 
-    fn eval_bytes(&self, expr: &prophet_expr::Expr, env: &mut Env, what: &str) -> Result<u64, FlattenError> {
+    fn eval_bytes(
+        &self,
+        expr: &prophet_expr::Expr,
+        env: &mut Env,
+        what: &str,
+    ) -> Result<u64, FlattenError> {
         let v = self.eval_num(expr, env, what)?;
         if v < 0.0 || !v.is_finite() {
             return Err(FlattenError(format!("{what}: invalid size {v}")));
@@ -219,7 +239,12 @@ impl<'a> Flattener<'a> {
         Ok(v.round() as u64)
     }
 
-    fn walk(&mut self, step: &Step, env: &mut Env, out: &mut Vec<PrimOp>) -> Result<(), FlattenError> {
+    fn walk(
+        &mut self,
+        step: &Step,
+        env: &mut Env,
+        out: &mut Vec<PrimOp>,
+    ) -> Result<(), FlattenError> {
         match step {
             Step::Nop => Ok(()),
             Step::Seq(items) => {
@@ -246,7 +271,13 @@ impl<'a> Flattener<'a> {
                     }
                     None => 0.0,
                 };
-                self.emit(out, PrimOp::Compute { element: name.clone(), seconds })?;
+                self.emit(
+                    out,
+                    PrimOp::Compute {
+                        element: name.clone(),
+                        seconds,
+                    },
+                )?;
                 self.emit(out, PrimOp::Exit(name.clone()))
             }
             Step::Branch(arms) => {
@@ -269,7 +300,12 @@ impl<'a> Flattener<'a> {
                 self.walk(body, env, out)?;
                 self.emit(out, PrimOp::Exit(name.clone()))
             }
-            Step::Loop { name, count, var, body } => {
+            Step::Loop {
+                name,
+                count,
+                var,
+                body,
+            } => {
                 let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
                 if !(n.is_finite() && n >= 0.0) {
                     return Err(FlattenError(format!(
@@ -313,14 +349,21 @@ impl<'a> Flattener<'a> {
                 }
                 self.emit(
                     out,
-                    PrimOp::Threads { element: "fork".into(), arms: arm_ops },
+                    PrimOp::Threads {
+                        element: "fork".into(),
+                        arms: arm_ops,
+                    },
                 )
             }
-            Step::ParallelRegion { name, threads, body } => {
+            Step::ParallelRegion {
+                name,
+                threads,
+                body,
+            } => {
                 let team = match threads {
                     Some(expr) => {
                         let t = self.eval_num(expr, env, &format!("threads of `{name}`"))?;
-                        if t < 1.0 || t > 4096.0 {
+                        if !(1.0..=4096.0).contains(&t) {
                             return Err(FlattenError(format!(
                                 "threads of `{name}` evaluated to invalid team size {t}"
                             )));
@@ -338,7 +381,13 @@ impl<'a> Flattener<'a> {
                     arm_ops.push(ops);
                 }
                 self.emit(out, PrimOp::Enter(name.clone()))?;
-                self.emit(out, PrimOp::Threads { element: name.clone(), arms: arm_ops })?;
+                self.emit(
+                    out,
+                    PrimOp::Threads {
+                        element: name.clone(),
+                        arms: arm_ops,
+                    },
+                )?;
                 self.emit(out, PrimOp::Exit(name.clone()))
             }
             Step::Critical { name, lock, body } => {
@@ -365,7 +414,12 @@ impl<'a> Flattener<'a> {
 
     /// Threads may compute but not communicate (MPI inside an OpenMP
     /// region is rejected — the common MPI_THREAD_FUNNELED restriction).
-    fn walk_thread(&mut self, step: &Step, env: &mut Env, out: &mut Vec<PrimOp>) -> Result<(), FlattenError> {
+    fn walk_thread(
+        &mut self,
+        step: &Step,
+        env: &mut Env,
+        out: &mut Vec<PrimOp>,
+    ) -> Result<(), FlattenError> {
         match step {
             Step::Mpi { name, .. } => Err(FlattenError(format!(
                 "MPI element `{name}` inside a thread team is not supported (MPI_THREAD_FUNNELED)"
@@ -373,9 +427,9 @@ impl<'a> Flattener<'a> {
             Step::ParallelRegion { name, .. } => Err(FlattenError(format!(
                 "nested parallel region `{name}` is not supported"
             ))),
-            Step::Parallel(_) => {
-                Err(FlattenError("nested fork inside a thread team is not supported".into()))
-            }
+            Step::Parallel(_) => Err(FlattenError(
+                "nested fork inside a thread team is not supported".into(),
+            )),
             Step::Critical { name, lock, body } => {
                 // Keep thread restrictions in force inside the body.
                 let id = self.lock_id(lock);
@@ -396,7 +450,12 @@ impl<'a> Flattener<'a> {
                 self.walk_thread(body, env, out)?;
                 self.emit(out, PrimOp::Exit(name.clone()))
             }
-            Step::Loop { name, count, var, body } => {
+            Step::Loop {
+                name,
+                count,
+                var,
+                body,
+            } => {
                 // Re-implement loop semantics with thread restrictions.
                 let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
                 if !(n.is_finite() && n >= 0.0) {
@@ -463,13 +522,26 @@ impl<'a> Flattener<'a> {
             MpiOp::Send { dest, size, tag } => {
                 let dest = self.eval_rank(dest, env, &format!("dest of `{name}`"))?;
                 let bytes = self.eval_bytes(size, env, &format!("size of `{name}`"))?;
-                self.emit(out, PrimOp::SendTo { element: name.to_string(), dest, bytes, tag: *tag })?;
+                self.emit(
+                    out,
+                    PrimOp::SendTo {
+                        element: name.to_string(),
+                        dest,
+                        bytes,
+                        tag: *tag,
+                    },
+                )?;
             }
             MpiOp::Recv { src, tag } => {
                 let src = self.eval_rank(src, env, &format!("src of `{name}`"))?;
                 self.emit(
                     out,
-                    PrimOp::RecvFrom { element: name.to_string(), src, tag: *tag, bytes: 0 },
+                    PrimOp::RecvFrom {
+                        element: name.to_string(),
+                        src,
+                        tag: *tag,
+                        bytes: 0,
+                    },
                 )?;
             }
             MpiOp::Broadcast { root, size } => {
@@ -532,29 +604,55 @@ impl<'a> Flattener<'a> {
                 for other in (0..p).filter(|&r| r != root) {
                     self.emit(
                         out,
-                        PrimOp::RecvFrom { element: name.to_string(), src: other, tag, bytes: 0 },
+                        PrimOp::RecvFrom {
+                            element: name.to_string(),
+                            src: other,
+                            tag,
+                            bytes: 0,
+                        },
                     )?;
                 }
                 // Release phase.
                 for other in (0..p).filter(|&r| r != root) {
                     self.emit(
                         out,
-                        PrimOp::SendTo { element: name.to_string(), dest: other, bytes: 0, tag },
+                        PrimOp::SendTo {
+                            element: name.to_string(),
+                            dest: other,
+                            bytes: 0,
+                            tag,
+                        },
                     )?;
                 }
             } else {
                 self.emit(
                     out,
-                    PrimOp::SendTo { element: name.to_string(), dest: root, bytes: 0, tag },
+                    PrimOp::SendTo {
+                        element: name.to_string(),
+                        dest: root,
+                        bytes: 0,
+                        tag,
+                    },
                 )?;
                 self.emit(
                     out,
-                    PrimOp::RecvFrom { element: name.to_string(), src: root, tag, bytes: 0 },
+                    PrimOp::RecvFrom {
+                        element: name.to_string(),
+                        src: root,
+                        tag,
+                        bytes: 0,
+                    },
                 )?;
             }
         }
         if cost > 0.0 {
-            self.emit(out, PrimOp::Wait { element: name.to_string(), seconds: cost })?;
+            self.emit(
+                out,
+                PrimOp::Wait {
+                    element: name.to_string(),
+                    seconds: cost,
+                },
+            )?;
         }
         Ok(())
     }
@@ -587,7 +685,10 @@ mod tests {
             ops,
             vec![
                 PrimOp::Enter("A1".into()),
-                PrimOp::Compute { element: "A1".into(), seconds: 2.5 },
+                PrimOp::Compute {
+                    element: "A1".into(),
+                    seconds: 2.5
+                },
                 PrimOp::Exit("A1".into())
             ]
         );
@@ -623,7 +724,8 @@ mod tests {
     #[test]
     fn cost_functions_and_system_vars() {
         let mut p = Program::new("t");
-        p.functions.push(FunctionDef::parse("F", &["x"], "0.5 * x + 0.125 * pid").unwrap());
+        p.functions
+            .push(FunctionDef::parse("F", &["x"], "0.5 * x + 0.125 * pid").unwrap());
         p.body = exec("A", "F(P)");
         let ops = flatten_for_process(&p, &machine(4), 2, Default::default()).unwrap();
         match &ops[1] {
@@ -661,7 +763,10 @@ mod tests {
             var: None,
             body: Box::new(exec("S", "1")),
         };
-        let limits = FlattenLimits { max_loop_iterations: 5, ..Default::default() };
+        let limits = FlattenLimits {
+            max_loop_iterations: 5,
+            ..Default::default()
+        };
         let err = flatten_for_process(&p, &machine(1), 0, limits).unwrap_err();
         assert!(err.0.contains("unrolls"), "{err}");
     }
@@ -685,15 +790,28 @@ mod tests {
                 None,
                 Step::Mpi {
                     name: "r".into(),
-                    op: MpiOp::Recv { src: parse_expression("pid - 1").unwrap(), tag: 7 },
+                    op: MpiOp::Recv {
+                        src: parse_expression("pid - 1").unwrap(),
+                        tag: 7,
+                    },
                 },
             ),
         ]);
         let m = machine(2);
         let ops0 = flatten_for_process(&p, &m, 0, Default::default()).unwrap();
         let ops1 = flatten_for_process(&p, &m, 1, Default::default()).unwrap();
-        assert!(ops0.iter().any(|o| matches!(o, PrimOp::SendTo { dest: 1, bytes: 1024, tag: 7, .. })));
-        assert!(ops1.iter().any(|o| matches!(o, PrimOp::RecvFrom { src: 0, tag: 7, .. })));
+        assert!(ops0.iter().any(|o| matches!(
+            o,
+            PrimOp::SendTo {
+                dest: 1,
+                bytes: 1024,
+                tag: 7,
+                ..
+            }
+        )));
+        assert!(ops1
+            .iter()
+            .any(|o| matches!(o, PrimOp::RecvFrom { src: 0, tag: 7, .. })));
     }
 
     #[test]
@@ -714,15 +832,30 @@ mod tests {
     #[test]
     fn barrier_expands_to_ctrl_messages() {
         let mut p = Program::new("t");
-        p.body = Step::Mpi { name: "bar".into(), op: MpiOp::Barrier };
+        p.body = Step::Mpi {
+            name: "bar".into(),
+            op: MpiOp::Barrier,
+        };
         let m = machine(3);
         let root_ops = flatten_for_process(&p, &m, 0, Default::default()).unwrap();
         let leaf_ops = flatten_for_process(&p, &m, 1, Default::default()).unwrap();
-        let recvs = root_ops.iter().filter(|o| matches!(o, PrimOp::RecvFrom { .. })).count();
-        let sends = root_ops.iter().filter(|o| matches!(o, PrimOp::SendTo { .. })).count();
+        let recvs = root_ops
+            .iter()
+            .filter(|o| matches!(o, PrimOp::RecvFrom { .. }))
+            .count();
+        let sends = root_ops
+            .iter()
+            .filter(|o| matches!(o, PrimOp::SendTo { .. }))
+            .count();
         assert_eq!((recvs, sends), (2, 2), "root gathers then releases");
-        let recvs = leaf_ops.iter().filter(|o| matches!(o, PrimOp::RecvFrom { .. })).count();
-        let sends = leaf_ops.iter().filter(|o| matches!(o, PrimOp::SendTo { .. })).count();
+        let recvs = leaf_ops
+            .iter()
+            .filter(|o| matches!(o, PrimOp::RecvFrom { .. }))
+            .count();
+        let sends = leaf_ops
+            .iter()
+            .filter(|o| matches!(o, PrimOp::SendTo { .. }))
+            .count();
         assert_eq!((recvs, sends), (1, 1));
         // Both hold the same analytic cost.
         let wait = |ops: &[PrimOp]| {
@@ -739,9 +872,15 @@ mod tests {
     #[test]
     fn single_process_collective_is_free() {
         let mut p = Program::new("t");
-        p.body = Step::Mpi { name: "bar".into(), op: MpiOp::Barrier };
+        p.body = Step::Mpi {
+            name: "bar".into(),
+            op: MpiOp::Barrier,
+        };
         let ops = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap();
-        assert_eq!(ops, vec![PrimOp::Enter("bar".into()), PrimOp::Exit("bar".into())]);
+        assert_eq!(
+            ops,
+            vec![PrimOp::Enter("bar".into()), PrimOp::Exit("bar".into())]
+        );
     }
 
     #[test]
@@ -780,7 +919,10 @@ mod tests {
         p.body = Step::ParallelRegion {
             name: "R".into(),
             threads: Some(parse_expression("2").unwrap()),
-            body: Box::new(Step::Mpi { name: "bar".into(), op: MpiOp::Barrier }),
+            body: Box::new(Step::Mpi {
+                name: "bar".into(),
+                op: MpiOp::Barrier,
+            }),
         };
         let err = flatten_for_process(&p, &machine(2), 0, Default::default()).unwrap_err();
         assert!(err.0.contains("MPI_THREAD_FUNNELED"), "{err}");

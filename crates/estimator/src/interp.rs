@@ -156,9 +156,13 @@ impl OpProcess {
     /// next action (continue execution, keep waiting, or hold for the
     /// Hockney arrival time).
     fn on_message(&mut self, ctx: &mut ProcCtx<'_>, msg: Msg) -> Action {
-        let Pending::Recv { src, tag, element } = std::mem::replace(&mut self.pending, Pending::None)
+        let Pending::Recv { src, tag, element } =
+            std::mem::replace(&mut self.pending, Pending::None)
         else {
-            return self.fail(ctx, format!("unexpected message (tag {}) delivered", msg.tag));
+            return self.fail(
+                ctx,
+                format!("unexpected message (tag {}) delivered", msg.tag),
+            );
         };
         if !Self::matches(&msg, src, tag) {
             // Out-of-order arrival: stash it and keep waiting.
@@ -198,7 +202,14 @@ impl OpProcess {
 
     /// Try to satisfy the pending receive from the stash.
     fn try_stash(&mut self, ctx: &mut ProcCtx<'_>) -> Option<Action> {
-        let Pending::Recv { src, tag, ref element } = self.pending else { return None };
+        let Pending::Recv {
+            src,
+            tag,
+            ref element,
+        } = self.pending
+        else {
+            return None;
+        };
         let element = element.clone();
         if let Some(pos) = self.stash.iter().position(|m| Self::matches(m, src, tag)) {
             let msg = self.stash.remove(pos);
@@ -248,7 +259,12 @@ impl OpProcess {
                         return Action::Hold(seconds);
                     }
                 }
-                PrimOp::SendTo { element, dest, bytes, tag } => {
+                PrimOp::SendTo {
+                    element,
+                    dest,
+                    bytes,
+                    tag,
+                } => {
                     if bytes > 0 {
                         self.record(ctx.now(), &element, EventKind::MsgSend);
                     }
@@ -269,7 +285,9 @@ impl OpProcess {
                         return Action::Hold(self.send_overhead);
                     }
                 }
-                PrimOp::RecvFrom { element, src, tag, .. } => {
+                PrimOp::RecvFrom {
+                    element, src, tag, ..
+                } => {
                     self.pending = Pending::Recv { src, tag, element };
                     if let Some(action) = self.try_stash(ctx) {
                         return action;
@@ -282,10 +300,17 @@ impl OpProcess {
                     let n = arms.len();
                     for (t, arm_ops) in arms.into_iter().enumerate() {
                         let child = self.child(t, arm_ops, (self.my_mailbox, tag));
-                        ctx.spawn(&format!("p{}.{}.t{}", self.pid, element, t), Box::new(child));
+                        ctx.spawn(
+                            &format!("p{}.{}.t{}", self.pid, element, t),
+                            Box::new(child),
+                        );
                     }
                     if n > 0 {
-                        self.pending = Pending::Join { remaining: n, tag, element };
+                        self.pending = Pending::Join {
+                            remaining: n,
+                            tag,
+                            element,
+                        };
                         return Action::Receive(self.my_mailbox);
                     }
                 }
@@ -321,16 +346,27 @@ impl Process for OpProcess {
             }
             Resumed::MsgReceived(msg) => {
                 match std::mem::replace(&mut self.pending, Pending::None) {
-                    Pending::Join { remaining, tag, element } => {
+                    Pending::Join {
+                        remaining,
+                        tag,
+                        element,
+                    } => {
                         if msg.tag != tag {
                             // A data message arrived during the join: stash.
                             self.stash.push(msg);
-                            self.pending = Pending::Join { remaining, tag, element };
+                            self.pending = Pending::Join {
+                                remaining,
+                                tag,
+                                element,
+                            };
                             return Action::Receive(self.my_mailbox);
                         }
                         if remaining > 1 {
-                            self.pending =
-                                Pending::Join { remaining: remaining - 1, tag, element };
+                            self.pending = Pending::Join {
+                                remaining: remaining - 1,
+                                tag,
+                                element,
+                            };
                             return Action::Receive(self.my_mailbox);
                         }
                         self.run(ctx)

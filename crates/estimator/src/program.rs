@@ -206,11 +206,19 @@ mod tests {
     #[test]
     fn leaf_counts() {
         let p = Step::Seq(vec![
-            Step::Exec { name: "A".into(), cost: None, code: vec![] },
+            Step::Exec {
+                name: "A".into(),
+                cost: None,
+                code: vec![],
+            },
             Step::Branch(vec![
                 (
                     Some(parse_expression("GV > 0").unwrap()),
-                    Step::Exec { name: "B".into(), cost: None, code: vec![] },
+                    Step::Exec {
+                        name: "B".into(),
+                        cost: None,
+                        code: vec![],
+                    },
                 ),
                 (None, Step::Nop),
             ]),

@@ -93,7 +93,10 @@ impl CompiledExpr {
     pub fn compile(expr: &Expr, env: &Env, slots: &mut Slots) -> ExprResult<Self> {
         let mut inlining: Vec<String> = Vec::new();
         let root = lower(expr, env, slots, &mut inlining, &HashMap::new())?;
-        Ok(Self { root, frame_len: slots.len() })
+        Ok(Self {
+            root,
+            frame_len: slots.len(),
+        })
     }
 
     /// Evaluate against `frame` (length must be ≥ `frame_len`).
@@ -120,9 +123,10 @@ fn lower(
                 Op::Load(slots.intern(name))
             }
         }
-        Expr::Unary(op, inner) => {
-            Op::Unary(*op, Box::new(lower(inner, env, slots, inlining, substitutions)?))
-        }
+        Expr::Unary(op, inner) => Op::Unary(
+            *op,
+            Box::new(lower(inner, env, slots, inlining, substitutions)?),
+        ),
         Expr::Binary(op, a, b) => Op::Binary(
             *op,
             Box::new(lower(a, env, slots, inlining, substitutions)?),
@@ -184,9 +188,11 @@ fn clone_op(op: &Op) -> Op {
         Op::Load(i) => Op::Load(*i),
         Op::Unary(o, a) => Op::Unary(*o, Box::new(clone_op(a))),
         Op::Binary(o, a, b) => Op::Binary(*o, Box::new(clone_op(a)), Box::new(clone_op(b))),
-        Op::Cond(c, t, f) => {
-            Op::Cond(Box::new(clone_op(c)), Box::new(clone_op(t)), Box::new(clone_op(f)))
-        }
+        Op::Cond(c, t, f) => Op::Cond(
+            Box::new(clone_op(c)),
+            Box::new(clone_op(t)),
+            Box::new(clone_op(f)),
+        ),
         Op::Builtin(f, args) => Op::Builtin(*f, args.iter().map(clone_op).collect()),
     }
 }

@@ -126,7 +126,12 @@ pub fn function_to_cpp(def: &FunctionDef) -> String {
         .map(|p| format!("double {p}"))
         .collect::<Vec<_>>()
         .join(", ");
-    format!("double {}({}){{ return {}; }};", def.name, params, expr_to_cpp(&def.body))
+    format!(
+        "double {}({}){{ return {}; }};",
+        def.name,
+        params,
+        expr_to_cpp(&def.body)
+    )
 }
 
 /// Render a statement at the given indent depth (two spaces per level).
@@ -236,13 +241,19 @@ mod tests {
     #[test]
     fn figure8_style_function() {
         let def = FunctionDef::parse("FA1", &[], "0.04 + 0.01 * P").unwrap();
-        assert_eq!(function_to_cpp(&def), "double FA1(){ return 0.04 + 0.01 * P; };");
+        assert_eq!(
+            function_to_cpp(&def),
+            "double FA1(){ return 0.04 + 0.01 * P; };"
+        );
     }
 
     #[test]
     fn parameterized_function() {
         let def = FunctionDef::parse("FSA2", &["pid"], "0.1 * pid").unwrap();
-        assert_eq!(function_to_cpp(&def), "double FSA2(double pid){ return 0.1 * pid; };");
+        assert_eq!(
+            function_to_cpp(&def),
+            "double FSA2(double pid){ return 0.1 * pid; };"
+        );
     }
 
     #[test]
@@ -253,8 +264,8 @@ mod tests {
 
     #[test]
     fn if_else_if_chain() {
-        let ss = parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
-            .unwrap();
+        let ss =
+            parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
         let cpp = stmt_to_cpp(&ss[0], 0);
         assert_eq!(
             cpp,
@@ -266,7 +277,10 @@ mod tests {
     fn while_and_decl() {
         let ss = parse_statements("var i = 0; while (i < 3) { i = i + 1; }").unwrap();
         let cpp = fragment_to_cpp(&ss, 0);
-        assert!(cpp.starts_with("double i = 0;\nwhile (i < 3) {\n  i = i + 1;\n}\n"), "{cpp}");
+        assert!(
+            cpp.starts_with("double i = 0;\nwhile (i < 3) {\n  i = i + 1;\n}\n"),
+            "{cpp}"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub struct FunctionDef {
 impl FunctionDef {
     /// Create a definition from an already-parsed body.
     pub fn new(name: impl Into<String>, params: Vec<String>, body: Expr) -> Self {
-        Self { name: name.into(), params, body }
+        Self {
+            name: name.into(),
+            params,
+            body,
+        }
     }
 
     /// Parse `body` as the function's return expression.
@@ -208,7 +212,9 @@ impl Env {
 
 fn guard_log(x: f64, f: fn(f64) -> f64) -> ExprResult<f64> {
     if x <= 0.0 {
-        Err(ExprError::eval(format!("logarithm of non-positive number {x}")))
+        Err(ExprError::eval(format!(
+            "logarithm of non-positive number {x}"
+        )))
     } else {
         Ok(f(x))
     }

@@ -31,7 +31,9 @@ pub enum ExprError {
 
 impl ExprError {
     pub(crate) fn eval(message: impl Into<String>) -> Self {
-        ExprError::Eval { message: message.into() }
+        ExprError::Eval {
+            message: message.into(),
+        }
     }
 
     /// The error message, independent of kind.
@@ -47,7 +49,9 @@ impl ExprError {
 impl fmt::Display for ExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExprError::Lex { message, offset } => write!(f, "lex error at offset {offset}: {message}"),
+            ExprError::Lex { message, offset } => {
+                write!(f, "lex error at offset {offset}: {message}")
+            }
             ExprError::Parse { message, offset } => {
                 write!(f, "parse error at offset {offset}: {message}")
             }
@@ -64,9 +68,14 @@ mod tests {
 
     #[test]
     fn display_kinds() {
-        assert!(ExprError::Lex { message: "bad char".into(), offset: 3 }
+        assert!(ExprError::Lex {
+            message: "bad char".into(),
+            offset: 3
+        }
+        .to_string()
+        .contains("offset 3"));
+        assert!(ExprError::eval("undefined variable `x`")
             .to_string()
-            .contains("offset 3"));
-        assert!(ExprError::eval("undefined variable `x`").to_string().contains("undefined"));
+            .contains("undefined"));
     }
 }

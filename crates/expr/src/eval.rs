@@ -81,11 +81,7 @@ fn eval_expr(e: &Expr, env: &mut Env, depth: usize) -> ExprResult<Value> {
                     let eq = match (va, vb) {
                         (Value::Num(x), Value::Num(y)) => x == y,
                         (Value::Bool(x), Value::Bool(y)) => x == y,
-                        _ => {
-                            return Err(ExprError::eval(
-                                "cannot compare a number with a boolean",
-                            ))
-                        }
+                        _ => return Err(ExprError::eval("cannot compare a number with a boolean")),
                     };
                     Ok(Value::Bool(if *op == BinOp::Eq { eq } else { !eq }))
                 }
@@ -190,7 +186,11 @@ fn exec_stmt(s: &Stmt, env: &mut Env, depth: usize) -> ExprResult<()> {
             Ok(())
         }
         Stmt::If(c, then, els) => {
-            let branch = if eval_expr(c, env, depth)?.truthy() { then } else { els };
+            let branch = if eval_expr(c, env, depth)?.truthy() {
+                then
+            } else {
+                els
+            };
             for s in branch {
                 exec_stmt(s, env, depth)?;
             }
@@ -222,7 +222,12 @@ mod tests {
     use crate::parser::{parse_expression, parse_statements};
 
     fn num(src: &str, env: &mut Env) -> f64 {
-        parse_expression(src).unwrap().eval(env).unwrap().as_num().unwrap()
+        parse_expression(src)
+            .unwrap()
+            .eval(env)
+            .unwrap()
+            .as_num()
+            .unwrap()
     }
 
     #[test]
@@ -276,7 +281,10 @@ mod tests {
     #[test]
     fn undefined_variable_reported() {
         let mut env = Env::new();
-        let e = parse_expression("missing + 1").unwrap().eval(&mut env).unwrap_err();
+        let e = parse_expression("missing + 1")
+            .unwrap()
+            .eval(&mut env)
+            .unwrap_err();
         assert!(e.message().contains("missing"), "{e}");
     }
 
@@ -309,14 +317,20 @@ mod tests {
     fn recursion_depth_guard() {
         let mut env = Env::new();
         env.define_function(FunctionDef::parse("Loop", &[], "Loop()").unwrap());
-        let e = parse_expression("Loop()").unwrap().eval(&mut env).unwrap_err();
+        let e = parse_expression("Loop()")
+            .unwrap()
+            .eval(&mut env)
+            .unwrap_err();
         assert!(e.message().contains("call depth"), "{e}");
     }
 
     #[test]
     fn builtin_arity_checked() {
         let mut env = Env::new();
-        let e = parse_expression("min(1)").unwrap().eval(&mut env).unwrap_err();
+        let e = parse_expression("min(1)")
+            .unwrap()
+            .eval(&mut env)
+            .unwrap_err();
         assert!(e.message().contains("expects 2"), "{e}");
     }
 
@@ -350,7 +364,10 @@ mod tests {
     #[test]
     fn mixed_kind_equality_rejected() {
         let mut env = Env::new();
-        let e = parse_expression("true == 1").unwrap().eval(&mut env).unwrap_err();
+        let e = parse_expression("true == 1")
+            .unwrap()
+            .eval(&mut env)
+            .unwrap_err();
         assert!(e.message().contains("compare"), "{e}");
     }
 }

@@ -34,7 +34,10 @@ pub struct Parser {
 impl Parser {
     /// Lex `src` and position at the first token.
     pub fn new(src: &str) -> ExprResult<Self> {
-        Ok(Self { tokens: Tokenizer::new(src).tokenize()?, pos: 0 })
+        Ok(Self {
+            tokens: Tokenizer::new(src).tokenize()?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -116,7 +119,9 @@ impl Parser {
                 lhs = Expr::Cond(Box::new(lhs), Box::new(then), Box::new(els));
                 continue;
             }
-            let Some(op) = Self::binop_of(self.peek()) else { break };
+            let Some(op) = Self::binop_of(self.peek()) else {
+                break;
+            };
             let bp = op.precedence();
             if bp < min_bp {
                 break;
@@ -268,7 +273,11 @@ mod tests {
             Expr::Binary(
                 BinOp::Add,
                 Box::new(Expr::Num(1.0)),
-                Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Num(2.0)), Box::new(Expr::Num(3.0))))
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Num(2.0)),
+                    Box::new(Expr::Num(3.0))
+                ))
             )
         );
     }
@@ -303,7 +312,10 @@ mod tests {
 
     #[test]
     fn zero_arg_call_vs_var() {
-        assert_eq!(parse_expression("F()").unwrap(), Expr::Call("F".into(), vec![]));
+        assert_eq!(
+            parse_expression("F()").unwrap(),
+            Expr::Call("F".into(), vec![])
+        );
         assert_eq!(parse_expression("F").unwrap(), Expr::Var("F".into()));
     }
 
@@ -336,7 +348,8 @@ mod tests {
 
     #[test]
     fn else_if_desugars() {
-        let ss = parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
+        let ss =
+            parse_statements("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
         assert_eq!(ss.len(), 1);
         match &ss[0] {
             Stmt::If(_, _, els) => {
@@ -350,7 +363,9 @@ mod tests {
     #[test]
     fn empty_fragment_ok() {
         assert!(parse_statements("").unwrap().is_empty());
-        assert!(parse_statements("   // just a comment\n").unwrap().is_empty());
+        assert!(parse_statements("   // just a comment\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

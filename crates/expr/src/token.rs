@@ -82,7 +82,11 @@ pub struct Tokenizer<'a> {
 impl<'a> Tokenizer<'a> {
     /// Create a tokenizer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Self { src, bytes: src.as_bytes(), pos: 0 }
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lex the entire input, appending a final [`TokenKind::Eof`].
@@ -146,7 +150,10 @@ impl<'a> Tokenizer<'a> {
         self.skip_trivia()?;
         let offset = self.pos;
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, offset });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
         };
         let single = |k: TokenKind| Token { kind: k, offset };
         macro_rules! two {
@@ -163,10 +170,16 @@ impl<'a> Tokenizer<'a> {
         match c {
             b'0'..=b'9' | b'.' => self.lex_number(offset),
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                while matches!(
+                    self.peek(),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
                     self.pos += 1;
                 }
-                Ok(Token { kind: TokenKind::Ident(self.src[offset..self.pos].to_string()), offset })
+                Ok(Token {
+                    kind: TokenKind::Ident(self.src[offset..self.pos].to_string()),
+                    offset,
+                })
             }
             b'+' => {
                 self.pos += 1;
@@ -233,7 +246,10 @@ impl<'a> Tokenizer<'a> {
                     self.pos += 2;
                     Ok(single(TokenKind::AndAnd))
                 } else {
-                    Err(ExprError::Lex { message: "expected `&&`".into(), offset })
+                    Err(ExprError::Lex {
+                        message: "expected `&&`".into(),
+                        offset,
+                    })
                 }
             }
             b'|' => {
@@ -241,7 +257,10 @@ impl<'a> Tokenizer<'a> {
                     self.pos += 2;
                     Ok(single(TokenKind::OrOr))
                 } else {
-                    Err(ExprError::Lex { message: "expected `||`".into(), offset })
+                    Err(ExprError::Lex {
+                        message: "expected `||`".into(),
+                        offset,
+                    })
                 }
             }
             other => Err(ExprError::Lex {
@@ -265,7 +284,10 @@ impl<'a> Tokenizer<'a> {
             }
         }
         if !saw_digit {
-            return Err(ExprError::Lex { message: "lone `.` is not a number".into(), offset });
+            return Err(ExprError::Lex {
+                message: "lone `.` is not a number".into(),
+                offset,
+            });
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             let save = self.pos;
@@ -283,10 +305,14 @@ impl<'a> Tokenizer<'a> {
             }
         }
         let text = &self.src[offset..self.pos];
-        let value: f64 = text
-            .parse()
-            .map_err(|_| ExprError::Lex { message: format!("bad number `{text}`"), offset })?;
-        Ok(Token { kind: TokenKind::Number(value), offset })
+        let value: f64 = text.parse().map_err(|_| ExprError::Lex {
+            message: format!("bad number `{text}`"),
+            offset,
+        })?;
+        Ok(Token {
+            kind: TokenKind::Number(value),
+            offset,
+        })
     }
 }
 
@@ -295,15 +321,26 @@ mod tests {
     use super::*;
 
     fn kinds(s: &str) -> Vec<TokenKind> {
-        Tokenizer::new(s).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Tokenizer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
     fn numbers() {
         assert_eq!(kinds("42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
         assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
-        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
-        assert_eq!(kinds("2.5e-2"), vec![TokenKind::Number(0.025), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Number(1000.0), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("2.5e-2"),
+            vec![TokenKind::Number(0.025), TokenKind::Eof]
+        );
         assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
     }
 
@@ -328,7 +365,12 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("1 // line\n + /* block */ 2"),
-            vec![TokenKind::Number(1.0), TokenKind::Plus, TokenKind::Number(2.0), TokenKind::Eof]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Plus,
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
         );
     }
 

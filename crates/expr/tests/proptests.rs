@@ -38,16 +38,24 @@ fn total_expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (binop_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::Cond(Box::new(c), Box::new(t), Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Call("max".into(), vec![a, b])),
+            (binop_strategy(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call("min".into(), vec![a, b])),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call("max".into(), vec![a, b])),
         ]
     })
 }

@@ -153,7 +153,10 @@ mod tests {
         let m = model(2, 2); // pids 0,1 on node0; 2,3 on node1
         let intra = m.ptp_time(0, 1, 1024);
         let inter = m.ptp_time(0, 2, 1024);
-        assert!(inter > intra * 10.0, "inter {inter} should dwarf intra {intra}");
+        assert!(
+            inter > intra * 10.0,
+            "inter {inter} should dwarf intra {intra}"
+        );
         assert_eq!(m.ptp_time(1, 1, 1024), 0.0);
     }
 
@@ -173,7 +176,10 @@ mod tests {
         let m16 = model(16, 1);
         let b8 = m8.broadcast_time(8, 4096);
         let b16 = m16.broadcast_time(16, 4096);
-        assert!((b16 / b8 - 4.0 / 3.0).abs() < 1e-9, "log8=3 vs log16=4 steps");
+        assert!(
+            (b16 / b8 - 4.0 / 3.0).abs() < 1e-9,
+            "log8=3 vs log16=4 steps"
+        );
     }
 
     #[test]

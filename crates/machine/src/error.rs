@@ -1,0 +1,40 @@
+//! Typed machine-model errors (previously bare `String`s).
+
+use std::fmt;
+
+/// Why a machine model could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The system parameters are internally inconsistent.
+    InvalidParams(String),
+    /// The SP XML fragment is malformed.
+    Xml(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidParams(m) => write!(f, "invalid system parameters: {m}"),
+            MachineError::Xml(m) => write!(f, "malformed SP fragment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            MachineError::InvalidParams("p < nodes".into()).to_string(),
+            "invalid system parameters: p < nodes"
+        );
+        assert_eq!(
+            MachineError::Xml("missing `nodes`".into()).to_string(),
+            "malformed SP fragment: missing `nodes`"
+        );
+    }
+}

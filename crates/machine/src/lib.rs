@@ -19,9 +19,11 @@
 //! crate is the simulated stand-in (see DESIGN.md substitution table).
 
 pub mod comm;
+pub mod error;
 pub mod params;
 pub mod topology;
 
 pub use comm::{CommModel, CommParams};
+pub use error::MachineError;
 pub use params::SystemParams;
 pub use topology::{MachineLayout, MachineModel};

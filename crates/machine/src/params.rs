@@ -1,6 +1,8 @@
 //! System parameters (SP): the architectural description Teuta passes to
 //! the Performance Estimator.
 
+use crate::error::MachineError;
+
 /// The paper's SP set: "the number of computational nodes, the number of
 /// processors per node, the number of processes, and the number of
 /// threads."
@@ -19,7 +21,12 @@ pub struct SystemParams {
 
 impl Default for SystemParams {
     fn default() -> Self {
-        Self { nodes: 1, cpus_per_node: 1, processes: 1, threads_per_process: 1 }
+        Self {
+            nodes: 1,
+            cpus_per_node: 1,
+            processes: 1,
+            threads_per_process: 1,
+        }
     }
 }
 
@@ -27,12 +34,22 @@ impl SystemParams {
     /// A homogeneous cluster: `nodes` × `cpus_per_node`, one process per
     /// node, threads matching the cpu count.
     pub fn cluster(nodes: usize, cpus_per_node: usize) -> Self {
-        Self { nodes, cpus_per_node, processes: nodes, threads_per_process: cpus_per_node }
+        Self {
+            nodes,
+            cpus_per_node,
+            processes: nodes,
+            threads_per_process: cpus_per_node,
+        }
     }
 
     /// Flat MPI: one process per cpu, single-threaded.
     pub fn flat_mpi(nodes: usize, cpus_per_node: usize) -> Self {
-        Self { nodes, cpus_per_node, processes: nodes * cpus_per_node, threads_per_process: 1 }
+        Self {
+            nodes,
+            cpus_per_node,
+            processes: nodes * cpus_per_node,
+            threads_per_process: 1,
+        }
     }
 
     /// Total processor count.
@@ -46,21 +63,31 @@ impl SystemParams {
     /// # Panics
     /// Panics if `pid >= processes`.
     pub fn node_of(&self, pid: usize) -> usize {
-        assert!(pid < self.processes, "pid {pid} out of range (P={})", self.processes);
+        assert!(
+            pid < self.processes,
+            "pid {pid} out of range (P={})",
+            self.processes
+        );
         // Block distribution over nodes.
         pid * self.nodes / self.processes
     }
 
     /// Validate internal consistency; returns an explanatory error.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.nodes == 0 || self.cpus_per_node == 0 || self.processes == 0 || self.threads_per_process == 0 {
-            return Err("all system parameters must be positive".into());
+    pub fn validate(&self) -> Result<(), MachineError> {
+        if self.nodes == 0
+            || self.cpus_per_node == 0
+            || self.processes == 0
+            || self.threads_per_process == 0
+        {
+            return Err(MachineError::InvalidParams(
+                "all system parameters must be positive".into(),
+            ));
         }
         if self.processes < self.nodes {
-            return Err(format!(
+            return Err(MachineError::InvalidParams(format!(
                 "{} processes on {} nodes would leave nodes idle; processes must be >= nodes",
                 self.processes, self.nodes
-            ));
+            )));
         }
         Ok(())
     }
@@ -74,14 +101,22 @@ impl SystemParams {
     }
 
     /// Parse from the SP XML fragment.
-    pub fn from_xml(xml: &str) -> Result<Self, String> {
+    pub fn from_xml(xml: &str) -> Result<Self, MachineError> {
         // Minimal attribute scraping to avoid a crate dependency cycle;
         // the full XML stack lives above this crate.
-        let get = |key: &str| -> Result<usize, String> {
+        let get = |key: &str| -> Result<usize, MachineError> {
             let pat = format!("{key}=\"");
-            let start = xml.find(&pat).ok_or_else(|| format!("missing `{key}`"))? + pat.len();
-            let end = xml[start..].find('"').ok_or("unterminated attribute")? + start;
-            xml[start..end].parse().map_err(|_| format!("bad value for `{key}`"))
+            let start = xml
+                .find(&pat)
+                .ok_or_else(|| MachineError::Xml(format!("missing `{key}`")))?
+                + pat.len();
+            let end = xml[start..]
+                .find('"')
+                .ok_or_else(|| MachineError::Xml("unterminated attribute".into()))?
+                + start;
+            xml[start..end]
+                .parse()
+                .map_err(|_| MachineError::Xml(format!("bad value for `{key}`")))
         };
         let sp = Self {
             nodes: get("nodes")?,
@@ -118,7 +153,12 @@ mod tests {
 
     #[test]
     fn uneven_distribution_covers_all_nodes() {
-        let sp = SystemParams { nodes: 3, cpus_per_node: 2, processes: 7, threads_per_process: 1 };
+        let sp = SystemParams {
+            nodes: 3,
+            cpus_per_node: 2,
+            processes: 7,
+            threads_per_process: 1,
+        };
         let mut used = [false; 3];
         for p in 0..7 {
             used[sp.node_of(p)] = true;
@@ -135,10 +175,20 @@ mod tests {
     #[test]
     fn validation() {
         assert!(SystemParams::default().validate().is_ok());
-        assert!(SystemParams { nodes: 0, ..Default::default() }.validate().is_err());
-        assert!(SystemParams { nodes: 4, cpus_per_node: 1, processes: 2, threads_per_process: 1 }
-            .validate()
-            .is_err());
+        assert!(SystemParams {
+            nodes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SystemParams {
+            nodes: 4,
+            cpus_per_node: 1,
+            processes: 2,
+            threads_per_process: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Machine topology instantiation: CPU facilities and process mailboxes.
 
 use crate::comm::{CommModel, CommParams};
+use crate::error::MachineError;
 use crate::params::SystemParams;
 use prophet_sim::{Discipline, FacilityId, MailboxId, Simulator};
 
@@ -28,9 +29,12 @@ impl MachineModel {
     ///
     /// # Errors
     /// Returns the validation error for inconsistent parameters.
-    pub fn new(sp: SystemParams, comm_params: CommParams) -> Result<Self, String> {
+    pub fn new(sp: SystemParams, comm_params: CommParams) -> Result<Self, MachineError> {
         sp.validate()?;
-        Ok(Self { sp, comm: CommModel::new(comm_params, sp) })
+        Ok(Self {
+            sp,
+            comm: CommModel::new(comm_params, sp),
+        })
     }
 
     /// Node hosting process `pid` (block distribution).
@@ -45,12 +49,21 @@ impl MachineModel {
     /// the estimator spawns the program processes on top.
     pub fn instantiate(&self, sim: &mut Simulator) -> MachineLayout {
         let node_cpus = (0..self.sp.nodes)
-            .map(|n| sim.add_facility(&format!("node{n}.cpu"), self.sp.cpus_per_node, Discipline::Fcfs))
+            .map(|n| {
+                sim.add_facility(
+                    &format!("node{n}.cpu"),
+                    self.sp.cpus_per_node,
+                    Discipline::Fcfs,
+                )
+            })
             .collect();
         let proc_mailboxes = (0..self.sp.processes)
             .map(|p| sim.add_mailbox(&format!("proc{p}.inbox")))
             .collect();
-        MachineLayout { node_cpus, proc_mailboxes }
+        MachineLayout {
+            node_cpus,
+            proc_mailboxes,
+        }
     }
 
     /// CPU facility for process `pid` within a layout.
@@ -92,7 +105,12 @@ mod tests {
     #[test]
     fn invalid_sp_rejected() {
         assert!(MachineModel::new(
-            SystemParams { nodes: 4, cpus_per_node: 1, processes: 2, threads_per_process: 1 },
+            SystemParams {
+                nodes: 4,
+                cpus_per_node: 1,
+                processes: 2,
+                threads_per_process: 1
+            },
             CommParams::default()
         )
         .is_err());

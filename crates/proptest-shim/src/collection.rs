@@ -1,0 +1,25 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.range_usize(self.len.start, self.len.end);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(element, min..max)`: vectors of `element` values.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.end > len.start, "empty length range");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,25 @@
+//! Option strategies (`prop::option`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Option<T>` (3:1 biased toward `Some`).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `of(inner)`: optional values, usually present.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,22 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy picking uniformly from a fixed list.
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.range_usize(0, self.choices.len())].clone()
+    }
+}
+
+/// `select(choices)`: one of the given values.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select from empty list");
+    Select { choices }
+}

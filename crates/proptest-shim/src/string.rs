@@ -1,0 +1,213 @@
+//! Regex-lite string strategies.
+//!
+//! String literals act as strategies, as in real proptest, for the
+//! pattern subset Prophet's tests use: a sequence of atoms, each either
+//! `\PC` (any printable char) or a `[...]` character class, optionally
+//! followed by `{m,n}` (or `{m}`) repetition; bare characters match
+//! themselves.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: any non-control char, mostly ASCII printable.
+    AnyPrintable,
+    /// `[...]`: one of the listed chars / ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Atom::AnyPrintable
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling `\\` in `{pattern}`"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            '[' => {
+                let mut members = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range when `-` sits between two members.
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        members.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        members.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated `[` in `{pattern}`");
+                i += 1; // skip ']'
+                Atom::Class(members)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated `{{` in `{pattern}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(members) => {
+            let (lo, hi) = members[rng.range_usize(0, members.len())];
+            char::from_u32(rng.range_i64(lo as i64, hi as i64 + 1) as u32)
+                .expect("class range produced invalid char")
+        }
+        Atom::AnyPrintable => {
+            if rng.chance(0.9) {
+                char::from_u32(rng.range_i64(0x20, 0x7F) as u32).unwrap()
+            } else {
+                // A sprinkle of multi-byte scalars to stress parsers.
+                loop {
+                    let c = rng.range_i64(0xA0, 0x3000) as u32;
+                    if let Some(c) = char::from_u32(c) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compiled pattern strategy backing `&str` literals.
+pub struct StringStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.range_usize(piece.min, piece.max + 1);
+            for _ in 0..n {
+                out.push(generate_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringStrategy {
+            pieces: parse_pattern(self),
+        }
+        .generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_atom_then_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z_][a-z0-9_.-]{0,8}".generate(&mut r);
+            let first = s.chars().next().unwrap();
+            assert!(first == '_' || first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "\\PC{0,80}".generate(&mut r);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_specials() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9<>&\"' \t\n]{1,20}".generate(&mut r);
+            assert!(!s.is_empty());
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "<>&\"' \t\n".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+use std::fmt;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (not counted).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Drives the generated cases of one property test.
+pub struct TestRunner {
+    name: &'static str,
+    seed: u64,
+    config: ProptestConfig,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Runner for the named test. The seed derives from the test name so
+    /// runs are deterministic; set `PROPTEST_SEED` to override.
+    pub fn new_for(name: &'static str, config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name));
+        Self { name, seed, config }
+    }
+
+    /// Run `case` over `config.cases` generated inputs; panics on the
+    /// first failure with enough context to reproduce it.
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+        let mut rng = TestRng::seed_from_u64(self.seed);
+        let mut rejected = 0u32;
+        for i in 0..self.config.cases {
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < self.config.cases.max(16) * 4,
+                        "[{}] too many rejected cases",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "[{}] case {}/{} failed (seed {:#x}): {}",
+                    self.name,
+                    i + 1,
+                    self.config.cases,
+                    self.seed,
+                    msg
+                ),
+            }
+        }
+    }
+}

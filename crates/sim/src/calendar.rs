@@ -34,7 +34,10 @@ impl<T: Eq> PartialOrd for Entry<T> {
 impl<T: Eq> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for BinaryHeap (max-heap → min-queue).
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -73,7 +76,10 @@ pub struct BinaryHeapCalendar<T: Eq> {
 
 impl<T: Eq> Default for BinaryHeapCalendar<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 
@@ -116,7 +122,10 @@ pub struct SortedVecCalendar<T: Eq> {
 
 impl<T: Eq> Default for SortedVecCalendar<T> {
     fn default() -> Self {
-        Self { entries: Vec::new(), next_seq: 0 }
+        Self {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
     }
 }
 
@@ -197,7 +206,9 @@ mod tests {
         // Deterministic pseudo-random times (LCG), including duplicates.
         let mut x: u64 = 12345;
         for i in 0..1000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = ((x >> 33) % 100) as f64 * 0.5;
             heap.schedule(SimTime::new(t), i);
             vec.schedule(SimTime::new(t), i);

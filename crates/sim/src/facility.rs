@@ -117,7 +117,12 @@ impl Facility {
         } else {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.queue.push_back(Waiter { pid, priority, enqueued_at: now, seq });
+            self.queue.push_back(Waiter {
+                pid,
+                priority,
+                enqueued_at: now,
+                seq,
+            });
             self.queue_len.add(1.0, now);
             false
         }
@@ -132,14 +137,21 @@ impl Facility {
     /// facility you don't hold is a model bug worth surfacing.
     pub fn release(&mut self, pid: ProcessId, now: f64) -> Result<Option<ProcessId>, String> {
         let Some(slot) = self.servers.iter_mut().find(|s| **s == Some(pid)) else {
-            return Err(format!("process {pid:?} does not hold a server of facility `{}`", self.name));
+            return Err(format!(
+                "process {pid:?} does not hold a server of facility `{}`",
+                self.name
+            ));
         };
         *slot = None;
         self.completions += 1;
         match self.pop_next() {
             Some(w) => {
                 // Server stays busy: hand it to the next waiter directly.
-                *self.servers.iter_mut().find(|s| s.is_none()).expect("freed above") = Some(w.pid);
+                *self
+                    .servers
+                    .iter_mut()
+                    .find(|s| s.is_none())
+                    .expect("freed above") = Some(w.pid);
                 self.queue_len.add(-1.0, now);
                 self.waits.record(now - w.enqueued_at);
                 Ok(Some(w.pid))
@@ -159,9 +171,7 @@ impl Facility {
                     .queue
                     .iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq))
-                    })
+                    .max_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
                     .map(|(i, _)| i)?;
                 self.queue.remove(best)
             }
@@ -170,7 +180,7 @@ impl Facility {
 
     /// True if `pid` currently holds a server.
     pub fn holds(&self, pid: ProcessId) -> bool {
-        self.servers.iter().any(|s| *s == Some(pid))
+        self.servers.contains(&Some(pid))
     }
 
     /// Snapshot statistics at time `now`.

@@ -99,7 +99,12 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { seed: 0x5EED, until: None, max_events: 100_000_000, calendar: CalendarKind::BinaryHeap }
+        Self {
+            seed: 0x5EED,
+            until: None,
+            max_events: 100_000_000,
+            calendar: CalendarKind::BinaryHeap,
+        }
     }
 }
 
@@ -124,7 +129,12 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { blocked, at } => {
-                write!(f, "deadlock at t={at}: {} blocked process(es): {}", blocked.len(), blocked.join("; "))
+                write!(
+                    f,
+                    "deadlock at t={at}: {} blocked process(es): {}",
+                    blocked.len(),
+                    blocked.join("; ")
+                )
             }
             SimError::EventLimit(n) => write!(f, "event limit of {n} exceeded"),
             SimError::Model(m) => write!(f, "model error: {m}"),
@@ -243,8 +253,14 @@ impl Simulator {
     }
 
     /// Add a facility; returns its id.
-    pub fn add_facility(&mut self, name: &str, servers: usize, discipline: Discipline) -> FacilityId {
-        self.facilities.push(Facility::new(name, servers, discipline));
+    pub fn add_facility(
+        &mut self,
+        name: &str,
+        servers: usize,
+        discipline: Discipline,
+    ) -> FacilityId {
+        self.facilities
+            .push(Facility::new(name, servers, discipline));
         FacilityId(self.facilities.len() - 1)
     }
 
@@ -256,7 +272,11 @@ impl Simulator {
 
     /// Add a synchronization event (initially clear); returns its id.
     pub fn add_event(&mut self, name: &str) -> EventId {
-        self.events.push(SimEvent { name: name.into(), set: false, waiters: Vec::new() });
+        self.events.push(SimEvent {
+            name: name.into(),
+            set: false,
+            waiters: Vec::new(),
+        });
         EventId(self.events.len() - 1)
     }
 
@@ -283,7 +303,8 @@ impl Simulator {
             inbox: None,
             priority: 0,
         });
-        self.calendar.schedule(SimTime::new(at), Ev::Resume(pid, ResumeWhy::Start));
+        self.calendar
+            .schedule(SimTime::new(at), Ev::Resume(pid, ResumeWhy::Start));
         pid
     }
 
@@ -368,7 +389,10 @@ impl Simulator {
         if slot.state == ProcState::Terminated {
             return;
         }
-        let mut body = slot.body.take().expect("process body present while resumable");
+        let mut body = slot
+            .body
+            .take()
+            .expect("process body present while resumable");
         let resumed = match why {
             ResumeWhy::Start => Resumed::Start,
             ResumeWhy::HoldDone => Resumed::HoldDone,
@@ -389,7 +413,8 @@ impl Simulator {
         self.apply_action(pid, action);
         // Schedule any processes spawned during the resume.
         for (spid, at) in std::mem::take(&mut self.spawn_queue) {
-            self.calendar.schedule(at, Ev::Resume(spid, ResumeWhy::Start));
+            self.calendar
+                .schedule(at, Ev::Resume(spid, ResumeWhy::Start));
         }
     }
 
@@ -405,7 +430,8 @@ impl Simulator {
                     return;
                 }
                 self.procs[pid.0].state = ProcState::Held;
-                self.calendar.schedule(self.clock + dt, Ev::Resume(pid, ResumeWhy::HoldDone));
+                self.calendar
+                    .schedule(self.clock + dt, Ev::Resume(pid, ResumeWhy::HoldDone));
             }
             Action::Reserve(fid) => {
                 if fid.0 >= self.facilities.len() {
@@ -415,7 +441,8 @@ impl Simulator {
                 let prio = self.procs[pid.0].priority;
                 if self.facilities[fid.0].reserve(pid, prio, now) {
                     self.procs[pid.0].state = ProcState::Runnable;
-                    self.calendar.schedule(self.clock, Ev::Resume(pid, ResumeWhy::Granted(fid)));
+                    self.calendar
+                        .schedule(self.clock, Ev::Resume(pid, ResumeWhy::Granted(fid)));
                 } else {
                     self.procs[pid.0].state = ProcState::WaitingFacility(fid);
                 }
@@ -437,7 +464,8 @@ impl Simulator {
                 if self.facilities[fid.0].reserve(pid, prio, now) {
                     self.procs[pid.0].pending_use = None;
                     self.procs[pid.0].state = ProcState::Held;
-                    self.calendar.schedule(self.clock + dt, Ev::EndUse(pid, fid));
+                    self.calendar
+                        .schedule(self.clock + dt, Ev::EndUse(pid, fid));
                 } else {
                     self.procs[pid.0].state = ProcState::UsingFacility(fid);
                 }
@@ -451,7 +479,8 @@ impl Simulator {
                     Some(msg) => {
                         self.procs[pid.0].inbox = Some(msg);
                         self.procs[pid.0].state = ProcState::Runnable;
-                        self.calendar.schedule(self.clock, Ev::Resume(pid, ResumeWhy::Msg));
+                        self.calendar
+                            .schedule(self.clock, Ev::Resume(pid, ResumeWhy::Msg));
                     }
                     None => {
                         self.procs[pid.0].state = ProcState::WaitingMailbox(mid);
@@ -465,7 +494,8 @@ impl Simulator {
                 }
                 if self.events[eid.0].set {
                     self.procs[pid.0].state = ProcState::Runnable;
-                    self.calendar.schedule(self.clock, Ev::Resume(pid, ResumeWhy::EventSet(eid)));
+                    self.calendar
+                        .schedule(self.clock, Ev::Resume(pid, ResumeWhy::EventSet(eid)));
                 } else {
                     self.events[eid.0].waiters.push(pid);
                     self.procs[pid.0].state = ProcState::WaitingEvent(eid);
@@ -512,16 +542,21 @@ impl Simulator {
         match self.procs[pid.0].state {
             ProcState::WaitingFacility(f) if f == fid => {
                 self.procs[pid.0].state = ProcState::Runnable;
-                self.calendar.schedule(self.clock, Ev::Resume(pid, ResumeWhy::Granted(fid)));
+                self.calendar
+                    .schedule(self.clock, Ev::Resume(pid, ResumeWhy::Granted(fid)));
             }
             ProcState::UsingFacility(f) if f == fid => {
-                let dt = self.procs[pid.0].pending_use.take().expect("pending use time");
+                let dt = self.procs[pid.0]
+                    .pending_use
+                    .take()
+                    .expect("pending use time");
                 self.procs[pid.0].state = ProcState::Held;
-                self.calendar.schedule(self.clock + dt, Ev::EndUse(pid, fid));
+                self.calendar
+                    .schedule(self.clock + dt, Ev::EndUse(pid, fid));
             }
-            other => panic!(
-                "facility {fid:?} granted to process {pid:?} in unexpected state {other:?}"
-            ),
+            other => {
+                panic!("facility {fid:?} granted to process {pid:?} in unexpected state {other:?}")
+            }
         }
     }
 
@@ -602,7 +637,9 @@ impl<'a> ProcCtx<'a> {
         if let Some((receiver, msg)) = self.sim.mailboxes[mailbox.0].send(msg, now) {
             self.sim.procs[receiver.0].inbox = Some(msg);
             self.sim.procs[receiver.0].state = ProcState::Runnable;
-            self.sim.calendar.schedule(self.sim.clock, Ev::Resume(receiver, ResumeWhy::Msg));
+            self.sim
+                .calendar
+                .schedule(self.sim.clock, Ev::Resume(receiver, ResumeWhy::Msg));
         }
     }
 
@@ -625,7 +662,9 @@ impl<'a> ProcCtx<'a> {
         let waiters = std::mem::take(&mut ev.waiters);
         for pid in waiters {
             self.sim.procs[pid.0].state = ProcState::Runnable;
-            self.sim.calendar.schedule(self.sim.clock, Ev::Resume(pid, ResumeWhy::EventSet(event)));
+            self.sim
+                .calendar
+                .schedule(self.sim.clock, Ev::Resume(pid, ResumeWhy::EventSet(event)));
         }
     }
 
@@ -645,11 +684,15 @@ impl<'a> ProcCtx<'a> {
         match self.sim.storages[storage.0].release(amount, now) {
             Ok(granted) => {
                 for pid in granted {
-                    debug_assert_eq!(self.sim.procs[pid.0].state, ProcState::WaitingStorage(storage));
+                    debug_assert_eq!(
+                        self.sim.procs[pid.0].state,
+                        ProcState::WaitingStorage(storage)
+                    );
                     self.sim.procs[pid.0].state = ProcState::Runnable;
-                    self.sim
-                        .calendar
-                        .schedule(self.sim.clock, Ev::Resume(pid, ResumeWhy::StorageGranted(storage)));
+                    self.sim.calendar.schedule(
+                        self.sim.clock,
+                        Ev::Resume(pid, ResumeWhy::StorageGranted(storage)),
+                    );
                 }
             }
             Err(e) => self.sim.fail(e),
@@ -673,7 +716,10 @@ impl<'a> ProcCtx<'a> {
 ///
 /// This is sugar for tests and examples; real models implement
 /// [`Process`].
-pub fn run_scripts(config: Config, setup: impl FnOnce(&mut Simulator) -> Vec<(String, Vec<Action>)>) -> Result<SimReport, SimError> {
+pub fn run_scripts(
+    config: Config,
+    setup: impl FnOnce(&mut Simulator) -> Vec<(String, Vec<Action>)>,
+) -> Result<SimReport, SimError> {
     struct Scripted {
         actions: std::vec::IntoIter<Action>,
     }
@@ -684,7 +730,12 @@ pub fn run_scripts(config: Config, setup: impl FnOnce(&mut Simulator) -> Vec<(St
     }
     let mut sim = Simulator::new(config);
     for (name, actions) in setup(&mut sim) {
-        sim.spawn(&name, Box::new(Scripted { actions: actions.into_iter() }));
+        sim.spawn(
+            &name,
+            Box::new(Scripted {
+                actions: actions.into_iter(),
+            }),
+        );
     }
     sim.run()
 }
@@ -710,7 +761,10 @@ mod tests {
     #[test]
     fn holds_accumulate() {
         let report = run_scripts(Config::default(), |_| {
-            vec![("p".into(), vec![Action::Hold(1.0), Action::Hold(2.0), Action::Hold(0.5)])]
+            vec![(
+                "p".into(),
+                vec![Action::Hold(1.0), Action::Hold(2.0), Action::Hold(0.5)],
+            )]
         })
         .unwrap();
         assert_eq!(report.end_time, 3.5);
@@ -828,7 +882,13 @@ mod tests {
                         self.rounds -= 1;
                         ctx.send(
                             self.a2b,
-                            Msg { from: ctx.pid(), tag: 0, payload: 0.0, size_bytes: 8, sent_at: 0.0 },
+                            Msg {
+                                from: ctx.pid(),
+                                tag: 0,
+                                payload: 0.0,
+                                size_bytes: 8,
+                                sent_at: 0.0,
+                            },
                         );
                         Action::Receive(self.b2a)
                     }
@@ -849,7 +909,13 @@ mod tests {
                         self.rounds -= 1;
                         ctx.send(
                             self.b2a,
-                            Msg { from: ctx.pid(), tag: 0, payload: 0.0, size_bytes: 8, sent_at: 0.0 },
+                            Msg {
+                                from: ctx.pid(),
+                                tag: 0,
+                                payload: 0.0,
+                                size_bytes: 8,
+                                sent_at: 0.0,
+                            },
                         );
                         if self.rounds == 0 {
                             Action::Terminate
@@ -861,8 +927,22 @@ mod tests {
                 }
             }
         }
-        sim.spawn("ping", Box::new(Ping { a2b, b2a, rounds: 10 }));
-        sim.spawn("pong", Box::new(Pong { a2b, b2a, rounds: 10 }));
+        sim.spawn(
+            "ping",
+            Box::new(Ping {
+                a2b,
+                b2a,
+                rounds: 10,
+            }),
+        );
+        sim.spawn(
+            "pong",
+            Box::new(Pong {
+                a2b,
+                b2a,
+                rounds: 10,
+            }),
+        );
         let report = sim.run().unwrap();
         assert_eq!(report.processes_completed, 2);
         assert_eq!(sim.mailbox(a2b).send_count(), 10);
@@ -993,7 +1073,10 @@ mod tests {
     #[test]
     fn until_cuts_run_short() {
         let report = run_scripts(
-            Config { until: Some(2.0), ..Default::default() },
+            Config {
+                until: Some(2.0),
+                ..Default::default()
+            },
             |_| vec![("long".into(), vec![Action::Hold(100.0)])],
         )
         .unwrap();
@@ -1004,8 +1087,10 @@ mod tests {
 
     #[test]
     fn event_limit_guard() {
-        let mut config = Config::default();
-        config.max_events = 10;
+        let config = Config {
+            max_events: 10,
+            ..Config::default()
+        };
         let mut sim = Simulator::new(config);
         struct Spinner;
         impl Process for Spinner {
@@ -1101,7 +1186,10 @@ mod tests {
     #[test]
     fn calendar_kinds_agree() {
         fn run_kind(kind: CalendarKind) -> (f64, u64) {
-            let mut sim = Simulator::new(Config { calendar: kind, ..Default::default() });
+            let mut sim = Simulator::new(Config {
+                calendar: kind,
+                ..Default::default()
+            });
             let cpu = sim.add_facility("cpu", 1, Discipline::Fcfs);
             struct U {
                 cpu: FacilityId,
@@ -1127,6 +1215,9 @@ mod tests {
             let r = sim.run().unwrap();
             (r.end_time, r.events_processed)
         }
-        assert_eq!(run_kind(CalendarKind::BinaryHeap), run_kind(CalendarKind::SortedVec));
+        assert_eq!(
+            run_kind(CalendarKind::BinaryHeap),
+            run_kind(CalendarKind::SortedVec)
+        );
     }
 }

@@ -71,8 +71,8 @@ pub mod time;
 pub use calendar::{BinaryHeapCalendar, Calendar, CalendarKind, SortedVecCalendar};
 pub use facility::{Discipline, Facility, FacilityStats};
 pub use kernel::{
-    Action, Config, EventId, FacilityId, MailboxId, ProcCtx, Process, ProcessId, Resumed,
-    SimError, SimReport, Simulator, StorageId,
+    Action, Config, EventId, FacilityId, MailboxId, ProcCtx, Process, ProcessId, Resumed, SimError,
+    SimReport, Simulator, StorageId,
 };
 pub use mailbox::{Mailbox, Msg};
 pub use random::RandomStream;

@@ -122,7 +122,13 @@ mod tests {
     }
 
     fn msg(from: usize, tag: i64, at: f64) -> Msg {
-        Msg { from: pid(from), tag, payload: 0.0, size_bytes: 8, sent_at: at }
+        Msg {
+            from: pid(from),
+            tag,
+            payload: 0.0,
+            size_bytes: 8,
+            sent_at: at,
+        }
     }
 
     #[test]

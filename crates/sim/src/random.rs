@@ -5,14 +5,55 @@
 //! stream is derived from `(master_seed, stream_name)` via FNV-1a, so a
 //! stream's sequence depends only on its name and the master seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Self-contained xoshiro256++ generator (Blackman/Vigna), seeded via
+/// splitmix64 — no external `rand` dependency, identical output on every
+/// platform.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// A reproducible random stream with the distributions the estimator and
 /// workload generators need.
 #[derive(Debug, Clone)]
 pub struct RandomStream {
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Cached second normal variate from Box-Muller.
     spare_normal: Option<f64>,
 }
@@ -28,7 +69,10 @@ impl RandomStream {
         }
         // Avoid the all-zero seed edge case.
         let seed = if h == 0 { 0x9e3779b97f4a7c15 } else { h };
-        Self { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Uniform in `[lo, hi)`.
@@ -37,13 +81,25 @@ impl RandomStream {
     /// Panics if `hi <= lo`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(hi > lo, "uniform requires hi > lo");
-        self.rng.gen_range(lo..hi)
+        let r = lo + self.rng.unit_f64() * (hi - lo);
+        // On tight ranges the scaled product can round up to exactly
+        // `hi`; keep the documented half-open contract.
+        if r < hi {
+            r
+        } else {
+            hi.next_down().max(lo)
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(hi >= lo, "uniform_int requires hi >= lo");
-        self.rng.gen_range(lo..=hi)
+        // Lemire multiply-shift over the (inclusive) span.
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            return self.rng.next_u64(); // full u64 range
+        }
+        lo + ((self.rng.next_u64() as u128 * span as u128) >> 64) as u64
     }
 
     /// Exponential with the given mean (inverse-CDF method).
@@ -52,7 +108,10 @@ impl RandomStream {
     /// Panics if `mean <= 0`.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential requires a positive mean");
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // `unit_f64()` is in [0, 1); the max() guards the reachable 0.0
+        // endpoint so ln(u) stays strictly negative and the sample
+        // strictly positive.
+        let u: f64 = self.rng.unit_f64().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
@@ -62,8 +121,9 @@ impl RandomStream {
         if let Some(z) = self.spare_normal.take() {
             return mean + std_dev * z;
         }
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        // Guard the reachable 0.0 endpoint of [0, 1) so ln(u1) is finite.
+        let u1: f64 = self.rng.unit_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.unit_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -84,12 +144,12 @@ impl RandomStream {
 
     /// Bernoulli with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_range(0.0..1.0) < p.clamp(0.0, 1.0)
+        self.rng.unit_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Raw u64 (for shuffles and derived decisions).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        self.rng.next_u64()
     }
 }
 

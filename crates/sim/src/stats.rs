@@ -130,7 +130,13 @@ impl Default for TimeWeighted {
 impl TimeWeighted {
     /// Start tracking `initial` at time `start`.
     pub fn new(initial: f64, start: f64) -> Self {
-        Self { value: initial, last_change: start, integral: 0.0, start, max: initial }
+        Self {
+            value: initial,
+            last_change: start,
+            integral: 0.0,
+            start,
+            max: initial,
+        }
     }
 
     /// Record that the signal changed to `value` at time `now`.
@@ -196,7 +202,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "Histogram needs at least one bin");
         assert!(hi > lo, "Histogram range must be non-empty");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, tally: Tally::new() }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            tally: Tally::new(),
+        }
     }
 
     /// Record an observation.
@@ -315,7 +328,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.set(2.0, 1.0); // 0 for [0,1)
         tw.set(4.0, 3.0); // 2 for [1,3)
-        // 4 for [3,5]
+                          // 4 for [3,5]
         assert_eq!(tw.mean(5.0), (0.0 + 4.0 + 8.0) / 5.0);
         assert_eq!(tw.integral(5.0), 12.0);
         assert_eq!(tw.max(), 4.0);

@@ -50,7 +50,9 @@ impl PartialOrd for SimTime {
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
         // Safe: construction guarantees finite values.
-        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
     }
 }
 

@@ -1,10 +1,10 @@
 //! Property-based tests of simulation-kernel invariants under randomized
 //! workloads.
 
-use proptest::prelude::*;
 use prophet_sim::{
-    Action, CalendarKind, Config, Discipline, FacilityId, Process, ProcCtx, Resumed, Simulator,
+    Action, CalendarKind, Config, Discipline, FacilityId, ProcCtx, Process, Resumed, Simulator,
 };
+use proptest::prelude::*;
 
 /// A process running a fixed schedule of service times on one facility.
 struct Scheduled {
@@ -29,19 +29,30 @@ impl Process for Scheduled {
     }
 }
 
-fn run(
-    kind: CalendarKind,
-    servers: usize,
-    schedules: &[Vec<f64>],
-) -> (f64, u64, f64, u64) {
-    let mut sim = Simulator::new(Config { calendar: kind, ..Default::default() });
+fn run(kind: CalendarKind, servers: usize, schedules: &[Vec<f64>]) -> (f64, u64, f64, u64) {
+    let mut sim = Simulator::new(Config {
+        calendar: kind,
+        ..Default::default()
+    });
     let cpu = sim.add_facility("cpu", servers, Discipline::Fcfs);
     for (i, times) in schedules.iter().enumerate() {
-        sim.spawn(&format!("p{i}"), Box::new(Scheduled { cpu, times: times.clone(), next: 0 }));
+        sim.spawn(
+            &format!("p{i}"),
+            Box::new(Scheduled {
+                cpu,
+                times: times.clone(),
+                next: 0,
+            }),
+        );
     }
     let report = sim.run().expect("no deadlock possible");
     let f = &report.facilities[0];
-    (report.end_time, report.events_processed, f.busy_integral, f.completions)
+    (
+        report.end_time,
+        report.events_processed,
+        f.busy_integral,
+        f.completions,
+    )
 }
 
 fn schedules_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {

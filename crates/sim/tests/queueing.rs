@@ -4,7 +4,7 @@
 //! closed-form values.
 
 use prophet_sim::{
-    Action, Config, Discipline, FacilityId, Msg, Process, ProcCtx, Resumed, Simulator,
+    Action, Config, Discipline, FacilityId, Msg, ProcCtx, Process, Resumed, Simulator,
 };
 
 /// Open M/M/c system: a generator spawns customers with exponential
@@ -44,7 +44,13 @@ impl Process for Generator {
                 let _ = &mut svc;
                 s.exponential(self.mean_service)
             };
-            ctx.spawn(&format!("cust-{}", self.remaining), Box::new(Customer { cpu: self.cpu, service }));
+            ctx.spawn(
+                &format!("cust-{}", self.remaining),
+                Box::new(Customer {
+                    cpu: self.cpu,
+                    service,
+                }),
+            );
         }
         self.started = true;
         if self.remaining == 0 {
@@ -55,8 +61,17 @@ impl Process for Generator {
     }
 }
 
-fn run_mmc(servers: usize, lambda: f64, mu: f64, customers: u32, seed: u64) -> prophet_sim::SimReport {
-    let mut sim = Simulator::new(Config { seed, ..Default::default() });
+fn run_mmc(
+    servers: usize,
+    lambda: f64,
+    mu: f64,
+    customers: u32,
+    seed: u64,
+) -> prophet_sim::SimReport {
+    let mut sim = Simulator::new(Config {
+        seed,
+        ..Default::default()
+    });
     let cpu = sim.add_facility("server", servers, Discipline::Fcfs);
     sim.spawn(
         "generator",
@@ -100,7 +115,11 @@ fn mm1_wait_time_matches_littles_law() {
     // Wq = Lq/λ = 1.0 for λ=0.5, ρ=0.5.
     let report = run_mmc(1, 0.5, 1.0, 40_000, 11);
     let f = &report.facilities[0];
-    assert!((f.mean_wait - 1.0).abs() < 0.15, "Wq {} should be ≈ 1.0", f.mean_wait);
+    assert!(
+        (f.mean_wait - 1.0).abs() < 0.15,
+        "Wq {} should be ≈ 1.0",
+        f.mean_wait
+    );
 }
 
 #[test]

@@ -84,7 +84,10 @@ impl TraceAnalysis {
         for ev in &tf.events {
             match ev.kind {
                 EventKind::Enter => {
-                    stacks.entry((ev.pid, ev.tid)).or_default().push((ev.element.clone(), ev.time));
+                    stacks
+                        .entry((ev.pid, ev.tid))
+                        .or_default()
+                        .push((ev.element.clone(), ev.time));
                 }
                 EventKind::Exit => {
                     let stack = stacks.entry((ev.pid, ev.tid)).or_default();
@@ -142,9 +145,19 @@ impl TraceAnalysis {
                 max_time: max,
             })
             .collect();
-        profile.sort_by(|a, b| b.total_time.total_cmp(&a.total_time).then(a.element.cmp(&b.element)));
+        profile.sort_by(|a, b| {
+            b.total_time
+                .total_cmp(&a.total_time)
+                .then(a.element.cmp(&b.element))
+        });
 
-        Self { profile, gantt, busy_time: busy, end_time: tf.end_time, unmatched }
+        Self {
+            profile,
+            gantt,
+            busy_time: busy,
+            end_time: tf.end_time,
+            unmatched,
+        }
     }
 
     /// Profile entry for one element.
@@ -189,7 +202,10 @@ impl TraceAnalysis {
                 points.push((seg.end, count));
             }
         }
-        ChartSeries { name: format!("completions:{name}"), points }
+        ChartSeries {
+            name: format!("completions:{name}"),
+            points,
+        }
     }
 }
 
@@ -212,7 +228,13 @@ mod tests {
     use crate::event::TraceEvent;
 
     fn ev(time: f64, pid: usize, element: &str, kind: EventKind) -> TraceEvent {
-        TraceEvent { time, pid, tid: 0, element: element.into(), kind }
+        TraceEvent {
+            time,
+            pid,
+            tid: 0,
+            element: element.into(),
+            kind,
+        }
     }
 
     fn nested_trace() -> TraceFile {

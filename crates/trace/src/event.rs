@@ -74,7 +74,12 @@ pub struct TraceFile {
 impl TraceFile {
     /// Empty trace for a model/run shape.
     pub fn new(model: impl Into<String>, processes: usize) -> Self {
-        Self { model: model.into(), end_time: 0.0, processes, events: Vec::new() }
+        Self {
+            model: model.into(),
+            end_time: 0.0,
+            processes,
+            events: Vec::new(),
+        }
     }
 
     /// Append a record (keeps `end_time` monotone).
@@ -130,20 +135,44 @@ impl TraceFile {
                 .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
                 .ok_or_else(|| format!("header missing `{key}`"))
         };
-        let mut tf = TraceFile::new(field("model")?, field("processes")?.parse().map_err(|_| "bad processes")?);
+        let mut tf = TraceFile::new(
+            field("model")?,
+            field("processes")?.parse().map_err(|_| "bad processes")?,
+        );
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut parts = line.split_whitespace();
             let err = |what: &str| format!("line {}: {what}", i + 2);
-            let time: f64 = parts.next().ok_or_else(|| err("missing time"))?.parse().map_err(|_| err("bad time"))?;
-            let pid: usize = parts.next().ok_or_else(|| err("missing pid"))?.parse().map_err(|_| err("bad pid"))?;
-            let tid: usize = parts.next().ok_or_else(|| err("missing tid"))?.parse().map_err(|_| err("bad tid"))?;
+            let time: f64 = parts
+                .next()
+                .ok_or_else(|| err("missing time"))?
+                .parse()
+                .map_err(|_| err("bad time"))?;
+            let pid: usize = parts
+                .next()
+                .ok_or_else(|| err("missing pid"))?
+                .parse()
+                .map_err(|_| err("bad pid"))?;
+            let tid: usize = parts
+                .next()
+                .ok_or_else(|| err("missing tid"))?
+                .parse()
+                .map_err(|_| err("bad tid"))?;
             let kind = EventKind::parse(parts.next().ok_or_else(|| err("missing kind"))?)
                 .ok_or_else(|| err("unknown kind"))?;
-            let element = parts.next().ok_or_else(|| err("missing element"))?.to_string();
-            tf.push(TraceEvent { time, pid, tid, element, kind });
+            let element = parts
+                .next()
+                .ok_or_else(|| err("missing element"))?
+                .to_string();
+            tf.push(TraceEvent {
+                time,
+                pid,
+                tid,
+                element,
+                kind,
+            });
         }
         Ok(tf)
     }
@@ -198,7 +227,10 @@ impl TraceFile {
         let doc: Document = prophet_xml::parse_document(xml)?;
         let root: &Element = &doc.root;
         if root.name != "trace" {
-            return Err(XmlError::structural(format!("expected <trace>, found <{}>", root.name)));
+            return Err(XmlError::structural(format!(
+                "expected <trace>, found <{}>",
+                root.name
+            )));
         }
         let mut tf = TraceFile::new(
             root.required_attr("model")?,
@@ -236,11 +268,41 @@ mod tests {
 
     fn sample() -> TraceFile {
         let mut tf = TraceFile::new("demo", 2);
-        tf.push(TraceEvent { time: 0.0, pid: 0, tid: 0, element: "A1".into(), kind: EventKind::Enter });
-        tf.push(TraceEvent { time: 0.5, pid: 1, tid: 0, element: "A1".into(), kind: EventKind::Enter });
-        tf.push(TraceEvent { time: 1.0, pid: 0, tid: 0, element: "A1".into(), kind: EventKind::Exit });
-        tf.push(TraceEvent { time: 1.25, pid: 0, tid: 0, element: "s0".into(), kind: EventKind::MsgSend });
-        tf.push(TraceEvent { time: 1.5, pid: 1, tid: 0, element: "A1".into(), kind: EventKind::Exit });
+        tf.push(TraceEvent {
+            time: 0.0,
+            pid: 0,
+            tid: 0,
+            element: "A1".into(),
+            kind: EventKind::Enter,
+        });
+        tf.push(TraceEvent {
+            time: 0.5,
+            pid: 1,
+            tid: 0,
+            element: "A1".into(),
+            kind: EventKind::Enter,
+        });
+        tf.push(TraceEvent {
+            time: 1.0,
+            pid: 0,
+            tid: 0,
+            element: "A1".into(),
+            kind: EventKind::Exit,
+        });
+        tf.push(TraceEvent {
+            time: 1.25,
+            pid: 0,
+            tid: 0,
+            element: "s0".into(),
+            kind: EventKind::MsgSend,
+        });
+        tf.push(TraceEvent {
+            time: 1.5,
+            pid: 1,
+            tid: 0,
+            element: "A1".into(),
+            kind: EventKind::Exit,
+        });
         tf
     }
 
@@ -291,7 +353,13 @@ mod tests {
 
     #[test]
     fn kind_names_roundtrip() {
-        for k in [EventKind::Enter, EventKind::Exit, EventKind::MsgSend, EventKind::MsgRecv, EventKind::Marker] {
+        for k in [
+            EventKind::Enter,
+            EventKind::Exit,
+            EventKind::MsgSend,
+            EventKind::MsgRecv,
+            EventKind::Marker,
+        ] {
             assert_eq!(EventKind::parse(k.name()), Some(k));
         }
         assert_eq!(EventKind::parse("bogus"), None);

@@ -9,9 +9,16 @@ use crate::analysis::TraceAnalysis;
 /// outermost segment covering the cell midpoint), or `.` when idle.
 pub fn render_timeline(analysis: &TraceAnalysis, processes: usize, width: usize) -> String {
     let width = width.max(10);
-    let end = if analysis.end_time > 0.0 { analysis.end_time } else { 1.0 };
+    let end = if analysis.end_time > 0.0 {
+        analysis.end_time
+    } else {
+        1.0
+    };
     let mut out = String::new();
-    out.push_str(&format!("timeline 0.0 .. {:.6}s ({} cells)\n", analysis.end_time, width));
+    out.push_str(&format!(
+        "timeline 0.0 .. {:.6}s ({} cells)\n",
+        analysis.end_time, width
+    ));
     for pid in 0..processes {
         let mut row = vec!['.'; width];
         for seg in analysis.gantt.iter().filter(|s| s.pid == pid && s.tid == 0) {
@@ -24,7 +31,10 @@ pub fn render_timeline(analysis: &TraceAnalysis, processes: usize, width: usize)
                 *cell = first;
             }
         }
-        out.push_str(&format!("p{pid:<3} |{}|\n", row.into_iter().collect::<String>()));
+        out.push_str(&format!(
+            "p{pid:<3} |{}|\n",
+            row.into_iter().collect::<String>()
+        ));
     }
     out
 }
@@ -37,10 +47,34 @@ mod tests {
     #[test]
     fn renders_rows_per_process() {
         let mut tf = TraceFile::new("t", 2);
-        tf.push(TraceEvent { time: 0.0, pid: 0, tid: 0, element: "Alpha".into(), kind: EventKind::Enter });
-        tf.push(TraceEvent { time: 5.0, pid: 0, tid: 0, element: "Alpha".into(), kind: EventKind::Exit });
-        tf.push(TraceEvent { time: 5.0, pid: 1, tid: 0, element: "Beta".into(), kind: EventKind::Enter });
-        tf.push(TraceEvent { time: 10.0, pid: 1, tid: 0, element: "Beta".into(), kind: EventKind::Exit });
+        tf.push(TraceEvent {
+            time: 0.0,
+            pid: 0,
+            tid: 0,
+            element: "Alpha".into(),
+            kind: EventKind::Enter,
+        });
+        tf.push(TraceEvent {
+            time: 5.0,
+            pid: 0,
+            tid: 0,
+            element: "Alpha".into(),
+            kind: EventKind::Exit,
+        });
+        tf.push(TraceEvent {
+            time: 5.0,
+            pid: 1,
+            tid: 0,
+            element: "Beta".into(),
+            kind: EventKind::Enter,
+        });
+        tf.push(TraceEvent {
+            time: 10.0,
+            pid: 1,
+            tid: 0,
+            element: "Beta".into(),
+            kind: EventKind::Exit,
+        });
         let a = TraceAnalysis::analyze(&tf);
         let art = render_timeline(&a, 2, 20);
         let lines: Vec<_> = art.lines().collect();

@@ -21,7 +21,11 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        Self { width: 800, lane_height: 22, gutter: 70 }
+        Self {
+            width: 800,
+            lane_height: 22,
+            gutter: 70,
+        }
     }
 }
 
@@ -37,18 +41,27 @@ fn color_of(name: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Render the analyzed trace as an SVG Gantt chart.
 pub fn render_svg(analysis: &TraceAnalysis, options: &SvgOptions) -> String {
-    let end = if analysis.end_time > 0.0 { analysis.end_time } else { 1.0 };
+    let end = if analysis.end_time > 0.0 {
+        analysis.end_time
+    } else {
+        1.0
+    };
     // Lanes in (pid, tid) order, from the segments present.
-    let lanes: BTreeSet<(usize, usize)> =
-        analysis.gantt.iter().map(|s| (s.pid, s.tid)).collect();
+    let lanes: BTreeSet<(usize, usize)> = analysis.gantt.iter().map(|s| (s.pid, s.tid)).collect();
     let lanes: Vec<(usize, usize)> = lanes.into_iter().collect();
     let lane_of = |pid: usize, tid: usize| -> usize {
-        lanes.iter().position(|&l| l == (pid, tid)).expect("lane exists")
+        lanes
+            .iter()
+            .position(|&l| l == (pid, tid))
+            .expect("lane exists")
     };
 
     let opt = options;
@@ -131,11 +144,25 @@ mod tests {
 
     fn trace() -> TraceAnalysis {
         let mut events = Vec::new();
-        for (t0, t1, pid, el) in
-            [(0.0, 1.0, 0usize, "Alpha"), (0.5, 2.0, 1usize, "Beta"), (1.0, 1.5, 0, "Gamma")]
-        {
-            events.push(TraceEvent { time: t0, pid, tid: 0, element: el.into(), kind: EventKind::Enter });
-            events.push(TraceEvent { time: t1, pid, tid: 0, element: el.into(), kind: EventKind::Exit });
+        for (t0, t1, pid, el) in [
+            (0.0, 1.0, 0usize, "Alpha"),
+            (0.5, 2.0, 1usize, "Beta"),
+            (1.0, 1.5, 0, "Gamma"),
+        ] {
+            events.push(TraceEvent {
+                time: t0,
+                pid,
+                tid: 0,
+                element: el.into(),
+                kind: EventKind::Enter,
+            });
+            events.push(TraceEvent {
+                time: t1,
+                pid,
+                tid: 0,
+                element: el.into(),
+                kind: EventKind::Exit,
+            });
         }
         // Push in time order (the estimator emits monotone traces).
         events.sort_by(|a, b| a.time.total_cmp(&b.time));
@@ -151,7 +178,11 @@ mod tests {
         let svg = render_svg(&trace(), &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
-        assert_eq!(svg.matches("<rect").count(), 1 + 3, "background + 3 segments");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 3,
+            "background + 3 segments"
+        );
         assert!(svg.contains("p0.t0") && svg.contains("p1.t0"));
         assert!(svg.contains("<title>Alpha"));
     }

@@ -15,7 +15,10 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// Start a model with the performance profile applied.
     pub fn new(name: &str) -> Self {
-        Self { model: Model::new(name), next_auto_id: 1 }
+        Self {
+            model: Model::new(name),
+            next_auto_id: 1,
+        }
     }
 
     /// The main diagram id.
@@ -36,12 +39,14 @@ impl ModelBuilder {
 
     /// Add an initial node.
     pub fn initial(&mut self, diagram: DiagramId, name: &str) -> ElementId {
-        self.model.add_element(diagram, name, NodeKind::Initial, None)
+        self.model
+            .add_element(diagram, name, NodeKind::Initial, None)
     }
 
     /// Add an activity-final node.
     pub fn final_node(&mut self, diagram: DiagramId, name: &str) -> ElementId {
-        self.model.add_element(diagram, name, NodeKind::ActivityFinal, None)
+        self.model
+            .add_element(diagram, name, NodeKind::ActivityFinal, None)
     }
 
     /// Add an `<<action+>>` with a cost expression (the common case of
@@ -51,7 +56,8 @@ impl ModelBuilder {
         let st = StereotypeApplication::new("action+")
             .with("id", TagValue::Int(id))
             .with("cost", TagValue::Expr(cost.into()));
-        self.model.add_element(diagram, name, NodeKind::Action, Some(st))
+        self.model
+            .add_element(diagram, name, NodeKind::Action, Some(st))
     }
 
     /// Add an `<<action+>>` with an explicit `time` tag instead of a cost
@@ -61,7 +67,8 @@ impl ModelBuilder {
         let st = StereotypeApplication::new("action+")
             .with("id", TagValue::Int(id))
             .with("time", TagValue::Num(time));
-        self.model.add_element(diagram, name, NodeKind::Action, Some(st))
+        self.model
+            .add_element(diagram, name, NodeKind::Action, Some(st))
     }
 
     /// Attach a code fragment to an element (Figure 7(b)).
@@ -90,8 +97,12 @@ impl ModelBuilder {
         let id = self.auto_id();
         let st = StereotypeApplication::new("activity+")
             .with("id", TagValue::Int(id))
-            .with("diagram", TagValue::Str(self.model.diagram(sub).name.clone()));
-        self.model.add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
+            .with(
+                "diagram",
+                TagValue::Str(self.model.diagram(sub).name.clone()),
+            );
+        self.model
+            .add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
     }
 
     /// Add a `<<loop+>>` composite: body `sub` repeated `iterations` times.
@@ -106,7 +117,8 @@ impl ModelBuilder {
         let st = StereotypeApplication::new("loop+")
             .with("id", TagValue::Int(id))
             .with("iterations", TagValue::Expr(iterations.into()));
-        self.model.add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
+        self.model
+            .add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
     }
 
     /// Add a `<<parallel+>>` composite (OpenMP parallel region) running
@@ -122,12 +134,14 @@ impl ModelBuilder {
         let st = StereotypeApplication::new("parallel+")
             .with("id", TagValue::Int(id))
             .with("threads", TagValue::Expr(threads.into()));
-        self.model.add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
+        self.model
+            .add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
     }
 
     /// Add a decision node.
     pub fn decision(&mut self, diagram: DiagramId, name: &str) -> ElementId {
-        self.model.add_element(diagram, name, NodeKind::Decision, None)
+        self.model
+            .add_element(diagram, name, NodeKind::Decision, None)
     }
 
     /// Add a merge node.
@@ -159,7 +173,8 @@ impl ModelBuilder {
         for (k, v) in tags {
             st.set(k, v.clone());
         }
-        self.model.add_element(diagram, name, NodeKind::Action, Some(st))
+        self.model
+            .add_element(diagram, name, NodeKind::Action, Some(st))
     }
 
     /// Add an unguarded control flow.
@@ -168,7 +183,13 @@ impl ModelBuilder {
     }
 
     /// Add a guarded control flow (out of a decision node).
-    pub fn guarded_flow(&mut self, diagram: DiagramId, from: ElementId, to: ElementId, guard: &str) {
+    pub fn guarded_flow(
+        &mut self,
+        diagram: DiagramId,
+        from: ElementId,
+        to: ElementId,
+        guard: &str,
+    ) {
         self.model.add_edge(diagram, from, to, Some(guard.into()));
     }
 
@@ -259,7 +280,10 @@ mod tests {
         let sub = b.diagram("SA");
         let sa = b.call_activity(main, "SA", sub);
         let m = b.build();
-        assert_eq!(m.element(sa).tag("diagram"), Some(&TagValue::Str("SA".into())));
+        assert_eq!(
+            m.element(sa).tag("diagram"),
+            Some(&TagValue::Str("SA".into()))
+        );
     }
 
     #[test]
@@ -280,7 +304,10 @@ mod tests {
             main,
             "send0",
             "send",
-            &[("dest", TagValue::Expr("pid + 1".into())), ("size", TagValue::Expr("8 * N".into()))],
+            &[
+                ("dest", TagValue::Expr("pid + 1".into())),
+                ("size", TagValue::Expr("8 * N".into())),
+            ],
         );
         let m = b.build();
         assert_eq!(m.element(s).stereotype_name(), Some("send"));

@@ -59,8 +59,8 @@ pub mod xmi;
 
 pub use builder::ModelBuilder;
 pub use model::{
-    Diagram, DiagramId, Edge, Element, ElementId, FunctionDecl, Model, NodeKind, VarScope,
-    VarType, Variable,
+    Diagram, DiagramId, Edge, Element, ElementId, FunctionDecl, Model, NodeKind, VarScope, VarType,
+    Variable,
 };
 pub use profile::{
     performance_profile, Profile, Stereotype, StereotypeApplication, TagDef, TagType, TagValue,

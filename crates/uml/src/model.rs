@@ -261,7 +261,12 @@ impl Model {
     /// Add a diagram; returns its id.
     pub fn add_diagram(&mut self, name: impl Into<String>) -> DiagramId {
         let id = DiagramId(self.diagrams.len());
-        self.diagrams.push(Diagram { id, name: name.into(), nodes: Vec::new(), edges: Vec::new() });
+        self.diagrams.push(Diagram {
+            id,
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        });
         id
     }
 
@@ -276,17 +281,37 @@ impl Model {
         kind: NodeKind,
         stereotype: Option<StereotypeApplication>,
     ) -> ElementId {
-        assert!(diagram.0 < self.diagrams.len(), "unknown diagram {diagram:?}");
+        assert!(
+            diagram.0 < self.diagrams.len(),
+            "unknown diagram {diagram:?}"
+        );
         let id = ElementId(self.elements.len());
-        self.elements.push(Element { id, name: name.into(), kind, diagram, stereotype });
+        self.elements.push(Element {
+            id,
+            name: name.into(),
+            kind,
+            diagram,
+            stereotype,
+        });
         self.diagrams[diagram.0].nodes.push(id);
         id
     }
 
     /// Add a control-flow edge within a diagram.
-    pub fn add_edge(&mut self, diagram: DiagramId, from: ElementId, to: ElementId, guard: Option<String>) {
-        assert!(diagram.0 < self.diagrams.len(), "unknown diagram {diagram:?}");
-        self.diagrams[diagram.0].edges.push(Edge { from, to, guard });
+    pub fn add_edge(
+        &mut self,
+        diagram: DiagramId,
+        from: ElementId,
+        to: ElementId,
+        guard: Option<String>,
+    ) {
+        assert!(
+            diagram.0 < self.diagrams.len(),
+            "unknown diagram {diagram:?}"
+        );
+        self.diagrams[diagram.0]
+            .edges
+            .push(Edge { from, to, guard });
     }
 
     /// Element by id.
@@ -336,7 +361,9 @@ impl Model {
 
     /// Global variables in declaration order.
     pub fn globals(&self) -> impl Iterator<Item = &Variable> {
-        self.variables.iter().filter(|v| v.scope == VarScope::Global)
+        self.variables
+            .iter()
+            .filter(|v| v.scope == VarScope::Global)
     }
 
     /// Local variables in declaration order.

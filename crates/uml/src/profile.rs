@@ -56,7 +56,11 @@ pub struct TagDef {
 impl TagDef {
     /// Convenience constructor.
     pub fn new(name: &str, tag_type: TagType, required: bool) -> Self {
-        Self { name: name.into(), tag_type, required }
+        Self {
+            name: name.into(),
+            tag_type,
+            required,
+        }
     }
 }
 
@@ -178,7 +182,10 @@ pub struct StereotypeApplication {
 impl StereotypeApplication {
     /// Apply `stereotype` with no tags yet.
     pub fn new(stereotype: impl Into<String>) -> Self {
-        Self { stereotype: stereotype.into(), values: Vec::new() }
+        Self {
+            stereotype: stereotype.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Builder-style tag assignment.
@@ -227,7 +234,10 @@ pub struct Profile {
 impl Profile {
     /// Empty profile.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), stereotypes: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            stereotypes: BTreeMap::new(),
+        }
     }
 
     /// Add (or replace) a stereotype definition.
@@ -304,11 +314,23 @@ pub fn performance_profile() -> Profile {
     for (name, extra) in [
         ("send", vec![TagDef::new("dest", TagType::Expression, true)]),
         ("recv", vec![TagDef::new("src", TagType::Expression, true)]),
-        ("broadcast", vec![TagDef::new("root", TagType::Expression, true)]),
-        ("reduce", vec![TagDef::new("root", TagType::Expression, true)]),
+        (
+            "broadcast",
+            vec![TagDef::new("root", TagType::Expression, true)],
+        ),
+        (
+            "reduce",
+            vec![TagDef::new("root", TagType::Expression, true)],
+        ),
         ("allreduce", vec![]),
-        ("scatter", vec![TagDef::new("root", TagType::Expression, true)]),
-        ("gather", vec![TagDef::new("root", TagType::Expression, true)]),
+        (
+            "scatter",
+            vec![TagDef::new("root", TagType::Expression, true)],
+        ),
+        (
+            "gather",
+            vec![TagDef::new("root", TagType::Expression, true)],
+        ),
         ("barrier", vec![]),
     ] {
         let mut tags = vec![
@@ -371,7 +393,10 @@ mod tests {
             .with("id", TagValue::Int(1))
             .with("type", TagValue::Str("SAMPLE".into()))
             .with("time", TagValue::Num(10.0));
-        assert_eq!(app.display(), "<<action+>> {id = 1, type = SAMPLE, time = 10}");
+        assert_eq!(
+            app.display(),
+            "<<action+>> {id = 1, type = SAMPLE, time = 10}"
+        );
         assert_eq!(app.get("id"), Some(&TagValue::Int(1)));
     }
 
@@ -408,7 +433,19 @@ mod tests {
     #[test]
     fn profile_contains_mpi_and_openmp_blocks() {
         let p = performance_profile();
-        for s in ["send", "recv", "broadcast", "barrier", "reduce", "scatter", "gather", "allreduce", "parallel+", "critical+", "loop+"] {
+        for s in [
+            "send",
+            "recv",
+            "broadcast",
+            "barrier",
+            "reduce",
+            "scatter",
+            "gather",
+            "allreduce",
+            "parallel+",
+            "critical+",
+            "loop+",
+        ] {
             assert!(p.get(s).is_some(), "missing stereotype {s}");
         }
         assert!(p.len() >= 13);

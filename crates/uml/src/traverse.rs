@@ -79,14 +79,22 @@ pub struct ExplicitStackNavigator {
 }
 
 enum Frame {
-    Diagram { id: DiagramId, next: usize, opened: bool },
+    Diagram {
+        id: DiagramId,
+        next: usize,
+        opened: bool,
+    },
     Leave(ElementId),
 }
 
 impl ExplicitStackNavigator {
     /// Traverse starting from `root` (usually the main diagram).
     pub fn new(root: DiagramId) -> Self {
-        Self { stack: Vec::new(), started: false, root }
+        Self {
+            stack: Vec::new(),
+            started: false,
+            root,
+        }
     }
 }
 
@@ -94,7 +102,11 @@ impl Navigator for ExplicitStackNavigator {
     fn next_step(&mut self, model: &Model) -> NavStep {
         if !self.started {
             self.started = true;
-            self.stack.push(Frame::Diagram { id: self.root, next: 0, opened: false });
+            self.stack.push(Frame::Diagram {
+                id: self.root,
+                next: 0,
+                opened: false,
+            });
         }
         match self.stack.last_mut() {
             None => NavStep::Done,
@@ -121,7 +133,11 @@ impl Navigator for ExplicitStackNavigator {
                 // the body is visited between the two phases.
                 self.stack.push(Frame::Leave(eid));
                 if let NodeKind::CallActivity(sub) = model.element(eid).kind {
-                    self.stack.push(Frame::Diagram { id: sub, next: 0, opened: false });
+                    self.stack.push(Frame::Diagram {
+                        id: sub,
+                        next: 0,
+                        opened: false,
+                    });
                 }
                 NavStep::Element(eid, VisitPhase::Enter)
             }
@@ -153,7 +169,9 @@ impl RecursiveWalk {
         }
         walk(model, root, &mut steps);
         steps.push(NavStep::Done);
-        Self { steps: steps.into_iter() }
+        Self {
+            steps: steps.into_iter(),
+        }
     }
 }
 
@@ -191,12 +209,18 @@ impl Default for Traverser {
 impl Traverser {
     /// A traverser that does not record the protocol.
     pub fn new() -> Self {
-        Self { protocol: Vec::new(), record_protocol: false }
+        Self {
+            protocol: Vec::new(),
+            record_protocol: false,
+        }
     }
 
     /// A traverser that records every Figure-6 message.
     pub fn recording() -> Self {
-        Self { protocol: Vec::new(), record_protocol: true }
+        Self {
+            protocol: Vec::new(),
+            record_protocol: true,
+        }
     }
 
     /// Drive `navigator` over `model`, forwarding to `handler`.
@@ -237,7 +261,8 @@ impl Traverser {
                 NavStep::Element(eid, phase) => {
                     let name = model.element(eid).name.clone();
                     if self.record_protocol {
-                        self.protocol.push(TraceMessage::GetCurrentElement(name.clone()));
+                        self.protocol
+                            .push(TraceMessage::GetCurrentElement(name.clone()));
                         self.protocol.push(TraceMessage::VisitElement(name));
                     }
                     handler.visit_element(model, eid, phase);
@@ -266,7 +291,8 @@ impl ContentHandler for RecordingHandler {
     }
 
     fn visit_element(&mut self, model: &Model, element: ElementId, phase: VisitPhase) {
-        self.visits.push((model.element(element).name.clone(), phase));
+        self.visits
+            .push((model.element(element).name.clone(), phase));
     }
 }
 
@@ -313,8 +339,11 @@ mod tests {
         // 8 main elements + 2 sub elements, two phases each.
         assert_eq!(visits, 20);
         // SA's children are visited between SA's Enter and Leave.
-        let names: Vec<_> =
-            handler.visits.iter().map(|(n, p)| format!("{n}:{p:?}")).collect();
+        let names: Vec<_> = handler
+            .visits
+            .iter()
+            .map(|(n, p)| format!("{n}:{p:?}"))
+            .collect();
         let sa_enter = names.iter().position(|s| s == "SA:Enter").unwrap();
         let sa_leave = names.iter().position(|s| s == "SA:Leave").unwrap();
         let sa1 = names.iter().position(|s| s == "SA1:Enter").unwrap();
@@ -355,7 +384,9 @@ mod tests {
                 break; // final Done round has no current element
             }
             match &msgs[i + 1] {
-                TraceMessage::GetCurrentElement(name) if !name.starts_with("diagram:") && !name.starts_with("/diagram:") => {
+                TraceMessage::GetCurrentElement(name)
+                    if !name.starts_with("diagram:") && !name.starts_with("/diagram:") =>
+                {
                     assert_eq!(
                         msgs[i + 2],
                         TraceMessage::VisitElement(name.clone()),
@@ -399,8 +430,12 @@ mod tests {
         let mut handler = RecordingHandler::default();
         let visits = Traverser::new().traverse(&m, &mut nav, &mut handler);
         assert_eq!(visits, 2 * 21); // 20 composites + leaf
-        // First Leave seen must be the innermost (leaf).
-        let first_leave = handler.visits.iter().find(|(_, p)| *p == VisitPhase::Leave).unwrap();
+                                    // First Leave seen must be the innermost (leaf).
+        let first_leave = handler
+            .visits
+            .iter()
+            .find(|(_, p)| *p == VisitPhase::Leave)
+            .unwrap();
         assert_eq!(first_leave.0, "leaf");
     }
 }

@@ -36,7 +36,10 @@ struct XmlContentHandler {
 
 impl XmlContentHandler {
     fn new() -> Self {
-        Self { stack: Vec::new(), diagrams: Vec::new() }
+        Self {
+            stack: Vec::new(),
+            diagrams: Vec::new(),
+        }
     }
 
     fn finish(mut self, model: &Model) -> XmlElement {
@@ -116,7 +119,8 @@ impl XmlContentHandler {
 impl ContentHandler for XmlContentHandler {
     fn begin_diagram(&mut self, model: &Model, diagram: DiagramId) {
         let d = model.diagram(diagram);
-        self.stack.push(XmlElement::new("diagram").with_attr("name", d.name.clone()));
+        self.stack
+            .push(XmlElement::new("diagram").with_attr("name", d.name.clone()));
     }
 
     fn visit_element(&mut self, model: &Model, element: ElementId, phase: VisitPhase) {
@@ -134,10 +138,16 @@ impl ContentHandler for XmlContentHandler {
                 // The sub-diagram was not opened yet at Enter time; the
                 // navigator opens it immediately after. Safe to attach to
                 // the current top.
-                self.stack.last_mut().expect("open diagram").push_element(xe);
+                self.stack
+                    .last_mut()
+                    .expect("open diagram")
+                    .push_element(xe);
             }
             _ => {
-                self.stack.last_mut().expect("open diagram").push_element(xe);
+                self.stack
+                    .last_mut()
+                    .expect("open diagram")
+                    .push_element(xe);
             }
         }
     }
@@ -163,7 +173,10 @@ impl ContentHandler for XmlContentHandler {
 
 fn read_model(root: &XmlElement) -> XmlResult<Model> {
     if root.name != "model" {
-        return Err(XmlError::structural(format!("expected <model>, found <{}>", root.name)));
+        return Err(XmlError::structural(format!(
+            "expected <model>, found <{}>",
+            root.name
+        )));
     }
     let mut model = Model::new(root.required_attr("name")?);
 
@@ -174,14 +187,18 @@ fn read_model(root: &XmlElement) -> XmlResult<Model> {
                 "double" => VarType::Double,
                 "bool" => VarType::Bool,
                 other => {
-                    return Err(XmlError::structural(format!("unknown variable type `{other}`")))
+                    return Err(XmlError::structural(format!(
+                        "unknown variable type `{other}`"
+                    )))
                 }
             };
             let scope = match v.required_attr("scope")? {
                 "global" => VarScope::Global,
                 "local" => VarScope::Local,
                 other => {
-                    return Err(XmlError::structural(format!("unknown variable scope `{other}`")))
+                    return Err(XmlError::structural(format!(
+                        "unknown variable scope `{other}`"
+                    )))
                 }
             };
             model.add_variable(Variable {
@@ -199,7 +216,10 @@ fn read_model(root: &XmlElement) -> XmlResult<Model> {
             let params = if params_raw.is_empty() {
                 Vec::new()
             } else {
-                params_raw.split(',').map(|s| s.trim().to_string()).collect()
+                params_raw
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
             };
             model.add_function(FunctionDecl {
                 name: f.required_attr("name")?.to_string(),
@@ -249,7 +269,9 @@ fn read_model(root: &XmlElement) -> XmlResult<Model> {
                     NodeKind::CallActivity(sub)
                 }
                 other => {
-                    return Err(XmlError::structural(format!("unknown element kind `{other}`")))
+                    return Err(XmlError::structural(format!(
+                        "unknown element kind `{other}`"
+                    )))
                 }
             };
             let stereotype = match e.child("stereotype") {
@@ -292,14 +314,26 @@ fn read_model(root: &XmlElement) -> XmlResult<Model> {
 
     // Pass 3: edges.
     for d in root.children_named("diagram") {
-        let did = model.diagram_by_name(d.required_attr("name")?).expect("pass 1").id;
+        let did = model
+            .diagram_by_name(d.required_attr("name")?)
+            .expect("pass 1")
+            .id;
         if let Some(edges) = d.child("edges") {
             for f in edges.children_named("flow") {
-                let from: usize =
-                    f.required_attr("from")?.parse().map_err(|_| XmlError::structural("bad from id"))?;
-                let to: usize =
-                    f.required_attr("to")?.parse().map_err(|_| XmlError::structural("bad to id"))?;
-                model.add_edge(did, lookup(from)?, lookup(to)?, f.attr("guard").map(|s| s.to_string()));
+                let from: usize = f
+                    .required_attr("from")?
+                    .parse()
+                    .map_err(|_| XmlError::structural("bad from id"))?;
+                let to: usize = f
+                    .required_attr("to")?
+                    .parse()
+                    .map_err(|_| XmlError::structural("bad to id"))?;
+                model.add_edge(
+                    did,
+                    lookup(from)?,
+                    lookup(to)?,
+                    f.attr("guard").map(|s| s.to_string()),
+                );
             }
         }
     }
@@ -373,7 +407,12 @@ mod tests {
         for el in m.elements() {
             let other = back.element_by_name(&el.name).expect("element survives");
             assert_eq!(other.kind.tag(), el.kind.tag(), "kind of {}", el.name);
-            assert_eq!(other.stereotype.as_ref().map(|s| &s.values), el.stereotype.as_ref().map(|s| &s.values), "tags of {}", el.name);
+            assert_eq!(
+                other.stereotype.as_ref().map(|s| &s.values),
+                el.stereotype.as_ref().map(|s| &s.values),
+                "tags of {}",
+                el.name
+            );
         }
         // Arena ids are renumbered on reload (they are arena indices), so
         // the first re-serialization may differ in `id` attributes only.
@@ -388,7 +427,10 @@ mod tests {
     fn code_fragment_survives_roundtrip() {
         let m = demo_model();
         let back = model_from_xml(&model_to_xml(&m)).unwrap();
-        assert_eq!(back.element_by_name("A1").unwrap().code_fragment(), Some("GV = 1; P = 4;"));
+        assert_eq!(
+            back.element_by_name("A1").unwrap().code_fragment(),
+            Some("GV = 1; P = 4;")
+        );
     }
 
     #[test]

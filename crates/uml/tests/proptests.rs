@@ -1,28 +1,32 @@
 //! Property-based tests over randomly generated models: XMI roundtrip
 //! fidelity and traverser invariants.
 
-use proptest::prelude::*;
 use prophet_uml::xmi::{model_from_xml, model_to_xml};
 use prophet_uml::{
     ContentHandler, ExplicitStackNavigator, Model, ModelBuilder, RecursiveWalk, Traverser,
     VisitPhase,
 };
+use proptest::prelude::*;
 
 /// Strategy: a random well-formed model — a main diagram with a chain of
 /// actions interleaved with decisions (guard/else to a merge), plus an
 /// optional composite with its own chain.
 fn model_strategy() -> impl Strategy<Value = Model> {
     (
-        2usize..20,                              // chain length
+        2usize..20,                                  // chain length
         prop::collection::vec(any::<bool>(), 2..20), // decision pattern
-        prop::option::of(1usize..6),             // composite body length
+        prop::option::of(1usize..6),                 // composite body length
         prop::collection::vec("[a-z]{1,6}", 0..4),   // extra globals
     )
         .prop_map(|(len, decisions, composite, globals)| {
             let mut b = ModelBuilder::new("gen");
             for (i, g) in globals.iter().enumerate() {
                 // Unique names: prefix with index.
-                b.global(&format!("g{i}_{g}"), prophet_uml::VarType::Double, Some("1"));
+                b.global(
+                    &format!("g{i}_{g}"),
+                    prophet_uml::VarType::Double,
+                    Some("1"),
+                );
             }
             b.function("F", &["x"], "0.001 * x + 0.0001");
             let main = b.main_diagram();

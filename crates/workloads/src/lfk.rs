@@ -22,7 +22,10 @@ use std::time::Instant;
 /// Kernel 1 — hydro fragment: `X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))`.
 pub fn lfk_kernel1(x: &mut [f64], y: &[f64], z: &[f64], q: f64, r: f64, t: f64) {
     let n = x.len();
-    assert!(y.len() >= n && z.len() >= n + 11, "kernel 1 needs y[n], z[n+11]");
+    assert!(
+        y.len() >= n && z.len() >= n + 11,
+        "kernel 1 needs y[n], z[n+11]"
+    );
     for k in 0..n {
         x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
     }
@@ -116,8 +119,15 @@ pub fn lfk_kernel9(px: &mut [f64], stride: usize, c: &[f64; 10]) {
     for i in 0..rows {
         let row = &mut px[i * stride..(i + 1) * stride];
         row[0] = c[0]
-            + c[1] * (c[2] * row[4] + c[3] * row[5] + c[4] * row[6] + c[5] * row[7]
-                + c[6] * row[8] + c[7] * row[9] + c[8] * row[10] + c[9] * row[11])
+            + c[1]
+                * (c[2] * row[4]
+                    + c[3] * row[5]
+                    + c[4] * row[6]
+                    + c[5] * row[7]
+                    + c[6] * row[8]
+                    + c[7] * row[9]
+                    + c[8] * row[10]
+                    + c[9] * row[11])
             + row[2];
     }
 }
@@ -138,7 +148,7 @@ pub fn lfk_kernel11(x: &mut [f64], y: &[f64]) {
 /// Kernel 12 — first difference.
 pub fn lfk_kernel12(x: &mut [f64], y: &[f64]) {
     let n = x.len();
-    assert!(y.len() >= n + 1, "kernel 12 needs y[n+1]");
+    assert!(y.len() > n, "kernel 12 needs y[n+1]");
     for k in 0..n {
         x[k] = y[k + 1] - y[k];
     }
@@ -147,11 +157,15 @@ pub fn lfk_kernel12(x: &mut [f64], y: &[f64]) {
 /// Kernel 7 — equation of state fragment.
 pub fn lfk_kernel7(x: &mut [f64], y: &[f64], z: &[f64], u: &[f64], r: f64, t: f64) {
     let n = x.len();
-    assert!(y.len() >= n + 6 && z.len() >= n + 6 && u.len() >= n + 6, "kernel 7 bounds");
+    assert!(
+        y.len() >= n + 6 && z.len() >= n + 6 && u.len() >= n + 6,
+        "kernel 7 bounds"
+    );
     for k in 0..n {
         x[k] = u[k]
             + r * (z[k] + r * y[k])
-            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+            + t * (u[k + 3]
+                + r * (u[k + 2] + r * u[k + 1])
                 + t * (u[k + 6] + r * (u[k + 5] + r * u[k + 4])));
     }
 }
@@ -190,7 +204,12 @@ pub fn calibrate_kernel6(n: usize, m: usize) -> Calibration {
     // Defeat dead-code elimination.
     std::hint::black_box(&w);
     let flops = kernel6_flops(n, m).max(1);
-    Calibration { n, m, seconds, seconds_per_flop: seconds / flops as f64 }
+    Calibration {
+        n,
+        m,
+        seconds,
+        seconds_per_flop: seconds / flops as f64,
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +281,8 @@ mod tests {
         let t = 0.25;
         let expect = u[k]
             + r * (z[k] + r * y[k])
-            + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+            + t * (u[k + 3]
+                + r * (u[k + 2] + r * u[k + 1])
                 + t * (u[k + 6] + r * (u[k + 5] + r * u[k + 4])));
         assert_eq!(x[0], expect);
     }
@@ -349,6 +369,10 @@ mod tests {
         let c = calibrate_kernel6(128, 4);
         assert!(c.seconds > 0.0);
         assert!(c.seconds_per_flop > 0.0);
-        assert!(c.seconds_per_flop < 1e-3, "implausibly slow: {}", c.seconds_per_flop);
+        assert!(
+            c.seconds_per_flop < 1e-3,
+            "implausibly slow: {}",
+            c.seconds_per_flop
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Ready-made UML performance models for the experiments.
 
-use prophet_core::project::Project;
+use prophet_core::{Scenario, Session};
 use prophet_machine::SystemParams;
 use prophet_uml::{Model, ModelBuilder, TagValue, VarType};
 
@@ -88,7 +88,11 @@ pub fn sample_model() -> Model {
 /// `seconds_per_point` is the per-point compute cost.
 pub fn jacobi_model(n: usize, iters: usize, seconds_per_point: f64) -> Model {
     let mut b = ModelBuilder::new("jacobi");
-    b.function("FSweep", &["points"], &format!("{seconds_per_point} * points"));
+    b.function(
+        "FSweep",
+        &["points"],
+        &format!("{seconds_per_point} * points"),
+    );
     b.global("GN", VarType::Int, Some(&n.to_string()));
 
     let main = b.main_diagram();
@@ -111,7 +115,11 @@ pub fn jacobi_model(n: usize, iters: usize, seconds_per_point: f64) -> Model {
         body,
         "SendUp",
         "send",
-        &[("dest", TagValue::Expr("pid - 1".into())), ("size", TagValue::Expr("8 * 1".into())), ("tag", TagValue::Int(1))],
+        &[
+            ("dest", TagValue::Expr("pid - 1".into())),
+            ("size", TagValue::Expr("8 * 1".into())),
+            ("tag", TagValue::Int(1)),
+        ],
     );
     let m_up = b.merge(body, "mergeUp");
     let d_dn = b.decision(body, "hasDown");
@@ -119,7 +127,11 @@ pub fn jacobi_model(n: usize, iters: usize, seconds_per_point: f64) -> Model {
         body,
         "SendDown",
         "send",
-        &[("dest", TagValue::Expr("pid + 1".into())), ("size", TagValue::Expr("8 * 1".into())), ("tag", TagValue::Int(2))],
+        &[
+            ("dest", TagValue::Expr("pid + 1".into())),
+            ("size", TagValue::Expr("8 * 1".into())),
+            ("tag", TagValue::Int(2)),
+        ],
     );
     let m_dn = b.merge(body, "mergeDown");
     let d_rup = b.decision(body, "recvUpQ");
@@ -127,7 +139,10 @@ pub fn jacobi_model(n: usize, iters: usize, seconds_per_point: f64) -> Model {
         body,
         "RecvUp",
         "recv",
-        &[("src", TagValue::Expr("pid - 1".into())), ("tag", TagValue::Int(2))],
+        &[
+            ("src", TagValue::Expr("pid - 1".into())),
+            ("tag", TagValue::Int(2)),
+        ],
     );
     let m_rup = b.merge(body, "mergeRecvUp");
     let d_rdn = b.decision(body, "recvDownQ");
@@ -135,10 +150,18 @@ pub fn jacobi_model(n: usize, iters: usize, seconds_per_point: f64) -> Model {
         body,
         "RecvDown",
         "recv",
-        &[("src", TagValue::Expr("pid + 1".into())), ("tag", TagValue::Int(1))],
+        &[
+            ("src", TagValue::Expr("pid + 1".into())),
+            ("tag", TagValue::Int(1)),
+        ],
     );
     let m_rdn = b.merge(body, "mergeRecvDown");
-    let norm = b.mpi(body, "NormAllreduce", "allreduce", &[("size", TagValue::Expr("8".into()))]);
+    let norm = b.mpi(
+        body,
+        "NormAllreduce",
+        "allreduce",
+        &[("size", TagValue::Expr("8".into()))],
+    );
 
     b.flow(body, compute, d_up);
     b.guarded_flow(body, d_up, send_up, "pid > 0");
@@ -180,7 +203,10 @@ pub fn pipeline_model(items: usize, per_item_cost: f64, item_bytes: u64) -> Mode
         body,
         "RecvItem",
         "recv",
-        &[("src", TagValue::Expr("pid - 1".into())), ("tag", TagValue::Int(0))],
+        &[
+            ("src", TagValue::Expr("pid - 1".into())),
+            ("tag", TagValue::Int(0)),
+        ],
     );
     let m_in = b.merge(body, "mergeIn");
     let work = b.action(body, "Process", "FItem()");
@@ -227,20 +253,29 @@ pub fn master_worker_model(tasks: usize, per_task_cost: f64, task_bytes: u64) ->
         main,
         "ScatterTasks",
         "scatter",
-        &[("root", TagValue::Expr("0".into())), ("size", TagValue::Expr(format!("{task_bytes} * TASKS")))],
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr(format!("{task_bytes} * TASKS"))),
+        ],
     );
     let work = b.action(main, "Work", "FWork(TASKS / P)");
     let gather = b.mpi(
         main,
         "GatherResults",
         "gather",
-        &[("root", TagValue::Expr("0".into())), ("size", TagValue::Expr(format!("{task_bytes} * TASKS")))],
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr(format!("{task_bytes} * TASKS"))),
+        ],
     );
     let reduce = b.mpi(
         main,
         "FinalReduce",
         "reduce",
-        &[("root", TagValue::Expr("0".into())), ("size", TagValue::Expr("8".into()))],
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr("8".into())),
+        ],
     );
     let f = b.final_node(main, "end");
     b.flow(main, i, scatter);
@@ -279,7 +314,10 @@ pub fn lapw0_model(atoms: usize, kpoints: usize, per_atom_cost: f64) -> Model {
         main,
         "GatherEig",
         "gather",
-        &[("root", TagValue::Expr("0".into())), ("size", TagValue::Expr("8 * ATOMS".into()))],
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr("8 * ATOMS".into())),
+        ],
     );
     let f = b.final_node(main, "end");
     b.flow(main, i, setup);
@@ -289,7 +327,12 @@ pub fn lapw0_model(atoms: usize, kpoints: usize, per_atom_cost: f64) -> Model {
 
     // k-point body: OpenMP region + allreduce.
     let region = b.parallel_activity(kloop, "FftRegion", omp, "threads");
-    let sync = b.mpi(kloop, "PotAllreduce", "allreduce", &[("size", TagValue::Expr("8 * ATOMS".into()))]);
+    let sync = b.mpi(
+        kloop,
+        "PotAllreduce",
+        "allreduce",
+        &[("size", TagValue::Expr("8 * ATOMS".into()))],
+    );
     b.flow(kloop, region, sync);
 
     b.action(omp, "FftWork", "FKpoint(ATOMS)");
@@ -297,19 +340,32 @@ pub fn lapw0_model(atoms: usize, kpoints: usize, per_atom_cost: f64) -> Model {
     b.build()
 }
 
-/// Convenience: a project for `model` at the given flat-MPI size.
-pub fn project_for(model: Model, nodes: usize, cpus_per_node: usize) -> Project {
-    Project::new(model).with_system(SystemParams::flat_mpi(nodes, cpus_per_node))
+/// Convenience: compile `model` and pair it with the scenario for the
+/// given flat-MPI size.
+pub fn session_for(
+    model: Model,
+    nodes: usize,
+    cpus_per_node: usize,
+) -> Result<(Session, Scenario), prophet_core::Error> {
+    let session = Session::new(model)?;
+    let scenario = Scenario::new(SystemParams::flat_mpi(nodes, cpus_per_node));
+    Ok((session, scenario))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use prophet_check::{check_model, McfConfig};
-    use prophet_core::project::Project;
-    use prophet_core::sweep::{mpi_grid, sweep_parallel};
+    use prophet_core::mpi_grid;
     use prophet_machine::SystemParams;
     use prophet_trace::TraceAnalysis;
+
+    fn run_default(model: Model) -> prophet_core::Evaluation {
+        Session::new(model)
+            .unwrap()
+            .evaluate(&Scenario::default())
+            .unwrap()
+    }
 
     fn assert_checks(model: &Model) {
         let diags = check_model(model, &McfConfig::default());
@@ -331,31 +387,35 @@ mod tests {
     fn kernel6_prediction_matches_closed_form() {
         let spf = 2e-9;
         let (n, m) = (500usize, 10usize);
-        let run = Project::new(kernel6_model(n, m, spf)).run().unwrap();
+        let run = run_default(kernel6_model(n, m, spf));
         let expect = spf * (n * (n - 1) * m) as f64; // 2 flops × n(n−1)/2 × m
         assert!(
-            (run.evaluation.predicted_time - expect).abs() < 1e-12,
+            (run.predicted_time - expect).abs() < 1e-12,
             "{} vs {expect}",
-            run.evaluation.predicted_time
+            run.predicted_time
         );
     }
 
     #[test]
     fn sample_model_takes_sa_branch() {
         // A1's fragment sets GV = 1 → SA runs, A2 does not (Figure 7).
-        let run = Project::new(sample_model()).run().unwrap();
-        let a = TraceAnalysis::analyze(&run.evaluation.trace);
+        let run = run_default(sample_model());
+        let a = TraceAnalysis::analyze(&run.trace);
         assert!(a.element("SA1").is_some());
         assert!(a.element("SA2").is_some());
         assert!(a.element("A2").is_none());
         // Predicted: FA1 + FSA1 + FSA2(0) + FA4 = 0.08 + 0.5 + 0.1 + 0.2 = 0.88
-        assert!((run.evaluation.predicted_time - 0.88).abs() < 1e-9, "{}", run.evaluation.predicted_time);
+        assert!(
+            (run.predicted_time - 0.88).abs() < 1e-9,
+            "{}",
+            run.predicted_time
+        );
     }
 
     #[test]
     fn sample_model_cpp_matches_figure8_shape() {
-        let run = Project::new(sample_model()).run().unwrap();
-        let text = run.cpp.model_text();
+        let session = Session::new(sample_model()).unwrap();
+        let text = session.cpp().model_text();
         for needle in [
             "int GV = 0;",
             "int P = 4;",
@@ -378,15 +438,18 @@ mod tests {
     #[test]
     fn jacobi_scales_then_flattens() {
         let model = jacobi_model(200_000, 10, 1e-7); // 20ms/sweep serial
-        let project = Project::new(model);
-        let results = sweep_parallel(&project, &mpi_grid(&[1, 2, 4, 8], 1), 0);
-        let times: Vec<f64> = results.iter().map(|r| r.time().unwrap()).collect();
+        let session = Session::new(model).unwrap();
+        let report = session.sweep(&mpi_grid(&[1, 2, 4, 8], 1));
+        let times: Vec<f64> = report.times().into_iter().map(Option::unwrap).collect();
         // Monotone speedup at these sizes.
         assert!(times[1] < times[0], "{times:?}");
         assert!(times[2] < times[1], "{times:?}");
         // Efficiency below 100%: communication costs bite.
         let speedup8 = times[0] / times[3];
-        assert!(speedup8 < 8.0 && speedup8 > 2.0, "speedup {speedup8}, times {times:?}");
+        assert!(
+            speedup8 < 8.0 && speedup8 > 2.0,
+            "speedup {speedup8}, times {times:?}"
+        );
     }
 
     #[test]
@@ -394,10 +457,10 @@ mod tests {
         let items = 20usize;
         let per_item = 0.01;
         let stages = 4usize;
-        let project = Project::new(pipeline_model(items, per_item, 1024))
-            .with_system(SystemParams::flat_mpi(stages, 1));
-        let run = project.run().unwrap();
-        let t = run.evaluation.predicted_time;
+        let (session, scenario) =
+            session_for(pipeline_model(items, per_item, 1024), stages, 1).unwrap();
+        let run = session.evaluate(&scenario).unwrap();
+        let t = run.predicted_time;
         // Lower bound: (items + stages − 1) × per-item compute.
         let lower = (items + stages - 1) as f64 * per_item;
         assert!(t >= lower, "{t} < {lower}");
@@ -408,10 +471,9 @@ mod tests {
 
     #[test]
     fn master_worker_skew_determines_makespan() {
-        let project = Project::new(master_worker_model(64, 0.005, 128))
-            .with_system(SystemParams::flat_mpi(4, 1));
-        let run = project.run().unwrap();
-        let a = TraceAnalysis::analyze(&run.evaluation.trace);
+        let (session, scenario) = session_for(master_worker_model(64, 0.005, 128), 4, 1).unwrap();
+        let run = session.evaluate(&scenario).unwrap();
+        let a = TraceAnalysis::analyze(&run.trace);
         // The most skewed worker (pid 3, factor 1.3) dominates Work time.
         let work = a.element("Work").unwrap();
         let fastest = 0.005 * 16.0;
@@ -421,29 +483,49 @@ mod tests {
     #[test]
     fn lapw0_hybrid_uses_threads_and_ranks() {
         // 2 ranks × 2 threads on 2 nodes with 2 cpus each.
-        let sp = SystemParams { nodes: 2, cpus_per_node: 2, processes: 2, threads_per_process: 2 };
-        let project = Project::new(lapw0_model(64, 8, 1e-5)).with_system(sp);
-        let run = project.run().unwrap();
-        assert!(run.evaluation.predicted_time > 0.0);
-        let a = TraceAnalysis::analyze(&run.evaluation.trace);
+        let sp = SystemParams {
+            nodes: 2,
+            cpus_per_node: 2,
+            processes: 2,
+            threads_per_process: 2,
+        };
+        let run = Session::new(lapw0_model(64, 8, 1e-5))
+            .unwrap()
+            .evaluate(&Scenario::new(sp))
+            .unwrap();
+        assert!(run.predicted_time > 0.0);
+        let a = TraceAnalysis::analyze(&run.trace);
         // Thread workers appear with tid > 0 in the trace.
-        assert!(run.evaluation.trace.events.iter().any(|e| e.tid > 0), "no thread events");
+        assert!(
+            run.trace.events.iter().any(|e| e.tid > 0),
+            "no thread events"
+        );
         assert!(a.element("FftWork").is_some());
     }
 
     #[test]
     fn lapw0_hybrid_speedup_shape() {
-        let time_for = |sp: SystemParams| {
-            Project::new(lapw0_model(64, 16, 1e-5))
-                .with_system(sp)
-                .run()
-                .unwrap()
-                .evaluation
-                .predicted_time
-        };
-        let t1 = time_for(SystemParams { nodes: 1, cpus_per_node: 1, processes: 1, threads_per_process: 1 });
-        let t2 = time_for(SystemParams { nodes: 2, cpus_per_node: 1, processes: 2, threads_per_process: 1 });
-        let t4 = time_for(SystemParams { nodes: 2, cpus_per_node: 2, processes: 2, threads_per_process: 2 });
+        let session = Session::new(lapw0_model(64, 16, 1e-5)).unwrap();
+        let time_for =
+            |sp: SystemParams| session.evaluate(&Scenario::new(sp)).unwrap().predicted_time;
+        let t1 = time_for(SystemParams {
+            nodes: 1,
+            cpus_per_node: 1,
+            processes: 1,
+            threads_per_process: 1,
+        });
+        let t2 = time_for(SystemParams {
+            nodes: 2,
+            cpus_per_node: 1,
+            processes: 2,
+            threads_per_process: 1,
+        });
+        let t4 = time_for(SystemParams {
+            nodes: 2,
+            cpus_per_node: 2,
+            processes: 2,
+            threads_per_process: 2,
+        });
         assert!(t2 < t1, "MPI scaling: {t2} !< {t1}");
         assert!(t4 < t2, "hybrid scaling: {t4} !< {t2}");
     }

@@ -20,13 +20,21 @@ pub struct XmlError {
 impl XmlError {
     /// Create an error at an explicit position.
     pub fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
-        Self { message: message.into(), line, column }
+        Self {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     /// Create an error with no meaningful position (e.g. structural errors
     /// detected after parsing). Positions are reported as `0:0`.
     pub fn structural(message: impl Into<String>) -> Self {
-        Self { message: message.into(), line: 0, column: 0 }
+        Self {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
     }
 }
 
@@ -35,7 +43,11 @@ impl fmt::Display for XmlError {
         if self.line == 0 {
             write!(f, "xml error: {}", self.message)
         } else {
-            write!(f, "xml error at {}:{}: {}", self.line, self.column, self.message)
+            write!(
+                f,
+                "xml error at {}:{}: {}",
+                self.line, self.column, self.message
+            )
         }
     }
 }

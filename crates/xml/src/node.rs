@@ -41,7 +41,11 @@ pub struct Element {
 impl Element {
     /// Create an empty element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style: add/overwrite an attribute and return `self`.
@@ -64,13 +68,19 @@ impl Element {
 
     /// Look up an attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Look up an attribute or return a structural error naming the element.
     pub fn required_attr(&self, name: &str) -> XmlResult<&str> {
         self.attr(name).ok_or_else(|| {
-            XmlError::structural(format!("element `<{}>` is missing required attribute `{name}`", self.name))
+            XmlError::structural(format!(
+                "element `<{}>` is missing required attribute `{name}`",
+                self.name
+            ))
         })
     }
 
@@ -113,7 +123,10 @@ impl Element {
     /// First child element with the given name, or a structural error.
     pub fn required_child(&self, name: &str) -> XmlResult<&Element> {
         self.child(name).ok_or_else(|| {
-            XmlError::structural(format!("element `<{}>` is missing required child `<{name}>`", self.name))
+            XmlError::structural(format!(
+                "element `<{}>` is missing required child `<{name}>`",
+                self.name
+            ))
         })
     }
 
@@ -132,7 +145,10 @@ impl Element {
 
     /// Recursively count elements in this subtree, including `self`.
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Depth-first search for the first descendant (or self) matching `pred`.
@@ -168,7 +184,10 @@ pub struct Document {
 impl Document {
     /// Wrap an element as a document with a standard declaration.
     pub fn with_root(root: Element) -> Self {
-        Self { declaration: Some("version=\"1.0\" encoding=\"UTF-8\"".into()), root }
+        Self {
+            declaration: Some("version=\"1.0\" encoding=\"UTF-8\"".into()),
+            root,
+        }
     }
 
     /// Parse a complete document. Exactly one root element is required;
@@ -182,16 +201,32 @@ impl Document {
                 Event::XmlDecl(d) => declaration = Some(d),
                 Event::Comment(_) | Event::ProcessingInstruction(_) => {}
                 Event::Text(t) => {
-                    debug_assert!(t.trim().is_empty(), "reader rejects non-ws text outside root");
+                    debug_assert!(
+                        t.trim().is_empty(),
+                        "reader rejects non-ws text outside root"
+                    );
                 }
-                Event::StartElement { name, attributes, self_closing } => {
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     if root.is_some() {
-                        return Err(XmlError::structural("document has more than one root element"));
+                        return Err(XmlError::structural(
+                            "document has more than one root element",
+                        ));
                     }
-                    root = Some(Self::build_element(&mut reader, name, attributes, self_closing)?);
+                    root = Some(Self::build_element(
+                        &mut reader,
+                        name,
+                        attributes,
+                        self_closing,
+                    )?);
                 }
                 Event::EndElement { name } => {
-                    return Err(XmlError::structural(format!("unexpected `</{name}>` at top level")))
+                    return Err(XmlError::structural(format!(
+                        "unexpected `</{name}>` at top level"
+                    )))
                 }
                 Event::CData(_) => {
                     return Err(XmlError::structural("CDATA outside the root element"))
@@ -211,13 +246,21 @@ impl Document {
         attributes: Vec<(String, String)>,
         self_closing: bool,
     ) -> XmlResult<Element> {
-        let mut elem = Element { name, attributes, children: Vec::new() };
+        let mut elem = Element {
+            name,
+            attributes,
+            children: Vec::new(),
+        };
         if self_closing {
             return Ok(elem);
         }
         loop {
             match reader.next_event()? {
-                Event::StartElement { name, attributes, self_closing } => {
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     let child = Self::build_element(reader, name, attributes, self_closing)?;
                     elem.children.push(Node::Element(child));
                 }
@@ -236,7 +279,10 @@ impl Document {
                 Event::Comment(c) => elem.children.push(Node::Comment(c)),
                 Event::ProcessingInstruction(_) | Event::XmlDecl(_) => {}
                 Event::Eof => {
-                    return Err(XmlError::structural(format!("unexpected EOF inside `<{}>`", elem.name)))
+                    return Err(XmlError::structural(format!(
+                        "unexpected EOF inside `<{}>`",
+                        elem.name
+                    )))
                 }
             }
         }

@@ -95,7 +95,10 @@ impl<'a> Reader<'a> {
         let width = if b < 0x80 {
             1
         } else {
-            self.src[self.pos..].chars().next().map_or(1, char::len_utf8)
+            self.src[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8)
         };
         self.pos += width;
         if b == b'\n' {
@@ -231,7 +234,11 @@ impl<'a> Reader<'a> {
                 let raw = self.src[start..self.pos].to_string();
                 self.bump();
                 if raw.contains('<') {
-                    return Err(XmlError::new("`<` not allowed in attribute value", line, col));
+                    return Err(XmlError::new(
+                        "`<` not allowed in attribute value",
+                        line,
+                        col,
+                    ));
                 }
                 return self.decode_entities(&raw, line, col);
             }
@@ -253,9 +260,9 @@ impl<'a> Reader<'a> {
                 }
                 match self.stack.pop() {
                     Some(open) if open == name => Ok(Event::EndElement { name }),
-                    Some(open) => {
-                        Err(self.err(format!("mismatched end tag: expected `</{open}>`, found `</{name}>`")))
-                    }
+                    Some(open) => Err(self.err(format!(
+                        "mismatched end tag: expected `</{open}>`, found `</{name}>`"
+                    ))),
                     None => Err(self.err(format!("end tag `</{name}>` with no open element"))),
                 }
             }
@@ -279,7 +286,10 @@ impl<'a> Reader<'a> {
                 self.bump();
                 let content = self.take_until("?>", "processing instruction")?;
                 if content.starts_with("xml")
-                    && content[3..].chars().next().is_none_or(|c| c.is_whitespace())
+                    && content[3..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| c.is_whitespace())
                 {
                     Ok(Event::XmlDecl(content[3..].trim().to_string()))
                 } else {
@@ -297,7 +307,11 @@ impl<'a> Reader<'a> {
                             self.bump();
                             self.stack.push(name.clone());
                             self.seen_root = true;
-                            return Ok(Event::StartElement { name, attributes, self_closing: false });
+                            return Ok(Event::StartElement {
+                                name,
+                                attributes,
+                                self_closing: false,
+                            });
                         }
                         Some(b'/') => {
                             self.bump();
@@ -305,7 +319,11 @@ impl<'a> Reader<'a> {
                                 return Err(self.err("expected `>` after `/`"));
                             }
                             self.seen_root = true;
-                            return Ok(Event::StartElement { name, attributes, self_closing: true });
+                            return Ok(Event::StartElement {
+                                name,
+                                attributes,
+                                self_closing: true,
+                            });
                         }
                         Some(_) => {
                             if self.pos == before {
@@ -314,7 +332,9 @@ impl<'a> Reader<'a> {
                             let aname = self.read_name()?;
                             self.skip_ws();
                             if self.bump() != Some(b'=') {
-                                return Err(self.err(format!("expected `=` after attribute `{aname}`")));
+                                return Err(
+                                    self.err(format!("expected `=` after attribute `{aname}`"))
+                                );
                             }
                             self.skip_ws();
                             let value = self.read_attr_value()?;
@@ -338,7 +358,10 @@ impl<'a> Reader<'a> {
         }
         if self.pos >= self.input.len() {
             if !self.stack.is_empty() {
-                return Err(self.err(format!("unexpected end of input: `<{}>` is still open", self.stack.last().unwrap())));
+                return Err(self.err(format!(
+                    "unexpected end of input: `<{}>` is still open",
+                    self.stack.last().unwrap()
+                )));
             }
             self.done = true;
             return Ok(Event::Eof);
@@ -360,11 +383,19 @@ impl<'a> Reader<'a> {
         }
         let raw = &self.src[start..self.pos];
         if raw.contains("]]>") {
-            return Err(XmlError::new("`]]>` not allowed in character data", line, col));
+            return Err(XmlError::new(
+                "`]]>` not allowed in character data",
+                line,
+                col,
+            ));
         }
         let text = self.decode_entities(raw, line, col)?;
         if self.stack.is_empty() && !text.trim().is_empty() {
-            return Err(XmlError::new("character data outside the root element", line, col));
+            return Err(XmlError::new(
+                "character data outside the root element",
+                line,
+                col,
+            ));
         }
         Ok(Event::Text(text))
     }
@@ -401,7 +432,11 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                Event::StartElement { name: "a".into(), attributes: vec![], self_closing: false },
+                Event::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
                 Event::EndElement { name: "a".into() },
                 Event::Eof
             ]

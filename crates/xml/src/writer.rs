@@ -16,14 +16,22 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        Self { indent: "  ".into(), newline: "\n".into(), self_close_empty: true }
+        Self {
+            indent: "  ".into(),
+            newline: "\n".into(),
+            self_close_empty: true,
+        }
     }
 }
 
 impl WriteOptions {
     /// Compact: no indentation or newlines, smallest output.
     pub fn compact() -> Self {
-        Self { indent: String::new(), newline: String::new(), self_close_empty: true }
+        Self {
+            indent: String::new(),
+            newline: String::new(),
+            self_close_empty: true,
+        }
     }
 }
 
@@ -40,7 +48,12 @@ pub struct Writer {
 impl Writer {
     /// Create a writer with the given options.
     pub fn new(options: WriteOptions) -> Self {
-        Self { options, out: String::new(), depth: 0, open: Vec::new() }
+        Self {
+            options,
+            out: String::new(),
+            depth: 0,
+            open: Vec::new(),
+        }
     }
 
     fn pretty(&self) -> bool {
@@ -137,7 +150,10 @@ impl Writer {
 
         // Leaf elements containing only text are kept on one line even in
         // pretty mode: `<name>text</name>`.
-        let only_text = e.children.iter().all(|c| matches!(c, Node::Text(_) | Node::CData(_)));
+        let only_text = e
+            .children
+            .iter()
+            .all(|c| matches!(c, Node::Text(_) | Node::CData(_)));
         if only_text {
             for c in &e.children {
                 match c {
@@ -196,7 +212,11 @@ impl Writer {
     /// # Panics
     /// Panics if streaming elements are still open.
     pub fn finish(self) -> String {
-        assert!(self.open.is_empty(), "Writer::finish with {} open element(s)", self.open.len());
+        assert!(
+            self.open.is_empty(),
+            "Writer::finish with {} open element(s)",
+            self.open.len()
+        );
         self.out
     }
 }
@@ -262,7 +282,10 @@ mod tests {
     #[test]
     fn no_self_close_option() {
         let e = Element::new("a");
-        let opts = WriteOptions { self_close_empty: false, ..WriteOptions::compact() };
+        let opts = WriteOptions {
+            self_close_empty: false,
+            ..WriteOptions::compact()
+        };
         assert_eq!(e.write(&opts), "<a></a>");
     }
 }

@@ -11,7 +11,9 @@ fn name_strategy() -> impl Strategy<Value = String> {
 /// Text content without leading/trailing whitespace (the DOM drops
 /// inter-element whitespace, so normalized text roundtrips exactly).
 fn text_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9<>&\"' ]{1,20}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+    "[a-zA-Z0-9<>&\"' ]{1,20}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 fn attr_value_strategy() -> impl Strategy<Value = String> {

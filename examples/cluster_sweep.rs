@@ -4,30 +4,40 @@
 //!
 //! Sweeps the Jacobi stencil model over node counts with both the default
 //! Gigabit-class interconnect and a fast InfiniBand-class one, printing a
-//! speedup table; runs the configurations in parallel (crossbeam).
+//! speedup table. The model is compiled once into a `Session`; every
+//! configuration then reuses the immutable artifacts across scoped
+//! worker threads.
 //!
 //! Run with: `cargo run --release --example cluster_sweep`
 
-use prophet_core::project::Project;
-use prophet_core::sweep::{mpi_grid, sweep_parallel};
+use prophet_core::{mpi_grid, Session, SweepConfig};
 use prophet_machine::CommParams;
 use prophet_trace::analysis::speedup_series;
 use prophet_workloads::models::jacobi_model;
 
 fn main() {
     let nodes = [1usize, 2, 4, 8, 16, 32];
-    let model = jacobi_model(2_000_000, 20, 2e-9); // ~4 ms/sweep serial
+    // Compile once; both interconnect sweeps reuse the same artifacts.
+    let session = Session::new(jacobi_model(2_000_000, 20, 2e-9)) // ~4 ms/sweep serial
+        .expect("compile");
 
     for (label, comm) in [
         ("gigabit-class interconnect", CommParams::default()),
         ("fast interconnect", CommParams::fast_interconnect()),
     ] {
-        let project = Project::new(model.clone()).with_comm(comm);
-        let results = sweep_parallel(&project, &mpi_grid(&nodes, 1), 0);
+        let config = SweepConfig {
+            comm,
+            ..Default::default()
+        };
+        let report = session.sweep_with(&mpi_grid(&nodes, 1), &config, |_, _| {});
 
         println!("=== Jacobi 2M points × 20 sweeps — {label} ===");
-        println!("{:>6} {:>12} {:>9} {:>11}", "P", "time(s)", "speedup", "efficiency");
-        let runs: Vec<(usize, f64)> = results
+        println!(
+            "{:>6} {:>12} {:>9} {:>11}",
+            "P", "time(s)", "speedup", "efficiency"
+        );
+        let runs: Vec<(usize, f64)> = report
+            .points
             .iter()
             .map(|r| (r.sp.processes, r.time().expect("run ok")))
             .collect();

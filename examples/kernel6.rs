@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example kernel6`
 
-use prophet_core::project::Project;
+use prophet_core::{Scenario, Session};
 use prophet_workloads::lfk::{calibrate_kernel6, kernel6_flops, lfk_kernel6};
 use prophet_workloads::models::kernel6_model;
 use std::time::Instant;
@@ -39,18 +39,34 @@ fn main() {
 
     // --- 2/3. Model + transformation. ----------------------------------
     let model = kernel6_model(600, 20, cal.seconds_per_flop);
-    let project = Project::new(model);
-    let run = project.run().expect("pipeline");
+    let session = Session::new(model).expect("compile");
     println!("\nFigure 4(c) shape in generated C++:");
-    for line in run.cpp.program.lines().filter(|l| l.contains("kernel6")) {
+    for line in session
+        .cpp()
+        .program
+        .lines()
+        .filter(|l| l.contains("kernel6"))
+    {
         println!("  {}", line.trim());
     }
 
     // --- 4. Predict vs measure across sizes (experiment E1). -----------
-    println!("\n{:>6} {:>4} {:>14} {:>14} {:>8}", "n", "m", "predicted(s)", "measured(s)", "err%");
-    for &(n, m) in &[(200usize, 20usize), (400, 20), (600, 20), (800, 10), (1200, 5)] {
-        let project = Project::new(kernel6_model(n, m, cal.seconds_per_flop));
-        let predicted = project.run().expect("pipeline").evaluation.predicted_time;
+    println!(
+        "\n{:>6} {:>4} {:>14} {:>14} {:>8}",
+        "n", "m", "predicted(s)", "measured(s)", "err%"
+    );
+    for &(n, m) in &[
+        (200usize, 20usize),
+        (400, 20),
+        (600, 20),
+        (800, 10),
+        (1200, 5),
+    ] {
+        let session = Session::new(kernel6_model(n, m, cal.seconds_per_flop)).expect("compile");
+        let predicted = session
+            .evaluate(&Scenario::default())
+            .expect("evaluate")
+            .predicted_time;
         let measured = measure(n, m);
         let err = (predicted - measured).abs() / measured * 100.0;
         println!("{n:>6} {m:>4} {predicted:>14.6} {measured:>14.6} {err:>7.1}%");

@@ -9,14 +9,15 @@
 //!
 //! Run with: `cargo run --release --example lapw0`
 
-use prophet_core::project::Project;
+use prophet_core::{Scenario, Session};
 use prophet_machine::SystemParams;
 use prophet_workloads::models::lapw0_model;
 
 fn main() {
     let atoms = 64usize;
     let kpoints = 32usize;
-    let model = lapw0_model(atoms, kpoints, 1e-4);
+    // One compile serves the whole ranks × threads sweep below.
+    let session = Session::new(lapw0_model(atoms, kpoints, 1e-4)).expect("compile");
 
     println!("=== LAPW0-like hybrid sweep ({atoms} atoms, {kpoints} k-points) ===");
     println!(
@@ -40,8 +41,8 @@ fn main() {
             processes: procs,
             threads_per_process: threads,
         };
-        let run = Project::new(model.clone()).with_system(sp).run().expect("pipeline");
-        let t = run.evaluation.predicted_time;
+        let run = session.evaluate(&Scenario::new(sp)).expect("evaluate");
+        let t = run.predicted_time;
         let base = *baseline.get_or_insert(t);
         println!(
             "{nodes:>6} {procs:>8} {threads:>8} {t:>12.4} {:>9.2}",

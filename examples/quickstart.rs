@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use prophet_core::project::Project;
+use prophet_core::{Scenario, Session};
 use prophet_machine::SystemParams;
 use prophet_trace::{render_timeline, TraceAnalysis};
 use prophet_uml::{ModelBuilder, VarType};
@@ -31,31 +31,33 @@ fn main() {
     b.flow(main, solve, write);
     b.flow(main, write, end);
 
-    // --- 2. Attach system parameters (the SP of Figure 2). ------------
-    let project = Project::new(b.build()).with_system(SystemParams::flat_mpi(4, 1));
-
-    // --- 3. Run: check → transform → estimate. ------------------------
-    let run = project.run().expect("pipeline");
+    // --- 2. Compile once: check → transform (both targets). -----------
+    let session = Session::new(b.build()).expect("compile");
 
     println!("=== model checker ===");
-    if run.diagnostics.is_empty() {
+    if session.diagnostics().is_empty() {
         println!("no findings");
     }
-    for d in &run.diagnostics {
+    for d in session.diagnostics() {
         println!("{d}");
     }
 
     println!("\n=== generated C++ (PMP, Figure 8 shape) ===");
-    println!("{}", run.cpp.model_text());
+    println!("{}", session.cpp().model_text());
+
+    // --- 3. Evaluate a scenario (the SP of Figure 2). -----------------
+    let run = session
+        .evaluate(&Scenario::new(SystemParams::flat_mpi(4, 1)))
+        .expect("evaluate");
 
     println!("=== prediction ===");
-    println!("predicted execution time: {:.6} s", run.evaluation.predicted_time);
+    println!("predicted execution time: {:.6} s", run.predicted_time);
     println!(
         "events processed: {}, processes completed: {}",
-        run.evaluation.report.events_processed, run.evaluation.report.processes_completed
+        run.report.events_processed, run.report.processes_completed
     );
 
-    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    let analysis = TraceAnalysis::analyze(&run.trace);
     println!("\n=== element profile (Charts data) ===");
     for p in &analysis.profile {
         println!(
@@ -68,7 +70,7 @@ fn main() {
     print!("{}", render_timeline(&analysis, 4, 64));
 
     println!("\n=== trace file (TF) head ===");
-    for line in run.evaluation.trace.to_text().lines().take(8) {
+    for line in run.trace.to_text().lines().take(8) {
         println!("{line}");
     }
 }

@@ -6,35 +6,39 @@
 //!
 //! Run with: `cargo run --release --example sample_model`
 
-use prophet_core::project::Project;
+use prophet_core::{Scenario, Session};
 use prophet_trace::TraceAnalysis;
 use prophet_workloads::models::sample_model;
 
 fn main() {
-    let project = Project::new(sample_model());
+    let session = Session::new(sample_model()).expect("compile");
 
     println!("=== Models (XML) ===");
-    println!("{}", project.model_xml());
-
-    let run = project.run().expect("pipeline");
+    println!("{}", session.model_xml());
 
     println!("=== Model Checker ===");
     println!(
         "{} finding(s){}",
-        run.diagnostics.len(),
-        if run.diagnostics.is_empty() { " — model conforms" } else { ":" }
+        session.diagnostics().len(),
+        if session.diagnostics().is_empty() {
+            " — model conforms"
+        } else {
+            ":"
+        }
     );
-    for d in &run.diagnostics {
+    for d in session.diagnostics() {
         println!("  {d}");
     }
 
     println!("\n=== Generated C++ (compare with Figure 8) ===");
-    println!("{}", run.cpp.model_text());
+    println!("{}", session.cpp().model_text());
+
+    let run = session.evaluate(&Scenario::default()).expect("evaluate");
 
     println!("=== Evaluation ===");
-    println!("predicted time: {:.6} s", run.evaluation.predicted_time);
+    println!("predicted time: {:.6} s", run.predicted_time);
 
-    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    let analysis = TraceAnalysis::analyze(&run.trace);
     println!("\nelement profile:");
     for p in &analysis.profile {
         println!("  {:<10} total={:.4}s", p.element, p.total_time);

@@ -15,8 +15,34 @@
 //! | [`machine`] | prophet-machine | machine model from SP |
 //! | [`estimator`] | prophet-estimator | Performance Estimator |
 //! | [`trace`] | prophet-trace | TF trace files + visualization data |
-//! | [`core`] | prophet-core | transformation pipeline, projects, sweeps |
+//! | [`core`] | prophet-core | transformation pipeline, compile-once sessions, sweeps |
 //! | [`workloads`] | prophet-workloads | Livermore kernels + experiment models |
+//!
+//! ## Quickstart
+//!
+//! The engine API separates *compile* (check + transform, once) from
+//! *serve* (any number of cheap evaluations):
+//!
+//! ```
+//! use prophet::core::{mpi_grid, Scenario, Session};
+//! use prophet::machine::SystemParams;
+//! use prophet::workloads::models::sample_model;
+//!
+//! // Compile once: model check + both transformation backends.
+//! let session = Session::new(sample_model())?;
+//!
+//! // Evaluate one scenario...
+//! let run = session.evaluate(&Scenario::new(SystemParams::flat_mpi(4, 1)))?;
+//! assert!(run.predicted_time > 0.0);
+//!
+//! // ...or sweep a whole SP grid in parallel against the same artifacts.
+//! let report = session.sweep(&mpi_grid(&[1, 2, 4, 8], 1));
+//! assert_eq!(report.failures(), 0);
+//! # Ok::<(), prophet::core::Error>(())
+//! ```
+//!
+//! Migrating from the deprecated single-shot `Project` API? See the
+//! migration map in [`core::project`].
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction map.

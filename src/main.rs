@@ -6,7 +6,7 @@
 //! prophet transform <model.xml> [--full] [--skeleton]
 //! prophet estimate  <model.xml> [--nodes N] [--cpus C] [--processes P]
 //!                   [--threads T] [--trace <tf.txt>] [--timeline]
-//! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C]
+//! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
 //!
@@ -19,12 +19,14 @@
 //! prophet estimate sample.xml --nodes 2 --cpus 2 --timeline
 //! ```
 
-use prophet::check::McfConfig;
+use prophet::check::{check_model, McfConfig};
 use prophet::codegen::generate_skeleton;
-use prophet::core::project::Project;
-use prophet::core::sweep::{sweep_parallel, SweepPoint};
+use prophet::core::{
+    render_chain, render_chain_inline, Scenario, Session, SweepConfig, SweepPoint,
+};
 use prophet::machine::SystemParams;
 use prophet::trace::{render_timeline, TraceAnalysis};
+use prophet::uml::Model;
 use prophet::workloads::models;
 use std::process::ExitCode;
 
@@ -40,7 +42,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -63,32 +65,47 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn load_project(args: &[String]) -> Result<Project, String> {
+fn load_model(args: &[String]) -> Result<Model, String> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or_else(|| format!("missing model file\n{}", usage()))?;
     let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    Project::from_model_xml(&xml).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    prophet::uml::xmi::model_from_xml(&xml).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+/// Compile a session, rendering the full error chain on failure.
+fn compile(model: Model) -> Result<Session, String> {
+    Session::new(model).map_err(|e| render_chain(&e))
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let mut project = load_project(args)?;
-    if let Some(mcf_path) = flag_value(args, "--mcf") {
-        let mcf_xml = std::fs::read_to_string(mcf_path)
-            .map_err(|e| format!("cannot read `{mcf_path}`: {e}"))?;
-        project = project.with_mcf(McfConfig::from_xml(&mcf_xml).map_err(|e| e.to_string())?);
-    }
-    let diags = project.check();
+    let model = load_model(args)?;
+    let mcf = match flag_value(args, "--mcf") {
+        Some(mcf_path) => {
+            let mcf_xml = std::fs::read_to_string(mcf_path)
+                .map_err(|e| format!("cannot read `{mcf_path}`: {e}"))?;
+            McfConfig::from_xml(&mcf_xml).map_err(|e| e.to_string())?
+        }
+        None => McfConfig::default(),
+    };
+    let diags = check_model(&model, &mcf);
     if diags.is_empty() {
-        println!("model `{}` conforms ({} elements)", project.model.name, project.model.element_count());
+        println!(
+            "model `{}` conforms ({} elements)",
+            model.name,
+            model.element_count()
+        );
         return Ok(());
     }
     for d in &diags {
@@ -104,13 +121,13 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_transform(args: &[String]) -> Result<(), String> {
-    let project = load_project(args)?;
+    let model = load_model(args)?;
     if has_flag(args, "--skeleton") {
-        let skel = generate_skeleton(&project.model).map_err(|e| e.to_string())?;
+        let skel = generate_skeleton(&model).map_err(|e| e.to_string())?;
         println!("{skel}");
         return Ok(());
     }
-    let unit = prophet::core::transform::to_cpp(&project.model).map_err(|e| e.to_string())?;
+    let unit = prophet::core::transform::to_cpp(&model).map_err(|e| e.to_string())?;
     if has_flag(args, "--full") {
         println!("{}", unit.full_text());
     } else {
@@ -120,8 +137,16 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
 }
 
 fn system_from(args: &[String]) -> Result<SystemParams, String> {
-    let nodes = flag_value(args, "--nodes").map(|s| s.parse()).transpose().map_err(|_| "bad --nodes")?.unwrap_or(1);
-    let cpus = flag_value(args, "--cpus").map(|s| s.parse()).transpose().map_err(|_| "bad --cpus")?.unwrap_or(1);
+    let nodes = flag_value(args, "--nodes")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --nodes")?
+        .unwrap_or(1);
+    let cpus = flag_value(args, "--cpus")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --cpus")?
+        .unwrap_or(1);
     let processes = flag_value(args, "--processes")
         .map(|s| s.parse())
         .transpose()
@@ -132,25 +157,36 @@ fn system_from(args: &[String]) -> Result<SystemParams, String> {
         .transpose()
         .map_err(|_| "bad --threads")?
         .unwrap_or(1);
-    let sp = SystemParams { nodes, cpus_per_node: cpus, processes, threads_per_process: threads };
-    sp.validate()?;
+    let sp = SystemParams {
+        nodes,
+        cpus_per_node: cpus,
+        processes,
+        threads_per_process: threads,
+    };
+    sp.validate().map_err(|e| e.to_string())?;
     Ok(sp)
 }
 
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let sp = system_from(args)?;
-    let project = load_project(args)?.with_system(sp);
-    let run = project.run().map_err(|e| e.to_string())?;
+    let session = compile(load_model(args)?)?;
+    let run = session
+        .evaluate(&Scenario::new(sp))
+        .map_err(|e| render_chain(&e))?;
     println!(
         "model `{}` on {} node(s) × {} cpu(s), {} process(es) × {} thread(s)",
-        run.program.name, sp.nodes, sp.cpus_per_node, sp.processes, sp.threads_per_process
+        session.program().name,
+        sp.nodes,
+        sp.cpus_per_node,
+        sp.processes,
+        sp.threads_per_process
     );
-    println!("predicted execution time: {:.6} s", run.evaluation.predicted_time);
+    println!("predicted execution time: {:.6} s", run.predicted_time);
     println!(
         "simulation: {} events, {} processes completed",
-        run.evaluation.report.events_processed, run.evaluation.report.processes_completed
+        run.report.events_processed, run.report.processes_completed
     );
-    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    let analysis = TraceAnalysis::analyze(&run.trace);
     println!("\nelement profile:");
     for p in analysis.profile.iter().take(12) {
         println!(
@@ -159,7 +195,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = flag_value(args, "--trace") {
-        std::fs::write(path, run.evaluation.trace.to_text())
+        std::fs::write(path, run.trace.to_text())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("\ntrace written to {path}");
     }
@@ -170,28 +206,75 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let project = load_project(args)?;
+    // Validate every flag before paying the compile cost, so argument
+    // mistakes get argument errors (not compile errors) and get them fast.
     let nodes_list = flag_value(args, "--nodes").ok_or("sweep requires --nodes 1,2,4,...")?;
-    let cpus: usize = flag_value(args, "--cpus").map(|s| s.parse()).transpose().map_err(|_| "bad --cpus")?.unwrap_or(1);
+    let cpus: usize = flag_value(args, "--cpus")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --cpus")?
+        .unwrap_or(1);
+    // `--threads` means threads-per-process (SP) in `estimate`; reject it
+    // here rather than silently reinterpreting it as the worker pool.
+    if has_flag(args, "--threads") {
+        return Err(
+            "sweep evaluates flat-MPI points; use --workers W for the worker-thread pool"
+                .to_string(),
+        );
+    }
+    let threads: usize = flag_value(args, "--workers")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad --workers")?
+        .unwrap_or(0);
     let points: Vec<SweepPoint> = nodes_list
         .split(',')
         .map(|s| {
             s.trim()
                 .parse::<usize>()
-                .map(|n| SweepPoint { sp: SystemParams::flat_mpi(n, cpus) })
+                .map(|n| SweepPoint {
+                    sp: SystemParams::flat_mpi(n, cpus),
+                })
                 .map_err(|_| format!("bad node count `{s}`"))
         })
         .collect::<Result<_, _>>()?;
-    let results = sweep_parallel(&project, &points, 0);
-    println!("{:>8} {:>8} {:>14} {:>9}", "nodes", "P", "time(s)", "speedup");
-    let base = results.iter().find_map(|r| r.time());
-    for r in &results {
+    // Unlike the legacy CLI, sweep now gates on the model checker just
+    // like `estimate` always has: a model with check errors won't sweep.
+    let session = compile(load_model(args)?)?;
+    // Stream completion progress to stderr while workers fill the grid.
+    let mut done = 0usize;
+    let total = points.len();
+    let config = SweepConfig {
+        threads,
+        ..Default::default()
+    };
+    let report = session.sweep_with(&points, &config, |_, _| {
+        done += 1;
+        eprint!("\r{done}/{total} configurations evaluated");
+    });
+    if total > 0 {
+        eprintln!();
+    }
+    println!(
+        "{:>8} {:>8} {:>14} {:>9}",
+        "nodes", "P", "time(s)", "speedup"
+    );
+    let base = report.points.iter().find_map(|r| r.time());
+    for r in &report.points {
         match &r.outcome {
             Ok(t) => {
                 let speedup = base.map(|b| b / t).unwrap_or(1.0);
-                println!("{:>8} {:>8} {:>14.6} {:>9.2}", r.sp.nodes, r.sp.processes, t, speedup);
+                println!(
+                    "{:>8} {:>8} {:>14.6} {:>9.2}",
+                    r.sp.nodes, r.sp.processes, t, speedup
+                );
             }
-            Err(e) => println!("{:>8} {:>8}  failed: {e}", r.sp.nodes, r.sp.processes),
+            Err(e) => println!(
+                "{:>8} {:>8}  failed: {}",
+                r.sp.nodes,
+                r.sp.processes,
+                render_chain_inline(e)
+            ),
         }
     }
     Ok(())

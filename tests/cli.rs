@@ -55,9 +55,20 @@ fn demo_check_transform_estimate_roundtrip() {
     assert!(ok);
     assert!(out.contains("class ActionPlus"), "{out}");
 
-    let (ok, out, _) = prophet(&["estimate", model, "--nodes", "2", "--cpus", "1", "--timeline"]);
+    let (ok, out, _) = prophet(&[
+        "estimate",
+        model,
+        "--nodes",
+        "2",
+        "--cpus",
+        "1",
+        "--timeline",
+    ]);
     assert!(ok);
-    assert!(out.contains("predicted execution time: 0.900000 s"), "{out}");
+    assert!(
+        out.contains("predicted execution time: 0.900000 s"),
+        "{out}"
+    );
     assert!(out.contains("p0"), "{out}");
 }
 
@@ -74,12 +85,50 @@ fn skeleton_generation() {
 #[test]
 fn sweep_prints_speedup_table() {
     let model = temp_model("sweep", "jacobi");
-    let (ok, out, err) =
-        prophet(&["sweep", model.to_str().unwrap(), "--nodes", "1,2,4"]);
+    let (ok, out, err) = prophet(&["sweep", model.to_str().unwrap(), "--nodes", "1,2,4"]);
     assert!(ok, "{err}");
     assert!(out.contains("speedup"), "{out}");
     // Three data rows.
     assert_eq!(out.lines().count(), 4, "{out}");
+}
+
+#[test]
+fn sweep_accepts_workers_and_rejects_threads() {
+    let model = temp_model("sweep-flags", "jacobi");
+    let (ok, out, err) = prophet(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--nodes",
+        "1,2",
+        "--workers",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    assert_eq!(out.lines().count(), 3, "{out}");
+
+    // `--threads` means threads-per-process in `estimate`; sweep must
+    // refuse it rather than silently treat it as the worker pool.
+    let (ok, _out, err) = prophet(&[
+        "sweep",
+        model.to_str().unwrap(),
+        "--nodes",
+        "1,2",
+        "--threads",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--workers"), "{err}");
+}
+
+#[test]
+fn sweep_failed_points_render_on_one_row() {
+    let model = temp_model("sweep-fail", "jacobi");
+    let (ok, out, err) = prophet(&["sweep", model.to_str().unwrap(), "--nodes", "0,1"]);
+    assert!(ok, "{err}");
+    // Header + one failed row + one data row: failures must not spill
+    // onto extra lines (the error chain is flattened onto the row).
+    assert_eq!(out.lines().count(), 3, "{out}");
+    assert!(out.contains("failed:"), "{out}");
 }
 
 #[test]
@@ -107,7 +156,10 @@ fn check_reports_errors_on_broken_model() {
     std::fs::write(&path, broken).unwrap();
     let (ok, out, err) = prophet(&["check", path.to_str().unwrap()]);
     assert!(!ok);
-    assert!(out.contains("PP006") || err.contains("PP006"), "out: {out}\nerr: {err}");
+    assert!(
+        out.contains("PP006") || err.contains("PP006"),
+        "out: {out}\nerr: {err}"
+    );
 }
 
 #[test]

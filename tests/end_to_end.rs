@@ -2,8 +2,7 @@
 //! determinism, sweep consistency, estimator/codegen agreement, and
 //! failure-path behaviour.
 
-use prophet::core::project::{Project, ProjectError};
-use prophet::core::sweep::{mpi_grid, sweep_parallel, sweep_serial};
+use prophet::core::{mpi_grid, Error, Scenario, Session, SweepConfig};
 use prophet::estimator::{Estimator, EstimatorOptions};
 use prophet::machine::{CommParams, MachineModel, SystemParams};
 use prophet::sim::CalendarKind;
@@ -14,13 +13,14 @@ use prophet::workloads::models::{jacobi_model, master_worker_model, sample_model
 #[test]
 fn determinism_across_full_pipeline() {
     let run = || {
-        let project = Project::new(jacobi_model(100_000, 5, 1e-8))
-            .with_system(SystemParams::flat_mpi(4, 1));
-        let r = project.run().unwrap();
+        let session = Session::new(jacobi_model(100_000, 5, 1e-8)).unwrap();
+        let r = session
+            .evaluate(&Scenario::new(SystemParams::flat_mpi(4, 1)))
+            .unwrap();
         (
-            r.evaluation.predicted_time,
-            r.evaluation.report.events_processed,
-            r.evaluation.trace.to_text(),
+            r.predicted_time,
+            r.report.events_processed,
+            r.trace.to_text(),
         )
     };
     assert_eq!(run(), run());
@@ -29,23 +29,37 @@ fn determinism_across_full_pipeline() {
 #[test]
 fn calendar_ablation_agrees_end_to_end() {
     // Ablation A3: both calendar implementations give identical results.
+    let session = Session::new(jacobi_model(100_000, 5, 1e-8)).unwrap();
     let time_with = |kind: CalendarKind| {
-        let project = Project::new(jacobi_model(100_000, 5, 1e-8))
-            .with_system(SystemParams::flat_mpi(4, 1))
-            .with_options(EstimatorOptions { calendar: kind, ..Default::default() });
-        project.run().unwrap().evaluation.predicted_time
+        let scenario = Scenario::new(SystemParams::flat_mpi(4, 1)).with_options(EstimatorOptions {
+            calendar: kind,
+            ..Default::default()
+        });
+        session.evaluate(&scenario).unwrap().predicted_time
     };
-    assert_eq!(time_with(CalendarKind::BinaryHeap), time_with(CalendarKind::SortedVec));
+    assert_eq!(
+        time_with(CalendarKind::BinaryHeap),
+        time_with(CalendarKind::SortedVec)
+    );
 }
 
 #[test]
 fn serial_and_parallel_sweeps_agree_on_real_model() {
-    let project = Project::new(jacobi_model(200_000, 5, 1e-8));
+    let session = Session::new(jacobi_model(200_000, 5, 1e-8)).unwrap();
     let points = mpi_grid(&[1, 2, 4, 8], 1);
-    let a = sweep_serial(&project, &points);
-    let b = sweep_parallel(&project, &points, 3);
-    for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.outcome, y.outcome);
+    let serial_cfg = SweepConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let a = session.sweep_with(&points, &serial_cfg, |_, _| {});
+    let parallel_cfg = SweepConfig {
+        threads: 3,
+        ..Default::default()
+    };
+    let b = session.sweep_with(&points, &parallel_cfg, |_, _| {});
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.time(), y.time());
+        assert_eq!(x.outcome.is_err(), y.outcome.is_err());
     }
 }
 
@@ -53,12 +67,11 @@ fn serial_and_parallel_sweeps_agree_on_real_model() {
 fn seed_changes_nothing_for_deterministic_models() {
     // Our models have no stochastic elements; the seed must not leak into
     // predictions (it exists for future stochastic cost functions).
+    let session = Session::new(sample_model()).unwrap();
     let t = |seed: u64| {
-        Project::new(sample_model())
-            .with_options(EstimatorOptions { seed, ..Default::default() })
-            .run()
+        session
+            .evaluate(&Scenario::default().with_seed(seed))
             .unwrap()
-            .evaluation
             .predicted_time
     };
     assert_eq!(t(1), t(999));
@@ -66,11 +79,14 @@ fn seed_changes_nothing_for_deterministic_models() {
 
 #[test]
 fn estimator_and_cpp_expose_same_cost_functions() {
-    let run = Project::new(sample_model()).run().unwrap();
+    let session = Session::new(sample_model()).unwrap();
     // Every function in the IR appears as a C++ definition.
-    for f in &run.program.functions {
+    for f in &session.program().functions {
         assert!(
-            run.cpp.cost_functions.contains(&format!("double {}(", f.name)),
+            session
+                .cpp()
+                .cost_functions
+                .contains(&format!("double {}(", f.name)),
             "function {} missing from C++",
             f.name
         );
@@ -80,13 +96,11 @@ fn estimator_and_cpp_expose_same_cost_functions() {
 #[test]
 fn comm_params_shift_the_crossover() {
     // Same model, slower network → worse time at high P.
+    let session = Session::new(jacobi_model(200_000, 10, 1e-8)).unwrap();
     let time = |comm: CommParams, p: usize| {
-        Project::new(jacobi_model(200_000, 10, 1e-8))
-            .with_comm(comm)
-            .with_system(SystemParams::flat_mpi(p, 1))
-            .run()
+        session
+            .evaluate(&Scenario::new(SystemParams::flat_mpi(p, 1)).with_comm(comm))
             .unwrap()
-            .evaluation
             .predicted_time
     };
     let slow16 = time(CommParams::default(), 16);
@@ -100,31 +114,40 @@ fn comm_params_shift_the_crossover() {
 
 #[test]
 fn master_worker_gather_cost_grows_with_p() {
+    let session = Session::new(master_worker_model(64, 0.0, 1 << 16)).unwrap(); // zero compute
     let t = |p: usize| {
-        Project::new(master_worker_model(64, 0.0, 1 << 16)) // zero compute
-            .with_system(SystemParams::flat_mpi(p, 1))
-            .run()
+        session
+            .evaluate(&Scenario::new(SystemParams::flat_mpi(p, 1)))
             .unwrap()
-            .evaluation
             .predicted_time
     };
-    assert!(t(8) > t(2), "collective-only time must grow with P: {} vs {}", t(8), t(2));
+    assert!(
+        t(8) > t(2),
+        "collective-only time must grow with P: {} vs {}",
+        t(8),
+        t(2)
+    );
 }
 
 #[test]
 fn trace_is_well_formed_for_hybrid_runs() {
-    let sp = SystemParams { nodes: 2, cpus_per_node: 2, processes: 2, threads_per_process: 2 };
-    let run = Project::new(prophet::workloads::models::lapw0_model(32, 8, 1e-5))
-        .with_system(sp)
-        .run()
+    let sp = SystemParams {
+        nodes: 2,
+        cpus_per_node: 2,
+        processes: 2,
+        threads_per_process: 2,
+    };
+    let run = Session::new(prophet::workloads::models::lapw0_model(32, 8, 1e-5))
+        .unwrap()
+        .evaluate(&Scenario::new(sp))
         .unwrap();
-    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    let analysis = TraceAnalysis::analyze(&run.trace);
     assert!(analysis.unmatched.is_empty(), "{:?}", analysis.unmatched);
     assert!(analysis.efficiency(2) > 0.0);
 }
 
 #[test]
-fn direct_estimator_use_without_project() {
+fn direct_estimator_use_without_session() {
     // The estimator is usable as a library on hand-built IR.
     use prophet::estimator::{Program, Step};
     use prophet::expr::parse_expression;
@@ -135,7 +158,9 @@ fn direct_estimator_use_without_project() {
         code: vec![],
     };
     let machine = MachineModel::new(SystemParams::default(), CommParams::default()).unwrap();
-    let eval = Estimator::new(machine, EstimatorOptions::default()).evaluate(&program).unwrap();
+    let eval = Estimator::new(machine, EstimatorOptions::default())
+        .evaluate(&program)
+        .unwrap();
     assert_eq!(eval.predicted_time, 1.25);
 }
 
@@ -156,18 +181,27 @@ fn failure_paths_are_reported_not_panicked() {
     b.flow(main, x, mg);
     b.flow(main, y, mg);
     b.flow(main, mg, f);
-    assert!(matches!(Project::new(b.build()).run(), Err(ProjectError::Check(_))));
+    assert!(matches!(Session::new(b.build()), Err(Error::Check(_))));
 
     // Rank out of range at elaboration time.
     let mut b = ModelBuilder::new("badrank");
     let main = b.main_diagram();
     let i = b.initial(main, "start");
-    let s = b.mpi(main, "s0", "send", &[("dest", TagValue::Expr("99".into())), ("size", TagValue::Expr("8".into()))]);
+    let s = b.mpi(
+        main,
+        "s0",
+        "send",
+        &[
+            ("dest", TagValue::Expr("99".into())),
+            ("size", TagValue::Expr("8".into())),
+        ],
+    );
     let f = b.final_node(main, "end");
     b.flow(main, i, s);
     b.flow(main, s, f);
-    let project = Project::new(b.build()).with_system(SystemParams::flat_mpi(2, 1));
-    assert!(matches!(project.run(), Err(ProjectError::Estimate(_))));
+    let session = Session::new(b.build()).unwrap();
+    let result = session.evaluate(&Scenario::new(SystemParams::flat_mpi(2, 1)));
+    assert!(matches!(result, Err(Error::Estimate(_))));
 }
 
 #[test]
@@ -193,11 +227,11 @@ fn locals_are_per_process() {
     b.flow(main, cold, mg);
     b.flow(main, mg, f);
 
-    let run = Project::new(b.build())
-        .with_system(SystemParams::flat_mpi(4, 1))
-        .run()
+    let run = Session::new(b.build())
+        .unwrap()
+        .evaluate(&Scenario::new(SystemParams::flat_mpi(4, 1)))
         .unwrap();
-    let analysis = TraceAnalysis::analyze(&run.evaluation.trace);
+    let analysis = TraceAnalysis::analyze(&run.trace);
     // pids 0,1 take Cold (acc = 0,1), pids 2,3 take Hot (acc = 2,3).
     assert_eq!(analysis.element("Hot").unwrap().count, 2);
     assert_eq!(analysis.element("Cold").unwrap().count, 2);

@@ -2,8 +2,8 @@
 //! artifact (experiments F1–F8 in DESIGN.md).
 
 use prophet::codegen::{build_flow_tree, generate_cpp};
-use prophet::core::project::Project;
 use prophet::core::transform::{to_cpp, to_program};
+use prophet::core::{Scenario, Session};
 use prophet::trace::TraceAnalysis;
 use prophet::uml::{
     performance_profile, ExplicitStackNavigator, ModelBuilder, RecordingHandler,
@@ -30,7 +30,10 @@ fn stereotype_fig1() {
         .with("id", TagValue::Int(1))
         .with("type", TagValue::Str("SAMPLE".into()))
         .with("time", TagValue::Num(10.0));
-    assert_eq!(usage.display(), "<<action+>> {id = 1, type = SAMPLE, time = 10}");
+    assert_eq!(
+        usage.display(),
+        "<<action+>> {id = 1, type = SAMPLE, time = 10}"
+    );
 }
 
 // ---------------------------------------------------------------- F3 --
@@ -53,9 +56,14 @@ fn kernel6_model_shape_fig3() {
 fn kernel6_cpp_fig4() {
     // Figure 4(c): `ActionPlus kernel6(...); kernel6.execute(...,FK6(...));`
     let unit = to_cpp(&kernel6_model(1000, 10, 1e-9)).unwrap();
-    assert!(unit.program.contains("ActionPlus kernel6("), "{}", unit.program);
     assert!(
-        unit.program.contains("kernel6.execute(uid, pid, tid, FK6(KN, KM));"),
+        unit.program.contains("ActionPlus kernel6("),
+        "{}",
+        unit.program
+    );
+    assert!(
+        unit.program
+            .contains("kernel6.execute(uid, pid, tid, FK6(KN, KM));"),
         "{}",
         unit.program
     );
@@ -69,7 +77,10 @@ fn figure5_phase_order() {
     // cost functions → locals → declarations → flow.
     let unit = generate_cpp(&sample_model()).unwrap();
     let text = unit.model_text();
-    let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+    let pos = |needle: &str| {
+        text.find(needle)
+            .unwrap_or_else(|| panic!("missing {needle}"))
+    };
     let globals = pos("int GV = 0;");
     let costs = pos("double FA1()");
     let decls = pos("ActionPlus a1(");
@@ -150,9 +161,15 @@ fn sample_model_structure_fig7() {
     let globals: Vec<_> = model.globals().map(|v| v.name.as_str()).collect();
     assert_eq!(globals, vec!["GV", "P"]);
     // Figure 7(b): code associated with A1 assigns GV and P.
-    assert_eq!(model.element_by_name("A1").unwrap().code_fragment(), Some("GV = 1; P = 4;"));
+    assert_eq!(
+        model.element_by_name("A1").unwrap().code_fragment(),
+        Some("GV = 1; P = 4;")
+    );
     // Figure 7(c): cost function associated with A1 is parameterized.
-    assert!(model.functions.iter().any(|f| f.name == "FA1" && f.body.contains("P")));
+    assert!(model
+        .functions
+        .iter()
+        .any(|f| f.name == "FA1" && f.body.contains("P")));
     // SA is hierarchical: its body is the separate diagram "SA".
     let flow = build_flow_tree(&model, model.main_diagram()).unwrap();
     assert!(format!("{flow:?}").contains("Composite"));
@@ -168,20 +185,35 @@ fn sample_model_cpp_fig8() {
     assert!(text.contains("int GV = 0;"));
     assert!(text.contains("int P = 4;"));
     for f in ["FA1", "FA2", "FA4", "FSA1", "FSA2"] {
-        assert!(text.contains(&format!("double {f}(")), "missing {f}:\n{text}");
+        assert!(
+            text.contains(&format!("double {f}(")),
+            "missing {f}:\n{text}"
+        );
     }
     // FSA2 takes pid as a parameter (Figure 8(a)).
     assert!(text.contains("double FSA2(double pid)"));
 
     // (b) declarations for executable elements only (SA has none).
-    for decl in ["ActionPlus a1(\"A1\"", "ActionPlus a2(\"A2\"", "ActionPlus a4(\"A4\"", "ActionPlus sA1(\"SA1\"", "ActionPlus sA2(\"SA2\""] {
+    for decl in [
+        "ActionPlus a1(\"A1\"",
+        "ActionPlus a2(\"A2\"",
+        "ActionPlus a4(\"A4\"",
+        "ActionPlus sA1(\"SA1\"",
+        "ActionPlus sA2(\"SA2\"",
+    ] {
         assert!(text.contains(decl), "missing `{decl}`:\n{text}");
     }
-    assert!(!text.contains("ActionPlus sA(\"SA\""), "SA must not be declared");
+    assert!(
+        !text.contains("ActionPlus sA(\"SA\""),
+        "SA must not be declared"
+    );
 
     // (b) flow: code associated with A1 precedes its execute; SA's C++ is
     // nested inside the main flow; branch is if/else.
-    let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+    let pos = |needle: &str| {
+        text.find(needle)
+            .unwrap_or_else(|| panic!("missing {needle}"))
+    };
     assert!(pos("GV = 1;") < pos("a1.execute"));
     assert!(pos("if (GV == 1) {") < pos("{ // Activity SA"));
     assert!(pos("{ // Activity SA") < pos("sA1.execute"));
@@ -192,8 +224,11 @@ fn sample_model_cpp_fig8() {
 
 #[test]
 fn sample_model_executes_fig7_semantics() {
-    let run = Project::new(sample_model()).run().unwrap();
-    let a = TraceAnalysis::analyze(&run.evaluation.trace);
+    let run = Session::new(sample_model())
+        .unwrap()
+        .evaluate(&Scenario::default())
+        .unwrap();
+    let a = TraceAnalysis::analyze(&run.trace);
     // GV = 1 → SA branch; A2 never runs; A4 always runs.
     assert!(a.element("SA").is_some());
     assert!(a.element("A2").is_none());
