@@ -1,0 +1,75 @@
+//! Analytic-backend benchmarks: the sweep-throughput win of resolving
+//! predictions in closed form instead of replaying them on the DES
+//! kernel, guarded by a cross-backend agreement check so the speedup is
+//! never measured against wrong answers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_core::{mpi_grid, Backend, Scenario, Session, SweepConfig, SweepPoint};
+use prophet_machine::SystemParams;
+use prophet_workloads::models::jacobi_model;
+
+fn grid_64() -> Vec<SweepPoint> {
+    // 64 points: node counts 1..=16 at 1/2/4/8 cpus each.
+    let nodes: Vec<usize> = (1..=16).collect();
+    let mut points = Vec::new();
+    for cpus in [1usize, 2, 4, 8] {
+        points.extend(mpi_grid(&nodes, cpus));
+    }
+    points
+}
+
+fn config(backend: Backend) -> SweepConfig {
+    SweepConfig {
+        threads: 1, // serial: measure per-point engine cost, not fan-out
+        backend,
+        ..Default::default()
+    }
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let session = Session::new(jacobi_model(100_000, 10, 1e-8)).expect("compile");
+    let big = grid_64();
+
+    // Agreement guard: the analytic sweep must reproduce the simulated
+    // sweep within the conformance tolerance (1e-9 relative, the
+    // contract pinned by tests/conformance.rs) before we time anything.
+    let sim = session.sweep_with(&big, &config(Backend::Simulation), |_, _| {});
+    let ana = session.sweep_with(&big, &config(Backend::Analytic), |_, _| {});
+    assert_eq!(sim.failures(), 0);
+    assert_eq!(ana.failures(), 0);
+    for (s, a) in sim.times().iter().zip(ana.times().iter()) {
+        let (s, a) = (s.unwrap(), a.unwrap());
+        assert!(
+            (s - a).abs() <= s.abs().max(a.abs()) * 1e-9,
+            "backends diverge: simulation {s} vs analytic {a}"
+        );
+    }
+
+    let scenario = Scenario::new(SystemParams::flat_mpi(8, 1)).without_trace();
+    let mut group = c.benchmark_group("analytic/jacobi_evaluate");
+    group.bench_function("simulation", |b| {
+        b.iter(|| session.evaluate(&scenario).unwrap().predicted_time)
+    });
+    group.bench_function("analytic", |b| {
+        b.iter(|| {
+            session
+                .evaluate(&scenario.clone().with_backend(Backend::Analytic))
+                .unwrap()
+                .predicted_time
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("analytic/jacobi_64pt_sweep");
+    group.sample_size(10);
+    group.bench_function("simulation", |b| {
+        b.iter(|| session.sweep_with(&big, &config(Backend::Simulation), |_, _| {}))
+    });
+    group.bench_function("analytic", |b| {
+        b.iter(|| session.sweep_with(&big, &config(Backend::Analytic), |_, _| {}))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -67,7 +67,7 @@ pub use error::{render_chain, render_chain_inline, Error};
 // prophet-estimator dependency for the types in the API surface.
 #[allow(deprecated)]
 pub use project::{Project, ProjectError, RunArtifacts};
-pub use prophet_estimator::{EstimatorOptions, Evaluation};
+pub use prophet_estimator::{Backend, EstimatorOptions, Evaluation};
 pub use session::{mpi_grid, PointResult, Scenario, Session, SweepConfig, SweepPoint, SweepReport};
 #[allow(deprecated)]
 pub use sweep::{sweep_parallel, sweep_serial, SweepResult};

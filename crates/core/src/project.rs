@@ -180,6 +180,7 @@ impl Project {
             system: self.system,
             comm: self.comm,
             options: self.options.clone(),
+            backend: Default::default(),
         }
     }
 

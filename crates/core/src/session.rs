@@ -17,6 +17,13 @@
 //!   (different communication parameters, seeds, calendars — not just
 //!   SP grids).
 //!
+//! Every serve entry point takes a [`Backend`] selector (on the
+//! [`Scenario`] or the [`SweepConfig`]): `Backend::Simulation` replays
+//! the compiled program on the DES kernel, `Backend::Analytic` resolves
+//! the same op lists in closed form — the fast choice for large sweeps,
+//! and an independent oracle the conformance suite checks the simulator
+//! against.
+//!
 //! Workers pull points from a shared atomic cursor (work stealing) and
 //! stream results back over a channel, so there is no contended lock in
 //! the hot loop and callers can observe progress point by point via
@@ -26,7 +33,7 @@ use crate::error::Error;
 use crate::transform::{to_cpp, to_program};
 use prophet_check::{check_model, Diagnostic, McfConfig};
 use prophet_codegen::CppUnit;
-use prophet_estimator::{Estimator, EstimatorOptions, Evaluation, Program};
+use prophet_estimator::{Backend, Estimator, EstimatorOptions, Evaluation, Program};
 use prophet_machine::{CommParams, MachineModel, SystemParams};
 use prophet_uml::Model;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +49,11 @@ pub struct Scenario {
     pub comm: CommParams,
     /// Estimator options (seed, tracing, limits, calendar).
     pub options: EstimatorOptions,
+    /// Evaluation engine: DES simulation (default) or closed-form
+    /// analytic. The analytic backend records no trace and ignores
+    /// seed/calendar; see `prophet_estimator::analytic` for the
+    /// agreement contract between the two.
+    pub backend: Backend,
 }
 
 impl Scenario {
@@ -74,6 +86,12 @@ impl Scenario {
     /// Disable trace recording (the right choice for large batches).
     pub fn without_trace(mut self) -> Self {
         self.options.trace = false;
+        self
+    }
+
+    /// Select the evaluation backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -110,6 +128,9 @@ pub struct SweepConfig {
     pub options: EstimatorOptions,
     /// Worker threads; `0` selects the available parallelism.
     pub threads: usize,
+    /// Evaluation engine used for every point (simulation by default;
+    /// analytic makes large sweeps dramatically faster).
+    pub backend: Backend,
 }
 
 /// One sweep point's outcome under the unified error type.
@@ -252,7 +273,12 @@ impl Session {
     /// simulation failures.
     pub fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, Error> {
         let machine = MachineModel::new(scenario.system, scenario.comm)?;
-        Ok(Estimator::run(&self.program, &machine, &scenario.options)?)
+        Ok(Estimator::run_backend(
+            scenario.backend,
+            &self.program,
+            &machine,
+            &scenario.options,
+        )?)
     }
 
     /// Sweep an SP grid with default comm/options and auto threading.
@@ -322,6 +348,7 @@ pub(crate) fn sweep_program(
         ..config.options.clone()
     };
     let comm = config.comm;
+    let backend = config.backend;
     let results = run_indexed(
         points.len(),
         config.threads,
@@ -330,7 +357,7 @@ pub(crate) fn sweep_program(
             let outcome = MachineModel::new(sp, comm)
                 .map_err(Error::from)
                 .and_then(|machine| {
-                    Estimator::run(program, &machine, &options)
+                    Estimator::run_backend(backend, program, &machine, &options)
                         .map(|e| e.predicted_time)
                         .map_err(Error::from)
                 });
@@ -506,6 +533,39 @@ mod tests {
         assert_eq!(results[0].as_ref().unwrap().predicted_time, 5.0);
         assert_eq!(results[1].as_ref().unwrap().predicted_time, 5.0);
         assert!(matches!(results[2], Err(Error::Machine(_))));
+    }
+
+    #[test]
+    fn analytic_backend_agrees_and_skips_the_kernel() {
+        let session = Session::new(amdahl_model()).unwrap();
+        for p in [1, 2, 4, 8] {
+            let scenario = Scenario::new(SystemParams::flat_mpi(p, 1));
+            let sim = session.evaluate(&scenario).unwrap();
+            let ana = session
+                .evaluate(&scenario.clone().with_backend(Backend::Analytic))
+                .unwrap();
+            // Communication-free deterministic model: exact agreement.
+            assert_eq!(ana.predicted_time, sim.predicted_time, "P={p}");
+            assert_eq!(ana.report.events_processed, 0, "no DES involvement");
+            assert!(ana.trace.is_empty(), "analytic backend records no trace");
+        }
+    }
+
+    #[test]
+    fn sweep_backend_selector_reaches_every_point() {
+        let session = Session::new(amdahl_model()).unwrap();
+        let points = mpi_grid(&[1, 2, 4, 8], 1);
+        let sim = session.sweep(&points);
+        let ana = session.sweep_with(
+            &points,
+            &SweepConfig {
+                backend: Backend::Analytic,
+                ..Default::default()
+            },
+            |_, _| {},
+        );
+        assert_eq!(ana.failures(), 0);
+        assert_eq!(sim.times(), ana.times());
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> V
         comm: project.comm,
         options: project.options.clone(),
         threads,
+        ..Default::default()
     };
     sweep_program(&program, points, &config, |_, _| {})
         .points

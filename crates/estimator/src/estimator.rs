@@ -11,6 +11,46 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+/// Which evaluation engine answers a scenario.
+///
+/// Both backends consume the same flattened primitive-op lists produced
+/// from one [`Program`]; they are differentially tested against each
+/// other (`tests/conformance.rs`). See [`crate::analytic`] for the
+/// agreement contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Discrete-event simulation on the CSIM-substitute kernel: models
+    /// CPU contention through FCFS facilities and records a trace file.
+    #[default]
+    Simulation,
+    /// Closed-form analytic evaluation: no DES kernel, no trace, orders
+    /// of magnitude faster for sweeps (see `bench_analytic`).
+    Analytic,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Simulation => write!(f, "simulation"),
+            Backend::Analytic => write!(f, "analytic"),
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "simulation" | "sim" => Ok(Backend::Simulation),
+            "analytic" => Ok(Backend::Analytic),
+            other => Err(format!(
+                "unknown backend `{other}`; expected `simulation` or `analytic`"
+            )),
+        }
+    }
+}
+
 /// Options for one evaluation run.
 #[derive(Debug, Clone)]
 pub struct EstimatorOptions {
@@ -103,7 +143,26 @@ impl Estimator {
         Self::run(program, &self.machine, &self.options)
     }
 
-    /// Evaluate `program` on `machine` with `options`, borrowing both.
+    /// Evaluate `program` on `machine` with the selected `backend`.
+    ///
+    /// [`Backend::Simulation`] delegates to [`Estimator::run`];
+    /// [`Backend::Analytic`] resolves the same op lists in closed form
+    /// ([`crate::analytic::evaluate_analytic`]) without touching the DES
+    /// kernel.
+    pub fn run_backend(
+        backend: Backend,
+        program: &Program,
+        machine: &MachineModel,
+        options: &EstimatorOptions,
+    ) -> Result<Evaluation, EstimatorError> {
+        match backend {
+            Backend::Simulation => Self::run(program, machine, options),
+            Backend::Analytic => crate::analytic::evaluate_analytic(program, machine, options),
+        }
+    }
+
+    /// Evaluate `program` on `machine` with `options` by simulation,
+    /// borrowing all three.
     ///
     /// This is the reusable hot path behind compile-once sessions: one
     /// immutable `Program` and one `EstimatorOptions` can serve any

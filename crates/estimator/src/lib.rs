@@ -18,9 +18,26 @@
 //!   (compute / send / recv / collective / thread team),
 //! * [`interp`] — the simulation process that replays primitive ops on
 //!   the CSIM-substitute engine (CPU facilities, mailboxes),
+//! * [`analytic`] — the closed-form evaluation backend: the same op
+//!   lists resolved by a critical-path pass with no DES kernel (and no
+//!   trace) — much faster for sweeps, and an independent oracle for
+//!   differential testing,
 //! * [`estimator`] — the driver: integrate program model + machine model,
-//!   run, produce a [`prophet_trace::TraceFile`] (TF) and an
+//!   run on the selected [`Backend`], produce a
+//!   [`prophet_trace::TraceFile`] (TF, simulation only) and an
 //!   [`Evaluation`].
+//!
+//! ## Choosing a backend
+//!
+//! [`Backend::Simulation`] (the default) models CPU contention through
+//! FCFS facilities and records a trace — use it for single detailed
+//! predictions and whenever a node is oversubscribed.
+//! [`Backend::Analytic`] answers the same question in closed form — use
+//! it for large SP sweeps and batches, where it is orders of magnitude
+//! faster. The two agree exactly on deterministic communication-free
+//! models and within 1e-9 relative on deterministic message-passing
+//! models; see the [`analytic`] module docs for the full conformance
+//! contract.
 //!
 //! ## Semantics notes (substitutions documented in DESIGN.md)
 //!
@@ -38,11 +55,13 @@
 //!   evaluated eagerly at flatten time; inside thread teams each thread
 //!   sees a private copy of the environment.
 
+pub mod analytic;
 pub mod estimator;
 pub mod flatten;
 pub mod interp;
 pub mod program;
 
-pub use estimator::{Estimator, EstimatorError, EstimatorOptions, Evaluation};
+pub use analytic::evaluate_analytic;
+pub use estimator::{Backend, Estimator, EstimatorError, EstimatorOptions, Evaluation};
 pub use flatten::{flatten_for_process, FlattenError, PrimOp};
 pub use program::{MpiOp, Program, Step};

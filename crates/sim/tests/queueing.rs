@@ -123,6 +123,72 @@ fn mm1_wait_time_matches_littles_law() {
 }
 
 #[test]
+fn mm1_response_time_matches_theory() {
+    // Mean response (sojourn) time: W = Wq + E[S] = 1/(μ−λ) = 2.0 for
+    // λ=0.5, μ=1.0. The facility reports Wq; add the mean service time.
+    let lambda = 0.5;
+    let mu = 1.0;
+    let report = run_mmc(1, lambda, mu, 40_000, 13);
+    let f = &report.facilities[0];
+    let w = f.mean_wait + 1.0 / mu;
+    let theory = 1.0 / (mu - lambda);
+    assert!(
+        (w - theory).abs() < 0.2,
+        "W {w} should be ≈ {theory} (Wq {} + 1/μ)",
+        f.mean_wait
+    );
+}
+
+#[test]
+fn mm1_number_in_system_matches_littles_law() {
+    // L = Lq + ρ = ρ/(1−ρ) = 1.0 at ρ=0.5: the mean number in system is
+    // the mean queue plus the mean number in service (= utilization for
+    // a single server).
+    let report = run_mmc(1, 0.5, 1.0, 40_000, 17);
+    let f = &report.facilities[0];
+    let l = f.mean_queue_len + f.mean_busy;
+    assert!((l - 1.0).abs() < 0.12, "L {l} should be ≈ 1.0");
+    // mean_busy itself is the time-weighted ρ.
+    assert!((f.mean_busy - 0.5).abs() < 0.04, "ρ {}", f.mean_busy);
+}
+
+/// Erlang-C probability of waiting for an M/M/c queue with offered load
+/// `a = λ/μ` — the closed-form oracle for the multi-server facility.
+fn erlang_c(servers: usize, a: f64) -> f64 {
+    let c = servers as f64;
+    let rho = a / c;
+    let mut term = 1.0; // a^k / k!
+    let mut sum = 1.0; // Σ_{k=0}^{c-1} a^k/k!
+    for k in 1..servers {
+        term *= a / k as f64;
+        sum += term;
+    }
+    let tail = term * (a / c) / (1.0 - rho); // a^c/(c!·(1−ρ))
+    tail / (sum + tail)
+}
+
+#[test]
+fn mm2_wait_matches_erlang_c() {
+    // λ=1.5, μ=1.0 on 2 servers: a=1.5, ρ=0.75,
+    // Wq = C(2, 1.5)/(cμ−λ) = (9/14)/0.5 ≈ 1.2857.
+    let (lambda, mu, servers) = (1.5, 1.0, 2usize);
+    let report = run_mmc(servers, lambda, mu, 40_000, 23);
+    let f = &report.facilities[0];
+    let theory = erlang_c(servers, lambda / mu) / (servers as f64 * mu - lambda);
+    assert!(
+        (f.mean_wait - theory).abs() < 0.25,
+        "M/M/2 Wq {} should be ≈ {theory}",
+        f.mean_wait
+    );
+    // Per-server utilization converges to ρ = 0.75.
+    assert!(
+        (f.utilization - 0.75).abs() < 0.04,
+        "utilization {}",
+        f.utilization
+    );
+}
+
+#[test]
 fn mm2_less_waiting_than_mm1_at_same_load() {
     // Same per-server load (ρ = 0.75): pooled servers wait less.
     let one = run_mmc(1, 0.75, 1.0, 20_000, 5);

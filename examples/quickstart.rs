@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use prophet_core::{Scenario, Session};
+use prophet_core::{mpi_grid, Backend, Scenario, Session, SweepConfig};
 use prophet_machine::SystemParams;
 use prophet_trace::{render_timeline, TraceAnalysis};
 use prophet_uml::{ModelBuilder, VarType};
@@ -72,5 +72,27 @@ fn main() {
     println!("\n=== trace file (TF) head ===");
     for line in run.trace.to_text().lines().take(8) {
         println!("{line}");
+    }
+
+    // --- 4. Sweep an SP grid on the analytic backend. ------------------
+    // Closed-form evaluation of the same compiled program: no DES
+    // kernel, no trace — the fast engine for many-point sweeps, and it
+    // agrees with the simulation within the conformance contract
+    // (exactly, for this communication-free model).
+    let report = session.sweep_with(
+        &mpi_grid(&[1, 2, 4, 8], 1),
+        &SweepConfig {
+            backend: Backend::Analytic,
+            ..Default::default()
+        },
+        |_, _| {},
+    );
+    println!("\n=== analytic SP sweep ===");
+    for point in &report.points {
+        println!(
+            "P={:<3} predicted {:.6} s",
+            point.sp.processes,
+            point.time().expect("sweep point evaluates")
+        );
     }
 }

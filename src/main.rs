@@ -5,10 +5,16 @@
 //! prophet check     <model.xml> [--mcf <mcf.xml>]
 //! prophet transform <model.xml> [--full] [--skeleton]
 //! prophet estimate  <model.xml> [--nodes N] [--cpus C] [--processes P]
-//!                   [--threads T] [--trace <tf.txt>] [--timeline]
+//!                   [--threads T] [--backend simulation|analytic]
+//!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
+//!                   [--backend simulation|analytic]
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
+//!
+//! `--backend simulation` (default) replays the model on the DES kernel
+//! and can record traces; `--backend analytic` computes the prediction
+//! in closed form — much faster for sweeps, no trace.
 //!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
@@ -22,7 +28,7 @@
 use prophet::check::{check_model, McfConfig};
 use prophet::codegen::generate_skeleton;
 use prophet::core::{
-    render_chain, render_chain_inline, Scenario, Session, SweepConfig, SweepPoint,
+    render_chain, render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint,
 };
 use prophet::machine::SystemParams;
 use prophet::trace::{render_timeline, TraceAnalysis};
@@ -42,7 +48,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -167,11 +173,25 @@ fn system_from(args: &[String]) -> Result<SystemParams, String> {
     Ok(sp)
 }
 
+fn backend_from(args: &[String]) -> Result<Backend, String> {
+    match flag_value(args, "--backend") {
+        Some(s) => s.parse(),
+        None => Ok(Backend::default()),
+    }
+}
+
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let sp = system_from(args)?;
+    let backend = backend_from(args)?;
+    if backend == Backend::Analytic && (has_flag(args, "--trace") || has_flag(args, "--timeline")) {
+        return Err(
+            "the analytic backend records no trace; drop --trace/--timeline or use --backend simulation"
+                .to_string(),
+        );
+    }
     let session = compile(load_model(args)?)?;
     let run = session
-        .evaluate(&Scenario::new(sp))
+        .evaluate(&Scenario::new(sp).with_backend(backend))
         .map_err(|e| render_chain(&e))?;
     println!(
         "model `{}` on {} node(s) × {} cpu(s), {} process(es) × {} thread(s)",
@@ -181,26 +201,29 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         sp.processes,
         sp.threads_per_process
     );
+    println!("backend: {backend}");
     println!("predicted execution time: {:.6} s", run.predicted_time);
-    println!(
-        "simulation: {} events, {} processes completed",
-        run.report.events_processed, run.report.processes_completed
-    );
-    let analysis = TraceAnalysis::analyze(&run.trace);
-    println!("\nelement profile:");
-    for p in analysis.profile.iter().take(12) {
+    if backend == Backend::Simulation {
         println!(
-            "  {:<18} count={:<5} total={:.6}s mean={:.6}s",
-            p.element, p.count, p.total_time, p.mean_time
+            "simulation: {} events, {} processes completed",
+            run.report.events_processed, run.report.processes_completed
         );
-    }
-    if let Some(path) = flag_value(args, "--trace") {
-        std::fs::write(path, run.trace.to_text())
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        println!("\ntrace written to {path}");
-    }
-    if has_flag(args, "--timeline") {
-        println!("\n{}", render_timeline(&analysis, sp.processes, 72));
+        let analysis = TraceAnalysis::analyze(&run.trace);
+        println!("\nelement profile:");
+        for p in analysis.profile.iter().take(12) {
+            println!(
+                "  {:<18} count={:<5} total={:.6}s mean={:.6}s",
+                p.element, p.count, p.total_time, p.mean_time
+            );
+        }
+        if let Some(path) = flag_value(args, "--trace") {
+            std::fs::write(path, run.trace.to_text())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("\ntrace written to {path}");
+        }
+        if has_flag(args, "--timeline") {
+            println!("\n{}", render_timeline(&analysis, sp.processes, 72));
+        }
     }
     Ok(())
 }
@@ -227,6 +250,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|_| "bad --workers")?
         .unwrap_or(0);
+    let backend = backend_from(args)?;
     let points: Vec<SweepPoint> = nodes_list
         .split(',')
         .map(|s| {
@@ -246,6 +270,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let total = points.len();
     let config = SweepConfig {
         threads,
+        backend,
         ..Default::default()
     };
     let report = session.sweep_with(&points, &config, |_, _| {

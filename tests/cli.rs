@@ -132,6 +132,83 @@ fn sweep_failed_points_render_on_one_row() {
 }
 
 #[test]
+fn estimate_accepts_both_backends() {
+    let model = temp_model("backends", "sample");
+    let model = model.to_str().unwrap();
+    // Deterministic communication-free model: both backends print the
+    // exact same prediction.
+    for backend in ["simulation", "analytic"] {
+        let (ok, out, err) = prophet(&["estimate", model, "--nodes", "2", "--backend", backend]);
+        assert!(ok, "{backend}: {err}");
+        assert!(out.contains(&format!("backend: {backend}")), "{out}");
+        assert!(
+            out.contains("predicted execution time: 0.900000 s"),
+            "{backend}: {out}"
+        );
+    }
+}
+
+#[test]
+fn unknown_backend_rejected_with_accepted_values() {
+    let model = temp_model("badbackend", "sample");
+    let (ok, _out, err) = prophet(&["estimate", model.to_str().unwrap(), "--backend", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown backend `quantum`"), "{err}");
+    assert!(
+        err.contains("simulation") && err.contains("analytic"),
+        "rejection must list the accepted values: {err}"
+    );
+}
+
+#[test]
+fn analytic_backend_refuses_trace_flags() {
+    let model = temp_model("analytic-trace", "sample");
+    let model = model.to_str().unwrap();
+    for flag in [&["--trace", "/tmp/never.txt"][..], &["--timeline"][..]] {
+        let mut args = vec!["estimate", model, "--backend", "analytic"];
+        args.extend_from_slice(flag);
+        let (ok, _out, err) = prophet(&args);
+        assert!(!ok, "{flag:?} must be rejected under --backend analytic");
+        assert!(err.contains("records no trace"), "{err}");
+    }
+}
+
+#[test]
+fn sweep_backend_output_parity() {
+    let model = temp_model("sweep-backend", "jacobi");
+    let model = model.to_str().unwrap();
+    let (ok, sim_out, err) = prophet(&["sweep", model, "--nodes", "1,2,4"]);
+    assert!(ok, "{err}");
+    let (ok, ana_out, err) =
+        prophet(&["sweep", model, "--nodes", "1,2,4", "--backend", "analytic"]);
+    assert!(ok, "{err}");
+    // Identical table shape: same header, same number of rows, same
+    // node/P columns — only the engine behind the numbers differs.
+    assert_eq!(
+        sim_out.lines().next(),
+        ana_out.lines().next(),
+        "header parity"
+    );
+    assert_eq!(sim_out.lines().count(), ana_out.lines().count());
+    for (s, a) in sim_out.lines().zip(ana_out.lines()).skip(1) {
+        let key = |row: &str| {
+            row.split_whitespace()
+                .take(2)
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(s), key(a), "row keys must match:\n{sim_out}\n{ana_out}");
+    }
+    // Deterministic model: the predictions agree to the printed precision.
+    assert_eq!(sim_out, ana_out, "tables should be identical for jacobi");
+
+    // Unknown backend on sweep is rejected before compiling.
+    let (ok, _out, err) = prophet(&["sweep", model, "--nodes", "1,2", "--backend", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown backend"), "{err}");
+}
+
+#[test]
 fn estimate_writes_trace_file() {
     let model = temp_model("trace", "sample");
     let tf_path = std::env::temp_dir().join("prophet-cli-test-trace.txt");

@@ -1,0 +1,264 @@
+//! Differential conformance: the analytic backend vs the DES simulation
+//! backend on every bundled workload model, across an SP grid.
+//!
+//! Two independent engines computing the same predictions from the same
+//! Program IR give us an oracle for the whole pipeline: any divergence
+//! beyond the contract below is a bug in one of them.
+//!
+//! ## The contract (pinned here, stated in `prophet_estimator::analytic`)
+//!
+//! * **Deterministic, communication-free models** (kernel6, sample):
+//!   predicted times are **bit-equal** — both backends accumulate the
+//!   same compute costs through the same floating-point operations.
+//! * **Deterministic message-passing models** (jacobi, pipeline,
+//!   master_worker, lapw0): predicted times agree within
+//!   [`REL_TOL`] = 1e-9 relative — the kernel reaches an arrival time
+//!   `a` by holding `a − now` while the analytic pass computes `a`
+//!   directly, so the two may round differently in the last ulp per
+//!   message hop.
+//!
+//! Divergences are reported per model × SP point, all at once, so a
+//! regression shows the full blast radius instead of the first victim.
+
+use prophet::core::{Backend, Scenario, Session};
+use prophet::machine::SystemParams;
+use prophet::sim::{Action, Config, FacilityId, ProcCtx, Process, Resumed, Simulator};
+use prophet::uml::Model;
+use prophet::workloads::models::{
+    jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
+};
+use proptest::prelude::*;
+
+/// Stated tolerance for deterministic message-passing models (relative).
+const REL_TOL: f64 = 1e-9;
+
+fn flat(n: usize) -> SystemParams {
+    SystemParams::flat_mpi(n, 1)
+}
+
+fn hybrid(nodes: usize, cpus: usize, procs: usize, threads: usize) -> SystemParams {
+    SystemParams {
+        nodes,
+        cpus_per_node: cpus,
+        processes: procs,
+        threads_per_process: threads,
+    }
+}
+
+struct Case {
+    name: &'static str,
+    model: Model,
+    grid: Vec<SystemParams>,
+    /// `true` → bit-equal required (communication-free deterministic);
+    /// `false` → within [`REL_TOL`] relative.
+    exact: bool,
+}
+
+/// Every bundled workload model with its conformance grid (≥ 4 SP
+/// points each).
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "kernel6",
+            model: kernel6_model(500, 10, 2e-9),
+            grid: vec![flat(1), flat(2), flat(4), flat(8)],
+            exact: true,
+        },
+        Case {
+            name: "sample",
+            model: sample_model(),
+            grid: vec![flat(1), flat(2), flat(4), flat(8)],
+            exact: true,
+        },
+        Case {
+            name: "jacobi",
+            model: jacobi_model(200_000, 5, 1e-8),
+            grid: vec![flat(1), flat(2), flat(4), flat(8)],
+            exact: false,
+        },
+        Case {
+            name: "pipeline",
+            model: pipeline_model(20, 0.01, 1024),
+            grid: vec![flat(1), flat(2), flat(4), flat(8)],
+            exact: false,
+        },
+        Case {
+            name: "master_worker",
+            model: master_worker_model(64, 0.005, 128),
+            grid: vec![flat(1), flat(2), flat(4), flat(8)],
+            exact: false,
+        },
+        Case {
+            name: "lapw0",
+            model: lapw0_model(64, 16, 1e-5),
+            // Hybrid MPI+OpenMP grid: one rank per node (the analytic CPU
+            // model assumes ranks do not contend for node CPUs).
+            grid: vec![
+                hybrid(1, 1, 1, 1),
+                hybrid(2, 1, 2, 1),
+                hybrid(2, 2, 2, 2),
+                hybrid(4, 2, 4, 2),
+            ],
+            exact: false,
+        },
+    ]
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+    (a - b).abs() / scale
+}
+
+/// The headline test: evaluate every model on both backends across its
+/// grid and report all divergences at once.
+#[test]
+fn analytic_matches_simulation_across_all_models() {
+    let mut divergences = Vec::new();
+    for case in cases() {
+        let session = Session::new(case.model).expect("model compiles");
+        for sp in &case.grid {
+            let scenario = Scenario::new(*sp).without_trace();
+            let sim = session
+                .evaluate(&scenario)
+                .unwrap_or_else(|e| panic!("{} sim {sp:?}: {e}", case.name));
+            let ana = session
+                .evaluate(&scenario.clone().with_backend(Backend::Analytic))
+                .unwrap_or_else(|e| panic!("{} analytic {sp:?}: {e}", case.name));
+
+            // The analytic backend must never touch the DES kernel.
+            assert_eq!(ana.report.events_processed, 0, "{}", case.name);
+            assert!(ana.report.facilities.is_empty(), "{}", case.name);
+            assert!(ana.trace.is_empty(), "{}", case.name);
+
+            let (s, a) = (sim.predicted_time, ana.predicted_time);
+            let ok = if case.exact {
+                s.to_bits() == a.to_bits()
+            } else {
+                rel_diff(s, a) <= REL_TOL
+            };
+            if !ok {
+                divergences.push(format!(
+                    "model={} sp={}x{}x{}x{}: simulation={s:.12e} analytic={a:.12e} rel={:.3e} ({})",
+                    case.name,
+                    sp.nodes,
+                    sp.cpus_per_node,
+                    sp.processes,
+                    sp.threads_per_process,
+                    rel_diff(s, a),
+                    if case.exact { "exact required" } else { "tol 1e-9" },
+                ));
+            }
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "{} divergence(s):\n{}",
+        divergences.len(),
+        divergences.join("\n")
+    );
+}
+
+/// Both backends must agree on *failures* too: a model that deadlocks
+/// under simulation must deadlock analytically.
+#[test]
+fn backends_agree_on_deadlock() {
+    // Rank 0 waits for a message rank 1 never sends.
+    use prophet::estimator::{
+        evaluate_analytic, Estimator, EstimatorError, EstimatorOptions, MpiOp, Program, Step,
+    };
+    use prophet::machine::{CommParams, MachineModel};
+
+    let mut p = Program::new("stuck");
+    p.body = Step::Branch(vec![(
+        Some(prophet::expr::parse_expression("pid == 0").unwrap()),
+        Step::Mpi {
+            name: "r".into(),
+            op: MpiOp::Recv {
+                src: prophet::expr::parse_expression("1").unwrap(),
+                tag: 0,
+            },
+        },
+    )]);
+    let m = MachineModel::new(flat(2), CommParams::default()).unwrap();
+    let opts = EstimatorOptions::default();
+    let sim = Estimator::run(&p, &m, &opts).unwrap_err();
+    let ana = evaluate_analytic(&p, &m, &opts).unwrap_err();
+    for (which, err) in [("simulation", sim), ("analytic", ana)] {
+        match err {
+            EstimatorError::Sim(prophet::sim::SimError::Deadlock { blocked, .. }) => {
+                assert!(
+                    blocked.iter().any(|b| b.contains("rank0")),
+                    "{which}: {blocked:?}"
+                );
+            }
+            other => panic!("{which}: expected deadlock, got {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Session::evaluate` with `Backend::Analytic` is deterministic and
+    /// seed-independent: the same scenario modulo seed (and calendar)
+    /// yields a bit-identical Evaluation.
+    #[test]
+    fn analytic_is_seed_independent(seed_a in any::<u64>(), seed_b in any::<u64>(), idx in 0usize..4) {
+        let session = Session::new(jacobi_model(50_000, 3, 1e-8)).unwrap();
+        let sp = [flat(1), flat(2), flat(4), flat(8)][idx];
+        let time = |seed: u64| {
+            session
+                .evaluate(
+                    &Scenario::new(sp)
+                        .with_seed(seed)
+                        .with_backend(Backend::Analytic),
+                )
+                .unwrap()
+                .predicted_time
+        };
+        prop_assert_eq!(time(seed_a).to_bits(), time(seed_b).to_bits());
+    }
+}
+
+/// The contrast: on a *stochastic* model (random service times drawn
+/// from the kernel's seeded streams) the simulation backend IS seed
+/// sensitive — which is exactly why the analytic backend's
+/// seed-independence above is a property and not a tautology.
+#[test]
+fn simulation_is_seed_sensitive_on_stochastic_models() {
+    struct RandomWork {
+        cpu: FacilityId,
+        jobs: u32,
+    }
+    impl Process for RandomWork {
+        fn resume(&mut self, ctx: &mut ProcCtx<'_>, _why: Resumed) -> Action {
+            if self.jobs == 0 {
+                return Action::Terminate;
+            }
+            self.jobs -= 1;
+            let service = ctx
+                .random_stream(&format!("svc-{}", self.jobs))
+                .exponential(1.0);
+            Action::Use(self.cpu, service)
+        }
+    }
+    let end_time = |seed: u64| {
+        let mut sim = Simulator::new(Config {
+            seed,
+            ..Default::default()
+        });
+        let cpu = sim.add_facility("cpu", 1, prophet::sim::Discipline::Fcfs);
+        sim.spawn("w", Box::new(RandomWork { cpu, jobs: 50 }));
+        sim.run().unwrap().end_time
+    };
+    assert_eq!(end_time(3).to_bits(), end_time(3).to_bits(), "same seed");
+    assert_ne!(
+        end_time(3).to_bits(),
+        end_time(4).to_bits(),
+        "different seeds must differ on stochastic models"
+    );
+}

@@ -1,0 +1,154 @@
+//! Golden snapshot tests: checked-in expected `Evaluation` values for
+//! every bundled workload model at a fixed seed and SP point.
+//!
+//! These pins exist so a future refactor of the transform pipeline, the
+//! flattener, the DES kernel, or the analytic backend cannot *silently*
+//! shift predictions: any change to a predicted time, the event count,
+//! or the trace shape of these models must update the constants below —
+//! a deliberate, reviewable act.
+//!
+//! All bundled models are deterministic, so the expected times are pinned
+//! to 1e-12 relative (f64 arithmetic is reproducible across platforms);
+//! event and trace counts are pinned exactly. Both backends are pinned:
+//! the analytic prediction must equal the simulated one within the
+//! conformance contract of `tests/conformance.rs` — the backend-specific
+//! expectations here are intentionally the same constant.
+
+use prophet::core::{Backend, Scenario, Session};
+use prophet::machine::SystemParams;
+use prophet::uml::Model;
+use prophet::workloads::models::{
+    jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
+};
+
+struct Golden {
+    /// Expected predicted time (both backends, seed 0x5EED).
+    time: f64,
+    /// Expected DES event count (simulation backend).
+    events: u64,
+    /// Expected trace length (simulation backend, tracing on).
+    trace_len: usize,
+}
+
+fn check(name: &str, model: Model, sp: SystemParams, golden: Golden) {
+    let session = Session::new(model).expect("model compiles");
+    // 0x5EED is also the default seed; pin it explicitly so a future
+    // default change cannot silently shift what these goldens mean.
+    let sim = session
+        .evaluate(&Scenario::new(sp).with_seed(0x5EED))
+        .unwrap();
+    assert!(
+        (sim.predicted_time - golden.time).abs() <= golden.time.abs() * 1e-12,
+        "{name} simulation predicted_time {:?} != golden {:?}",
+        sim.predicted_time,
+        golden.time
+    );
+    assert_eq!(
+        sim.report.events_processed, golden.events,
+        "{name} event count shifted"
+    );
+    assert_eq!(sim.trace.len(), golden.trace_len, "{name} trace shifted");
+
+    let ana = session
+        .evaluate(&Scenario::new(sp).with_backend(Backend::Analytic))
+        .unwrap();
+    assert!(
+        (ana.predicted_time - golden.time).abs() <= golden.time.abs() * 1e-9,
+        "{name} analytic predicted_time {:?} != golden {:?}",
+        ana.predicted_time,
+        golden.time
+    );
+    assert_eq!(
+        ana.report.events_processed, 0,
+        "{name} analytic ran the DES"
+    );
+}
+
+#[test]
+fn golden_kernel6() {
+    check(
+        "kernel6",
+        kernel6_model(500, 10, 2e-9),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.0049900000000000005,
+            events: 8,
+            trace_len: 8,
+        },
+    );
+}
+
+#[test]
+fn golden_sample() {
+    check(
+        "sample",
+        sample_model(),
+        SystemParams::flat_mpi(2, 1),
+        Golden {
+            time: 0.8999999999999999,
+            events: 10,
+            trace_len: 20,
+        },
+    );
+}
+
+#[test]
+fn golden_jacobi() {
+    check(
+        "jacobi",
+        jacobi_model(200_000, 5, 1e-8),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.004307,
+            events: 162,
+            trace_len: 284,
+        },
+    );
+}
+
+#[test]
+fn golden_pipeline() {
+    check(
+        "pipeline",
+        pipeline_model(20, 0.01, 1024),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.23019972000000008,
+            events: 228,
+            trace_len: 528,
+        },
+    );
+}
+
+#[test]
+fn golden_master_worker() {
+    check(
+        "master_worker",
+        master_worker_model(64, 0.005, 128),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.10452304,
+            events: 38,
+            trace_len: 32,
+        },
+    );
+}
+
+#[test]
+fn golden_lapw0() {
+    check(
+        "lapw0",
+        lapw0_model(64, 16, 1e-5),
+        SystemParams {
+            nodes: 2,
+            cpus_per_node: 2,
+            processes: 2,
+            threads_per_process: 2,
+        },
+        Golden {
+            time: 0.005491280000000002,
+            events: 136,
+            trace_len: 140,
+        },
+    );
+}
