@@ -1,9 +1,13 @@
 //! Experiment E4: SP sweeps — serial vs parallel execution of
-//! independent simulations, and the compile-once [`Session`] path vs the
-//! legacy recompile-per-call API.
+//! independent simulations, the compile-once [`Session`] path vs the
+//! legacy recompile-per-call API, and the flatten-once elaboration
+//! cache vs per-evaluation elaboration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use prophet_core::{mpi_grid, transform_invocations, Session, SweepConfig, SweepPoint};
+use prophet_core::{
+    flatten_invocations, mpi_grid, transform_invocations, EstimatorOptions, Session, SweepConfig,
+    SweepPoint,
+};
 use prophet_workloads::models::jacobi_model;
 
 fn grid_64() -> Vec<SweepPoint> {
@@ -45,6 +49,45 @@ fn bench_sweep(c: &mut Criterion) {
         "session sweep must transform exactly once per backend"
     );
 
+    // Guard the flatten-once elaboration contract (the CI smoke run of
+    // this bench is the gate): a cached sweep over 8 SP points × 4 seeds
+    // elaborates exactly once per distinct SP point — misses == points,
+    // every later evaluation is a hit, and a repeat sweep performs zero
+    // `flatten_for_process` calls at all (pure cache hits).
+    {
+        let session = Session::new(model.clone()).expect("compile");
+        let grid8 = mpi_grid(&[1, 2, 4, 8, 16, 32, 64, 128], 1);
+        let seeds: [u64; 4] = [11, 22, 33, 44];
+        for seed in seeds {
+            let config = SweepConfig {
+                options: EstimatorOptions {
+                    seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            assert_eq!(session.sweep_with(&grid8, &config, |_, _| {}).failures(), 0);
+        }
+        let stats = session.elab_stats();
+        assert_eq!(
+            stats.misses,
+            grid8.len() as u64,
+            "cached sweep must flatten exactly once per distinct SP point: {stats:?}"
+        );
+        assert_eq!(
+            stats.hits,
+            (grid8.len() * (seeds.len() - 1)) as u64,
+            "every repeat evaluation must be a cache hit: {stats:?}"
+        );
+        let flattens_before = flatten_invocations();
+        assert_eq!(session.sweep(&grid8).failures(), 0);
+        assert_eq!(
+            flatten_invocations() - flattens_before,
+            0,
+            "a repeat sweep over cached SP points must not flatten at all"
+        );
+    }
+
     // Legacy single-shot API for comparison: recompiles on every call.
     #[allow(deprecated)]
     let legacy_project = prophet_core::Project::new(model);
@@ -74,6 +117,31 @@ fn bench_sweep(c: &mut Criterion) {
     group.sample_size(10);
     let big = grid_64();
     group.bench_function("session_sweep", |b| b.iter(|| session.sweep(&big)));
+    group.finish();
+
+    // The repeated-seed workload the elaboration cache exists for: the
+    // same 8-point grid swept at 4 seeds. Cached, the 8 elaborations are
+    // amortized across all 32 evaluations (and across bench iterations);
+    // uncached, every evaluation re-flattens.
+    let grid8 = mpi_grid(&[1, 2, 4, 8, 16, 32, 64, 128], 1);
+    let sweep_4_seeds = |no_elab_cache: bool| {
+        for seed in [11u64, 22, 33, 44] {
+            let config = SweepConfig {
+                threads: 1,
+                no_elab_cache,
+                options: EstimatorOptions {
+                    seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            assert_eq!(session.sweep_with(&grid8, &config, |_, _| {}).failures(), 0);
+        }
+    };
+    let mut group = c.benchmark_group("sweep/jacobi_8pts_x4seeds");
+    group.sample_size(10);
+    group.bench_function("elab_cached", |b| b.iter(|| sweep_4_seeds(false)));
+    group.bench_function("elab_uncached", |b| b.iter(|| sweep_4_seeds(true)));
     group.finish();
 }
 

@@ -15,7 +15,13 @@
 //!   transform exactly once; [`Session::evaluate`], [`Session::sweep`]
 //!   and [`Session::batch`] then answer any number of "what if"
 //!   scenarios against the immutable artifacts, in parallel and
-//!   lock-free,
+//!   lock-free. Each session owns a shared
+//!   [`ElaborationCache`]: the per-rank op
+//!   lists are flattened once per distinct `(SP, comm, limits)` point
+//!   and served to every evaluation, seed, worker thread and backend
+//!   that asks again ([`Session::elab_stats`] exposes the hit/miss
+//!   counters; `SweepConfig::no_elab_cache` / `--no-elab-cache` opt
+//!   out),
 //! * [`error`] — the unified [`Error`] enum with `source()` chaining,
 //! * [`project`] / [`sweep`] — the deprecated single-shot API, kept as
 //!   thin shims over [`Session`] (see the [`project`] module docs for
@@ -67,7 +73,9 @@ pub use error::{render_chain, render_chain_inline, Error};
 // prophet-estimator dependency for the types in the API surface.
 #[allow(deprecated)]
 pub use project::{Project, ProjectError, RunArtifacts};
-pub use prophet_estimator::{Backend, EstimatorOptions, Evaluation};
+pub use prophet_estimator::{
+    flatten_invocations, Backend, ElabStats, ElaborationCache, EstimatorOptions, Evaluation,
+};
 pub use session::{mpi_grid, PointResult, Scenario, Session, SweepConfig, SweepPoint, SweepReport};
 #[allow(deprecated)]
 pub use sweep::{sweep_parallel, sweep_serial, SweepResult};

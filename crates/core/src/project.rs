@@ -68,12 +68,21 @@ impl fmt::Display for ProjectError {
                 Ok(())
             }
             ProjectError::Transform(e) => write!(f, "{e}"),
-            ProjectError::Estimate(e) => write!(f, "{e}"),
+            // The legacy API promises single-line messages with the full
+            // detail inline; `EstimatorError`'s own Display is now a
+            // terse headline with the detail in its `source()` chain, so
+            // flatten that chain here.
+            ProjectError::Estimate(e) => {
+                write!(f, "{}", crate::error::render_chain_inline(e))
+            }
             ProjectError::Machine(e) => write!(f, "machine error: {e}"),
         }
     }
 }
 
+// No `source()`: the legacy contract is flat single-line messages, and
+// every variant's Display already embeds the full detail inline — a
+// source chain on top would print everything twice in chain renderers.
 impl std::error::Error for ProjectError {}
 
 impl From<Error> for ProjectError {
@@ -181,6 +190,7 @@ impl Project {
             comm: self.comm,
             options: self.options.clone(),
             backend: Default::default(),
+            no_elab_cache: false,
         }
     }
 

@@ -33,11 +33,14 @@ use crate::error::Error;
 use crate::transform::{to_cpp, to_program};
 use prophet_check::{check_model, Diagnostic, McfConfig};
 use prophet_codegen::CppUnit;
-use prophet_estimator::{Backend, Estimator, EstimatorOptions, Evaluation, Program};
+use prophet_estimator::{
+    Backend, ElabStats, ElaborationCache, Estimator, EstimatorOptions, Evaluation, Program,
+};
 use prophet_machine::{CommParams, MachineModel, SystemParams};
 use prophet_uml::Model;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// One evaluation request: everything that may vary *without*
 /// recompiling the model.
@@ -54,6 +57,12 @@ pub struct Scenario {
     /// seed/calendar; see `prophet_estimator::analytic` for the
     /// agreement contract between the two.
     pub backend: Backend,
+    /// Escape hatch: when `true`, this scenario elaborates its op lists
+    /// from scratch instead of using the session's shared
+    /// [`ElaborationCache`]. Results are identical either way (the cache
+    /// is keyed on everything elaboration reads); disabling only trades
+    /// speed for memory.
+    pub no_elab_cache: bool,
 }
 
 impl Scenario {
@@ -94,6 +103,12 @@ impl Scenario {
         self.backend = backend;
         self
     }
+
+    /// Elaborate this scenario uncached (see [`Scenario::no_elab_cache`]).
+    pub fn without_elab_cache(mut self) -> Self {
+        self.no_elab_cache = true;
+        self
+    }
 }
 
 impl From<SystemParams> for Scenario {
@@ -131,6 +146,12 @@ pub struct SweepConfig {
     /// Evaluation engine used for every point (simulation by default;
     /// analytic makes large sweeps dramatically faster).
     pub backend: Backend,
+    /// Escape hatch (CLI `--no-elab-cache`): when `true`, every point
+    /// elaborates from scratch instead of sharing the session's
+    /// [`ElaborationCache`]. Results are bit-identical either way; a
+    /// cached sweep just flattens once per distinct SP point instead of
+    /// once per evaluation.
+    pub no_elab_cache: bool,
 }
 
 /// One sweep point's outcome under the unified error type.
@@ -189,6 +210,10 @@ pub struct Session {
     diagnostics: Vec<Diagnostic>,
     cpp: CppUnit,
     program: Program,
+    /// Memoized elaborations of this session's program, shared by every
+    /// serve entry point (and by clones of this session — a clone
+    /// serves the same immutable program, so sharing stays sound).
+    elab: Arc<ElaborationCache>,
 }
 
 impl Session {
@@ -217,6 +242,7 @@ impl Session {
             diagnostics,
             cpp,
             program,
+            elab: Arc::new(ElaborationCache::new()),
         })
     }
 
@@ -268,17 +294,36 @@ impl Session {
 
     /// Evaluate one scenario against the compiled program.
     ///
+    /// The per-rank op lists come from the session's shared
+    /// [`ElaborationCache`] (flattened once per distinct
+    /// `(SP, comm, limits)` key across evaluations, sweeps, seeds and
+    /// backends) unless the scenario sets
+    /// [`no_elab_cache`](Scenario::no_elab_cache).
+    ///
     /// # Errors
     /// [`Error::Machine`] for invalid SP, [`Error::Estimate`] for
     /// simulation failures.
     pub fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, Error> {
         let machine = MachineModel::new(scenario.system, scenario.comm)?;
-        Ok(Estimator::run_backend(
+        let cache = (!scenario.no_elab_cache).then_some(&*self.elab);
+        Ok(Estimator::run_backend_cached(
             scenario.backend,
             &self.program,
             &machine,
             &scenario.options,
+            cache,
         )?)
+    }
+
+    /// Counter snapshot of the session's [`ElaborationCache`].
+    ///
+    /// The elaboration analogue of `transform_invocations`: `misses` is
+    /// the number of elaborations the cache performed (one per distinct
+    /// SP point), `hits` the evaluations served without re-flattening —
+    /// benches and tests assert the flatten-once sweep contract against
+    /// these (`hits + misses` grows by one per cached evaluation).
+    pub fn elab_stats(&self) -> ElabStats {
+        self.elab.stats()
     }
 
     /// Sweep an SP grid with default comm/options and auto threading.
@@ -299,7 +344,8 @@ impl Session {
         config: &SweepConfig,
         on_point: impl FnMut(usize, &PointResult),
     ) -> SweepReport {
-        sweep_program(&self.program, points, config, on_point)
+        let cache = (!config.no_elab_cache).then_some(&*self.elab);
+        sweep_program(&self.program, cache, points, config, on_point)
     }
 
     /// Evaluate heterogeneous scenarios in parallel (input order kept).
@@ -334,9 +380,11 @@ impl Session {
 /// time and shared by reference across workers, never cloned per point.
 /// Results are reassembled into input order regardless of completion
 /// order. `pub(crate)` so the deprecated shims can sweep a bare
-/// `Program` without paying for a full [`Session`] compile.
+/// `Program` without paying for a full [`Session`] compile (they pass
+/// `elab: None` — no cache, the legacy per-call elaboration semantics).
 pub(crate) fn sweep_program(
     program: &Program,
+    elab: Option<&ElaborationCache>,
     points: &[SweepPoint],
     config: &SweepConfig,
     mut on_point: impl FnMut(usize, &PointResult),
@@ -357,7 +405,7 @@ pub(crate) fn sweep_program(
             let outcome = MachineModel::new(sp, comm)
                 .map_err(Error::from)
                 .and_then(|machine| {
-                    Estimator::run_backend(backend, program, &machine, &options)
+                    Estimator::run_backend_cached(backend, program, &machine, &options, elab)
                         .map(|e| e.predicted_time)
                         .map_err(Error::from)
                 });
@@ -566,6 +614,89 @@ mod tests {
         );
         assert_eq!(ana.failures(), 0);
         assert_eq!(sim.times(), ana.times());
+    }
+
+    #[test]
+    fn sweep_flattens_once_per_sp_point() {
+        let session = Session::new(amdahl_model()).unwrap();
+        let points = mpi_grid(&[1, 2, 4, 8, 16, 32, 64, 128], 1);
+        // 8 SP points × 4 seeds × both backends: 8 elaborations total.
+        let mut expected_lookups = 0u64;
+        for seed in [1u64, 2, 3, 4] {
+            for backend in [Backend::Simulation, Backend::Analytic] {
+                let config = SweepConfig {
+                    backend,
+                    options: EstimatorOptions {
+                        seed,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let report = session.sweep_with(&points, &config, |_, _| {});
+                assert_eq!(report.failures(), 0);
+                expected_lookups += points.len() as u64;
+            }
+        }
+        let stats = session.elab_stats();
+        assert_eq!(stats.misses, points.len() as u64, "{stats:?}");
+        assert_eq!(stats.bypasses, 0, "{stats:?}");
+        assert_eq!(stats.lookups(), expected_lookups, "{stats:?}");
+        assert_eq!(
+            stats.hits,
+            expected_lookups - points.len() as u64,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn uncached_sweep_matches_cached_bit_for_bit() {
+        let session = Session::new(amdahl_model()).unwrap();
+        let points = mpi_grid(&[1, 2, 4, 8], 1);
+        let cached = session.sweep(&points);
+        let before = session.elab_stats();
+        let uncached = session.sweep_with(
+            &points,
+            &SweepConfig {
+                no_elab_cache: true,
+                ..Default::default()
+            },
+            |_, _| {},
+        );
+        assert_eq!(
+            session.elab_stats(),
+            before,
+            "no_elab_cache must not touch the cache"
+        );
+        for (c, u) in cached.times().iter().zip(uncached.times().iter()) {
+            assert_eq!(c.unwrap().to_bits(), u.unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn scenario_escape_hatch_bypasses_the_cache() {
+        let session = Session::new(amdahl_model()).unwrap();
+        let sp = SystemParams::flat_mpi(2, 1);
+        let cached = session.evaluate(&Scenario::new(sp)).unwrap();
+        let direct = session
+            .evaluate(&Scenario::new(sp).without_elab_cache())
+            .unwrap();
+        assert_eq!(
+            cached.predicted_time.to_bits(),
+            direct.predicted_time.to_bits()
+        );
+        let stats = session.elab_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn session_clones_share_the_cache() {
+        let session = Session::new(amdahl_model()).unwrap();
+        let clone = session.clone();
+        let sp = SystemParams::flat_mpi(4, 1);
+        session.evaluate(&Scenario::new(sp)).unwrap();
+        clone.evaluate(&Scenario::new(sp)).unwrap();
+        let stats = clone.elab_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "{stats:?}");
     }
 
     #[test]

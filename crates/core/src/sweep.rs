@@ -43,7 +43,7 @@ fn legacy_message(e: &Error) -> String {
     match e {
         Error::Machine(m) => m.to_string(),
         Error::Transform(t) => t.to_string(),
-        Error::Estimate(s) => s.to_string(),
+        Error::Estimate(s) => crate::error::render_chain_inline(s),
         other => crate::error::render_chain(other),
     }
 }
@@ -73,7 +73,7 @@ fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> V
         threads,
         ..Default::default()
     };
-    sweep_program(&program, points, &config, |_, _| {})
+    sweep_program(&program, None, points, &config, |_, _| {})
         .points
         .into_iter()
         .map(|p| SweepResult {

@@ -105,11 +105,46 @@ fn estimate_error_chains_through_source() {
         .unwrap_err();
     assert!(matches!(err, Error::Estimate(_)));
     assert_eq!(err.to_string(), "performance evaluation failed");
+    // The chain now descends through EstimatorError into the kernel's
+    // SimError: Error → "evaluation failed" → "deadlock …".
     let source = err.source().expect("estimate errors have a source");
+    let inner = source.source().expect("estimator errors have a source");
     assert!(
-        source.to_string().contains("deadlock"),
-        "unexpected source: {source}"
+        inner.to_string().contains("deadlock"),
+        "unexpected inner source: {inner}"
     );
+    assert!(
+        prophet_core::render_chain(&err).contains("deadlock"),
+        "render_chain must surface the kernel detail"
+    );
+}
+
+#[test]
+fn flatten_error_chains_to_the_offending_expression() {
+    // A cost expression referencing an undefined variable fails at
+    // elaboration time; the chain must surface the expression error:
+    // Error → EstimatorError → FlattenError → ExprError.
+    let mut b = ModelBuilder::new("badcost");
+    let main = b.main_diagram();
+    let i = b.initial(main, "start");
+    let a = b.action(main, "A1", "no_such_var * 2");
+    let f = b.final_node(main, "end");
+    b.flow(main, i, a);
+    b.flow(main, a, f);
+    let session = Session::new(b.build()).unwrap();
+    let err = session
+        .evaluate(&Scenario::new(SystemParams::flat_mpi(1, 1)))
+        .unwrap_err();
+    let mut chain = Vec::new();
+    let mut cur: Option<&dyn std::error::Error> = Some(&err);
+    while let Some(e) = cur {
+        chain.push(e.to_string());
+        cur = e.source();
+    }
+    assert_eq!(chain.len(), 4, "{chain:?}");
+    assert!(chain[1].contains("elaboration"), "{chain:?}");
+    assert!(chain[2].contains("cost of `A1`"), "{chain:?}");
+    assert!(chain[3].contains("no_such_var"), "{chain:?}");
 }
 
 #[test]

@@ -57,13 +57,15 @@
 //! [`EstimatorOptions`] are ignored — the evaluation is deterministic by
 //! construction.
 
+use crate::elab::{flatten_all, RankOps};
 use crate::estimator::{EstimatorError, EstimatorOptions, Evaluation};
-use crate::flatten::{flatten_for_process, PrimOp};
+use crate::flatten::PrimOp;
 use prophet_machine::MachineModel;
 use prophet_sim::{SimError, SimReport};
 use prophet_trace::TraceFile;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Evaluate `program` on `machine` analytically (no DES kernel).
 ///
@@ -80,17 +82,31 @@ pub fn evaluate_analytic(
     machine: &MachineModel,
     options: &EstimatorOptions,
 ) -> Result<Evaluation, EstimatorError> {
+    let rank_ops = flatten_all(program, machine, options.limits)?;
+    evaluate_ops(&program.name, &rank_ops, machine, options)
+}
+
+/// Resolve already-elaborated op lists in closed form.
+///
+/// The scenario-dependent half of [`evaluate_analytic`]: `rank_ops` is
+/// the scenario-independent elaboration (from
+/// [`flatten_all`] or a [`crate::elab::ElaborationCache`]), borrowed —
+/// the critical-path pass never mutates or consumes it.
+pub fn evaluate_ops(
+    name: &str,
+    rank_ops: &RankOps,
+    machine: &MachineModel,
+    options: &EstimatorOptions,
+) -> Result<Evaluation, EstimatorError> {
     let sp = machine.sp;
-    let mut ops = Vec::with_capacity(sp.processes);
-    for pid in 0..sp.processes {
-        ops.push(flatten_for_process(program, machine, pid, options.limits)?);
-    }
+    debug_assert_eq!(rank_ops.len(), sp.processes, "elaboration/machine mismatch");
+    let _ = options; // seed/calendar/until are meaningless in closed form
 
     let mut replay = Replay {
         machine,
         ip: vec![0; sp.processes],
         time: vec![0.0; sp.processes],
-        ops,
+        ops: rank_ops,
         channels: HashMap::new(),
     };
     let end_time = replay.resolve()?;
@@ -105,7 +121,7 @@ pub fn evaluate_analytic(
             facilities: Vec::new(),
             hit_time_limit: false,
         },
-        trace: TraceFile::new(program.name.clone(), sp.processes),
+        trace: TraceFile::new(name.to_string(), sp.processes),
     })
 }
 
@@ -117,7 +133,7 @@ type Channels = HashMap<(usize, usize, i64), VecDeque<(f64, u64)>>;
 struct Replay<'a> {
     machine: &'a MachineModel,
     /// Per-rank flattened op lists (never mutated during the replay).
-    ops: Vec<Vec<PrimOp>>,
+    ops: &'a [Arc<[PrimOp]>],
     /// Per-rank instruction pointer.
     ip: Vec<usize>,
     /// Per-rank clock.

@@ -1,7 +1,8 @@
 //! The estimator driver: integrate program and machine models, simulate,
 //! and report.
 
-use crate::flatten::{flatten_for_process, FlattenError, FlattenLimits};
+use crate::elab::{flatten_all, ElaborationCache, RankOps};
+use crate::flatten::{FlattenError, FlattenLimits};
 use crate::interp::OpProcess;
 use crate::program::Program;
 use prophet_machine::MachineModel;
@@ -92,14 +93,25 @@ pub enum EstimatorError {
 impl fmt::Display for EstimatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EstimatorError::Flatten(e) => write!(f, "{e}"),
-            EstimatorError::Sim(e) => write!(f, "{e}"),
+            // Flatten/Sim details live one level down the `source()`
+            // chain (`render_chain` prints them); repeating them here
+            // would duplicate every message in chained renderings.
+            EstimatorError::Flatten(_) => write!(f, "model elaboration failed"),
+            EstimatorError::Sim(_) => write!(f, "evaluation failed"),
             EstimatorError::Mismatch(m) => write!(f, "communication mismatch: {m}"),
         }
     }
 }
 
-impl std::error::Error for EstimatorError {}
+impl std::error::Error for EstimatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimatorError::Flatten(e) => Some(e),
+            EstimatorError::Sim(e) => Some(e),
+            EstimatorError::Mismatch(_) => None,
+        }
+    }
+}
 
 impl From<FlattenError> for EstimatorError {
     fn from(e: FlattenError) -> Self {
@@ -155,9 +167,32 @@ impl Estimator {
         machine: &MachineModel,
         options: &EstimatorOptions,
     ) -> Result<Evaluation, EstimatorError> {
+        Self::run_backend_cached(backend, program, machine, options, None)
+    }
+
+    /// [`Estimator::run_backend`] with a shared [`ElaborationCache`]:
+    /// the per-rank op lists come from the cache (flattened at most once
+    /// per distinct `(SP, comm, limits)` key, shared across threads,
+    /// seeds and backends) instead of being rebuilt per evaluation.
+    ///
+    /// The cache must be dedicated to this `program` — `Session` owns
+    /// one per compiled model; pass `None` to elaborate uncached.
+    pub fn run_backend_cached(
+        backend: Backend,
+        program: &Program,
+        machine: &MachineModel,
+        options: &EstimatorOptions,
+        cache: Option<&ElaborationCache>,
+    ) -> Result<Evaluation, EstimatorError> {
+        let rank_ops = match cache {
+            Some(cache) => cache.get_or_flatten(program, machine, options.limits)?,
+            None => flatten_all(program, machine, options.limits)?,
+        };
         match backend {
-            Backend::Simulation => Self::run(program, machine, options),
-            Backend::Analytic => crate::analytic::evaluate_analytic(program, machine, options),
+            Backend::Simulation => Self::run_ops(&program.name, &rank_ops, machine, options),
+            Backend::Analytic => {
+                crate::analytic::evaluate_ops(&program.name, &rank_ops, machine, options)
+            }
         }
     }
 
@@ -173,15 +208,26 @@ impl Estimator {
         machine: &MachineModel,
         options: &EstimatorOptions,
     ) -> Result<Evaluation, EstimatorError> {
+        let rank_ops = flatten_all(program, machine, options.limits)?;
+        Self::run_ops(&program.name, &rank_ops, machine, options)
+    }
+
+    /// Replay already-elaborated op lists on the DES kernel.
+    ///
+    /// The scenario-dependent half of [`Estimator::run`]: `rank_ops` is
+    /// the scenario-independent elaboration (from [`flatten_all`] or an
+    /// [`ElaborationCache`]), shared by reference — evaluations never
+    /// clone or consume the op lists.
+    pub fn run_ops(
+        name: &str,
+        rank_ops: &RankOps,
+        machine: &MachineModel,
+        options: &EstimatorOptions,
+    ) -> Result<Evaluation, EstimatorError> {
         let sp = machine.sp;
+        debug_assert_eq!(rank_ops.len(), sp.processes, "elaboration/machine mismatch");
 
-        // Phase 1: elaborate each rank.
-        let mut rank_ops = Vec::with_capacity(sp.processes);
-        for pid in 0..sp.processes {
-            rank_ops.push(flatten_for_process(program, machine, pid, options.limits)?);
-        }
-
-        // Phase 2: integrate with the machine model in a fresh simulator.
+        // Integrate with the machine model in a fresh simulator.
         let mut sim = Simulator::new(Config {
             seed: options.seed,
             until: options.until,
@@ -192,7 +238,7 @@ impl Estimator {
         let mailboxes = Rc::new(layout.proc_mailboxes.clone());
         let trace_sink = if options.trace {
             Some(Rc::new(RefCell::new(TraceFile::new(
-                program.name.clone(),
+                name.to_string(),
                 sp.processes,
             ))))
         } else {
@@ -200,9 +246,9 @@ impl Estimator {
         };
         let error = Rc::new(RefCell::new(None));
 
-        for (pid, ops) in rank_ops.into_iter().enumerate() {
+        for (pid, ops) in rank_ops.iter().enumerate() {
             // One 1-server facility per `<<critical+>>` lock of this rank.
-            let locks: Vec<_> = (0..crate::flatten::lock_count(&ops))
+            let locks: Vec<_> = (0..crate::flatten::lock_count(ops))
                 .map(|l| {
                     sim.add_facility(
                         &format!("rank{pid}.lock{l}"),
@@ -213,7 +259,7 @@ impl Estimator {
                 .collect();
             let proc = OpProcess::master(
                 pid,
-                ops,
+                std::sync::Arc::clone(ops),
                 machine.cpu_facility_of(&layout, pid),
                 Rc::clone(&mailboxes),
                 machine.comm,
@@ -224,7 +270,7 @@ impl Estimator {
             sim.spawn(&format!("rank{pid}"), Box::new(proc));
         }
 
-        // Phase 3: run.
+        // Run.
         let report = sim.run()?;
         if let Some(msg) = error.borrow_mut().take() {
             return Err(EstimatorError::Mismatch(msg));
@@ -238,7 +284,7 @@ impl Estimator {
                 tf.end_time = tf.end_time.max(report.end_time);
                 tf
             }
-            None => TraceFile::new(program.name.clone(), sp.processes),
+            None => TraceFile::new(name.to_string(), sp.processes),
         };
 
         Ok(Evaluation {

@@ -11,6 +11,7 @@ use crate::program::{MpiOp, Program, Step};
 use prophet_expr::{exec_fragment, Env, ExprError, Value};
 use prophet_machine::MachineModel;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A primitive timed operation executed by the simulation process.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,26 +72,156 @@ pub enum PrimOp {
     Unlock(usize),
 }
 
-/// Elaboration failure.
+/// Elaboration failure: which node or expression broke, and how.
+///
+/// Structured (not stringly) so callers can match on the failure class
+/// and so the offending element/expression survives into the
+/// `prophet_core::Error::source()` chain — [`FlattenError`] sits between
+/// `EstimatorError::Flatten` above it and [`ExprError`] below it.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FlattenError(pub String);
+pub enum FlattenError {
+    /// An expression or code fragment failed to evaluate. `context`
+    /// names the expression's role and owning node (e.g. ``cost of
+    /// `A1` ``); the underlying [`ExprError`] is the `source()`.
+    Eval {
+        /// What was being evaluated, and on which element.
+        context: String,
+        /// The expression-level failure.
+        source: ExprError,
+    },
+    /// A cost expression evaluated to a negative or non-finite time.
+    InvalidTime {
+        /// Role + owning element (e.g. ``cost of `A1` ``).
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A loop count evaluated to a negative or non-finite value.
+    InvalidCount {
+        /// Role + owning element (e.g. ``iterations of `L` ``).
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A `<<loop+>>` unrolls past [`FlattenLimits::max_loop_iterations`].
+    LoopLimit {
+        /// The loop element.
+        element: String,
+        /// How many iterations it asked for.
+        iterations: u64,
+        /// The limit in force.
+        limit: u64,
+    },
+    /// A process elaborated past [`FlattenLimits::max_ops`].
+    OpLimit {
+        /// The process that overflowed.
+        pid: usize,
+        /// The limit in force.
+        limit: usize,
+    },
+    /// A rank expression resolved outside `0..processes`.
+    RankOutOfRange {
+        /// Role + owning element (e.g. ``dest of `s` ``).
+        context: String,
+        /// The resolved (rounded) rank.
+        rank: f64,
+        /// The process count in force.
+        processes: usize,
+    },
+    /// A message-size expression resolved to a negative or non-finite
+    /// byte count.
+    InvalidSize {
+        /// Role + owning element (e.g. ``size of `s` ``).
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A thread-team size expression resolved outside `1..=4096`.
+    InvalidTeam {
+        /// The parallel-region element.
+        element: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// An MPI element inside a thread team (MPI_THREAD_FUNNELED).
+    MpiInThread {
+        /// The offending MPI element.
+        element: String,
+    },
+    /// A parallel region or fork nested inside a thread team.
+    NestedParallel {
+        /// The offending element (empty for an anonymous fork).
+        element: String,
+    },
+}
 
 impl fmt::Display for FlattenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "flatten error: {}", self.0)
+        write!(f, "flatten error: ")?;
+        match self {
+            FlattenError::Eval { context, .. } => {
+                write!(f, "cannot evaluate {context}")
+            }
+            FlattenError::InvalidTime { context, value } => {
+                write!(f, "{context} evaluated to invalid time {value}")
+            }
+            FlattenError::InvalidCount { context, value } => {
+                write!(f, "{context} evaluated to invalid count {value}")
+            }
+            FlattenError::LoopLimit {
+                element,
+                iterations,
+                limit,
+            } => write!(
+                f,
+                "loop `{element}` unrolls to {iterations} iterations (limit {limit})"
+            ),
+            FlattenError::OpLimit { pid, limit } => write!(
+                f,
+                "process {pid} exceeds {limit} primitive operations; raise FlattenLimits::max_ops (EstimatorOptions::limits) or simplify the model"
+            ),
+            FlattenError::RankOutOfRange {
+                context,
+                rank,
+                processes,
+            } => write!(f, "{context}: rank {rank} out of range 0..{processes}"),
+            FlattenError::InvalidSize { context, value } => {
+                write!(f, "{context}: invalid size {value}")
+            }
+            FlattenError::InvalidTeam { element, value } => write!(
+                f,
+                "threads of `{element}` evaluated to invalid team size {value}"
+            ),
+            FlattenError::MpiInThread { element } => write!(
+                f,
+                "MPI element `{element}` inside a thread team is not supported (MPI_THREAD_FUNNELED)"
+            ),
+            FlattenError::NestedParallel { element } => {
+                if element.is_empty() {
+                    write!(f, "nested fork inside a thread team is not supported")
+                } else {
+                    write!(f, "nested parallel region `{element}` is not supported")
+                }
+            }
+        }
     }
 }
 
-impl std::error::Error for FlattenError {}
-
-impl From<ExprError> for FlattenError {
-    fn from(e: ExprError) -> Self {
-        FlattenError(e.to_string())
+impl std::error::Error for FlattenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlattenError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }
 
 /// Limits guarding runaway elaboration.
-#[derive(Debug, Clone, Copy)]
+///
+/// Part of the elaboration-cache key ([`crate::elab::ElaborationCache`]):
+/// two scenarios with different limits may elaborate differently (one can
+/// fail where the other succeeds), so they never share a cache entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlattenLimits {
     /// Maximum primitive ops per process.
     pub max_ops: usize,
@@ -107,6 +238,19 @@ impl Default for FlattenLimits {
     }
 }
 
+/// Process-wide count of [`flatten_for_process`] invocations.
+///
+/// The elaboration analogue of `prophet_core::transform_invocations`:
+/// benches and smoke tests assert the flatten-once contract of the
+/// elaboration cache against it ("a cached sweep flattens once per SP
+/// point"). Unlike the transform counter this one is a process-wide
+/// atomic, because sweeps flatten from worker threads.
+pub fn flatten_invocations() -> u64 {
+    FLATTEN_CALLS.load(Ordering::Relaxed)
+}
+
+static FLATTEN_CALLS: AtomicU64 = AtomicU64::new(0);
+
 /// Elaborate `program` for MPI process `pid`.
 pub fn flatten_for_process(
     program: &Program,
@@ -114,6 +258,7 @@ pub fn flatten_for_process(
     pid: usize,
     limits: FlattenLimits,
 ) -> Result<Vec<PrimOp>, FlattenError> {
+    FLATTEN_CALLS.fetch_add(1, Ordering::Relaxed);
     let sp = machine.sp;
     let mut env = Env::new();
     // System properties, exactly the execute() parameters of the paper
@@ -169,6 +314,119 @@ pub fn lock_count(ops: &[PrimOp]) -> usize {
     max
 }
 
+/// Stable content digest of a flattened op list (FNV-1a over a canonical
+/// byte encoding; independent of `std`'s hasher internals).
+///
+/// Together with the op count this pins the *shape* of an elaboration:
+/// golden tests snapshot `(ops.len(), op_digest(&ops))` per rank so a
+/// flattener or cache refactor cannot silently reorder, drop, or
+/// renumber primitive ops. Every field of every op participates —
+/// element names, times (bit-exact), ranks, tags, sizes, lock ids, and
+/// nested thread arms (with arm boundaries marked, so moving an op
+/// between arms changes the digest).
+pub fn op_digest(ops: &[PrimOp]) -> u64 {
+    fn s(h: &mut Fnv, v: &str) {
+        h.word(v.len() as u64);
+        h.bytes(v.as_bytes());
+    }
+    fn walk(h: &mut Fnv, ops: &[PrimOp]) {
+        for op in ops {
+            match op {
+                PrimOp::Enter(e) => {
+                    h.word(1);
+                    s(h, e);
+                }
+                PrimOp::Exit(e) => {
+                    h.word(2);
+                    s(h, e);
+                }
+                PrimOp::Compute { element, seconds } => {
+                    h.word(3);
+                    s(h, element);
+                    h.word(seconds.to_bits());
+                }
+                PrimOp::SendTo {
+                    element,
+                    dest,
+                    bytes: size,
+                    tag,
+                } => {
+                    h.word(4);
+                    s(h, element);
+                    h.word(*dest as u64);
+                    h.word(*size);
+                    h.word(*tag as u64);
+                }
+                PrimOp::RecvFrom {
+                    element,
+                    src,
+                    tag,
+                    bytes: size,
+                } => {
+                    h.word(5);
+                    s(h, element);
+                    h.word(*src as u64);
+                    h.word(*tag as u64);
+                    h.word(*size);
+                }
+                PrimOp::Wait { element, seconds } => {
+                    h.word(6);
+                    s(h, element);
+                    h.word(seconds.to_bits());
+                }
+                PrimOp::Threads { element, arms } => {
+                    h.word(7);
+                    s(h, element);
+                    h.word(arms.len() as u64);
+                    for arm in arms {
+                        h.word(8); // arm boundary marker
+                        h.word(arm.len() as u64);
+                        walk(h, arm);
+                    }
+                }
+                PrimOp::Lock(id) => {
+                    h.word(9);
+                    h.word(*id as u64);
+                }
+                PrimOp::Unlock(id) => {
+                    h.word(10);
+                    h.word(*id as u64);
+                }
+            }
+        }
+    }
+    let mut h = Fnv::new();
+    h.word(ops.len() as u64);
+    walk(&mut h, ops);
+    h.finish()
+}
+
+/// Incremental FNV-1a fold shared by [`op_digest`] and the
+/// elaboration-cache key hash ([`crate::elab`]) — one set of constants,
+/// one byte order.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub(crate) fn word(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Control-message tag space for collectives: tag = COLLECTIVE_BASE - seq.
 pub const COLLECTIVE_BASE: i64 = -1_000_000;
 /// Tag space for thread-team join notifications.
@@ -189,10 +447,10 @@ impl<'a> Flattener<'a> {
     fn emit(&mut self, out: &mut Vec<PrimOp>, op: PrimOp) -> Result<(), FlattenError> {
         self.ops_emitted += 1;
         if self.ops_emitted > self.limits.max_ops {
-            return Err(FlattenError(format!(
-                "process {} exceeds {} primitive operations; raise EstimatorOptions::max_ops or simplify the model",
-                self.pid, self.limits.max_ops
-            )));
+            return Err(FlattenError::OpLimit {
+                pid: self.pid,
+                limit: self.limits.max_ops,
+            });
         }
         out.push(op);
         Ok(())
@@ -206,7 +464,10 @@ impl<'a> Flattener<'a> {
     ) -> Result<f64, FlattenError> {
         expr.eval(env)
             .and_then(Value::as_num)
-            .map_err(|e| FlattenError(format!("{what}: {e}")))
+            .map_err(|e| FlattenError::Eval {
+                context: what.to_string(),
+                source: e,
+            })
     }
 
     fn eval_rank(
@@ -219,9 +480,11 @@ impl<'a> Flattener<'a> {
         let p = self.machine.sp.processes;
         let r = v.round();
         if r < 0.0 || r >= p as f64 {
-            return Err(FlattenError(format!(
-                "{what}: rank {r} out of range 0..{p}"
-            )));
+            return Err(FlattenError::RankOutOfRange {
+                context: what.to_string(),
+                rank: r,
+                processes: p,
+            });
         }
         Ok(r as usize)
     }
@@ -234,7 +497,10 @@ impl<'a> Flattener<'a> {
     ) -> Result<u64, FlattenError> {
         let v = self.eval_num(expr, env, what)?;
         if v < 0.0 || !v.is_finite() {
-            return Err(FlattenError(format!("{what}: invalid size {v}")));
+            return Err(FlattenError::InvalidSize {
+                context: what.to_string(),
+                value: v,
+            });
         }
         Ok(v.round() as u64)
     }
@@ -256,16 +522,19 @@ impl<'a> Flattener<'a> {
             Step::Exec { name, cost, code } => {
                 self.emit(out, PrimOp::Enter(name.clone()))?;
                 if !code.is_empty() {
-                    exec_fragment(code, env)
-                        .map_err(|e| FlattenError(format!("code fragment of `{name}`: {e}")))?;
+                    exec_fragment(code, env).map_err(|e| FlattenError::Eval {
+                        context: format!("code fragment of `{name}`"),
+                        source: e,
+                    })?;
                 }
                 let seconds = match cost {
                     Some(expr) => {
                         let t = self.eval_num(expr, env, &format!("cost of `{name}`"))?;
                         if !(t.is_finite() && t >= 0.0) {
-                            return Err(FlattenError(format!(
-                                "cost of `{name}` evaluated to invalid time {t}"
-                            )));
+                            return Err(FlattenError::InvalidTime {
+                                context: format!("cost of `{name}`"),
+                                value: t,
+                            });
                         }
                         t
                     }
@@ -285,7 +554,10 @@ impl<'a> Flattener<'a> {
                     let taken = match guard {
                         Some(g) => g
                             .eval(env)
-                            .map_err(|e| FlattenError(format!("guard: {e}")))?
+                            .map_err(|e| FlattenError::Eval {
+                                context: "guard".into(),
+                                source: e,
+                            })?
                             .truthy(),
                         None => true,
                     };
@@ -308,16 +580,18 @@ impl<'a> Flattener<'a> {
             } => {
                 let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
                 if !(n.is_finite() && n >= 0.0) {
-                    return Err(FlattenError(format!(
-                        "iterations of `{name}` evaluated to invalid count {n}"
-                    )));
+                    return Err(FlattenError::InvalidCount {
+                        context: format!("iterations of `{name}`"),
+                        value: n,
+                    });
                 }
                 let n = n.round() as u64;
                 if n > self.limits.max_loop_iterations {
-                    return Err(FlattenError(format!(
-                        "loop `{name}` unrolls to {n} iterations (limit {})",
-                        self.limits.max_loop_iterations
-                    )));
+                    return Err(FlattenError::LoopLimit {
+                        element: name.clone(),
+                        iterations: n,
+                        limit: self.limits.max_loop_iterations,
+                    });
                 }
                 self.emit(out, PrimOp::Enter(name.clone()))?;
                 let saved = var.as_ref().and_then(|v| env.get_var(v));
@@ -364,9 +638,10 @@ impl<'a> Flattener<'a> {
                     Some(expr) => {
                         let t = self.eval_num(expr, env, &format!("threads of `{name}`"))?;
                         if !(1.0..=4096.0).contains(&t) {
-                            return Err(FlattenError(format!(
-                                "threads of `{name}` evaluated to invalid team size {t}"
-                            )));
+                            return Err(FlattenError::InvalidTeam {
+                                element: name.clone(),
+                                value: t,
+                            });
                         }
                         t.round() as usize
                     }
@@ -421,15 +696,15 @@ impl<'a> Flattener<'a> {
         out: &mut Vec<PrimOp>,
     ) -> Result<(), FlattenError> {
         match step {
-            Step::Mpi { name, .. } => Err(FlattenError(format!(
-                "MPI element `{name}` inside a thread team is not supported (MPI_THREAD_FUNNELED)"
-            ))),
-            Step::ParallelRegion { name, .. } => Err(FlattenError(format!(
-                "nested parallel region `{name}` is not supported"
-            ))),
-            Step::Parallel(_) => Err(FlattenError(
-                "nested fork inside a thread team is not supported".into(),
-            )),
+            Step::Mpi { name, .. } => Err(FlattenError::MpiInThread {
+                element: name.clone(),
+            }),
+            Step::ParallelRegion { name, .. } => Err(FlattenError::NestedParallel {
+                element: name.clone(),
+            }),
+            Step::Parallel(_) => Err(FlattenError::NestedParallel {
+                element: String::new(),
+            }),
             Step::Critical { name, lock, body } => {
                 // Keep thread restrictions in force inside the body.
                 let id = self.lock_id(lock);
@@ -459,16 +734,18 @@ impl<'a> Flattener<'a> {
                 // Re-implement loop semantics with thread restrictions.
                 let n = self.eval_num(count, env, &format!("iterations of `{name}`"))?;
                 if !(n.is_finite() && n >= 0.0) {
-                    return Err(FlattenError(format!(
-                        "iterations of `{name}` evaluated to invalid count {n}"
-                    )));
+                    return Err(FlattenError::InvalidCount {
+                        context: format!("iterations of `{name}`"),
+                        value: n,
+                    });
                 }
                 let n = n.round() as u64;
                 if n > self.limits.max_loop_iterations {
-                    return Err(FlattenError(format!(
-                        "loop `{name}` unrolls to {n} iterations (limit {})",
-                        self.limits.max_loop_iterations
-                    )));
+                    return Err(FlattenError::LoopLimit {
+                        element: name.clone(),
+                        iterations: n,
+                        limit: self.limits.max_loop_iterations,
+                    });
                 }
                 self.emit(out, PrimOp::Enter(name.clone()))?;
                 let saved = var.as_ref().and_then(|v| env.get_var(v));
@@ -493,7 +770,10 @@ impl<'a> Flattener<'a> {
                     let taken = match guard {
                         Some(g) => g
                             .eval(env)
-                            .map_err(|e| FlattenError(format!("guard: {e}")))?
+                            .map_err(|e| FlattenError::Eval {
+                                context: "guard".into(),
+                                source: e,
+                            })?
                             .truthy(),
                         None => true,
                     };
@@ -768,7 +1048,17 @@ mod tests {
             ..Default::default()
         };
         let err = flatten_for_process(&p, &machine(1), 0, limits).unwrap_err();
-        assert!(err.0.contains("unrolls"), "{err}");
+        assert!(
+            matches!(
+                err,
+                FlattenError::LoopLimit {
+                    iterations: 10,
+                    limit: 5,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -826,7 +1116,11 @@ mod tests {
             },
         };
         let err = flatten_for_process(&p, &machine(2), 0, Default::default()).unwrap_err();
-        assert!(err.0.contains("out of range"), "{err}");
+        assert!(
+            matches!(&err, FlattenError::RankOutOfRange { processes: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]
@@ -925,7 +1219,11 @@ mod tests {
             }),
         };
         let err = flatten_for_process(&p, &machine(2), 0, Default::default()).unwrap_err();
-        assert!(err.0.contains("MPI_THREAD_FUNNELED"), "{err}");
+        assert!(
+            matches!(&err, FlattenError::MpiInThread { element } if element == "bar"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("MPI_THREAD_FUNNELED"), "{err}");
     }
 
     #[test]
@@ -933,6 +1231,10 @@ mod tests {
         let mut p = Program::new("t");
         p.body = exec("A", "-1");
         let err = flatten_for_process(&p, &machine(1), 0, Default::default()).unwrap_err();
-        assert!(err.0.contains("invalid time"), "{err}");
+        assert!(
+            matches!(&err, FlattenError::InvalidTime { value, .. } if *value == -1.0),
+            "{err}"
+        );
+        assert!(err.to_string().contains("invalid time"), "{err}");
     }
 }

@@ -6,6 +6,7 @@ use prophet_sim::{Action, FacilityId, MailboxId, Msg, ProcCtx, Process, ProcessI
 use prophet_trace::{EventKind, TraceEvent, TraceFile};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared, single-threaded trace sink (the kernel is single-threaded).
 pub type TraceSink = Rc<RefCell<TraceFile>>;
@@ -39,7 +40,10 @@ pub struct OpProcess {
     pub pid: usize,
     /// Thread id (0 = the rank's master flow).
     pub tid: usize,
-    ops: Vec<PrimOp>,
+    /// Shared (possibly cache-resident) op list this flow replays; the
+    /// interpreter never mutates or consumes it, so one elaboration can
+    /// serve any number of evaluations.
+    ops: Arc<[PrimOp]>,
     ip: usize,
     cpu: FacilityId,
     /// Mailbox of every rank (index = rank).
@@ -69,7 +73,7 @@ impl OpProcess {
     #[allow(clippy::too_many_arguments)]
     pub fn master(
         pid: usize,
-        ops: Vec<PrimOp>,
+        ops: Arc<[PrimOp]>,
         cpu: FacilityId,
         mailboxes: Rc<Vec<MailboxId>>,
         comm: CommModel,
@@ -102,7 +106,7 @@ impl OpProcess {
         Self {
             pid: self.pid,
             tid,
-            ops,
+            ops: ops.into(),
             ip: 0,
             cpu: self.cpu,
             mailboxes: Rc::clone(&self.mailboxes),

@@ -16,6 +16,11 @@
 //!   process, evaluating code fragments, guards, loop counts and cost
 //!   functions eagerly, producing a list of primitive timed operations
 //!   (compute / send / recv / collective / thread team),
+//! * [`elab`] — memoized elaboration: [`elab::ElaborationCache`] interns
+//!   the flattened op lists per `(SP, comm, limits)` content key as
+//!   shared `Arc<[PrimOp]>` lists, so a sweep over S SP points × R seeds
+//!   × both backends flattens S times, not S×R×2 (the sweep hot path
+//!   was elaboration-dominated; see `bench_analytic`/`bench_sweep`),
 //! * [`interp`] — the simulation process that replays primitive ops on
 //!   the CSIM-substitute engine (CPU facilities, mailboxes),
 //! * [`analytic`] — the closed-form evaluation backend: the same op
@@ -56,12 +61,14 @@
 //!   sees a private copy of the environment.
 
 pub mod analytic;
+pub mod elab;
 pub mod estimator;
 pub mod flatten;
 pub mod interp;
 pub mod program;
 
 pub use analytic::evaluate_analytic;
+pub use elab::{flatten_all, ElabStats, ElaborationCache, RankOps};
 pub use estimator::{Backend, Estimator, EstimatorError, EstimatorOptions, Evaluation};
-pub use flatten::{flatten_for_process, FlattenError, PrimOp};
+pub use flatten::{flatten_for_process, flatten_invocations, op_digest, FlattenError, PrimOp};
 pub use program::{MpiOp, Program, Step};

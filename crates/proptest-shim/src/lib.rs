@@ -12,6 +12,9 @@
 //!   the runner's deterministic seed; re-running reproduces it exactly.
 //! * **Deterministic seeding.** Each test derives its seed from the test
 //!   name (override with `PROPTEST_SEED=<u64>`), so CI runs are stable.
+//! * **Case budget.** `PROPTEST_CASES=<u32>` overrides every test's
+//!   configured case count, like the real crate — CI uses it to pin the
+//!   model-fuzzing budget.
 //! * **Regex strategies** support the subset used here: one or more
 //!   atoms (`\PC` or a `[...]` character class) each followed by an
 //!   optional `{m,n}` repetition.

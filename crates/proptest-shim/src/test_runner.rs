@@ -74,12 +74,21 @@ fn fnv1a(s: &str) -> u64 {
 
 impl TestRunner {
     /// Runner for the named test. The seed derives from the test name so
-    /// runs are deterministic; set `PROPTEST_SEED` to override.
-    pub fn new_for(name: &'static str, config: ProptestConfig) -> Self {
+    /// runs are deterministic; set `PROPTEST_SEED` to override. The case
+    /// count comes from `config` unless `PROPTEST_CASES` is set — the
+    /// same env knob the real crate honors, used by CI to pin an exact
+    /// fuzzing budget without editing the test files.
+    pub fn new_for(name: &'static str, mut config: ProptestConfig) -> Self {
         let seed = std::env::var("PROPTEST_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| fnv1a(name));
+        if let Some(cases) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            config.cases = cases;
+        }
         Self { name, seed, config }
     }
 

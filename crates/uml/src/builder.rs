@@ -138,6 +138,23 @@ impl ModelBuilder {
             .add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
     }
 
+    /// Add a `<<critical+>>` composite: body `sub` executed under mutual
+    /// exclusion on the named lock.
+    pub fn critical_activity(
+        &mut self,
+        diagram: DiagramId,
+        name: &str,
+        sub: DiagramId,
+        lock: &str,
+    ) -> ElementId {
+        let id = self.auto_id();
+        let st = StereotypeApplication::new("critical+")
+            .with("id", TagValue::Int(id))
+            .with("lock", TagValue::Str(lock.into()));
+        self.model
+            .add_element(diagram, name, NodeKind::CallActivity(sub), Some(st))
+    }
+
     /// Add a decision node.
     pub fn decision(&mut self, diagram: DiagramId, name: &str) -> ElementId {
         self.model

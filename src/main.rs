@@ -8,13 +8,18 @@
 //!                   [--threads T] [--backend simulation|analytic]
 //!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
-//!                   [--backend simulation|analytic]
+//!                   [--backend simulation|analytic] [--no-elab-cache]
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
 //!
 //! `--backend simulation` (default) replays the model on the DES kernel
 //! and can record traces; `--backend analytic` computes the prediction
 //! in closed form — much faster for sweeps, no trace.
+//!
+//! Sweeps flatten each distinct SP point once and share the elaboration
+//! across workers and repeat points (the session's elaboration cache);
+//! `--no-elab-cache` opts out and re-elaborates every evaluation —
+//! results are identical, only slower.
 //!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
@@ -48,7 +53,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -271,6 +276,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let config = SweepConfig {
         threads,
         backend,
+        no_elab_cache: has_flag(args, "--no-elab-cache"),
         ..Default::default()
     };
     let report = session.sweep_with(&points, &config, |_, _| {

@@ -1,0 +1,174 @@
+//! Cache-equivalence suite: the elaboration cache is a pure
+//! memoization.
+//!
+//! For every bundled workload model, an SP sweep served from the
+//! session's `ElaborationCache` must be **bit-identical** to the same
+//! sweep with the cache disabled — on both backends, at every seed —
+//! and the hit/miss counters must match the predicted S-vs-S×R pattern:
+//! a sweep over S SP points × R seeds × both backends performs exactly
+//! S elaborations (the first sweep's misses); every other evaluation is
+//! a hit.
+
+use prophet::core::{Backend, ElabStats, EstimatorOptions, Scenario, Session, SweepConfig};
+use prophet::machine::SystemParams;
+use prophet::uml::Model;
+use prophet::workloads::models::{
+    jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
+};
+
+const SEEDS: [u64; 4] = [0x5EED, 1, 42, u64::MAX];
+
+fn flat_grid() -> Vec<SystemParams> {
+    [1, 2, 3, 4, 6, 8, 12, 16]
+        .map(|n| SystemParams::flat_mpi(n, 1))
+        .to_vec()
+}
+
+fn hybrid_grid() -> Vec<SystemParams> {
+    [1, 2, 3, 4, 6, 8, 12, 16]
+        .map(|n| SystemParams {
+            nodes: n,
+            cpus_per_node: 2,
+            processes: n,
+            threads_per_process: 2,
+        })
+        .to_vec()
+}
+
+/// Every bundled workload model with an 8-point grid.
+fn cases() -> Vec<(&'static str, Model, Vec<SystemParams>)> {
+    vec![
+        ("kernel6", kernel6_model(500, 10, 2e-9), flat_grid()),
+        ("sample", sample_model(), flat_grid()),
+        ("jacobi", jacobi_model(50_000, 3, 1e-8), flat_grid()),
+        ("pipeline", pipeline_model(8, 0.01, 1024), flat_grid()),
+        (
+            "master_worker",
+            master_worker_model(16, 0.005, 128),
+            flat_grid(),
+        ),
+        ("lapw0", lapw0_model(32, 8, 1e-5), hybrid_grid()),
+    ]
+}
+
+fn sweep_times(
+    session: &Session,
+    grid: &[SystemParams],
+    backend: Backend,
+    seed: u64,
+    no_elab_cache: bool,
+) -> Vec<Option<f64>> {
+    let config = SweepConfig {
+        backend,
+        no_elab_cache,
+        options: EstimatorOptions {
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let points: Vec<_> = grid
+        .iter()
+        .map(|&sp| prophet::core::SweepPoint { sp })
+        .collect();
+    session.sweep_with(&points, &config, |_, _| {}).times()
+}
+
+fn assert_bit_identical(name: &str, backend: Backend, a: &[Option<f64>], b: &[Option<f64>]) {
+    assert_eq!(a.len(), b.len(), "{name}/{backend}");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        match (x, y) {
+            (Some(x), Some(y)) => assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{name}/{backend} point {i}: cached {x:?} != uncached {y:?}"
+            ),
+            (None, None) => {}
+            other => panic!("{name}/{backend} point {i}: outcome kind diverged: {other:?}"),
+        }
+    }
+}
+
+/// Headline equivalence: cached sweeps are bit-identical to uncached
+/// sweeps for every model × backend × seed.
+#[test]
+fn cached_sweeps_are_bit_identical_to_uncached() {
+    for (name, model, grid) in cases() {
+        let session = Session::new(model).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for backend in [Backend::Simulation, Backend::Analytic] {
+            for seed in SEEDS {
+                let cached = sweep_times(&session, &grid, backend, seed, false);
+                let uncached = sweep_times(&session, &grid, backend, seed, true);
+                assert_bit_identical(name, backend, &cached, &uncached);
+            }
+        }
+    }
+}
+
+/// Counter contract: S SP points × R seeds × both backends = S misses,
+/// everything else hits — the flatten-once sweep pattern.
+#[test]
+fn counters_match_the_s_vs_sxr_pattern() {
+    for (name, model, grid) in cases() {
+        let session = Session::new(model).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let s = grid.len() as u64;
+        let r = SEEDS.len() as u64;
+        assert_eq!(session.elab_stats(), ElabStats::default(), "{name}");
+
+        // R seed sweeps on the simulation backend: S misses, S×(R−1) hits.
+        for seed in SEEDS {
+            sweep_times(&session, &grid, Backend::Simulation, seed, false);
+        }
+        let stats = session.elab_stats();
+        assert_eq!(stats.misses, s, "{name}: {stats:?}");
+        assert_eq!(stats.hits, s * (r - 1), "{name}: {stats:?}");
+        assert_eq!(stats.bypasses, 0, "{name}: {stats:?}");
+
+        // The analytic backend reuses the same elaborations: no new
+        // misses, S more hits — S×R×2 evaluations, S flattens total.
+        for seed in SEEDS {
+            sweep_times(&session, &grid, Backend::Analytic, seed, false);
+        }
+        let stats = session.elab_stats();
+        assert_eq!(stats.misses, s, "{name}: backends must share: {stats:?}");
+        assert_eq!(stats.hits, s * (2 * r - 1), "{name}: {stats:?}");
+        assert_eq!(stats.lookups(), s * r * 2, "{name}: {stats:?}");
+
+        // Uncached sweeps leave the counters alone.
+        sweep_times(&session, &grid, Backend::Simulation, SEEDS[0], true);
+        assert_eq!(session.elab_stats(), stats, "{name}: bypass flag leaked");
+    }
+}
+
+/// Single-scenario path: `Session::evaluate` shares the same cache as
+/// sweeps, including across backends and full-trace evaluations.
+#[test]
+fn evaluate_and_sweep_share_one_cache() {
+    let session = Session::new(jacobi_model(50_000, 3, 1e-8)).unwrap();
+    let grid = flat_grid();
+    sweep_times(&session, &grid, Backend::Simulation, 7, false);
+    let before = session.elab_stats();
+
+    // Tracing differs from the sweep's forced-off tracing but is not
+    // part of the elaboration key: still a hit.
+    let e = session
+        .evaluate(&Scenario::new(grid[3]).with_seed(99))
+        .unwrap();
+    assert!(!e.trace.is_empty());
+    let stats = session.elab_stats();
+    assert_eq!(stats.misses, before.misses);
+    assert_eq!(stats.hits, before.hits + 1);
+
+    // A comm-parameter change is part of the key: a miss, not a stale hit.
+    let fast = session
+        .evaluate(
+            &Scenario::new(grid[3])
+                .with_comm(prophet::machine::CommParams::fast_interconnect())
+                .with_seed(99),
+        )
+        .unwrap();
+    assert_eq!(session.elab_stats().misses, before.misses + 1);
+    // And the prediction differs (jacobi communicates), proving the
+    // cache did not serve the default-comm elaboration.
+    assert_ne!(fast.predicted_time.to_bits(), e.predicted_time.to_bits());
+}

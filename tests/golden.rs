@@ -15,7 +15,8 @@
 //! expectations here are intentionally the same constant.
 
 use prophet::core::{Backend, Scenario, Session};
-use prophet::machine::SystemParams;
+use prophet::estimator::{flatten_for_process, op_digest};
+use prophet::machine::{CommParams, MachineModel, SystemParams};
 use prophet::uml::Model;
 use prophet::workloads::models::{
     jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
@@ -28,6 +29,12 @@ struct Golden {
     events: u64,
     /// Expected trace length (simulation backend, tracing on).
     trace_len: usize,
+    /// Expected per-rank flattened op-list shape: `(len, digest)` per
+    /// rank, where the digest is `prophet::estimator::op_digest` (a
+    /// stable FNV-1a over every field of every op). An elaboration or
+    /// cache refactor that reorders, drops, or renumbers primitive ops
+    /// shifts these even when the predicted time happens to survive.
+    rank_ops: &'static [(usize, u64)],
 }
 
 fn check(name: &str, model: Model, sp: SystemParams, golden: Golden) {
@@ -62,6 +69,21 @@ fn check(name: &str, model: Model, sp: SystemParams, golden: Golden) {
         ana.report.events_processed, 0,
         "{name} analytic ran the DES"
     );
+
+    // Elaboration-shape snapshot: per-rank op-list length and digest.
+    let machine = MachineModel::new(sp, CommParams::default()).unwrap();
+    assert_eq!(golden.rank_ops.len(), sp.processes, "{name} golden shape");
+    for (pid, &(len, digest)) in golden.rank_ops.iter().enumerate() {
+        let ops =
+            flatten_for_process(session.program(), &machine, pid, Default::default()).unwrap();
+        assert_eq!(ops.len(), len, "{name} rank {pid} op count shifted");
+        assert_eq!(
+            op_digest(&ops),
+            digest,
+            "{name} rank {pid} op digest shifted (len {})",
+            ops.len()
+        );
+    }
 }
 
 #[test]
@@ -74,6 +96,12 @@ fn golden_kernel6() {
             time: 0.0049900000000000005,
             events: 8,
             trace_len: 8,
+            rank_ops: &[
+                (3, 0xc9278d065b85ef43),
+                (3, 0xc9278d065b85ef43),
+                (3, 0xc9278d065b85ef43),
+                (3, 0xc9278d065b85ef43),
+            ],
         },
     );
 }
@@ -88,6 +116,7 @@ fn golden_sample() {
             time: 0.8999999999999999,
             events: 10,
             trace_len: 20,
+            rank_ops: &[(14, 0x3cd85e61ed3b5939), (14, 0x17e9399c2d439459)],
         },
     );
 }
@@ -102,6 +131,12 @@ fn golden_jacobi() {
             time: 0.004307,
             events: 162,
             trace_len: 284,
+            rank_ops: &[
+                (98, 0xed0300307723153e),
+                (108, 0xd07c6f2a62d180b4),
+                (108, 0xaa718b09c06a9228),
+                (78, 0xc47e40919135a106),
+            ],
         },
     );
 }
@@ -116,6 +151,12 @@ fn golden_pipeline() {
             time: 0.23019972000000008,
             events: 228,
             trace_len: 528,
+            rank_ops: &[
+                (122, 0xcdcd6ac488ddf858),
+                (182, 0x2e3fd208b6b91394),
+                (182, 0xbf1d49ae2ee5779c),
+                (122, 0x2668d286fd0aaea8),
+            ],
         },
     );
 }
@@ -130,6 +171,12 @@ fn golden_master_worker() {
             time: 0.10452304,
             events: 38,
             trace_len: 32,
+            rank_ops: &[
+                (30, 0x47e4d5c9bd578c2f),
+                (18, 0xd0aa767ee54da36e),
+                (18, 0xaacccd7034f6ae37),
+                (18, 0x63becefdccc0e8a1),
+            ],
         },
     );
 }
@@ -149,6 +196,7 @@ fn golden_lapw0() {
             time: 0.005491280000000002,
             events: 136,
             trace_len: 140,
+            rank_ops: &[(74, 0x04233dfe254bbaec), (74, 0xe4d240013aa91bfc)],
         },
     );
 }
