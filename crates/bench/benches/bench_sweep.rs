@@ -1,7 +1,7 @@
 //! Experiment E4: SP sweeps — serial vs parallel execution of
-//! independent simulations, the compile-once [`Session`] path vs the
-//! legacy recompile-per-call API, and the flatten-once elaboration
-//! cache vs per-evaluation elaboration.
+//! independent simulations, the compile-once [`Session`] path vs
+//! recompiling per call (the pre-`Session` workflow), and the
+//! flatten-once elaboration cache vs per-evaluation elaboration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prophet_core::{
@@ -88,10 +88,6 @@ fn bench_sweep(c: &mut Criterion) {
         );
     }
 
-    // Legacy single-shot API for comparison: recompiles on every call.
-    #[allow(deprecated)]
-    let legacy_project = prophet_core::Project::new(model);
-
     let serial = SweepConfig {
         threads: 1,
         ..Default::default()
@@ -107,9 +103,11 @@ fn bench_sweep(c: &mut Criterion) {
         b.iter(|| session.sweep_with(&points, &parallel, |_, _| {}))
     });
     group.bench_function("session_sweep", |b| b.iter(|| session.sweep(&points)));
-    #[allow(deprecated)]
-    group.bench_function("legacy_recompiling_sweep", |b| {
-        b.iter(|| prophet_core::sweep_parallel(&legacy_project, &points, 0))
+    // The single-shot workflow for comparison: what every sweep cost
+    // before compile-once sessions — check + both transforms paid again
+    // on each call.
+    group.bench_function("recompiling_sweep", |b| {
+        b.iter(|| Session::new(model.clone()).expect("compile").sweep(&points))
     });
     group.finish();
 

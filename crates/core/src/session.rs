@@ -216,6 +216,18 @@ pub struct Session {
     elab: Arc<ElaborationCache>,
 }
 
+// The serve layer shares one `Session` per model across all connection
+// worker threads via `Arc<Session>`; keep that capability pinned at
+// compile time (every field is owned data or an `Arc` over the
+// lock-free elaboration cache — no interior mutability that isn't
+// thread-safe).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<Scenario>();
+    assert_send_sync::<SweepConfig>();
+};
+
 impl Session {
     /// Check `model` under `mcf` and transform it to both machine
     /// representations. This is the only place in the new API that pays

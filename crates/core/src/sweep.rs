@@ -13,12 +13,12 @@
 //! [`mpi_grid`] stay current and are re-exported from [`crate::session`].
 
 use crate::error::Error;
-#[allow(deprecated)]
-use crate::project::Project;
 pub use crate::session::{mpi_grid, SweepPoint};
 use crate::session::{sweep_program, SweepConfig};
 use crate::transform::to_program;
-use prophet_machine::SystemParams;
+use prophet_estimator::EstimatorOptions;
+use prophet_machine::{CommParams, SystemParams};
+use prophet_uml::Model;
 
 /// One configuration's outcome in the legacy string-error format.
 #[derive(Debug, Clone)]
@@ -48,11 +48,19 @@ fn legacy_message(e: &Error) -> String {
     }
 }
 
-#[allow(deprecated)]
-fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> Vec<SweepResult> {
+/// The non-deprecated core of the legacy sweeps: everything they read
+/// from a `Project` is passed piecewise, so only the shim signatures
+/// below still name the deprecated type.
+fn sweep_via_core(
+    model: &Model,
+    comm: CommParams,
+    options: &EstimatorOptions,
+    points: &[SweepPoint],
+    threads: usize,
+) -> Vec<SweepResult> {
     // Exactly what the legacy sweeps did per call: build the Program IR
     // once — no model check, no C++ generation.
-    let program = match to_program(&project.model) {
+    let program = match to_program(model) {
         Ok(p) => p,
         Err(e) => {
             // The legacy functions reported per-point errors rather than
@@ -68,8 +76,8 @@ fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> V
         }
     };
     let config = SweepConfig {
-        comm: project.comm,
-        options: project.options.clone(),
+        comm,
+        options: options.clone(),
         threads,
         ..Default::default()
     };
@@ -86,8 +94,8 @@ fn sweep_via_core(project: &Project, points: &[SweepPoint], threads: usize) -> V
 /// Evaluate every point serially (baseline for the parallel-sweep bench).
 #[deprecated(since = "0.2.0", note = "use `Session::sweep_with` with `threads: 1`")]
 #[allow(deprecated)]
-pub fn sweep_serial(project: &Project, points: &[SweepPoint]) -> Vec<SweepResult> {
-    sweep_via_core(project, points, 1)
+pub fn sweep_serial(project: &crate::project::Project, points: &[SweepPoint]) -> Vec<SweepResult> {
+    sweep_via_core(&project.model, project.comm, &project.options, points, 1)
 }
 
 /// Evaluate points in parallel over scoped threads.
@@ -97,18 +105,24 @@ pub fn sweep_serial(project: &Project, points: &[SweepPoint]) -> Vec<SweepResult
 #[deprecated(since = "0.2.0", note = "use `Session::sweep` / `Session::sweep_with`")]
 #[allow(deprecated)]
 pub fn sweep_parallel(
-    project: &Project,
+    project: &crate::project::Project,
     points: &[SweepPoint],
     threads: usize,
 ) -> Vec<SweepResult> {
-    sweep_via_core(project, points, threads)
+    sweep_via_core(
+        &project.model,
+        project.comm,
+        &project.options,
+        points,
+        threads,
+    )
 }
 
 #[cfg(test)]
 #[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::Session;
+    use crate::{Project, Session};
     use prophet_uml::ModelBuilder;
 
     /// A model whose time shrinks with more processes: a parallelizable

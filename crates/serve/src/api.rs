@@ -1,0 +1,634 @@
+//! Endpoint handlers: JSON in, JSON out, every model routed through the
+//! shared [`SessionPool`].
+//!
+//! | endpoint | body | answers |
+//! |---|---|---|
+//! | `POST /v1/check` | `{model\|model_name, mcf?}` | checker diagnostics |
+//! | `POST /v1/estimate` | `+ nodes/cpus/processes/threads/seed/backend` | one prediction |
+//! | `POST /v1/sweep` | `+ nodes: [..], workers` | an SP-grid table |
+//! | `GET /v1/models` | — | bundled demo workloads, by name |
+//! | `GET /v1/metrics` | — | request/latency/pool/elab counters |
+//! | `POST /v1/shutdown` | — | acknowledges, then drains the server |
+//!
+//! Models are passed either inline (`"model": "<xml...>"`) or by bundled
+//! name (`"model_name": "jacobi"`); both resolve to the same content
+//! key, so clients repeating a model — in either spelling — share one
+//! compiled session.
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::pool::SessionPool;
+use prophet_check::{check_model, McfConfig, Severity};
+use prophet_core::{render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint};
+use prophet_machine::SystemParams;
+use prophet_uml::Model;
+use prophet_workloads::models;
+use std::sync::Arc;
+
+/// Everything the handlers share across connections.
+#[derive(Debug, Default)]
+pub struct AppState {
+    /// Compiled sessions, keyed by model/MCF content.
+    pub pool: SessionPool,
+    /// Request counters and latency histograms.
+    pub metrics: Metrics,
+}
+
+/// The bundled demo workloads servable by name, with the same default
+/// parameterizations as `prophet demo`.
+pub fn demo_models() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("sample", "the paper's Figure-5/8 sample model"),
+        ("kernel6", "Livermore kernel 6 (general linear recurrence)"),
+        ("jacobi", "distributed Jacobi relaxation with halo exchange"),
+        ("lapw0", "LAPW0 material-science phase (ASKALON case study)"),
+        ("pipeline", "point-to-point ring pipeline"),
+        ("master_worker", "master/worker task farm"),
+    ]
+}
+
+/// A bundled demo model by name.
+///
+/// Models are built once per process and handed out pre-normalized
+/// (already through one serialize→parse roundtrip), so per-request work
+/// is a clone and the pool-key digest never needs to re-normalize them.
+pub fn demo_model(name: &str) -> Option<Model> {
+    static CACHE: std::sync::OnceLock<Vec<(&'static str, Model)>> = std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        [
+            ("sample", models::sample_model()),
+            ("kernel6", models::kernel6_model(1000, 10, 1e-9)),
+            ("jacobi", models::jacobi_model(1_000_000, 20, 1e-8)),
+            ("lapw0", models::lapw0_model(64, 32, 1e-4)),
+            ("pipeline", models::pipeline_model(32, 0.01, 4096)),
+            ("master_worker", models::master_worker_model(64, 0.01, 256)),
+        ]
+        .into_iter()
+        .map(|(name, model)| {
+            let normalized =
+                prophet_uml::xmi::model_from_xml(&prophet_uml::xmi::model_to_xml(&model))
+                    .expect("bundled models roundtrip");
+            (name, normalized)
+        })
+        .collect()
+    });
+    cache
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, m)| m.clone())
+}
+
+/// An error response: status + `{"error": message}` body.
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        Json::object([("error", Json::from(message.into()))]).encode(),
+    )
+}
+
+/// Route one request. The bool is the shutdown signal: `true` after a
+/// `POST /v1/shutdown` has been acknowledged.
+pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
+    let response = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/check") => handle_check(req),
+        ("POST", "/v1/estimate") => handle_estimate(state, req),
+        ("POST", "/v1/sweep") => handle_sweep(state, req),
+        ("GET", "/v1/models") => handle_models(),
+        ("GET", "/v1/metrics") => handle_metrics(state),
+        ("POST", "/v1/shutdown") => {
+            let ack = Response::json(200, Json::object([("ok", Json::from(true))]).encode());
+            return (ack, true);
+        }
+        (
+            _,
+            "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/models" | "/v1/metrics"
+            | "/v1/shutdown",
+        ) => error_response(405, format!("{} not allowed here", req.method)),
+        _ => error_response(404, format!("no such endpoint `{}`", req.path)),
+    };
+    (response, false)
+}
+
+/// Parse the request body as a JSON object.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let body = json::parse(&req.body).map_err(|e| error_response(400, e.to_string()))?;
+    match body {
+        Json::Object(_) => Ok(body),
+        other => Err(error_response(
+            400,
+            format!("request body must be a JSON object, got {other}"),
+        )),
+    }
+}
+
+/// Resolve the model named or embedded in a request body.
+fn resolve_model(body: &Json) -> Result<Model, Response> {
+    match (body.get("model"), body.get("model_name")) {
+        (Some(_), Some(_)) => Err(error_response(
+            400,
+            "pass either `model` (inline XML) or `model_name`, not both",
+        )),
+        (Some(xml), None) => {
+            let xml = xml
+                .as_str()
+                .ok_or_else(|| error_response(400, "`model` must be an XML string"))?;
+            prophet_uml::xmi::model_from_xml(xml)
+                .map_err(|e| error_response(422, format!("model XML does not parse: {e}")))
+        }
+        (None, Some(name)) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| error_response(400, "`model_name` must be a string"))?;
+            demo_model(name).ok_or_else(|| {
+                let known: Vec<&str> = demo_models().iter().map(|(n, _)| *n).collect();
+                error_response(
+                    404,
+                    format!(
+                        "unknown model `{name}`; bundled models: {}",
+                        known.join(", ")
+                    ),
+                )
+            })
+        }
+        (None, None) => Err(error_response(
+            400,
+            "missing `model` (inline XML) or `model_name`",
+        )),
+    }
+}
+
+/// Resolve the optional `mcf` member.
+fn resolve_mcf(body: &Json) -> Result<McfConfig, Response> {
+    match body.get("mcf") {
+        None => Ok(McfConfig::default()),
+        Some(xml) => {
+            let xml = xml
+                .as_str()
+                .ok_or_else(|| error_response(400, "`mcf` must be an XML string"))?;
+            McfConfig::from_xml(xml)
+                .map_err(|e| error_response(422, format!("MCF XML does not parse: {e}")))
+        }
+    }
+}
+
+/// A `usize` member with a default; rejects non-integers.
+fn usize_member(body: &Json, key: &str, default: usize) -> Result<usize, Response> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| error_response(400, format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+/// System parameters from a request body (defaults matching the CLI).
+fn resolve_sp(body: &Json) -> Result<SystemParams, Response> {
+    let nodes = usize_member(body, "nodes", 1)?;
+    let cpus = usize_member(body, "cpus", 1)?;
+    let sp = SystemParams {
+        nodes,
+        cpus_per_node: cpus,
+        processes: usize_member(body, "processes", nodes * cpus)?,
+        threads_per_process: usize_member(body, "threads", 1)?,
+    };
+    sp.validate()
+        .map_err(|e| error_response(422, e.to_string()))?;
+    Ok(sp)
+}
+
+/// The evaluation backend from a request body.
+fn resolve_backend(body: &Json) -> Result<Backend, Response> {
+    match body.get("backend") {
+        None => Ok(Backend::default()),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| error_response(400, "`backend` must be a string"))?
+            .parse()
+            .map_err(|e: String| error_response(400, e)),
+    }
+}
+
+/// The pooled session for a request body's model/MCF.
+fn resolve_session(state: &AppState, body: &Json) -> Result<(Arc<Session>, bool), Response> {
+    let model = resolve_model(body)?;
+    let mcf = resolve_mcf(body)?;
+    state
+        .pool
+        .checkout(&model, &mcf)
+        .map_err(|chain| error_response(422, chain))
+}
+
+fn handle_check(req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let (model, mcf) = match resolve_model(&body).and_then(|m| Ok((m, resolve_mcf(&body)?))) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    // The check endpoint reports *all* findings, warnings included, so
+    // it runs the checker directly instead of compiling a session
+    // (which would drop warnings on failing models).
+    let diagnostics = check_model(&model, &mcf);
+    let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+    let items: Vec<Json> = diagnostics
+        .iter()
+        .map(|d| {
+            Json::object([
+                ("rule", Json::from(d.rule.as_str())),
+                (
+                    "severity",
+                    Json::from(match d.severity {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    }),
+                ),
+                ("location", Json::from(d.location.as_str())),
+                ("message", Json::from(d.message.as_str())),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::object([
+            ("model", Json::from(model.name.as_str())),
+            ("ok", Json::from(errors == 0)),
+            ("errors", Json::from(errors)),
+            ("diagnostics", Json::Array(items)),
+        ])
+        .encode(),
+    )
+}
+
+fn sp_json(sp: SystemParams) -> Json {
+    Json::object([
+        ("nodes", Json::from(sp.nodes)),
+        ("cpus", Json::from(sp.cpus_per_node)),
+        ("processes", Json::from(sp.processes)),
+        ("threads", Json::from(sp.threads_per_process)),
+    ])
+}
+
+fn elab_json(session: &Session) -> Json {
+    let stats = session.elab_stats();
+    Json::object([
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("bypasses", Json::from(stats.bypasses)),
+    ])
+}
+
+fn handle_estimate(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let (sp, backend) = match resolve_sp(&body).and_then(|sp| Ok((sp, resolve_backend(&body)?))) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let (session, reused) = match resolve_session(state, &body) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let mut scenario = Scenario::new(sp).with_backend(backend).without_trace();
+    if let Some(seed) = body.get("seed") {
+        match seed.as_usize() {
+            Some(seed) => scenario = scenario.with_seed(seed as u64),
+            None => return error_response(400, "`seed` must be a non-negative integer"),
+        }
+    }
+    let evaluation = match session.evaluate(&scenario) {
+        Ok(e) => e,
+        Err(e) => return error_response(422, render_chain_inline(&e)),
+    };
+    Response::json(
+        200,
+        Json::object([
+            ("model", Json::from(session.program().name.as_str())),
+            ("backend", Json::from(backend.to_string())),
+            ("predicted_time", Json::from(evaluation.predicted_time)),
+            (
+                "events_processed",
+                Json::from(evaluation.report.events_processed as u64),
+            ),
+            ("sp", sp_json(sp)),
+            ("session", Json::object([("reused", Json::from(reused))])),
+            ("elab", elab_json(&session)),
+        ])
+        .encode(),
+    )
+}
+
+fn handle_sweep(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let nodes = match body.get("nodes").and_then(Json::as_array) {
+        Some(nodes) if !nodes.is_empty() => nodes,
+        _ => return error_response(400, "`nodes` must be a non-empty array of node counts"),
+    };
+    let cpus = match usize_member(&body, "cpus", 1) {
+        Ok(c) => c,
+        Err(r) => return r,
+    };
+    let workers = match usize_member(&body, "workers", 0) {
+        Ok(w) => w,
+        Err(r) => return r,
+    };
+    let backend = match resolve_backend(&body) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let mut points = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        match n.as_usize() {
+            Some(n) => points.push(SweepPoint {
+                sp: SystemParams::flat_mpi(n, cpus),
+            }),
+            None => return error_response(400, format!("bad node count {n}: must be an integer")),
+        }
+    }
+    let (session, reused) = match resolve_session(state, &body) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let config = SweepConfig {
+        threads: workers,
+        backend,
+        ..Default::default()
+    };
+    let report = session.sweep_with(&points, &config, |_, _| {});
+    let base = report.points.iter().find_map(|p| p.time());
+    let rows: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = vec![
+                ("nodes".to_string(), Json::from(p.sp.nodes)),
+                ("processes".to_string(), Json::from(p.sp.processes)),
+            ];
+            match &p.outcome {
+                Ok(time) => {
+                    row.push(("time".to_string(), Json::from(*time)));
+                    if let Some(base) = base {
+                        row.push(("speedup".to_string(), Json::from(base / time)));
+                    }
+                }
+                Err(e) => row.push(("error".to_string(), Json::from(render_chain_inline(e)))),
+            }
+            Json::Object(row)
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::object([
+            ("model", Json::from(session.program().name.as_str())),
+            ("backend", Json::from(backend.to_string())),
+            ("failures", Json::from(report.failures())),
+            ("points", Json::Array(rows)),
+            ("session", Json::object([("reused", Json::from(reused))])),
+            ("elab", elab_json(&session)),
+        ])
+        .encode(),
+    )
+}
+
+fn handle_models() -> Response {
+    let items: Vec<Json> = demo_models()
+        .into_iter()
+        .map(|(name, description)| {
+            Json::object([
+                ("name", Json::from(name)),
+                ("description", Json::from(description)),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::object([("models", Json::Array(items))]).encode())
+}
+
+fn handle_metrics(state: &AppState) -> Response {
+    let pool = state.pool.stats();
+    let elab = state.pool.elab_stats();
+    Response::json(
+        200,
+        Json::object([
+            ("endpoints", state.metrics.to_json()),
+            (
+                "session_pool",
+                Json::object([
+                    ("size", Json::from(pool.size)),
+                    ("compiles", Json::from(pool.compiles)),
+                    ("reuses", Json::from(pool.reuses)),
+                    ("bypasses", Json::from(pool.bypasses)),
+                ]),
+            ),
+            (
+                "elab",
+                Json::object([
+                    ("hits", Json::from(elab.hits)),
+                    ("misses", Json::from(elab.misses)),
+                    ("bypasses", Json::from(elab.bypasses)),
+                ]),
+            ),
+        ])
+        .encode(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    fn body_of(r: &Response) -> Json {
+        json::parse(&r.body).expect("handler bodies are JSON")
+    }
+
+    #[test]
+    fn estimate_by_name_then_reuse() {
+        let state = AppState::default();
+        let req = post("/v1/estimate", r#"{"model_name":"sample","nodes":2}"#);
+        let (first, _) = handle(&state, &req);
+        assert_eq!(first.status, 200, "{}", first.body);
+        let first = body_of(&first);
+        assert_eq!(first.get("model").unwrap().as_str(), Some("sample"));
+        assert_eq!(
+            first
+                .get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(false)
+        );
+        let (second, _) = handle(&state, &req);
+        let second = body_of(&second);
+        assert_eq!(
+            second
+                .get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            second.get("predicted_time").unwrap().as_f64(),
+            first.get("predicted_time").unwrap().as_f64()
+        );
+        // Same SP twice: the second evaluation is an elab-cache hit.
+        assert_eq!(
+            second.get("elab").unwrap().get("hits").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn estimate_inline_model_and_name_share_a_session() {
+        let state = AppState::default();
+        let xml = prophet_uml::xmi::model_to_xml(&models::sample_model());
+        let by_xml = Json::object([("model", Json::from(xml))]).encode();
+        let (r1, _) = handle(&state, &post("/v1/estimate", &by_xml));
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        let (r2, _) = handle(&state, &post("/v1/estimate", r#"{"model_name":"sample"}"#));
+        assert_eq!(
+            body_of(&r2)
+                .get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(true),
+            "inline XML and model_name must resolve to the same content key"
+        );
+    }
+
+    #[test]
+    fn estimate_rejects_bad_requests() {
+        let state = AppState::default();
+        for (body, status) in [
+            ("not json", 400),
+            ("[1,2]", 400),
+            ("{}", 400),
+            (r#"{"model_name":"nope"}"#, 404),
+            (r#"{"model_name":"sample","model":"<x/>"}"#, 400),
+            (r#"{"model_name":"sample","nodes":-1}"#, 400),
+            (r#"{"model_name":"sample","backend":"quantum"}"#, 400),
+            (r#"{"model_name":"sample","nodes":4,"processes":2}"#, 422),
+            (r#"{"model":"<model><broken"}"#, 422),
+        ] {
+            let (r, _) = handle(&state, &post("/v1/estimate", body));
+            assert_eq!(r.status, status, "{body} -> {}", r.body);
+            assert!(body_of(&r).get("error").is_some(), "{body}");
+        }
+    }
+
+    #[test]
+    fn check_reports_diagnostics() {
+        let (ok, _) = handle(
+            &AppState::default(),
+            &post("/v1/check", r#"{"model_name":"sample"}"#),
+        );
+        let ok = body_of(&ok);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+
+        // A model with an unparsable cost expression fails PP006.
+        let xml = prophet_uml::xmi::model_to_xml(&models::sample_model())
+            .replace("value=\"FA1()\"", "value=\"FA1() +\"");
+        let req = Json::object([("model", Json::from(xml))]).encode();
+        let (bad, _) = handle(&AppState::default(), &post("/v1/check", &req));
+        assert_eq!(bad.status, 200, "{}", bad.body);
+        let bad = body_of(&bad);
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        let diags = bad.get("diagnostics").unwrap().as_array().unwrap();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.get("rule").unwrap().as_str() == Some("PP006")),
+            "{bad}"
+        );
+    }
+
+    #[test]
+    fn sweep_returns_a_speedup_table() {
+        let state = AppState::default();
+        let (r, _) = handle(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"model_name":"jacobi","nodes":[1,2,4],"backend":"analytic"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let body = body_of(&r);
+        let points = body.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(body.get("failures").unwrap().as_f64(), Some(0.0));
+        assert_eq!(points[0].get("speedup").unwrap().as_f64(), Some(1.0));
+        assert!(points[2].get("speedup").unwrap().as_f64().unwrap() > 1.0);
+        // A sweep with a failing point keeps the table shape.
+        let (r, _) = handle(
+            &state,
+            &post("/v1/sweep", r#"{"model_name":"jacobi","nodes":[0,1]}"#),
+        );
+        let body = body_of(&r);
+        assert_eq!(body.get("failures").unwrap().as_f64(), Some(1.0));
+        let points = body.get("points").unwrap().as_array().unwrap();
+        assert!(points[0].get("error").is_some(), "{body}");
+        assert!(points[1].get("time").is_some(), "{body}");
+    }
+
+    #[test]
+    fn models_metrics_and_routing() {
+        let state = AppState::default();
+        let (r, _) = handle(&state, &get("/v1/models"));
+        let names: Vec<String> = body_of(&r)
+            .get("models")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|m| m.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"jacobi".to_string()));
+        // Every listed model actually resolves and compiles.
+        for name in &names {
+            Session::new(demo_model(name).unwrap()).unwrap();
+        }
+
+        let (r, _) = handle(&state, &get("/v1/metrics"));
+        let metrics = body_of(&r);
+        assert!(metrics.get("session_pool").is_some());
+        assert!(metrics.get("elab").is_some());
+
+        let (r, _) = handle(&state, &get("/nope"));
+        assert_eq!(r.status, 404);
+        let (r, _) = handle(&state, &get("/v1/estimate"));
+        assert_eq!(r.status, 405);
+        let (r, shutdown) = handle(&state, &post("/v1/shutdown", ""));
+        assert_eq!(r.status, 200);
+        assert!(shutdown);
+    }
+}

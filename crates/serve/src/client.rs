@@ -1,0 +1,63 @@
+//! A tiny blocking HTTP client for the service's own tests, benches and
+//! CI smoke checks — one request per connection, mirroring the server's
+//! connection model.
+
+use crate::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A decoded response: status code and parsed JSON body.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body, parsed as JSON.
+    pub body: Json,
+}
+
+/// Issue one request and parse the JSON response.
+///
+/// # Errors
+/// I/O failures, malformed responses and non-JSON bodies all surface as
+/// a message string (the callers are tests and benches that `expect`).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<ClientResponse, String> {
+    let payload = body.map(Json::encode).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("receive: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {raw:?}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+    let body = json::parse(body).map_err(|e| format!("non-JSON body {body:?}: {e}"))?;
+    Ok(ClientResponse { status, body })
+}
+
+/// [`request`] for `GET` endpoints.
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, String> {
+    request(addr, "GET", path, None)
+}
+
+/// [`request`] for `POST` endpoints.
+pub fn post(addr: SocketAddr, path: &str, body: &Json) -> Result<ClientResponse, String> {
+    request(addr, "POST", path, Some(body))
+}

@@ -1,0 +1,280 @@
+//! A small HTTP/1.1 subset over `std::net`: exactly what the prediction
+//! service needs, nothing more.
+//!
+//! Requests are parsed from the socket with hard limits (request-line
+//! size, header count, body size) so a misbehaving client cannot make a
+//! worker allocate unboundedly. Each connection carries one request and
+//! the response always closes the connection (`Connection: close`) —
+//! the service's unit of work is one prediction, and the expensive
+//! state (compiled sessions, elaborations) is shared *behind* the
+//! connection, so keep-alive would buy nothing measurable on loopback
+//! and complicates draining on shutdown.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line (method + path + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body (models are small XML documents).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Serialize and write this response to `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A request the parser refused, with the status it should be answered
+/// with (`400` malformed, `413` over a limit).
+#[derive(Debug)]
+pub struct ParseError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ParseError {
+    fn bad(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(message: impl Into<String>) -> Self {
+        Self {
+            status: 413,
+            message: message.into(),
+        }
+    }
+}
+
+/// Read and parse one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ParseError::bad(format!("malformed request line `{line}`"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::bad(format!("unsupported version `{version}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::too_large("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| ParseError::bad(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if length > MAX_BODY {
+        return Err(ParseError::too_large(format!(
+            "body of {length} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ParseError::bad(format!("short body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| ParseError::bad("body is not valid UTF-8"))?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF (or LF) terminated line, bounded by `limit` bytes.
+fn read_line(reader: &mut BufReader<&mut TcpStream>, limit: usize) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) => return Err(ParseError::bad(format!("connection ended mid-line: {e}"))),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| ParseError::bad("non-UTF-8 in header"));
+        }
+        line.push(byte[0]);
+        if line.len() > limit {
+            return Err(ParseError::too_large("request line or header too long"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &str) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip("POST /v1/estimate?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/estimate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_bare_get_with_lf_lines() {
+        let req = roundtrip("GET /v1/metrics HTTP/1.1\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert_eq!(roundtrip("NOT-HTTP\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(roundtrip("GET / HTTP/2\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            roundtrip("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            roundtrip(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            ))
+            .unwrap_err()
+            .status,
+            413
+        );
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert_eq!(roundtrip(&long).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Service metrics: lock-free request counters and latency histograms,
+//! surfaced over the wire by `GET /v1/metrics`.
+//!
+//! Everything here is an atomic counter — recording a request costs a
+//! handful of relaxed `fetch_add`s, so the hot path never takes a lock
+//! for observability. The histogram uses fixed log-spaced upper bounds
+//! (10µs .. 10s), which brackets everything from a cache-hit analytic
+//! estimate to a cold compile + big simulated sweep.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in microseconds (log-spaced); the
+/// final implicit bucket is overflow.
+pub const BUCKET_BOUNDS_US: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A latency histogram with fixed log-spaced buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    total_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let observations: u64 = counts.iter().sum();
+        Json::object([
+            ("bounds_us", Json::from(BUCKET_BOUNDS_US.to_vec())),
+            ("counts", Json::from(counts)),
+            (
+                "total_us",
+                Json::from(self.total_us.load(Ordering::Relaxed)),
+            ),
+            ("observations", Json::from(observations)),
+        ])
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl EndpointMetrics {
+    /// Record one handled request and whether it was answered with an
+    /// error status.
+    pub fn record(&self, latency: Duration, error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Requests recorded so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("requests", Json::from(self.requests())),
+            ("errors", Json::from(self.errors.load(Ordering::Relaxed))),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// All service metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /v1/check`.
+    pub check: EndpointMetrics,
+    /// `POST /v1/estimate`.
+    pub estimate: EndpointMetrics,
+    /// `POST /v1/sweep`.
+    pub sweep: EndpointMetrics,
+    /// `GET /v1/models`.
+    pub models: EndpointMetrics,
+    /// `GET /v1/metrics`.
+    pub metrics: EndpointMetrics,
+    /// Everything else (404s, bad requests, shutdown).
+    pub other: EndpointMetrics,
+}
+
+impl Metrics {
+    /// The endpoint counters for a request path, or `other`.
+    pub fn endpoint(&self, method: &str, path: &str) -> &EndpointMetrics {
+        match (method, path) {
+            ("POST", "/v1/check") => &self.check,
+            ("POST", "/v1/estimate") => &self.estimate,
+            ("POST", "/v1/sweep") => &self.sweep,
+            ("GET", "/v1/models") => &self.models,
+            ("GET", "/v1/metrics") => &self.metrics,
+            _ => &self.other,
+        }
+    }
+
+    /// The per-endpoint section of the `/v1/metrics` body.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("check", self.check.to_json()),
+            ("estimate", self.estimate.to_json()),
+            ("sweep", self.sweep.to_json()),
+            ("models", self.models.to_json()),
+            ("metrics", self.metrics.to_json()),
+            ("other", self.other.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_latency() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(5)); // bucket 0
+        h.record(Duration::from_micros(50)); // bucket 1
+        h.record(Duration::from_secs(100)); // overflow bucket
+        let json = h.to_json();
+        let counts = json.get("counts").unwrap().as_array().unwrap();
+        assert_eq!(counts[0].as_f64(), Some(1.0));
+        assert_eq!(counts[1].as_f64(), Some(1.0));
+        assert_eq!(counts.last().unwrap().as_f64(), Some(1.0));
+        assert_eq!(json.get("observations").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn endpoint_routing_and_counts() {
+        let m = Metrics::default();
+        m.endpoint("POST", "/v1/estimate")
+            .record(Duration::from_micros(3), false);
+        m.endpoint("POST", "/v1/estimate")
+            .record(Duration::from_micros(3), true);
+        m.endpoint("GET", "/nope").record(Duration::ZERO, true);
+        assert_eq!(m.estimate.requests(), 2);
+        assert_eq!(m.other.requests(), 1);
+        let json = m.to_json();
+        let est = json.get("estimate").unwrap();
+        assert_eq!(est.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(est.get("errors").unwrap().as_f64(), Some(1.0));
+    }
+}

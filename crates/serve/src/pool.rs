@@ -1,0 +1,329 @@
+//! The [`SessionPool`]: compiled [`Session`]s shared across every
+//! connection, keyed by *content* — `(model digest, MCF digest)`.
+//!
+//! This is the serve-path payoff of the whole compile-once stack: the
+//! first request for a model pays check + transform (and, per SP point,
+//! elaboration); every later request for the same model — from any
+//! connection, on any worker thread — reuses the compiled [`Session`]
+//! **and** its [`ElaborationCache`](prophet_core::ElaborationCache), so
+//! a repeat estimate costs one cache lookup plus the evaluation itself.
+//!
+//! Keying is by FNV-1a digest of the *canonical serializations*
+//! (`model_to_xml` of the parsed model, `McfConfig::to_xml` with sorted
+//! rule ids), not of the raw request bytes, so two clients posting the
+//! same model with different whitespace or attribute formatting share
+//! one session. Compilation is raced through a per-key `OnceLock`: when
+//! two requests for a new model arrive together, one compiles and the
+//! other blocks until the artifact is ready — never two compiles.
+//!
+//! The pool is bounded ([`SessionPool::with_capacity`]): beyond
+//! `capacity` distinct keys, new models are compiled per-request and
+//! *not* retained (counted as `bypasses`), mirroring the elaboration
+//! cache's no-eviction policy — steady-state behavior stays predictable
+//! under key churn instead of thrashing an eviction list.
+
+use prophet_check::McfConfig;
+use prophet_core::{ElabStats, Session};
+use prophet_uml::Model;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default bound on retained sessions.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Content key of one pooled session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// FNV-1a digest of the canonical model XML.
+    pub model: u64,
+    /// FNV-1a digest of the canonical MCF XML.
+    pub mcf: u64,
+}
+
+impl PoolKey {
+    /// Key for a `(model, mcf)` pair, by canonical serialization.
+    pub fn of(model: &Model, mcf: &McfConfig) -> Self {
+        Self {
+            model: fnv1a(canonical_model_xml(model).as_bytes()),
+            mcf: fnv1a(mcf.to_xml().as_bytes()),
+        }
+    }
+}
+
+/// The canonical serialization of a model: one serialize→parse→serialize
+/// roundtrip. The XMI parser re-assigns element ids in document order,
+/// so a builder-constructed model and its parsed round trip serialize
+/// with different (isomorphic) ids; after one parse the ids *are*
+/// document-ordered and the serialization is a fixed point — pinned by
+/// the `canonicalization_is_a_fixed_point` test for every demo model.
+fn canonical_model_xml(model: &Model) -> String {
+    let first = prophet_uml::xmi::model_to_xml(model);
+    match prophet_uml::xmi::model_from_xml(&first) {
+        Ok(reparsed) => prophet_uml::xmi::model_to_xml(&reparsed),
+        // Unserializable models can't happen for checked input, but a
+        // digest must never fail: fall back to the raw serialization.
+        Err(_) => first,
+    }
+}
+
+/// 64-bit FNV-1a (the same digest family `op_digest` uses for golden
+/// op-list snapshots).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Compilation outcome stored per key: the shared session, or the
+/// rendered error chain (also cached — a model that fails to compile
+/// fails the same way on every retry, so recompiling it per request
+/// would be a free denial-of-service lever).
+type Slot = Arc<OnceLock<Result<Arc<Session>, String>>>;
+
+/// Counter snapshot of a [`SessionPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Distinct keys currently retained.
+    pub size: usize,
+    /// Sessions compiled and retained by the pool.
+    pub compiles: u64,
+    /// Requests served by an already-compiled session.
+    pub reuses: u64,
+    /// Requests compiled uncached because the pool was full.
+    pub bypasses: u64,
+}
+
+/// A bounded, concurrency-safe pool of compiled [`Session`]s.
+#[derive(Debug)]
+pub struct SessionPool {
+    slots: Mutex<HashMap<PoolKey, Slot>>,
+    capacity: usize,
+    compiles: AtomicU64,
+    reuses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl Default for SessionPool {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl SessionPool {
+    /// A pool retaining at most `capacity` sessions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            capacity,
+            compiles: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// The session for `(model, mcf)`: compiled on first request,
+    /// shared afterwards.
+    ///
+    /// # Errors
+    /// The rendered compile-error chain when the model fails check or
+    /// transform (cached like a success; retrying cannot help).
+    pub fn session(&self, model: &Model, mcf: &McfConfig) -> Result<Arc<Session>, String> {
+        self.checkout(model, mcf).map(|(session, _)| session)
+    }
+
+    /// [`SessionPool::session`], also reporting whether the request was
+    /// served by an already-pooled session (`true`) or had to compile
+    /// (`false`) — the flag `/v1/estimate` echoes back to clients.
+    pub fn checkout(&self, model: &Model, mcf: &McfConfig) -> Result<(Arc<Session>, bool), String> {
+        let key = PoolKey::of(model, mcf);
+        let (slot, reused) = {
+            let mut slots = self.slots.lock().expect("pool lock");
+            match slots.get(&key) {
+                Some(slot) => {
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(slot), true)
+                }
+                None if slots.len() >= self.capacity => {
+                    // Full: compile for this request only.
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    drop(slots);
+                    return Session::compile(model.clone(), mcf.clone())
+                        .map(|s| (Arc::new(s), false))
+                        .map_err(|e| prophet_core::render_chain(&e));
+                }
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    slots.insert(key, Arc::clone(&slot));
+                    (Arc::clone(&slot), false)
+                }
+            }
+        };
+        // Compile outside the map lock; concurrent requests for the same
+        // new key block here on the OnceLock, not on the whole pool.
+        let result = slot.get_or_init(|| {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            Session::compile(model.clone(), mcf.clone())
+                .map(Arc::new)
+                .map_err(|e| prophet_core::render_chain(&e))
+        });
+        result.clone().map(|session| (session, reused))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            size: self.slots.lock().expect("pool lock").len(),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate elaboration-cache counters over every pooled session —
+    /// the `/v1/metrics` view of the flatten-once contract at work.
+    pub fn elab_stats(&self) -> ElabStats {
+        let slots: Vec<Slot> = self
+            .slots
+            .lock()
+            .expect("pool lock")
+            .values()
+            .cloned()
+            .collect();
+        let mut total = ElabStats::default();
+        for slot in slots {
+            if let Some(Ok(session)) = slot.get() {
+                let s = session.elab_stats();
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.bypasses += s.bypasses;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_core::Scenario;
+    use prophet_machine::SystemParams;
+    use prophet_uml::ModelBuilder;
+
+    fn model(name: &str, cost: &str) -> Model {
+        let mut b = ModelBuilder::new(name);
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let a = b.action(main, "Work", cost);
+        let f = b.final_node(main, "end");
+        b.flow(main, i, a);
+        b.flow(main, a, f);
+        b.build()
+    }
+
+    #[test]
+    fn canonicalization_is_a_fixed_point() {
+        for (name, _) in crate::api::demo_models() {
+            let m = crate::api::demo_model(name).unwrap();
+            let canonical = canonical_model_xml(&m);
+            let reparsed = prophet_uml::xmi::model_from_xml(&canonical).unwrap();
+            assert_eq!(
+                canonical,
+                prophet_uml::xmi::model_to_xml(&reparsed),
+                "{name}: canonical form must be parse-stable"
+            );
+            // Builder-built and parsed spellings share one pool key.
+            assert_eq!(
+                PoolKey::of(&m, &McfConfig::default()),
+                PoolKey::of(&reparsed, &McfConfig::default()),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_content_compiles_once() {
+        let pool = SessionPool::default();
+        let mcf = McfConfig::default();
+        let s1 = pool.session(&model("m", "2.0"), &mcf).unwrap();
+        let s2 = pool.session(&model("m", "2.0"), &mcf).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "second request must reuse");
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                size: 1,
+                compiles: 1,
+                reuses: 1,
+                bypasses: 0
+            }
+        );
+    }
+
+    #[test]
+    fn different_content_gets_its_own_session() {
+        let pool = SessionPool::default();
+        let mcf = McfConfig::default();
+        pool.session(&model("m", "2.0"), &mcf).unwrap();
+        pool.session(&model("m", "3.0"), &mcf).unwrap();
+        assert_eq!(pool.stats().size, 2);
+        assert_eq!(pool.stats().compiles, 2);
+    }
+
+    #[test]
+    fn concurrent_first_requests_compile_exactly_once() {
+        let pool = Arc::new(SessionPool::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    pool.session(&model("racy", "1.0"), &McfConfig::default())
+                        .unwrap();
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.compiles, 1, "{stats:?}");
+        assert_eq!(stats.reuses + stats.compiles, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn full_pool_bypasses_without_evicting() {
+        let pool = SessionPool::with_capacity(1);
+        let mcf = McfConfig::default();
+        pool.session(&model("keep", "1.0"), &mcf).unwrap();
+        pool.session(&model("extra", "2.0"), &mcf).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.size, stats.bypasses), (1, 1), "{stats:?}");
+        // The retained session still reuses.
+        pool.session(&model("keep", "1.0"), &mcf).unwrap();
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_cached() {
+        let pool = SessionPool::default();
+        let mcf = McfConfig::default();
+        let bad = model("bad", "1 +");
+        let e1 = pool.session(&bad, &mcf).unwrap_err();
+        let e2 = pool.session(&bad, &mcf).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(e1.contains("model check failed"), "{e1}");
+        let stats = pool.stats();
+        assert_eq!((stats.compiles, stats.reuses), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn pooled_sessions_share_their_elab_cache() {
+        let pool = SessionPool::default();
+        let mcf = McfConfig::default();
+        let m = model("elab", "4.0 / P");
+        let scenario = Scenario::new(SystemParams::flat_mpi(2, 1)).without_trace();
+        pool.session(&m, &mcf).unwrap().evaluate(&scenario).unwrap();
+        pool.session(&m, &mcf).unwrap().evaluate(&scenario).unwrap();
+        let elab = pool.elab_stats();
+        assert_eq!((elab.misses, elab.hits), (1, 1), "{elab:?}");
+    }
+}

@@ -1,0 +1,371 @@
+//! The server core: one accept loop, a fixed pool of worker threads, a
+//! shared [`AppState`], graceful drain on shutdown.
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! ```text
+//!  TcpListener ──accept──▶ mpsc channel ──recv──▶ worker 0..W
+//!      │                                             │
+//!      │  (accept thread)                            ├─ parse request
+//!      │                                             ├─ api::handle(state)
+//!   shutdown flag ◀── POST /v1/shutdown ─────────────┤
+//!      │                                             └─ write response
+//!      └─ self-connect wakes accept; channel closes; workers drain
+//! ```
+//!
+//! The accept thread only accepts and enqueues, so a slow client never
+//! blocks accepting; workers pull connections off the channel, which
+//! gives FIFO fairness and natural backpressure (the queue, not the
+//! listener backlog, is where bursts wait). Shutdown — via
+//! [`ServerHandle::shutdown`] or `POST /v1/shutdown` — flips the flag,
+//! wakes the accept thread with a loopback connect, closes the channel,
+//! and joins every worker after it finished its in-flight request:
+//! accepted connections are always answered, never dropped.
+
+use crate::api::{self, AppState};
+use crate::http::{read_request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default per-connection socket read/write timeout.
+pub const DEFAULT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7077` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` selects the available parallelism.
+    pub workers: usize,
+    /// Per-connection socket read/write timeout. Without one, a client
+    /// that connects and sends nothing (slow-loris, half-open probe)
+    /// would park a worker in a blocking read forever — and a wedged
+    /// worker can never be joined, so graceful drain would hang too.
+    pub io_timeout: std::time::Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 0,
+            io_timeout: DEFAULT_IO_TIMEOUT,
+        }
+    }
+}
+
+/// A running server: the bound address plus the handle to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Bind and start serving in background threads.
+///
+/// # Errors
+/// Propagates the bind failure (port in use, bad address).
+pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.workers
+    };
+
+    let state = Arc::new(AppState::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let io_timeout = config.io_timeout;
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || worker_loop(&rx, &state, &shutdown, io_timeout))
+        })
+        .collect();
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(listener, tx, &shutdown))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        let stop = shutdown.load(Ordering::SeqCst);
+        // Transient accept errors (EMFILE, aborted handshakes) must not
+        // kill the server, so only `Ok` streams are enqueued — and even
+        // the connection that woke us for shutdown is: it is usually
+        // join_all's self-connect (answered with a cheap 400 against a
+        // closed socket), but it can also be a real client racing the
+        // drain, and accepted clients are always answered, never
+        // dropped.
+        if let Ok(stream) = stream {
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        if stop {
+            break;
+        }
+    }
+    // Dropping `tx` closes the channel: workers drain what was already
+    // accepted, then exit.
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    state: &AppState,
+    shutdown: &AtomicBool,
+    io_timeout: std::time::Duration,
+) {
+    loop {
+        // Hold the lock only to receive; handling runs unlocked.
+        let stream = match rx.lock().expect("connection queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // channel closed: drained, shut down
+        };
+        handle_connection(stream, state, shutdown, io_timeout);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &AppState,
+    shutdown: &AtomicBool,
+    io_timeout: std::time::Duration,
+) {
+    let started = std::time::Instant::now();
+    // Bound every socket operation: a silent or stalled peer costs a
+    // worker at most `io_timeout`, never forever.
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let (response, stop, endpoint) = match read_request(&mut stream) {
+        Ok(request) => {
+            let endpoint = (request.method.clone(), request.path.clone());
+            let (response, stop) = api::handle(state, &request);
+            (response, stop, Some(endpoint))
+        }
+        Err(e) => (
+            Response::json(
+                e.status,
+                crate::json::Json::object([("error", crate::json::Json::from(e.message))]).encode(),
+            ),
+            false,
+            None,
+        ),
+    };
+    let error = response.status >= 400;
+    // Record metrics *before* the response bytes become visible: a
+    // client that sees its response and immediately asks /v1/metrics
+    // must find its own request already counted.
+    let counters = match &endpoint {
+        Some((method, path)) => state.metrics.endpoint(method, path),
+        None => &state.metrics.other,
+    };
+    counters.record(started.elapsed(), error);
+    if stop {
+        shutdown.store(true, Ordering::SeqCst);
+    }
+    // A dead client is the client's problem; the worker moves on.
+    let _ = response.write_to(&mut stream);
+}
+
+impl ServerHandle {
+    /// The bound address (the actual port when configured with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared handler state (pool + metrics) — for in-process
+    /// assertions in tests and benches.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// True once shutdown has been requested (e.g. `POST /v1/shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until a shutdown request arrives (`POST /v1/shutdown`),
+    /// then drain: all in-flight requests are answered before this
+    /// returns. This is what `prophet serve` parks on.
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        self.join_all();
+    }
+
+    /// Request shutdown and drain: stops accepting, answers what was
+    /// already accepted, joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+
+    /// Join every thread. Callers guarantee the shutdown flag is set
+    /// before this runs (so the wake connects below cannot be mistaken
+    /// for client traffic that deserves an answer).
+    fn join_all(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept_thread.take() {
+            // Wake the accept loop so it observes the flag; it breaks on
+            // the first iteration after the store above. Retry until it
+            // exits in case a racing real connection consumed the wake.
+            while !accept.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::json::Json;
+
+    fn start(workers: usize) -> ServerHandle {
+        serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            ..Default::default()
+        })
+        .expect("bind port 0")
+    }
+
+    #[test]
+    fn silent_clients_time_out_instead_of_wedging_workers() {
+        // One worker, tiny I/O timeout: a client that connects and sends
+        // nothing must not park that worker forever (slow-loris).
+        let server = serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            io_timeout: std::time::Duration::from_millis(50),
+        })
+        .expect("bind port 0");
+        let addr = server.addr();
+        let _silent = TcpStream::connect(addr).unwrap(); // never writes
+        let _silent2 = TcpStream::connect(addr).unwrap();
+        // The single worker frees itself after the timeout and serves
+        // real traffic again.
+        let r = client::get(addr, "/v1/models").unwrap();
+        assert_eq!(r.status, 200);
+        // Graceful drain still works with the stalled sockets around.
+        client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn serves_models_and_metrics() {
+        let server = start(2);
+        let addr = server.addr();
+        let models = client::get(addr, "/v1/models").unwrap();
+        assert_eq!(models.status, 200);
+        assert_eq!(
+            models.body.get("models").unwrap().as_array().unwrap().len(),
+            6
+        );
+        let metrics = client::get(addr, "/v1/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_http_gets_an_error_response_and_server_survives() {
+        use std::io::{Read, Write};
+        let server = start(1);
+        let addr = server.addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        // The single worker is still alive and serving.
+        assert_eq!(client::get(addr, "/v1/models").unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_server() {
+        let server = start(2);
+        let addr = server.addr();
+        let ack = client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+        assert_eq!(ack.status, 200);
+        assert_eq!(ack.body.get("ok").unwrap().as_bool(), Some(true));
+        server.wait(); // must return: the endpoint stopped the server
+                       // The port is released: a fresh bind to the same address works.
+        TcpListener::bind(addr).expect("address released after shutdown");
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_session() {
+        let server = start(4);
+        let addr = server.addr();
+        let body = Json::object([
+            ("model_name", Json::from("sample")),
+            ("nodes", Json::from(2usize)),
+        ]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let r = client::post(addr, "/v1/estimate", &body).unwrap();
+                    assert_eq!(r.status, 200, "{}", r.body);
+                });
+            }
+        });
+        let metrics = client::get(addr, "/v1/metrics").unwrap().body;
+        let pool = metrics.get("session_pool").unwrap();
+        assert_eq!(
+            pool.get("compiles").unwrap().as_f64(),
+            Some(1.0),
+            "{metrics}"
+        );
+        assert_eq!(pool.get("reuses").unwrap().as_f64(), Some(7.0), "{metrics}");
+        server.shutdown();
+    }
+}

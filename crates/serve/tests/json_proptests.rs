@@ -1,0 +1,150 @@
+//! Property tests for the service's JSON layer: encode→decode identity
+//! on arbitrary values, plus adversarial decoder inputs (deep nesting,
+//! bad escapes, trailing garbage) that must fail *cleanly*.
+
+use prophet_serve::json::{parse, Json, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Object keys: short, unique-ish strings (the decoder rejects
+/// duplicate keys, so strategies dedupe before building objects).
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+/// Strings exercising escapes: quotes, backslashes, control characters,
+/// and non-ASCII text (including astral-plane characters, which the
+/// encoder emits raw and `\u` escapes must be able to represent).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9\"\\\\/\t\n\r\u{08}\u{0C}éπ😀 ]{0,12}".prop_map(|s| s)
+}
+
+/// Finite numbers across magnitudes, including negatives, zero, and
+/// values that need the full shortest-roundtrip formatter.
+fn number_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        (-1.0e9..1.0e9).prop_map(|x| x),
+        (-1.0..1.0).prop_map(|x| x * 1.0e-12),
+        (0u32..u32::MAX).prop_map(|n| n as f64),
+        (-1.0e300..1.0e300).prop_map(|x| x),
+    ]
+}
+
+fn json_strategy() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        number_strategy().prop_map(Json::Number),
+        text_strategy().prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
+            prop::collection::vec((key_strategy(), inner), 0..4).prop_map(|members| {
+                let mut seen = std::collections::BTreeSet::new();
+                Json::Object(
+                    members
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// The round-trip identity: any finite value survives
+    /// encode→decode exactly (numbers via shortest-roundtrip `f64`
+    /// formatting, strings via full escape handling).
+    #[test]
+    fn encode_decode_identity(value in json_strategy()) {
+        let text = value.encode();
+        let back = parse(&text).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("{text:?}: {e}"))
+        })?;
+        prop_assert_eq!(&back, &value, "{}", text);
+        // Encoding is deterministic: re-encode of the decode is stable.
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    /// Decoding then re-encoding accepted text is idempotent from the
+    /// value side: parse(encode(parse(t))) == parse(t).
+    #[test]
+    fn decode_encode_decode_is_stable(value in json_strategy()) {
+        let text = value.encode();
+        let once = parse(&text).unwrap();
+        let twice = parse(&once.encode()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Anything non-whitespace after a complete value must be rejected,
+    /// whatever the value.
+    #[test]
+    fn trailing_garbage_always_rejected(
+        value in json_strategy(),
+        garbage in "[a-z{}\\[\\]\",:0-9]{1,6}",
+    ) {
+        let text = format!("{} {garbage}", value.encode());
+        // Appending to a number can extend the token (e.g. `1` + `2`),
+        // still never a silent success with leftover bytes *after* a
+        // separator — the space guarantees a new token.
+        prop_assert!(parse(&text).is_err(), "{text:?} must not parse");
+    }
+
+    /// Arrays and objects nested past MAX_DEPTH fail with the depth
+    /// error; at or below the limit they parse.
+    #[test]
+    fn depth_limit_is_sharp(extra in 1usize..4, open in 0usize..2) {
+        let (o, c) = if open == 0 { ("[", "]") } else { ("{\"k\":", "}") };
+        let too_deep = o.repeat(MAX_DEPTH + extra) + "1" + &c.repeat(MAX_DEPTH + extra);
+        let err = parse(&too_deep).unwrap_err();
+        prop_assert!(err.message.contains("nesting"), "{}", err);
+        let at_limit = o.repeat(MAX_DEPTH) + "1" + &c.repeat(MAX_DEPTH);
+        prop_assert!(parse(&at_limit).is_ok());
+    }
+
+    /// Truncating valid text anywhere strictly inside it never parses
+    /// (every prefix of a JSON document is incomplete) — and never
+    /// panics.
+    #[test]
+    fn proper_prefixes_never_parse(value in json_strategy(), cut in 0.0f64..1.0) {
+        let text = value.encode();
+        if text.len() > 1 {
+            let mut at = 1 + ((text.len() - 1) as f64 * cut) as usize;
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            if at > 0 {
+                let prefix = &text[..at];
+                // Numeric prefixes of numbers can still be valid JSON
+                // (`12` of `123`); structural values cannot.
+                if !matches!(value, Json::Number(_)) {
+                    prop_assert!(parse(prefix).is_err(), "{prefix:?} from {text:?}");
+                }
+            }
+        }
+    }
+
+    /// Bad escape sequences are rejected wherever they appear in a
+    /// string, with an offset inside the input.
+    #[test]
+    fn bad_escapes_rejected(prefix in "[a-z ]{0,6}", bad in "[qxzZ08 ]") {
+        let text = format!("\"{prefix}\\{bad}\"");
+        let err = parse(&text).unwrap_err();
+        prop_assert!(err.offset <= text.len(), "{}", err);
+        prop_assert!(err.message.contains("escape"), "{}", err);
+    }
+
+    /// Lone surrogates — high without low, or low first — never decode.
+    #[test]
+    fn lone_surrogates_rejected(hi in 0xD800u32..0xDC00, lo in 0xDC00u32..0xE000) {
+        prop_assert!(parse(&format!("\"\\u{hi:04x}\"")).is_err());
+        prop_assert!(parse(&format!("\"\\u{lo:04x}\"")).is_err());
+        prop_assert!(parse(&format!("\"\\u{hi:04x}\\u{hi:04x}\"")).is_err());
+        // A proper pair decodes to exactly one astral character.
+        let paired = parse(&format!("\"\\u{hi:04x}\\u{lo:04x}\"")).unwrap();
+        prop_assert_eq!(paired.as_str().unwrap().chars().count(), 1);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`estimator`] | prophet-estimator | Performance Estimator |
 //! | [`trace`] | prophet-trace | TF trace files + visualization data |
 //! | [`core`] | prophet-core | transformation pipeline, compile-once sessions, sweeps |
+//! | [`serve`] | prophet-serve | prediction service: session pool + HTTP/JSON layer |
 //! | [`workloads`] | prophet-workloads | Livermore kernels + experiment models |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use prophet_core as core;
 pub use prophet_estimator as estimator;
 pub use prophet_expr as expr;
 pub use prophet_machine as machine;
+pub use prophet_serve as serve;
 pub use prophet_sim as sim;
 pub use prophet_trace as trace;
 pub use prophet_uml as uml;

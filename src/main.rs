@@ -9,6 +9,7 @@
 //!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
 //!                   [--backend simulation|analytic] [--no-elab-cache]
+//! prophet serve     [--addr A] [--workers W]
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
 //!
@@ -21,6 +22,19 @@
 //! `--no-elab-cache` opts out and re-elaborates every evaluation —
 //! results are identical, only slower.
 //!
+//! `serve` starts the long-running prediction service (prophet-serve):
+//! models are compiled once into a session pool and every subsequent
+//! request — any connection, any worker — reuses the compiled program
+//! and its elaboration cache. `POST /v1/shutdown` drains it gracefully:
+//!
+//! ```text
+//! prophet serve --addr 127.0.0.1:7077 --workers 4 &
+//! curl -s localhost:7077/v1/estimate \
+//!      -d '{"model_name":"jacobi","nodes":8,"backend":"analytic"}'
+//! curl -s localhost:7077/v1/metrics        # pool + elab-cache counters
+//! curl -s -X POST localhost:7077/v1/shutdown
+//! ```
+//!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
 //! ```text
@@ -29,6 +43,11 @@
 //! prophet transform sample.xml
 //! prophet estimate sample.xml --nodes 2 --cpus 2 --timeline
 //! ```
+//!
+//! Exit codes: `0` success, `1` pipeline failure (unreadable model,
+//! check/evaluation error), `2` usage error (unknown command, bad or
+//! missing argument — the offending token is named before the usage
+//! block).
 
 use prophet::check::{check_model, McfConfig};
 use prophet::codegen::generate_skeleton;
@@ -36,77 +55,123 @@ use prophet::core::{
     render_chain, render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint,
 };
 use prophet::machine::SystemParams;
+use prophet::serve::server::{serve, ServerConfig};
 use prophet::trace::{render_timeline, TraceAnalysis};
 use prophet::uml::Model;
-use prophet::workloads::models;
 use std::process::ExitCode;
+
+/// A CLI failure, split by whose fault it is: `Usage` errors name the
+/// offending token and are followed by the usage block (exit code 2);
+/// `Runtime` errors come from the pipeline itself (exit code 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// Shorthand for argument mistakes.
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Shorthand for pipeline failures.
+fn runtime_err(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n{}", usage());
+            ExitCode::from(2)
         }
     }
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
-        return Err(usage());
+        return Err(usage_err("missing command"));
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "transform" => cmd_transform(&args[1..]),
         "estimate" => cmd_estimate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(usage_err(format!("unknown command `{other}`"))),
     }
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn load_model(args: &[String]) -> Result<Model, String> {
+/// The string value of `flag` — distinguishing "flag absent" (`None`)
+/// from "value missing" (end of line, or another flag where the value
+/// should be), naming the flag in the error.
+fn value_flag<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        None => Err(usage_err(format!("missing value after `{flag}`"))),
+        Some(v) if v.starts_with("--") => Err(usage_err(format!(
+            "missing value after `{flag}` (found flag `{v}` instead)"
+        ))),
+        Some(v) => Ok(Some(v)),
+    }
+}
+
+/// [`value_flag`], parsed — additionally rejecting unparsable values
+/// with the offending token named.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
+    match value_flag(args, flag)? {
+        None => Ok(None),
+        Some(value) => value
+            .parse()
+            .map(Some)
+            .map_err(|_| usage_err(format!("invalid value `{value}` for `{flag}`"))),
+    }
+}
+
+fn load_model(args: &[String]) -> Result<Model, CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .ok_or_else(|| format!("missing model file\n{}", usage()))?;
-    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    prophet::uml::xmi::model_from_xml(&xml).map_err(|e| format!("cannot parse `{path}`: {e}"))
+        .ok_or_else(|| usage_err("missing <model.xml> argument"))?;
+    let xml = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read `{path}`: {e}")))?;
+    prophet::uml::xmi::model_from_xml(&xml)
+        .map_err(|e| runtime_err(format!("cannot parse `{path}`: {e}")))
 }
 
 /// Compile a session, rendering the full error chain on failure.
-fn compile(model: Model) -> Result<Session, String> {
-    Session::new(model).map_err(|e| render_chain(&e))
+fn compile(model: Model) -> Result<Session, CliError> {
+    Session::new(model).map_err(|e| runtime_err(render_chain(&e)))
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let model = load_model(args)?;
-    let mcf = match flag_value(args, "--mcf") {
+    let mcf = match value_flag(args, "--mcf")? {
         Some(mcf_path) => {
             let mcf_xml = std::fs::read_to_string(mcf_path)
-                .map_err(|e| format!("cannot read `{mcf_path}`: {e}"))?;
-            McfConfig::from_xml(&mcf_xml).map_err(|e| e.to_string())?
+                .map_err(|e| runtime_err(format!("cannot read `{mcf_path}`: {e}")))?;
+            McfConfig::from_xml(&mcf_xml).map_err(|e| runtime_err(e.to_string()))?
         }
         None => McfConfig::default(),
     };
@@ -124,21 +189,21 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     let errors = diags.iter().filter(|d| d.is_error()).count();
     if errors > 0 {
-        Err(format!("{errors} error(s)"))
+        Err(runtime_err(format!("{errors} error(s)")))
     } else {
         println!("{} warning(s), no errors", diags.len());
         Ok(())
     }
 }
 
-fn cmd_transform(args: &[String]) -> Result<(), String> {
+fn cmd_transform(args: &[String]) -> Result<(), CliError> {
     let model = load_model(args)?;
     if has_flag(args, "--skeleton") {
-        let skel = generate_skeleton(&model).map_err(|e| e.to_string())?;
+        let skel = generate_skeleton(&model).map_err(|e| runtime_err(e.to_string()))?;
         println!("{skel}");
         return Ok(());
     }
-    let unit = prophet::core::transform::to_cpp(&model).map_err(|e| e.to_string())?;
+    let unit = prophet::core::transform::to_cpp(&model).map_err(|e| runtime_err(e.to_string()))?;
     if has_flag(args, "--full") {
         println!("{}", unit.full_text());
     } else {
@@ -147,57 +212,40 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn system_from(args: &[String]) -> Result<SystemParams, String> {
-    let nodes = flag_value(args, "--nodes")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --nodes")?
-        .unwrap_or(1);
-    let cpus = flag_value(args, "--cpus")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --cpus")?
-        .unwrap_or(1);
-    let processes = flag_value(args, "--processes")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --processes")?
-        .unwrap_or(nodes * cpus);
-    let threads = flag_value(args, "--threads")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --threads")?
-        .unwrap_or(1);
+fn system_from(args: &[String]) -> Result<SystemParams, CliError> {
+    let nodes = parsed_flag(args, "--nodes")?.unwrap_or(1);
+    let cpus = parsed_flag(args, "--cpus")?.unwrap_or(1);
+    let processes = parsed_flag(args, "--processes")?.unwrap_or(nodes * cpus);
+    let threads = parsed_flag(args, "--threads")?.unwrap_or(1);
     let sp = SystemParams {
         nodes,
         cpus_per_node: cpus,
         processes,
         threads_per_process: threads,
     };
-    sp.validate().map_err(|e| e.to_string())?;
+    sp.validate().map_err(|e| runtime_err(e.to_string()))?;
     Ok(sp)
 }
 
-fn backend_from(args: &[String]) -> Result<Backend, String> {
-    match flag_value(args, "--backend") {
-        Some(s) => s.parse(),
+fn backend_from(args: &[String]) -> Result<Backend, CliError> {
+    match value_flag(args, "--backend")? {
+        Some(s) => s.parse().map_err(usage_err),
         None => Ok(Backend::default()),
     }
 }
 
-fn cmd_estimate(args: &[String]) -> Result<(), String> {
+fn cmd_estimate(args: &[String]) -> Result<(), CliError> {
     let sp = system_from(args)?;
     let backend = backend_from(args)?;
     if backend == Backend::Analytic && (has_flag(args, "--trace") || has_flag(args, "--timeline")) {
-        return Err(
-            "the analytic backend records no trace; drop --trace/--timeline or use --backend simulation"
-                .to_string(),
-        );
+        return Err(usage_err(
+            "the analytic backend records no trace; drop --trace/--timeline or use --backend simulation",
+        ));
     }
     let session = compile(load_model(args)?)?;
     let run = session
         .evaluate(&Scenario::new(sp).with_backend(backend))
-        .map_err(|e| render_chain(&e))?;
+        .map_err(|e| runtime_err(render_chain(&e)))?;
     println!(
         "model `{}` on {} node(s) × {} cpu(s), {} process(es) × {} thread(s)",
         session.program().name,
@@ -221,9 +269,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
                 p.element, p.count, p.total_time, p.mean_time
             );
         }
-        if let Some(path) = flag_value(args, "--trace") {
+        if let Some(path) = value_flag(args, "--trace")? {
             std::fs::write(path, run.trace.to_text())
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                .map_err(|e| runtime_err(format!("cannot write `{path}`: {e}")))?;
             println!("\ntrace written to {path}");
         }
         if has_flag(args, "--timeline") {
@@ -233,28 +281,20 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     // Validate every flag before paying the compile cost, so argument
     // mistakes get argument errors (not compile errors) and get them fast.
-    let nodes_list = flag_value(args, "--nodes").ok_or("sweep requires --nodes 1,2,4,...")?;
-    let cpus: usize = flag_value(args, "--cpus")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --cpus")?
-        .unwrap_or(1);
+    let nodes_list = value_flag(args, "--nodes")?
+        .ok_or_else(|| usage_err("sweep requires --nodes 1,2,4,..."))?;
+    let cpus: usize = parsed_flag(args, "--cpus")?.unwrap_or(1);
     // `--threads` means threads-per-process (SP) in `estimate`; reject it
     // here rather than silently reinterpreting it as the worker pool.
     if has_flag(args, "--threads") {
-        return Err(
-            "sweep evaluates flat-MPI points; use --workers W for the worker-thread pool"
-                .to_string(),
-        );
+        return Err(usage_err(
+            "sweep evaluates flat-MPI points; use --workers W for the worker-thread pool",
+        ));
     }
-    let threads: usize = flag_value(args, "--workers")
-        .map(|s| s.parse())
-        .transpose()
-        .map_err(|_| "bad --workers")?
-        .unwrap_or(0);
+    let threads: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
     let backend = backend_from(args)?;
     let points: Vec<SweepPoint> = nodes_list
         .split(',')
@@ -264,7 +304,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 .map(|n| SweepPoint {
                     sp: SystemParams::flat_mpi(n, cpus),
                 })
-                .map_err(|_| format!("bad node count `{s}`"))
+                .map_err(|_| usage_err(format!("bad node count `{s}` in `--nodes {nodes_list}`")))
         })
         .collect::<Result<_, _>>()?;
     // Unlike the legacy CLI, sweep now gates on the model checker just
@@ -311,17 +351,33 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let addr = value_flag(args, "--addr")?.unwrap_or("127.0.0.1:7077");
+    let workers: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
+    let server = serve(&ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        ..Default::default()
+    })
+    .map_err(|e| runtime_err(format!("cannot bind `{addr}`: {e}")))?;
+    // The actual address first (port 0 resolves here) so scripts and
+    // tests can parse where to connect.
+    println!("prophet-serve listening on http://{}", server.addr());
+    println!("endpoints: POST /v1/check /v1/estimate /v1/sweep — GET /v1/models /v1/metrics");
+    println!("POST /v1/shutdown for graceful drain");
+    // Parks until a shutdown request arrives, then drains in-flight
+    // requests before returning.
+    server.wait();
+    println!("prophet-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), CliError> {
     let which = args.first().map(String::as_str).unwrap_or("sample");
-    let model = match which {
-        "sample" => models::sample_model(),
-        "kernel6" => models::kernel6_model(1000, 10, 1e-9),
-        "jacobi" => models::jacobi_model(1_000_000, 20, 1e-8),
-        "lapw0" => models::lapw0_model(64, 32, 1e-4),
-        "pipeline" => models::pipeline_model(32, 0.01, 4096),
-        "master_worker" => models::master_worker_model(64, 0.01, 256),
-        other => return Err(format!("unknown demo `{other}`")),
-    };
+    // One registry for `demo` and the service's GET /v1/models, so the
+    // CLI and the wire always agree on the bundled workloads.
+    let model = prophet::serve::api::demo_model(which)
+        .ok_or_else(|| usage_err(format!("unknown demo `{which}`")))?;
     println!("{}", prophet::uml::xmi::model_to_xml(&model));
     Ok(())
 }

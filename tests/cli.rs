@@ -23,18 +23,87 @@ fn temp_model(name: &str, which: &str) -> std::path::PathBuf {
     path
 }
 
+/// Like [`prophet`], also returning the exact exit code: `2` for usage
+/// errors (bad/missing arguments), `1` for pipeline failures.
+fn prophet_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn no_args_prints_usage_and_fails() {
-    let (ok, _out, err) = prophet(&[]);
-    assert!(!ok);
+    let (code, _out, err) = prophet_code(&[]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing command"), "{err}");
     assert!(err.contains("usage:"), "{err}");
 }
 
 #[test]
 fn unknown_command_fails() {
-    let (ok, _out, err) = prophet(&["frobnicate"]);
-    assert!(!ok);
-    assert!(err.contains("unknown command"), "{err}");
+    let (code, _out, err) = prophet_code(&["frobnicate"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("unknown command `frobnicate`"), "{err}");
+}
+
+#[test]
+fn usage_errors_name_the_offending_token_before_usage() {
+    // Unknown subcommand: the token, then the usage block.
+    let (code, _out, err) = prophet_code(&["estmate"]);
+    assert_eq!(code, Some(2));
+    let token_at = err.find("`estmate`").expect(&err);
+    let usage_at = err.find("usage:").expect(&err);
+    assert!(token_at < usage_at, "token must precede usage: {err}");
+
+    // Missing positional argument.
+    let (code, _out, err) = prophet_code(&["estimate"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing <model.xml> argument"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // Bad flag value: names both the value and its flag.
+    let model = temp_model("usage-badflag", "sample");
+    let (code, _out, err) = prophet_code(&["estimate", model.to_str().unwrap(), "--nodes", "many"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("invalid value `many` for `--nodes`"), "{err}");
+
+    // Flag at the end of the line, value missing entirely.
+    let (code, _out, err) = prophet_code(&["estimate", model.to_str().unwrap(), "--nodes"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing value after `--nodes`"), "{err}");
+
+    // Unknown demo: the offending token again.
+    let (code, _out, err) = prophet_code(&["demo", "quicksort"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("unknown demo `quicksort`"), "{err}");
+}
+
+#[test]
+fn pipeline_failures_exit_1_without_usage_noise() {
+    // Unreadable model file: the user's arguments were fine.
+    let (code, _out, err) = prophet_code(&["estimate", "/no/such/model.xml"]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("cannot read"), "{err}");
+    assert!(!err.contains("usage:"), "runtime errors skip usage: {err}");
+
+    // Semantically invalid SP: also a pipeline failure, not usage.
+    let model = temp_model("exitcode-sp", "sample");
+    let (code, _out, err) = prophet_code(&[
+        "estimate",
+        model.to_str().unwrap(),
+        "--nodes",
+        "4",
+        "--processes",
+        "2",
+    ]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(!err.contains("usage:"), "{err}");
 }
 
 #[test]

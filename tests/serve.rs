@@ -1,0 +1,346 @@
+//! Integration tests for the prediction service: a real listener on an
+//! ephemeral port, real sockets, and the `prophet serve` binary itself.
+//!
+//! The headline assertion is the serve-path payoff of the compile-once
+//! stack: two sequential `POST /v1/estimate` requests for the same model
+//! compile the session **exactly once**, and the second request lands on
+//! the elaboration cache — both visible over the wire through
+//! `GET /v1/metrics`.
+
+use prophet::serve::client;
+use prophet::serve::json::Json;
+use prophet::serve::server::{serve, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+fn start() -> prophet::serve::ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port")
+}
+
+fn estimate_body(model: &str, nodes: usize) -> Json {
+    Json::object([
+        ("model_name", Json::from(model)),
+        ("nodes", Json::from(nodes)),
+    ])
+}
+
+fn field(v: &Json, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing `{key}` in {v}"));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("non-number at {path:?} in {v}"))
+}
+
+/// The acceptance criterion: same model twice → one compile, and the
+/// second request reuses both the session and its elaborations.
+#[test]
+fn two_estimates_compile_once_and_hit_the_elab_cache() {
+    let server = start();
+    let addr = server.addr();
+    let body = estimate_body("jacobi", 4);
+
+    let first = client::post(addr, "/v1/estimate", &body).expect("first estimate");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(
+        first
+            .body
+            .get("session")
+            .unwrap()
+            .get("reused")
+            .unwrap()
+            .as_bool(),
+        Some(false)
+    );
+
+    let second = client::post(addr, "/v1/estimate", &body).expect("second estimate");
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(
+        second
+            .body
+            .get("session")
+            .unwrap()
+            .get("reused")
+            .unwrap()
+            .as_bool(),
+        Some(true),
+        "second request must reuse the pooled session: {}",
+        second.body
+    );
+    // Same scenario → same prediction, bit for bit.
+    assert_eq!(
+        field(&first.body, &["predicted_time"]).to_bits(),
+        field(&second.body, &["predicted_time"]).to_bits()
+    );
+
+    // The wire-visible proof, via the metrics endpoint: one compile,
+    // one reuse, and elaboration hits > 0 after the second request.
+    let metrics = client::get(addr, "/v1/metrics").expect("metrics").body;
+    assert_eq!(field(&metrics, &["session_pool", "size"]), 1.0, "{metrics}");
+    assert_eq!(
+        field(&metrics, &["session_pool", "compiles"]),
+        1.0,
+        "{metrics}"
+    );
+    assert_eq!(
+        field(&metrics, &["session_pool", "reuses"]),
+        1.0,
+        "{metrics}"
+    );
+    assert_eq!(field(&metrics, &["elab", "misses"]), 1.0, "{metrics}");
+    assert!(
+        field(&metrics, &["elab", "hits"]) > 0.0,
+        "second estimate must be an elaboration-cache hit: {metrics}"
+    );
+    // Request accounting: two estimates, zero errors.
+    assert_eq!(field(&metrics, &["endpoints", "estimate", "requests"]), 2.0);
+    assert_eq!(field(&metrics, &["endpoints", "estimate", "errors"]), 0.0);
+    assert_eq!(
+        field(
+            &metrics,
+            &["endpoints", "estimate", "latency", "observations"]
+        ),
+        2.0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn check_estimate_sweep_agree_with_the_library() {
+    let server = start();
+    let addr = server.addr();
+
+    // check: the bundled sample model conforms.
+    let check = client::post(
+        addr,
+        "/v1/check",
+        &Json::object([("model_name", Json::from("sample"))]),
+    )
+    .unwrap();
+    assert_eq!(check.status, 200, "{}", check.body);
+    assert_eq!(check.body.get("ok").unwrap().as_bool(), Some(true));
+
+    // estimate over the wire == Session::evaluate in process.
+    let est = client::post(addr, "/v1/estimate", &estimate_body("sample", 2)).unwrap();
+    let expected = prophet::core::Session::new(prophet::serve::api::demo_model("sample").unwrap())
+        .unwrap()
+        .evaluate(
+            &prophet::core::Scenario::new(prophet::machine::SystemParams::flat_mpi(2, 1))
+                .without_trace(),
+        )
+        .unwrap()
+        .predicted_time;
+    assert_eq!(
+        field(&est.body, &["predicted_time"]).to_bits(),
+        expected.to_bits()
+    );
+
+    // sweep: table shape and speedup normalization.
+    let sweep = client::post(
+        addr,
+        "/v1/sweep",
+        &Json::object([
+            ("model_name", Json::from("jacobi")),
+            ("nodes", Json::from(vec![1usize, 2, 4])),
+            ("backend", Json::from("analytic")),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    let points = sweep.body.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 3);
+    assert_eq!(field(&points[0], &["speedup"]), 1.0);
+    assert_eq!(field(&sweep.body, &["failures"]), 0.0);
+
+    // Bad requests are typed errors, not dropped connections.
+    let bad = client::post(
+        addr,
+        "/v1/estimate",
+        &Json::object([("nodes", Json::from(2usize))]),
+    )
+    .unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.get("error").is_some());
+    let missing = client::get(addr, "/v1/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_load_compiles_each_model_once() {
+    let server = start();
+    let addr = server.addr();
+    // 3 models × 4 threads × 2 requests each, all at once.
+    std::thread::scope(|scope| {
+        for model in ["sample", "jacobi", "pipeline"] {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for nodes in [1usize, 2] {
+                        let r = client::post(addr, "/v1/estimate", &estimate_body(model, nodes))
+                            .expect("estimate under load");
+                        assert_eq!(r.status, 200, "{}", r.body);
+                    }
+                });
+            }
+        }
+    });
+    let metrics = client::get(addr, "/v1/metrics").unwrap().body;
+    assert_eq!(
+        field(&metrics, &["session_pool", "compiles"]),
+        3.0,
+        "one compile per distinct model under concurrency: {metrics}"
+    );
+    assert_eq!(
+        field(&metrics, &["session_pool", "reuses"]),
+        21.0,
+        "{metrics}"
+    );
+    assert_eq!(
+        field(&metrics, &["endpoints", "estimate", "requests"]),
+        24.0
+    );
+    server.shutdown();
+}
+
+/// Spawn the real `prophet serve` binary on an ephemeral port and drive
+/// it over the socket: the CI smoke path.
+struct ServeProcess {
+    child: Child,
+    addr: SocketAddr,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_serve(extra: &[&str]) -> ServeProcess {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    // "prophet-serve listening on http://127.0.0.1:PORT"
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable listen line: {line:?}"));
+    ServeProcess {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+#[test]
+fn serve_binary_serves_and_drains_gracefully() {
+    let mut proc = spawn_serve(&["--workers", "2"]);
+    let addr = proc.addr;
+
+    let body = estimate_body("sample", 2);
+    let first = client::post(addr, "/v1/estimate", &body).expect("estimate against the binary");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let second = client::post(addr, "/v1/estimate", &body).unwrap();
+    assert_eq!(
+        second
+            .body
+            .get("session")
+            .unwrap()
+            .get("reused")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    let metrics = client::get(addr, "/v1/metrics").unwrap().body;
+    assert_eq!(
+        field(&metrics, &["session_pool", "compiles"]),
+        1.0,
+        "{metrics}"
+    );
+    assert!(field(&metrics, &["elab", "hits"]) > 0.0, "{metrics}");
+
+    // Graceful shutdown over the wire: the process drains and exits 0.
+    let ack = client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+    assert_eq!(ack.status, 200);
+    let status = proc.child.wait().expect("binary exits");
+    assert!(status.success(), "{status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut proc.stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "missing drain message: {rest:?}");
+}
+
+#[test]
+fn serve_binary_rejects_bad_flags_as_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["serve", "--workers", "lots"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("`lots`"),
+        "must name the offending token: {err}"
+    );
+    assert!(err.contains("usage:"), "{err}");
+
+    // `--addr` with its value forgotten must not silently fall back to
+    // the default address — with or without another flag following.
+    for args in [
+        &["serve", "--addr"][..],
+        &["serve", "--addr", "--workers", "4"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_prophet"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("missing value after `--addr`"),
+            "{args:?}: {err}"
+        );
+    }
+
+    // An unbindable address is a runtime failure, not a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["serve", "--addr", "256.0.0.1:1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot bind"),
+        "{out:?}"
+    );
+}
+
+/// Raw-socket client hygiene: a malformed request gets a 400 and the
+/// server keeps serving on the same port.
+#[test]
+fn malformed_requests_do_not_wedge_the_binary() {
+    let mut proc = spawn_serve(&["--workers", "1"]);
+    let addr = proc.addr;
+    {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 5\r\n\r\n{oops")
+            .unwrap();
+        let mut resp = String::new();
+        std::io::Read::read_to_string(&mut s, &mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+    let ok = client::get(addr, "/v1/models").unwrap();
+    assert_eq!(ok.status, 200);
+    client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+    assert!(proc.child.wait().unwrap().success());
+}
