@@ -1,0 +1,112 @@
+//! Persistent artifact store: a store hit must be correct — zero
+//! check/transform invocations, bit-identical predictions, persisted
+//! elaborations served as pure cache hits.
+//!
+//! The guard section (run by the CI smoke) pins that contract; the
+//! timed section is honest about the economics. For a small model, a
+//! cold compile is *cheaper* than a disk load — the store's payoff is
+//! the restart semantics (zero compiles, wire-visible on
+//! `/v1/metrics`) and the pre-flattened elaborations riding along:
+//! `restart_to_first_sweep` measures the end-to-end question ("process
+//! starts → first sweep served") where the warm path amortizes both
+//! the compile and every per-point flatten.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_check::McfConfig;
+use prophet_core::{
+    mpi_grid, transform_invocations, ArtifactKey, ArtifactStore, Scenario, Session, SweepConfig,
+};
+use prophet_machine::SystemParams;
+use prophet_workloads::models::jacobi_model;
+
+fn temp_store(tag: &str) -> ArtifactStore {
+    let dir =
+        std::env::temp_dir().join(format!("prophet-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactStore::open(dir).expect("temp store opens")
+}
+
+fn bench_store(c: &mut Criterion) {
+    let model = jacobi_model(100_000, 10, 1e-8);
+    let store = temp_store("hitpath");
+
+    // Warm the store: compile once, pre-elaborate a grid, persist.
+    let session = Session::new(model.clone()).expect("compile");
+    let points = mpi_grid(&[1, 2, 4, 8], 1);
+    assert_eq!(
+        session
+            .sweep_with(&points, &SweepConfig::default(), |_, _| {})
+            .failures(),
+        0
+    );
+    let key = store.save_session(&session).expect("store write");
+
+    // --- Guard: a store hit skips check + transform and predicts
+    // bit-identically (the CI smoke gate for the persistence layer). ---
+    let before = transform_invocations();
+    let loaded = Session::compile_stored(model.clone(), McfConfig::default(), Some(&store))
+        .expect("store hit");
+    assert_eq!(
+        transform_invocations(),
+        before,
+        "a store hit must not invoke the transformer"
+    );
+    let scenario = Scenario::new(SystemParams::flat_mpi(4, 1)).without_trace();
+    assert_eq!(
+        loaded.evaluate(&scenario).unwrap().predicted_time.to_bits(),
+        session
+            .evaluate(&scenario)
+            .unwrap()
+            .predicted_time
+            .to_bits(),
+        "loaded artifact must predict bit-identically"
+    );
+    // The persisted elaborations came back: the evaluate above was a
+    // pure cache hit, no fresh flatten.
+    let stats = loaded.elab_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+    assert_eq!(ArtifactKey::of(loaded.model(), loaded.mcf()), key);
+
+    // --- Timings. ---
+    let mut group = c.benchmark_group("store/jacobi");
+    group.sample_size(10);
+    group.bench_function("cold_compile", |b| {
+        b.iter(|| Session::new(model.clone()).expect("compile"))
+    });
+    group.bench_function("disk_load", |b| {
+        b.iter(|| store.load_session(key).expect("hit"))
+    });
+    group.bench_function("compile_stored_hit", |b| {
+        b.iter(|| {
+            Session::compile_stored(model.clone(), McfConfig::default(), Some(&store)).expect("hit")
+        })
+    });
+    group.finish();
+
+    // The restart question the store actually answers: how long from
+    // "process starts" to "first sweep served"? Cold pays compile +
+    // per-point flattening; warm pays the disk load and then serves the
+    // pre-flattened grid as pure elaboration-cache hits.
+    let config = SweepConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("store/restart_to_first_sweep");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let s = Session::new(model.clone()).expect("compile");
+            assert_eq!(s.sweep_with(&points, &config, |_, _| {}).failures(), 0);
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let s = store.load_session(key).expect("hit");
+            assert_eq!(s.sweep_with(&points, &config, |_, _| {}).failures(), 0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -22,6 +22,12 @@
 //!   that asks again ([`Session::elab_stats`] exposes the hit/miss
 //!   counters; `SweepConfig::no_elab_cache` / `--no-elab-cache` opt
 //!   out),
+//! * [`store`] — the persistent compiled-artifact store: compiled
+//!   sessions serialize to content-addressed, versioned, checksummed
+//!   files ([`ArtifactStore`]), so "compile once" becomes a
+//!   deployment-lifetime property — `Session::compile_stored` skips
+//!   check + transform entirely on a store hit, and corrupt or
+//!   stale-format entries read back as clean misses,
 //! * [`error`] — the unified [`Error`] enum with `source()` chaining,
 //! * [`project`] / [`sweep`] — the deprecated single-shot API, kept as
 //!   thin shims over [`Session`] (see the [`project`] module docs for
@@ -65,6 +71,7 @@
 pub mod error;
 pub mod project;
 pub mod session;
+pub mod store;
 pub mod sweep;
 pub mod transform;
 
@@ -77,6 +84,7 @@ pub use prophet_estimator::{
     flatten_invocations, Backend, ElabStats, ElaborationCache, EstimatorOptions, Evaluation,
 };
 pub use session::{mpi_grid, PointResult, Scenario, Session, SweepConfig, SweepPoint, SweepReport};
+pub use store::{ArtifactKey, ArtifactStore, StoreStats};
 #[allow(deprecated)]
 pub use sweep::{sweep_parallel, sweep_serial, SweepResult};
 pub use transform::{to_cpp, to_program, transform_invocations, TransformError};

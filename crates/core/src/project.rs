@@ -1,7 +1,7 @@
 //! The legacy single-shot pipeline API, now a shim over [`Session`].
 //!
 //! `Project::run()` re-checks and re-transforms the model on every call;
-//! [`Session`](crate::Session) does that work exactly once and then
+//! [`Session`] does that work exactly once and then
 //! evaluates any number of scenarios. New code should compile a session:
 //!
 //! ```
@@ -26,10 +26,10 @@
 //! | old | new |
 //! |---|---|
 //! | `Project::new(model).run()?` | `Session::new(model)?.evaluate(&Scenario::default())?` |
-//! | `.with_system(sp)` / `.with_comm(c)` / `.with_options(o)` | fields of [`Scenario`](crate::Scenario) |
+//! | `.with_system(sp)` / `.with_comm(c)` / `.with_options(o)` | fields of [`Scenario`] |
 //! | `.with_mcf(mcf)` | argument of [`Session::compile`](crate::Session::compile) |
 //! | `sweep_parallel(&project, &points, n)` | [`Session::sweep`](crate::Session::sweep) / [`Session::sweep_with`](crate::Session::sweep_with) |
-//! | `ProjectError` | [`Error`](crate::Error) (with `source()` chaining) |
+//! | `ProjectError` | [`Error`] (with `source()` chaining) |
 
 use crate::error::Error;
 use crate::session::{Scenario, Session};

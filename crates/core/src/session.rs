@@ -258,6 +258,28 @@ impl Session {
         })
     }
 
+    /// Rebuild a session from already-compiled artifacts (the
+    /// deserialization path of [`crate::store::ArtifactStore`]): no
+    /// check, no transform — the caller vouches that the artifacts
+    /// belong to `model`/`mcf`, which the store enforces by content
+    /// digest + checksum.
+    pub(crate) fn from_parts(
+        model: Model,
+        mcf: McfConfig,
+        diagnostics: Vec<Diagnostic>,
+        cpp: CppUnit,
+        program: Program,
+    ) -> Self {
+        Self {
+            model,
+            mcf,
+            diagnostics,
+            cpp,
+            program,
+            elab: Arc::new(ElaborationCache::new()),
+        }
+    }
+
     /// Compile with the default model-checking configuration.
     pub fn new(model: Model) -> Result<Self, Error> {
         Self::compile(model, McfConfig::default())
@@ -336,6 +358,12 @@ impl Session {
     /// these (`hits + misses` grows by one per cached evaluation).
     pub fn elab_stats(&self) -> ElabStats {
         self.elab.stats()
+    }
+
+    /// The session's shared [`ElaborationCache`] — what the persistent
+    /// artifact store snapshots at save time and re-seeds on load.
+    pub fn elab_cache(&self) -> &ElaborationCache {
+        &self.elab
     }
 
     /// Sweep an SP grid with default comm/options and auto threading.

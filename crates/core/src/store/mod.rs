@@ -1,0 +1,635 @@
+//! The persistent compiled-artifact store: "compile once" across
+//! process restarts, not just within one.
+//!
+//! The paper's premise is that a performance model is compiled once and
+//! interrogated many times. [`crate::Session`] delivers that within a
+//! process and the serve layer's session pool across connections; this
+//! module extends it across *deployments*: a compiled session — check
+//! diagnostics, generated C++ PMP, executable
+//! [`Program`](prophet_estimator::Program) IR, and
+//! (optionally) pre-flattened per-rank op lists — serializes to a
+//! content-addressed file, and any later process can warm-start from it,
+//! skipping check, `to_cpp`, and `to_program` entirely.
+//!
+//! * **Addressing.** [`ArtifactKey`] is the same `(model, MCF)` content
+//!   digest pair the serve-layer session pool keys on: FNV-1a over the
+//!   *canonical* XML serializations ([`canonical_model_xml`] — one
+//!   serialize→parse→serialize fixed point — and `McfConfig::to_xml`
+//!   with sorted rule ids). Two spellings of the same model share one
+//!   artifact, on disk exactly as in memory.
+//! * **Format.** One file per key
+//!   (`pp-<model digest>-<mcf digest>.bin`): a 4-byte magic, a
+//!   [`FORMAT_VERSION`], the payload length, the payload (see
+//!   [`codec`]), and an FNV-1a checksum of the payload. Writes go
+//!   through a temp file + atomic rename, so a reader never observes a
+//!   half-written entry.
+//! * **Corruption and staleness are misses, never errors.** A missing
+//!   file, short file, bad magic, stale version, checksum mismatch,
+//!   undecodable payload, or a payload whose recomputed content key
+//!   disagrees with its file name all read back as `None` — and the
+//!   offending file is evicted so the next compile re-writes it
+//!   cleanly. [`StoreStats::evictions`] counts those; nothing in the
+//!   load path panics or propagates an error to a request.
+//! * **Elaborations ride along where cheap.** Saving snapshots the
+//!   session's [`ElaborationCache`](crate::ElaborationCache); entries up
+//!   to [`MAX_PERSISTED_ENTRY_OPS`] primitive ops are embedded and
+//!   re-seeded on load, so a warm-started session's first estimate for
+//!   a pre-warmed SP point skips flattening too. Larger elaborations
+//!   are dropped at save time (they are exactly the ones that are cheap
+//!   to keep *relative to recomputing* only when I/O is free — which it
+//!   is not) and re-flatten on demand.
+//!
+//! The CLI builds stores offline with `prophet warm --store DIR`, and
+//! `prophet serve --store DIR` warm-starts its pool from one at boot;
+//! a shared store directory is also the natural substrate for sharding
+//! predictions across processes (the ROADMAP's scale-out item) — every
+//! shard key is already a stable content digest.
+
+pub mod codec;
+
+use crate::error::Error;
+use crate::session::Session;
+use codec::{DecodeError, Reader, Writer};
+use prophet_check::McfConfig;
+use prophet_uml::Model;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk format version. Bump on any payload or header change: a
+/// version mismatch reads as a clean miss (plus eviction), never as a
+/// misdecode.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic: "Prophet Persistent Artifact Format".
+pub const MAGIC: [u8; 4] = *b"PPAF";
+
+/// Elaboration entries larger than this many primitive ops (summed over
+/// all ranks, top level) are not persisted — re-flattening them is
+/// cheaper than reading them back.
+pub const MAX_PERSISTED_ENTRY_OPS: usize = 1 << 16;
+
+/// Content key of one compiled artifact — the `(model, MCF)` digest
+/// pair shared with the serve layer's session pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey {
+    /// FNV-1a digest of the canonical model XML.
+    pub model: u64,
+    /// FNV-1a digest of the canonical MCF XML.
+    pub mcf: u64,
+}
+
+impl ArtifactKey {
+    /// Key for a `(model, mcf)` pair, by canonical serialization.
+    pub fn of(model: &Model, mcf: &McfConfig) -> Self {
+        Self {
+            model: fnv1a(canonical_model_xml(model).as_bytes()),
+            mcf: fnv1a(mcf.to_xml().as_bytes()),
+        }
+    }
+
+    /// The store file name of this key.
+    fn file_name(&self) -> String {
+        format!("pp-{:016x}-{:016x}.bin", self.model, self.mcf)
+    }
+
+    /// Parse a store file name back into its key.
+    fn from_file_name(name: &str) -> Option<Self> {
+        let rest = name.strip_prefix("pp-")?.strip_suffix(".bin")?;
+        let (model, mcf) = rest.split_once('-')?;
+        if model.len() != 16 || mcf.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            model: u64::from_str_radix(model, 16).ok()?,
+            mcf: u64::from_str_radix(mcf, 16).ok()?,
+        })
+    }
+}
+
+/// The canonical serialization of a model: one serialize→parse→serialize
+/// roundtrip. The XMI parser re-assigns element ids in document order,
+/// so a builder-constructed model and its parsed round trip serialize
+/// with different (isomorphic) ids; after one parse the ids *are*
+/// document-ordered and the serialization is a fixed point — pinned by
+/// the serve pool's `canonicalization_is_a_fixed_point` test for every
+/// demo model.
+pub fn canonical_model_xml(model: &Model) -> String {
+    let first = prophet_uml::xmi::model_to_xml(model);
+    match prophet_uml::xmi::model_from_xml(&first) {
+        Ok(reparsed) => prophet_uml::xmi::model_to_xml(&reparsed),
+        // Unserializable models can't happen for checked input, but a
+        // digest must never fail: fall back to the raw serialization.
+        Err(_) => first,
+    }
+}
+
+/// 64-bit FNV-1a (the digest family shared with `op_digest` and the
+/// elaboration cache's content keys).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Counter snapshot of an [`ArtifactStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Loads served from a valid on-disk artifact.
+    pub disk_hits: u64,
+    /// Loads that found no usable artifact (absent, corrupt, or stale).
+    pub disk_misses: u64,
+    /// Artifacts written (compile write-back or `prophet warm`).
+    pub writes: u64,
+    /// Writes that failed at the filesystem (the compile still
+    /// succeeds; the artifact is just not persisted).
+    pub write_errors: u64,
+    /// Corrupt or stale-version entries deleted on load.
+    pub evictions: u64,
+}
+
+/// A content-addressed on-disk store of compiled sessions.
+///
+/// Thread-safe by `&self`: counters are atomics, writes are atomic
+/// renames, and loads never mutate an entry (they may *delete* a
+/// corrupt one, which concurrent readers observe as a miss).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) a store rooted at `dir`, probing that
+    /// the directory is actually writable so `serve`/`warm` fail at
+    /// startup — with a plain I/O error — rather than silently serving
+    /// a store that can never persist anything.
+    ///
+    /// # Errors
+    /// The underlying I/O error when `dir` cannot be created (e.g. the
+    /// path names an existing file) or written to.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let probe = dir.join(format!(".probe-{}", std::process::id()));
+        std::fs::write(&probe, b"ok")?;
+        std::fs::remove_file(&probe)?;
+        Ok(Self {
+            dir,
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an artifact for `key` lives in (whether or not one
+    /// currently does) — exposed for tests and operational tooling.
+    pub fn entry_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Every key with an artifact file currently present, sorted.
+    /// Presence does not imply validity — a later
+    /// [`load_session`](Self::load_session) may still reject the entry.
+    pub fn keys(&self) -> Vec<ArtifactKey> {
+        let mut keys: Vec<ArtifactKey> = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| ArtifactKey::from_file_name(&e.file_name().to_string_lossy()))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        keys.sort();
+        keys
+    }
+
+    /// Load the compiled session stored under `key`, or `None` (a
+    /// *miss*) when no usable artifact exists. Corrupt and
+    /// stale-version entries are evicted on the way out so the next
+    /// compile re-writes them; the session's elaboration cache comes
+    /// back pre-seeded with every persisted elaboration.
+    pub fn load_session(&self, key: ArtifactKey) -> Option<Session> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_session(&bytes, key) {
+            Ok(session) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(session)
+            }
+            Err(_) => {
+                // Corrupt or stale: delete so the slot re-fills with a
+                // current-format artifact on the next write-back — but
+                // only while the file still looks like the bytes that
+                // failed to decode. A concurrent writer may have just
+                // renamed a fresh, valid artifact into place (shared
+                // store directories are supported); deleting by length
+                // comparison narrows that window to same-length
+                // replacements, which the next load simply evicts
+                // again.
+                let unchanged = std::fs::metadata(&path)
+                    .map(|m| m.len() == bytes.len() as u64)
+                    .unwrap_or(false);
+                if unchanged {
+                    let _ = std::fs::remove_file(&path);
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist `session` (artifacts + cheap elaborations) under its
+    /// content key, atomically. Failures are counted and returned, but
+    /// callers on the serve path deliberately ignore them — a store
+    /// that cannot write degrades to compile-per-boot, it does not take
+    /// requests down.
+    ///
+    /// # Errors
+    /// The underlying I/O error when the temp file cannot be written or
+    /// renamed into place.
+    pub fn save_session(&self, session: &Session) -> io::Result<ArtifactKey> {
+        let key = ArtifactKey::of(session.model(), session.mcf());
+        let bytes = encode_session(session);
+        let path = self.entry_path(key);
+        // Unique per call (pid + process-wide counter): two threads
+        // saving the same key concurrently — e.g. the pool's bypass
+        // path under capacity pressure — must not share a temp file,
+        // or the atomic-rename guarantee dies with it.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+        match result {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(key)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Session {
+    /// [`Session::compile`] with an optional [`ArtifactStore`]: a store
+    /// hit rebuilds the session from disk — skipping check, `to_cpp`
+    /// and `to_program` entirely — and a miss compiles, then writes the
+    /// artifact back for the next process.
+    ///
+    /// Write-back failures are swallowed (and counted in
+    /// [`StoreStats::write_errors`]): persistence is an accelerator,
+    /// not a correctness dependency.
+    ///
+    /// # Errors
+    /// Exactly [`Session::compile`]'s errors; the store can only turn a
+    /// success path faster, never a failure path different.
+    pub fn compile_stored(
+        model: Model,
+        mcf: McfConfig,
+        store: Option<&ArtifactStore>,
+    ) -> Result<Self, Error> {
+        let Some(store) = store else {
+            return Self::compile(model, mcf);
+        };
+        let key = ArtifactKey::of(&model, &mcf);
+        if let Some(session) = store.load_session(key) {
+            return Ok(session);
+        }
+        let session = Self::compile(model, mcf)?;
+        let _ = store.save_session(&session);
+        Ok(session)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-artifact encode / decode
+// ---------------------------------------------------------------------
+
+/// Serialize a compiled session into the full artifact byte image
+/// (header + payload + checksum).
+fn encode_session(session: &Session) -> Vec<u8> {
+    let mut w = Writer::new();
+    codec::put_str(&mut w, &canonical_model_xml(session.model()));
+    codec::put_str(&mut w, &session.mcf().to_xml());
+    codec::put_diagnostics(&mut w, session.diagnostics());
+    codec::put_cpp(&mut w, session.cpp());
+    codec::put_program(&mut w, session.program());
+    let entries: Vec<_> = session
+        .elab_cache()
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.op_count() <= MAX_PERSISTED_ENTRY_OPS)
+        .collect();
+    codec::put_count(&mut w, entries.len());
+    for entry in &entries {
+        codec::put_elab_entry(&mut w, entry);
+    }
+    let payload = w.into_bytes();
+
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// Decode and verify a full artifact byte image back into a session.
+/// Every failure mode — short header, wrong magic, stale version,
+/// length mismatch, checksum mismatch, payload misdecode, content-key
+/// mismatch — is a [`DecodeError`] the caller treats as a miss.
+fn decode_session(bytes: &[u8], expected: ArtifactKey) -> Result<Session, DecodeError> {
+    let fail = |what: &str| Err(DecodeError(what.to_string()));
+    if bytes.len() < 16 + 8 {
+        return fail("shorter than header + checksum");
+    }
+    if bytes[0..4] != MAGIC {
+        return fail("bad magic");
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return fail("stale format version");
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + payload_len + 8 {
+        return fail("length field disagrees with file size");
+    }
+    let payload = &bytes[16..16 + payload_len];
+    let checksum = u64::from_le_bytes(bytes[16 + payload_len..].try_into().unwrap());
+    if fnv1a(payload) != checksum {
+        return fail("checksum mismatch");
+    }
+
+    let mut r = Reader::new(payload);
+    let model_xml = codec::get_str(&mut r)?;
+    let mcf_xml = codec::get_str(&mut r)?;
+    let diagnostics = codec::get_diagnostics(&mut r)?;
+    let cpp = codec::get_cpp(&mut r)?;
+    let program = codec::get_program(&mut r)?;
+    let entry_count = codec::get_count(&mut r, 92)?;
+    let mut entries = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        entries.push(codec::get_elab_entry(&mut r)?);
+    }
+    r.finish()?;
+
+    // The file name is trusted for *addressing* only; the content must
+    // independently agree with it, or a renamed/substituted artifact
+    // could impersonate another model. The store writes the *canonical*
+    // spellings, so the digests recompute directly over the stored
+    // bytes; the fixed-point checks below then pin that the stored
+    // spelling really is the canonical serialization of what it parses
+    // to (together equivalent to re-running `ArtifactKey::of`, without
+    // paying its serialize→parse→serialize on every load).
+    if fnv1a(model_xml.as_bytes()) != expected.model || fnv1a(mcf_xml.as_bytes()) != expected.mcf {
+        return fail("content digest disagrees with the entry's key");
+    }
+    let model = prophet_uml::xmi::model_from_xml(&model_xml)
+        .map_err(|e| DecodeError(format!("stored model XML does not parse: {e}")))?;
+    let mcf = McfConfig::from_xml(&mcf_xml)
+        .map_err(|e| DecodeError(format!("stored MCF XML does not parse: {e}")))?;
+    if prophet_uml::xmi::model_to_xml(&model) != model_xml {
+        return fail("stored model XML is not canonical");
+    }
+    if mcf.to_xml() != mcf_xml {
+        return fail("stored MCF XML is not canonical");
+    }
+
+    let session = Session::from_parts(model, mcf, diagnostics, cpp, program);
+    for entry in entries {
+        session
+            .elab_cache()
+            .seed(entry.sp, entry.comm, entry.limits, entry.ops);
+    }
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_uml::ModelBuilder;
+
+    fn model(name: &str, cost: &str) -> Model {
+        let mut b = ModelBuilder::new(name);
+        let main = b.main_diagram();
+        let i = b.initial(main, "start");
+        let a = b.action(main, "Work", cost);
+        let f = b.final_node(main, "end");
+        b.flow(main, i, a);
+        b.flow(main, a, f);
+        b.build()
+    }
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("prophet-store-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).expect("temp store opens")
+    }
+
+    #[test]
+    fn key_is_spelled_into_and_parsed_from_file_names() {
+        let key = ArtifactKey {
+            model: 0x0123_4567_89ab_cdef,
+            mcf: 0xfedc_ba98_7654_3210,
+        };
+        let name = key.file_name();
+        assert_eq!(name, "pp-0123456789abcdef-fedcba9876543210.bin");
+        assert_eq!(ArtifactKey::from_file_name(&name), Some(key));
+        assert_eq!(ArtifactKey::from_file_name("pp-zz.bin"), None);
+        assert_eq!(ArtifactKey::from_file_name("unrelated.txt"), None);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() {
+        let store = temp_store("roundtrip");
+        let session = Session::new(model("m", "2.0 / P")).unwrap();
+        // Populate the elab cache so entries are persisted too.
+        let scenario =
+            crate::Scenario::new(prophet_machine::SystemParams::flat_mpi(2, 1)).without_trace();
+        let fresh = session.evaluate(&scenario).unwrap();
+
+        let key = store.save_session(&session).unwrap();
+        let loaded = store.load_session(key).expect("hit");
+        assert_eq!(loaded.cpp().model_text(), session.cpp().model_text());
+        assert_eq!(loaded.program(), session.program());
+        assert_eq!(loaded.diagnostics().len(), session.diagnostics().len());
+        assert_eq!(loaded.model_xml(), canonical_model_xml(session.model()));
+
+        // The persisted elaboration is seeded: the first evaluation is
+        // a pure cache hit and agrees bit for bit.
+        let again = loaded.evaluate(&scenario).unwrap();
+        assert_eq!(
+            again.predicted_time.to_bits(),
+            fresh.predicted_time.to_bits()
+        );
+        let stats = loaded.elab_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "{stats:?}");
+
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                disk_hits: 1,
+                writes: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn load_of_absent_key_is_a_plain_miss() {
+        let store = temp_store("absent");
+        let key = ArtifactKey { model: 1, mcf: 2 };
+        assert!(store.load_session(key).is_none());
+        assert_eq!(store.stats().disk_misses, 1);
+        assert_eq!(store.stats().evictions, 0, "nothing to evict");
+    }
+
+    #[test]
+    fn compile_stored_hits_skip_check_and_transform() {
+        let store = temp_store("skip");
+        let m = model("skip", "3.0");
+        let mcf = McfConfig::default();
+        let s1 = Session::compile_stored(m.clone(), mcf.clone(), Some(&store)).unwrap();
+        assert_eq!(store.stats().writes, 1, "miss must write back");
+
+        let before = crate::transform::transform_invocations();
+        let s2 = Session::compile_stored(m.clone(), mcf.clone(), Some(&store)).unwrap();
+        assert_eq!(
+            crate::transform::transform_invocations(),
+            before,
+            "a store hit must not re-transform"
+        );
+        assert_eq!(s2.program(), s1.program());
+        assert_eq!(store.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn truncated_entries_are_evicted_and_rewritten() {
+        let store = temp_store("trunc");
+        let session = Session::new(model("t", "1.0")).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let path = store.entry_path(key);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        assert!(store.load_session(key).is_none(), "truncated = miss");
+        assert!(!path.exists(), "truncated entry must be evicted");
+        assert_eq!(store.stats().evictions, 1);
+
+        // The slot re-fills cleanly.
+        store.save_session(&session).unwrap();
+        assert!(store.load_session(key).is_some());
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let store = temp_store("bitflip");
+        let session = Session::new(model("b", "1.0")).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let path = store.entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = 16 + (bytes.len() - 24) / 2; // somewhere inside the payload
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load_session(key).is_none(), "bit flip = miss");
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stale_format_version_is_a_miss() {
+        let store = temp_store("version");
+        let session = Session::new(model("v", "1.0")).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let path = store.entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load_session(key).is_none(), "future version = miss");
+        assert!(!path.exists(), "stale entry must be evicted");
+    }
+
+    #[test]
+    fn renamed_entry_cannot_impersonate_another_model() {
+        let store = temp_store("rename");
+        let a = Session::new(model("a", "1.0")).unwrap();
+        let b = Session::new(model("b", "2.0")).unwrap();
+        let key_a = store.save_session(&a).unwrap();
+        let key_b = ArtifactKey::of(b.model(), b.mcf());
+        // Drop model a's artifact into model b's slot.
+        std::fs::copy(store.entry_path(key_a), store.entry_path(key_b)).unwrap();
+        assert!(
+            store.load_session(key_b).is_none(),
+            "content digest must disagree with the entry's key"
+        );
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn open_rejects_a_file_path() {
+        let path =
+            std::env::temp_dir().join(format!("prophet-store-not-a-dir-{}", std::process::id()));
+        std::fs::write(&path, b"i am a file").unwrap();
+        assert!(ArtifactStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keys_lists_exactly_the_store_entries() {
+        let store = temp_store("keys");
+        assert!(store.keys().is_empty());
+        let k1 = store
+            .save_session(&Session::new(model("k1", "1.0")).unwrap())
+            .unwrap();
+        let k2 = store
+            .save_session(&Session::new(model("k2", "2.0")).unwrap())
+            .unwrap();
+        // Unrelated files are ignored.
+        std::fs::write(store.dir().join("notes.txt"), b"hi").unwrap();
+        let mut expected = vec![k1, k2];
+        expected.sort();
+        assert_eq!(store.keys(), expected);
+    }
+}

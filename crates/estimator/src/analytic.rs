@@ -32,7 +32,8 @@
 //!
 //! ## Agreement contract (differential conformance)
 //!
-//! Relative to the simulation backend on the same [`Program`]:
+//! Relative to the simulation backend on the same
+//! [`Program`](crate::program::Program):
 //!
 //! * **exact** (bit-equal predicted time) for deterministic,
 //!   communication-free models — compute costs accumulate through

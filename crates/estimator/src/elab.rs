@@ -13,7 +13,7 @@
 //! R seeds × both backends only has S distinct elaborations, not S×R×2.
 //! [`ElaborationCache`] memoizes them:
 //!
-//! * **Keying.** [`ElabKey`] is a content key over the machine model and
+//! * **Keying.** `ElabKey` is a content key over the machine model and
 //!   limits: the SP quadruple, the five communication parameters (by
 //!   f64 bit pattern — collective expansion bakes `machine.comm` costs
 //!   into `Wait` ops), and both flatten limits (two scenarios with
@@ -49,7 +49,7 @@
 
 use crate::flatten::{flatten_for_process, FlattenError, FlattenLimits, PrimOp};
 use crate::program::Program;
-use prophet_machine::MachineModel;
+use prophet_machine::{CommParams, MachineModel, SystemParams};
 use std::fmt;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -88,8 +88,13 @@ struct ElabKey {
 
 impl ElabKey {
     fn new(machine: &MachineModel, limits: FlattenLimits) -> Self {
-        let sp = machine.sp;
-        let c = machine.comm.params;
+        Self::from_parts(machine.sp, machine.comm.params, limits)
+    }
+
+    /// Key from raw scenario parts (what [`ElaborationCache::seed`] and
+    /// the persisted-artifact store work with — no `MachineModel`
+    /// construction, hence no SP validation, on the load path).
+    fn from_parts(sp: SystemParams, c: CommParams, limits: FlattenLimits) -> Self {
         Self {
             nodes: sp.nodes,
             cpus_per_node: sp.cpus_per_node,
@@ -103,6 +108,28 @@ impl ElabKey {
                 c.send_overhead.to_bits(),
             ],
             limits,
+        }
+    }
+
+    /// The system parameters this key was built from.
+    fn sp(&self) -> SystemParams {
+        SystemParams {
+            nodes: self.nodes,
+            cpus_per_node: self.cpus_per_node,
+            processes: self.processes,
+            threads_per_process: self.threads_per_process,
+        }
+    }
+
+    /// The communication parameters this key was built from
+    /// (bit-exact: the key stores the raw f64 bit patterns).
+    fn comm(&self) -> CommParams {
+        CommParams {
+            intra_latency: f64::from_bits(self.comm_bits[0]),
+            intra_bandwidth: f64::from_bits(self.comm_bits[1]),
+            inter_latency: f64::from_bits(self.comm_bits[2]),
+            inter_bandwidth: f64::from_bits(self.comm_bits[3]),
+            send_overhead: f64::from_bits(self.comm_bits[4]),
         }
     }
 
@@ -165,6 +192,30 @@ impl ElabStats {
     /// bypasses). In a cached sweep this is the flatten count.
     pub fn flattens(&self) -> u64 {
         self.misses + self.bypasses
+    }
+}
+
+/// One successful elaboration, exported by [`ElaborationCache::snapshot`]
+/// and re-imported by [`ElaborationCache::seed`] — the unit the
+/// persistent artifact store (`prophet_core::store`) serializes so a
+/// warm-started session re-serves its op lists without re-flattening.
+#[derive(Debug, Clone)]
+pub struct ElabEntry {
+    /// System parameters of the elaborated scenario.
+    pub sp: SystemParams,
+    /// Communication parameters (bit-exact through snapshot→seed).
+    pub comm: CommParams,
+    /// The flatten limits the elaboration ran under.
+    pub limits: FlattenLimits,
+    /// The per-rank op lists.
+    pub ops: RankOps,
+}
+
+impl ElabEntry {
+    /// Total primitive-op count across all ranks (top level only; a
+    /// size proxy the store uses for its "persist where cheap" bound).
+    pub fn op_count(&self) -> usize {
+        self.ops.iter().map(|rank| rank.len()).sum()
     }
 }
 
@@ -269,6 +320,80 @@ impl ElaborationCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         result.clone()
+    }
+
+    /// Pre-fill the entry for `(sp, comm, limits)` with an elaboration
+    /// computed elsewhere (a prior process run, via the persistent
+    /// artifact store). Seeding is not a lookup: it touches no hit/miss
+    /// counter, so a seeded entry's first `get_or_flatten` is a plain
+    /// hit. Returns `false` when the cache is at capacity (the seed is
+    /// dropped) — an already-present entry is left untouched and counts
+    /// as seeded.
+    ///
+    /// The caller must only seed op lists that were flattened from the
+    /// same program this cache serves; the store guarantees that by
+    /// keying artifacts on the model content digest.
+    pub fn seed(
+        &self,
+        sp: SystemParams,
+        comm: CommParams,
+        limits: FlattenLimits,
+        ops: RankOps,
+    ) -> bool {
+        let key = ElabKey::from_parts(sp, comm, limits);
+        let hash = key.hash();
+        let Some(node) = self.intern(key, hash) else {
+            return false;
+        };
+        // First writer wins; racing a concurrent flatten (or an earlier
+        // seed) of the same key is benign — both values are correct.
+        let _ = node.slot.set(Ok(ops));
+        true
+    }
+
+    /// Every successfully elaborated entry currently interned, in
+    /// deterministic `(SP, comm, limits)` order. Failed elaborations
+    /// are not exported (a seeded cache should re-diagnose them
+    /// freshly), and unfilled entries (a concurrent flatten still in
+    /// flight) are skipped rather than waited for.
+    pub fn snapshot(&self) -> Vec<ElabEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut cur = shard.head.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: published nodes live until the cache drops.
+                let node = unsafe { &*cur };
+                if let Some(Ok(ops)) = node.slot.get() {
+                    out.push(ElabEntry {
+                        sp: node.key.sp(),
+                        comm: node.key.comm(),
+                        limits: node.key.limits,
+                        ops: ops.clone(),
+                    });
+                }
+                cur = node.next;
+            }
+        }
+        out.sort_by_key(|e| {
+            (
+                [
+                    e.sp.nodes as u64,
+                    e.sp.cpus_per_node as u64,
+                    e.sp.processes as u64,
+                    e.sp.threads_per_process as u64,
+                ],
+                [
+                    e.comm.intra_latency.to_bits(),
+                    e.comm.intra_bandwidth.to_bits(),
+                    e.comm.inter_latency.to_bits(),
+                    e.comm.inter_bandwidth.to_bits(),
+                    e.comm.send_overhead.to_bits(),
+                ],
+                e.limits.max_ops,
+                e.limits.max_loop_iterations,
+            )
+        });
+        out
     }
 
     /// Counter snapshot (hits / misses / bypasses so far).
@@ -568,6 +693,90 @@ mod tests {
         assert!(cache.len() <= 4, "{} entries", cache.len());
         assert_eq!(stats.misses as usize, cache.len(), "{stats:?}");
         assert_eq!(stats.misses + stats.bypasses, 16, "{stats:?}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_seed() {
+        let cache = ElaborationCache::new();
+        let p = program();
+        for procs in [1, 2, 4] {
+            cache
+                .get_or_flatten(&p, &machine(procs), FlattenLimits::default())
+                .unwrap();
+        }
+        let entries = cache.snapshot();
+        assert_eq!(entries.len(), 3);
+        // Deterministic order regardless of shard layout.
+        let procs: Vec<usize> = entries.iter().map(|e| e.sp.processes).collect();
+        assert_eq!(procs, vec![1, 2, 4]);
+
+        // Seed a fresh cache: every subsequent lookup is a pure hit and
+        // serves the seeded Arc (no re-flatten).
+        let seeded = ElaborationCache::new();
+        for e in &entries {
+            assert!(seeded.seed(e.sp, e.comm, e.limits, e.ops.clone()));
+        }
+        assert_eq!(
+            seeded.stats(),
+            ElabStats::default(),
+            "seeding is not a lookup"
+        );
+        for e in &entries {
+            let m = MachineModel::new(e.sp, e.comm).unwrap();
+            let got = seeded.get_or_flatten(&p, &m, e.limits).unwrap();
+            assert!(
+                Arc::ptr_eq(&got, &e.ops),
+                "seeded entry must be served as-is"
+            );
+        }
+        assert_eq!(seeded.stats().hits, 3);
+        assert_eq!(seeded.stats().misses, 0);
+    }
+
+    #[test]
+    fn snapshot_skips_failed_elaborations() {
+        let mut p = Program::new("bad");
+        p.body = Step::Loop {
+            name: "L".into(),
+            count: parse_expression("100").unwrap(),
+            var: None,
+            body: Box::new(Step::Exec {
+                name: "A".into(),
+                cost: None,
+                code: vec![],
+            }),
+        };
+        let limits = FlattenLimits {
+            max_loop_iterations: 5,
+            ..Default::default()
+        };
+        let cache = ElaborationCache::new();
+        cache.get_or_flatten(&p, &machine(1), limits).unwrap_err();
+        assert!(cache.snapshot().is_empty());
+    }
+
+    #[test]
+    fn seed_respects_capacity() {
+        let cache = ElaborationCache::with_capacity(1);
+        let p = program();
+        let entry = {
+            let scratch = ElaborationCache::new();
+            scratch
+                .get_or_flatten(&p, &machine(1), FlattenLimits::default())
+                .unwrap();
+            scratch.snapshot().remove(0)
+        };
+        assert!(cache.seed(entry.sp, entry.comm, entry.limits, entry.ops.clone()));
+        // A second, distinct seed bounces off the 1-entry bound.
+        let other = {
+            let scratch = ElaborationCache::new();
+            scratch
+                .get_or_flatten(&p, &machine(2), FlattenLimits::default())
+                .unwrap();
+            scratch.snapshot().remove(0)
+        };
+        assert!(!cache.seed(other.sp, other.comm, other.limits, other.ops));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

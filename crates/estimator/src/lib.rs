@@ -68,7 +68,9 @@ pub mod interp;
 pub mod program;
 
 pub use analytic::evaluate_analytic;
-pub use elab::{flatten_all, ElabStats, ElaborationCache, RankOps};
+pub use elab::{flatten_all, ElabEntry, ElabStats, ElaborationCache, RankOps};
 pub use estimator::{Backend, Estimator, EstimatorError, EstimatorOptions, Evaluation};
-pub use flatten::{flatten_for_process, flatten_invocations, op_digest, FlattenError, PrimOp};
+pub use flatten::{
+    flatten_for_process, flatten_invocations, op_digest, FlattenError, FlattenLimits, PrimOp,
+};
 pub use program::{MpiOp, Program, Step};

@@ -7,7 +7,7 @@
 //! | `POST /v1/estimate` | `+ nodes/cpus/processes/threads/seed/backend` | one prediction |
 //! | `POST /v1/sweep` | `+ nodes: [..], workers` | an SP-grid table |
 //! | `GET /v1/models` | — | bundled demo workloads, by name |
-//! | `GET /v1/metrics` | — | request/latency/pool/elab counters |
+//! | `GET /v1/metrics` | — | request/latency/pool/elab/store counters |
 //! | `POST /v1/shutdown` | — | acknowledges, then drains the server |
 //!
 //! Models are passed either inline (`"model": "<xml...>"`) or by bundled
@@ -33,6 +33,17 @@ pub struct AppState {
     pub pool: SessionPool,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+}
+
+impl AppState {
+    /// State over a caller-built pool (e.g. one backed by a persistent
+    /// artifact store); metrics start at zero.
+    pub fn with_pool(pool: SessionPool) -> Self {
+        Self {
+            pool,
+            metrics: Metrics::default(),
+        }
+    }
 }
 
 /// The bundled demo workloads servable by name, with the same default
@@ -413,30 +424,41 @@ fn handle_models() -> Response {
 fn handle_metrics(state: &AppState) -> Response {
     let pool = state.pool.stats();
     let elab = state.pool.elab_stats();
-    Response::json(
-        200,
-        Json::object([
-            ("endpoints", state.metrics.to_json()),
-            (
-                "session_pool",
-                Json::object([
-                    ("size", Json::from(pool.size)),
-                    ("compiles", Json::from(pool.compiles)),
-                    ("reuses", Json::from(pool.reuses)),
-                    ("bypasses", Json::from(pool.bypasses)),
-                ]),
-            ),
-            (
-                "elab",
-                Json::object([
-                    ("hits", Json::from(elab.hits)),
-                    ("misses", Json::from(elab.misses)),
-                    ("bypasses", Json::from(elab.bypasses)),
-                ]),
-            ),
-        ])
-        .encode(),
-    )
+    let mut members = vec![
+        ("endpoints".to_string(), state.metrics.to_json()),
+        (
+            "session_pool".to_string(),
+            Json::object([
+                ("size", Json::from(pool.size)),
+                ("compiles", Json::from(pool.compiles)),
+                ("reuses", Json::from(pool.reuses)),
+                ("bypasses", Json::from(pool.bypasses)),
+            ]),
+        ),
+        (
+            "elab".to_string(),
+            Json::object([
+                ("hits", Json::from(elab.hits)),
+                ("misses", Json::from(elab.misses)),
+                ("bypasses", Json::from(elab.bypasses)),
+            ]),
+        ),
+    ];
+    // The `store` section exists exactly when the server runs with a
+    // persistent artifact store (`prophet serve --store DIR`).
+    if let Some(store) = state.pool.store_stats() {
+        members.push((
+            "store".to_string(),
+            Json::object([
+                ("disk_hits", Json::from(store.disk_hits)),
+                ("disk_misses", Json::from(store.disk_misses)),
+                ("writes", Json::from(store.writes)),
+                ("write_errors", Json::from(store.write_errors)),
+                ("evictions", Json::from(store.evictions)),
+            ]),
+        ));
+    }
+    Response::json(200, Json::Object(members).encode())
 }
 
 #[cfg(test)]

@@ -12,14 +12,18 @@
 //! each SP point once); this crate keeps those artifacts **alive
 //! between questions**:
 //!
-//! * [`pool`] — the [`SessionPool`](pool::SessionPool): sessions keyed
+//! * [`pool`] — the [`SessionPool`]: sessions keyed
 //!   by `(model digest, MCF digest)` content hashes, compiled on first
 //!   request, shared by every connection and worker thread afterwards.
 //!   **Why reuse is cheap:** a pooled hit skips parse → check →
 //!   `to_cpp` → `to_program` entirely, and lands on the session's
 //!   elaboration cache, so a repeated estimate pays one intern-table
 //!   lookup plus the evaluation itself (see the elab-cache docs in
-//!   `prophet_estimator::elab` for the keying and memory bounds),
+//!   `prophet_estimator::elab` for the keying and memory bounds).
+//!   With a persistent artifact store attached
+//!   (`prophet_core::store`, CLI `prophet serve --store DIR`), reuse
+//!   survives restarts too: the pool warm-starts from disk at boot,
+//!   consults the store on misses, and writes fresh compiles back,
 //! * [`json`] — a std-only JSON encoder + hardened recursive-descent
 //!   decoder (depth-limited, escape-complete), mirroring how
 //!   `prophet-xml` stands in for an XML dependency,

@@ -21,9 +21,21 @@
 //! *not* retained (counted as `bypasses`), mirroring the elaboration
 //! cache's no-eviction policy — steady-state behavior stays predictable
 //! under key churn instead of thrashing an eviction list.
+//!
+//! With a persistent [`ArtifactStore`] attached
+//! ([`SessionPool::with_store`]), the pool consults the disk before
+//! compiling — a store hit rebuilds the session from its serialized
+//! artifacts, skipping check + transform — and writes freshly compiled
+//! sessions back, so the *next* process boots warm.
+//! [`SessionPool::warm_start`] goes further and pre-loads every stored
+//! artifact at startup: the first request after a restart is a pool
+//! reuse, with zero compiles anywhere (`prophet serve --store DIR`).
+//! The key type is shared with the store by construction: [`PoolKey`]
+//! *is* [`prophet_core::ArtifactKey`], so what addresses a pooled
+//! session in memory addresses its artifact on disk.
 
 use prophet_check::McfConfig;
-use prophet_core::{ElabStats, Session};
+use prophet_core::{ArtifactStore, ElabStats, Session, StoreStats};
 use prophet_uml::Model;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,51 +44,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Default bound on retained sessions.
 pub const DEFAULT_CAPACITY: usize = 64;
 
-/// Content key of one pooled session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PoolKey {
-    /// FNV-1a digest of the canonical model XML.
-    pub model: u64,
-    /// FNV-1a digest of the canonical MCF XML.
-    pub mcf: u64,
-}
-
-impl PoolKey {
-    /// Key for a `(model, mcf)` pair, by canonical serialization.
-    pub fn of(model: &Model, mcf: &McfConfig) -> Self {
-        Self {
-            model: fnv1a(canonical_model_xml(model).as_bytes()),
-            mcf: fnv1a(mcf.to_xml().as_bytes()),
-        }
-    }
-}
-
-/// The canonical serialization of a model: one serialize→parse→serialize
-/// roundtrip. The XMI parser re-assigns element ids in document order,
-/// so a builder-constructed model and its parsed round trip serialize
-/// with different (isomorphic) ids; after one parse the ids *are*
-/// document-ordered and the serialization is a fixed point — pinned by
-/// the `canonicalization_is_a_fixed_point` test for every demo model.
-fn canonical_model_xml(model: &Model) -> String {
-    let first = prophet_uml::xmi::model_to_xml(model);
-    match prophet_uml::xmi::model_from_xml(&first) {
-        Ok(reparsed) => prophet_uml::xmi::model_to_xml(&reparsed),
-        // Unserializable models can't happen for checked input, but a
-        // digest must never fail: fall back to the raw serialization.
-        Err(_) => first,
-    }
-}
-
-/// 64-bit FNV-1a (the same digest family `op_digest` uses for golden
-/// op-list snapshots).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// Content key of one pooled session — the same `(model, MCF)`
+/// canonical-XML content digest that addresses artifacts in the
+/// persistent [`ArtifactStore`] (it moved to `prophet_core::store` when
+/// the store was introduced; the pool keeps the name).
+pub type PoolKey = prophet_core::ArtifactKey;
 
 /// Compilation outcome stored per key: the shared session, or the
 /// rendered error chain (also cached — a model that fails to compile
@@ -97,11 +69,13 @@ pub struct PoolStats {
     pub bypasses: u64,
 }
 
-/// A bounded, concurrency-safe pool of compiled [`Session`]s.
+/// A bounded, concurrency-safe pool of compiled [`Session`]s,
+/// optionally backed by a persistent [`ArtifactStore`].
 #[derive(Debug)]
 pub struct SessionPool {
     slots: Mutex<HashMap<PoolKey, Slot>>,
     capacity: usize,
+    store: Option<Arc<ArtifactStore>>,
     compiles: AtomicU64,
     reuses: AtomicU64,
     bypasses: AtomicU64,
@@ -119,10 +93,62 @@ impl SessionPool {
         Self {
             slots: Mutex::new(HashMap::new()),
             capacity,
+            store: None,
             compiles: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
         }
+    }
+
+    /// [`SessionPool::with_capacity`], backed by a persistent artifact
+    /// store: in-memory misses consult the disk before compiling, and
+    /// fresh compiles write their artifact back. Call
+    /// [`SessionPool::warm_start`] to additionally pre-load everything
+    /// the store already holds.
+    pub fn with_store(capacity: usize, store: Arc<ArtifactStore>) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::with_capacity(capacity)
+        }
+    }
+
+    /// Pre-load every artifact in the attached store into the pool (up
+    /// to the pool's capacity), so the first request after a process
+    /// restart is a pool *reuse* — zero compiles. Returns the number of
+    /// sessions loaded; corrupt or stale entries are skipped (and
+    /// evicted by the store). Without a store this is a no-op.
+    ///
+    /// Intended for boot time (`prophet serve --store`), before the
+    /// listener accepts traffic; it is safe but unbounded in I/O, so
+    /// don't call it on a request path.
+    pub fn warm_start(&self) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let mut loaded = 0;
+        for key in store.keys() {
+            {
+                let slots = self.slots.lock().expect("pool lock");
+                if slots.len() >= self.capacity {
+                    break;
+                }
+                if slots.contains_key(&key) {
+                    continue;
+                }
+            }
+            // Load outside the lock: warm-start runs before traffic,
+            // but a request racing the tail of a warm start must block
+            // on the map mutex only for the insert, not the file read.
+            if let Some(session) = store.load_session(key) {
+                let slot: Slot = Arc::new(OnceLock::new());
+                slot.set(Ok(Arc::new(session))).expect("fresh slot");
+                self.slots
+                    .lock()
+                    .expect("pool lock")
+                    .entry(key)
+                    .or_insert(slot);
+                loaded += 1;
+            }
+        }
+        loaded
     }
 
     /// The session for `(model, mcf)`: compiled on first request,
@@ -148,12 +174,18 @@ impl SessionPool {
                     (Arc::clone(slot), true)
                 }
                 None if slots.len() >= self.capacity => {
-                    // Full: compile for this request only.
+                    // Full: compile (or load) for this request only.
+                    // The store still accelerates and persists it —
+                    // disk is the bigger cache.
                     self.bypasses.fetch_add(1, Ordering::Relaxed);
                     drop(slots);
-                    return Session::compile(model.clone(), mcf.clone())
-                        .map(|s| (Arc::new(s), false))
-                        .map_err(|e| prophet_core::render_chain(&e));
+                    return Session::compile_stored(
+                        model.clone(),
+                        mcf.clone(),
+                        self.store.as_deref(),
+                    )
+                    .map(|s| (Arc::new(s), false))
+                    .map_err(|e| prophet_core::render_chain(&e));
                 }
                 None => {
                     let slot: Slot = Arc::new(OnceLock::new());
@@ -164,13 +196,33 @@ impl SessionPool {
         };
         // Compile outside the map lock; concurrent requests for the same
         // new key block here on the OnceLock, not on the whole pool.
+        // With a store attached, the disk is consulted first: a disk
+        // hit rebuilds the session without check or transform and does
+        // NOT count as a compile; a miss compiles and writes back.
         let result = slot.get_or_init(|| {
+            if let Some(store) = &self.store {
+                if let Some(session) = store.load_session(key) {
+                    return Ok(Arc::new(session));
+                }
+            }
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            Session::compile(model.clone(), mcf.clone())
+            let compiled = Session::compile(model.clone(), mcf.clone())
                 .map(Arc::new)
-                .map_err(|e| prophet_core::render_chain(&e))
+                .map_err(|e| prophet_core::render_chain(&e))?;
+            if let Some(store) = &self.store {
+                // Persistence is best-effort on the request path; the
+                // store counts write errors for /v1/metrics.
+                let _ = store.save_session(&compiled);
+            }
+            Ok(compiled)
         });
         result.clone().map(|session| (session, reused))
+    }
+
+    /// Counter snapshot of the attached artifact store, if any — the
+    /// `/v1/metrics` `store` section.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 
     /// Counter snapshot.
@@ -228,7 +280,7 @@ mod tests {
     fn canonicalization_is_a_fixed_point() {
         for (name, _) in crate::api::demo_models() {
             let m = crate::api::demo_model(name).unwrap();
-            let canonical = canonical_model_xml(&m);
+            let canonical = prophet_core::store::canonical_model_xml(&m);
             let reparsed = prophet_uml::xmi::model_from_xml(&canonical).unwrap();
             assert_eq!(
                 canonical,
@@ -313,6 +365,88 @@ mod tests {
         assert!(e1.contains("model check failed"), "{e1}");
         let stats = pool.stats();
         assert_eq!((stats.compiles, stats.reuses), (1, 1), "{stats:?}");
+    }
+
+    fn temp_store(tag: &str) -> Arc<ArtifactStore> {
+        let dir =
+            std::env::temp_dir().join(format!("prophet-pool-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(ArtifactStore::open(dir).expect("temp store opens"))
+    }
+
+    #[test]
+    fn store_miss_compiles_and_writes_back() {
+        let store = temp_store("writeback");
+        let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+        let mcf = McfConfig::default();
+        pool.session(&model("wb", "1.0"), &mcf).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.disk_misses, stats.writes), (1, 1), "{stats:?}");
+        assert_eq!(pool.stats().compiles, 1);
+        assert_eq!(pool.store_stats(), Some(stats));
+    }
+
+    #[test]
+    fn second_pool_hits_the_disk_instead_of_compiling() {
+        let store = temp_store("restart");
+        let mcf = McfConfig::default();
+        let m = model("restart", "2.0 / P");
+        {
+            let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+            pool.session(&m, &mcf).unwrap();
+        }
+        // "Restart": a fresh pool over the same directory.
+        let store2 = Arc::new(ArtifactStore::open(store.dir()).unwrap());
+        let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store2));
+        pool.session(&m, &mcf).unwrap();
+        assert_eq!(pool.stats().compiles, 0, "disk hit must not compile");
+        assert_eq!(store2.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn warm_start_preloads_every_stored_session() {
+        let store = temp_store("warm");
+        let mcf = McfConfig::default();
+        let m1 = model("w1", "1.0");
+        let m2 = model("w2", "2.0");
+        {
+            let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+            pool.session(&m1, &mcf).unwrap();
+            pool.session(&m2, &mcf).unwrap();
+        }
+        let store2 = Arc::new(ArtifactStore::open(store.dir()).unwrap());
+        let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store2));
+        assert_eq!(pool.warm_start(), 2);
+        let stats = pool.stats();
+        assert_eq!((stats.size, stats.compiles), (2, 0), "{stats:?}");
+        // The first request is a plain pool reuse.
+        pool.session(&m1, &mcf).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.compiles, stats.reuses), (0, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn warm_start_respects_capacity_and_skips_corrupt_entries() {
+        let store = temp_store("warmcap");
+        let mcf = McfConfig::default();
+        {
+            let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+            for (name, cost) in [("c1", "1.0"), ("c2", "2.0"), ("c3", "3.0")] {
+                pool.session(&model(name, cost), &mcf).unwrap();
+            }
+        }
+        // Corrupt one entry on disk.
+        let victim = store.keys()[0];
+        std::fs::write(store.entry_path(victim), b"garbage").unwrap();
+
+        let store2 = Arc::new(ArtifactStore::open(store.dir()).unwrap());
+        let pool = SessionPool::with_store(2, Arc::clone(&store2));
+        let loaded = pool.warm_start();
+        assert!(loaded <= 2, "capacity bound: {loaded}");
+        assert!(pool.stats().size <= 2);
+        // The corrupt entry was either skipped (and evicted) or simply
+        // never reached under the capacity bound; never a panic.
+        assert_eq!(pool.stats().compiles, 0);
     }
 
     #[test]

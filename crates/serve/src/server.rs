@@ -24,6 +24,8 @@
 
 use crate::api::{self, AppState};
 use crate::http::{read_request, Response};
+use crate::pool::SessionPool;
+use prophet_core::ArtifactStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +48,11 @@ pub struct ServerConfig {
     /// would park a worker in a blocking read forever — and a wedged
     /// worker can never be joined, so graceful drain would hang too.
     pub io_timeout: std::time::Duration,
+    /// Optional persistent artifact store (`prophet serve --store DIR`):
+    /// the session pool warm-starts from it before the listener spawns,
+    /// consults it on pool misses, and writes fresh compiles back, so a
+    /// restarted server answers its first estimate with zero compiles.
+    pub store: Option<Arc<ArtifactStore>>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +61,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7077".to_string(),
             workers: 0,
             io_timeout: DEFAULT_IO_TIMEOUT,
+            store: None,
         }
     }
 }
@@ -76,7 +84,9 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Bind and start serving in background threads.
+/// Bind and start serving in background threads. With a store
+/// configured, the pool warm-starts from it *before* any worker spawns,
+/// so the very first request can land on a pre-loaded session.
 ///
 /// # Errors
 /// Propagates the bind failure (port in use, bad address).
@@ -91,7 +101,12 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         config.workers
     };
 
-    let state = Arc::new(AppState::default());
+    let pool = match &config.store {
+        Some(store) => SessionPool::with_store(crate::pool::DEFAULT_CAPACITY, Arc::clone(store)),
+        None => SessionPool::default(),
+    };
+    let state = Arc::new(AppState::with_pool(pool));
+    state.pool.warm_start();
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -286,6 +301,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             io_timeout: std::time::Duration::from_millis(50),
+            ..Default::default()
         })
         .expect("bind port 0");
         let addr = server.addr();

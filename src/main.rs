@@ -9,7 +9,9 @@
 //!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
 //!                   [--backend simulation|analytic] [--no-elab-cache]
-//! prophet serve     [--addr A] [--workers W]
+//! prophet serve     [--addr A] [--workers W] [--store DIR]
+//! prophet warm      --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]]
+//!                   <model.xml>...
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
 //!
@@ -35,6 +37,18 @@
 //! curl -s -X POST localhost:7077/v1/shutdown
 //! ```
 //!
+//! With `--store DIR`, compiled sessions persist across restarts: the
+//! pool warm-starts from the directory at boot (first estimate after a
+//! restart = zero compiles, visible as a `store.disk_hits` counter on
+//! `GET /v1/metrics`), and fresh compiles write their artifact back.
+//! `warm` pre-populates such a store offline — optionally pre-flattening
+//! an SP grid so even elaboration is served from disk:
+//!
+//! ```text
+//! prophet warm --store ./artifacts --nodes 1,2,4,8 jacobi.xml sample.xml
+//! prophet serve --store ./artifacts
+//! ```
+//!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
 //! ```text
@@ -52,7 +66,8 @@
 use prophet::check::{check_model, McfConfig};
 use prophet::codegen::generate_skeleton;
 use prophet::core::{
-    render_chain, render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint,
+    render_chain, render_chain_inline, ArtifactKey, ArtifactStore, Backend, Scenario, Session,
+    SweepConfig, SweepPoint,
 };
 use prophet::machine::SystemParams;
 use prophet::serve::server::{serve, ServerConfig};
@@ -94,7 +109,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W] [--store DIR]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -108,6 +123,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "estimate" => cmd_estimate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "warm" => cmd_warm(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -354,21 +370,160 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let addr = value_flag(args, "--addr")?.unwrap_or("127.0.0.1:7077");
     let workers: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
+    let store_dir = value_flag(args, "--store")?;
+    let store = store_dir
+        .map(|dir| {
+            ArtifactStore::open(dir)
+                .map(std::sync::Arc::new)
+                .map_err(|e| runtime_err(format!("cannot open store `{dir}`: {e}")))
+        })
+        .transpose()?;
     let server = serve(&ServerConfig {
         addr: addr.to_string(),
         workers,
+        store,
         ..Default::default()
     })
     .map_err(|e| runtime_err(format!("cannot bind `{addr}`: {e}")))?;
     // The actual address first (port 0 resolves here) so scripts and
     // tests can parse where to connect.
     println!("prophet-serve listening on http://{}", server.addr());
+    if let Some(dir) = store_dir {
+        // serve() warm-started the pool from the store before any
+        // worker spawned; everything loaded is a pool entry already.
+        println!(
+            "store `{dir}`: {} session(s) warm-started",
+            server.state().pool.stats().size
+        );
+    }
     println!("endpoints: POST /v1/check /v1/estimate /v1/sweep — GET /v1/models /v1/metrics");
     println!("POST /v1/shutdown for graceful drain");
     // Parks until a shutdown request arrives, then drains in-flight
     // requests before returning.
     server.wait();
     println!("prophet-serve drained and stopped");
+    Ok(())
+}
+
+/// `prophet warm`: pre-populate a persistent artifact store offline, so
+/// a later `prophet serve --store` (or any `Session::compile_stored`
+/// caller) boots warm. With `--nodes`, additionally pre-flattens the
+/// flat-MPI SP grid through the analytic backend so the stored artifact
+/// carries its elaborations too.
+fn cmd_warm(args: &[String]) -> Result<(), CliError> {
+    let store_dir =
+        value_flag(args, "--store")?.ok_or_else(|| usage_err("warm requires --store <dir>"))?;
+    let cpus: usize = parsed_flag(args, "--cpus")?.unwrap_or(1);
+    let points: Vec<SweepPoint> = match value_flag(args, "--nodes")? {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map(|n| SweepPoint {
+                        sp: SystemParams::flat_mpi(n, cpus),
+                    })
+                    .map_err(|_| usage_err(format!("bad node count `{s}` in `--nodes {list}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mcf = match value_flag(args, "--mcf")? {
+        Some(mcf_path) => {
+            let mcf_xml = std::fs::read_to_string(mcf_path)
+                .map_err(|e| runtime_err(format!("cannot read `{mcf_path}`: {e}")))?;
+            McfConfig::from_xml(&mcf_xml).map_err(|e| runtime_err(e.to_string()))?
+        }
+        None => McfConfig::default(),
+    };
+
+    // Positional arguments are model files; every flag above takes a
+    // value, so skip flag/value pairs rather than everything non-`--`
+    // (a value like `1,2,4` must not be mistaken for a model path).
+    const VALUE_FLAGS: [&str; 4] = ["--store", "--cpus", "--nodes", "--mcf"];
+    let mut model_paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if VALUE_FLAGS.contains(&arg) {
+            i += 2;
+            continue;
+        }
+        if arg.starts_with("--") {
+            return Err(usage_err(format!("unknown flag `{arg}` for warm")));
+        }
+        model_paths.push(arg);
+        i += 1;
+    }
+    if model_paths.is_empty() {
+        return Err(usage_err("missing <model.xml> argument"));
+    }
+
+    let store = ArtifactStore::open(store_dir)
+        .map_err(|e| runtime_err(format!("cannot open store `{store_dir}`: {e}")))?;
+    for path in model_paths {
+        let xml = std::fs::read_to_string(path)
+            .map_err(|e| runtime_err(format!("cannot read `{path}`: {e}")))?;
+        let model = prophet::uml::xmi::model_from_xml(&xml)
+            .map_err(|e| runtime_err(format!("cannot parse `{path}`: {e}")))?;
+        let key = ArtifactKey::of(&model, &mcf);
+        // Load an existing artifact (a disk hit) or compile fresh —
+        // deliberately NOT through `compile_stored`, whose immediate
+        // write-back would make every cold model with a `--nodes` grid
+        // pay two full artifact writes (one without elaborations, one
+        // with). Warm writes each artifact exactly once, below. `hit`
+        // comes from the load *succeeding*, not the file existing: a
+        // corrupt or stale-version entry is evicted by the load and
+        // must be re-written even without `--nodes`.
+        let loaded = store.load_session(key);
+        let hit = loaded.is_some();
+        let session = match loaded {
+            Some(session) => session,
+            None => {
+                Session::compile(model, mcf.clone()).map_err(|e| runtime_err(render_chain(&e)))?
+            }
+        };
+        if !points.is_empty() {
+            // Pre-flatten the grid through the analytic backend (no
+            // kernel, no trace) so the elaborations persist alongside
+            // the compile artifacts.
+            let report = session.sweep_with(
+                &points,
+                &SweepConfig {
+                    backend: Backend::Analytic,
+                    ..Default::default()
+                },
+                |_, _| {},
+            );
+            for point in &report.points {
+                if let Err(e) = &point.outcome {
+                    return Err(runtime_err(format!(
+                        "cannot pre-elaborate `{path}` at {} node(s): {}",
+                        point.sp.nodes,
+                        render_chain_inline(e)
+                    )));
+                }
+            }
+        }
+        if !hit || !points.is_empty() {
+            // One write per model: a cold artifact, or a refresh that
+            // now carries the pre-elaborated grid.
+            store
+                .save_session(&session)
+                .map_err(|e| runtime_err(format!("cannot write store entry for `{path}`: {e}")))?;
+        }
+        println!(
+            "warmed `{}` from {path}: {}, {} pre-elaborated SP point(s)",
+            session.program().name,
+            if hit { "already stored" } else { "stored" },
+            points.len()
+        );
+    }
+    let stats = store.stats();
+    println!(
+        "store `{store_dir}`: {} write(s), {} disk hit(s)",
+        stats.writes, stats.disk_hits
+    );
     Ok(())
 }
 

@@ -316,6 +316,166 @@ fn estimate_writes_trace_file() {
     assert!(tf.starts_with("# TF model=sample"), "{tf}");
 }
 
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("prophet-cli-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_populates_a_store_and_hits_on_repeat() {
+    let model = temp_model("warm", "sample");
+    let model = model.to_str().unwrap();
+    let dir = temp_store_dir("warm");
+    let store = dir.to_str().unwrap();
+
+    let (ok, out, err) = prophet(&["warm", "--store", store, model]);
+    assert!(ok, "{err}");
+    assert!(out.contains("warmed `sample`"), "{out}");
+    assert!(out.contains("stored"), "{out}");
+    assert!(out.contains("1 write(s)"), "{out}");
+    // Exactly one artifact file appears.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".bin"))
+        .collect();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+
+    // Warming again is idempotent: a disk hit, no new write.
+    let (ok, out, err) = prophet(&["warm", "--store", store, model]);
+    assert!(ok, "{err}");
+    assert!(out.contains("already stored"), "{out}");
+    assert!(out.contains("0 write(s)"), "{out}");
+    assert!(out.contains("1 disk hit(s)"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_rewrites_a_corrupt_entry_even_without_nodes() {
+    // A corrupt artifact is evicted on load; warm must then re-write it
+    // (reported as `stored`, one write) — not report "already stored"
+    // and leave the slot empty.
+    let model = temp_model("warm-corrupt", "sample");
+    let model = model.to_str().unwrap();
+    let dir = temp_store_dir("warm-corrupt");
+    let store = dir.to_str().unwrap();
+    let (ok, _out, err) = prophet(&["warm", "--store", store, model]);
+    assert!(ok, "{err}");
+
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".bin"))
+        .expect("artifact written")
+        .path();
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    let (ok, out, err) = prophet(&["warm", "--store", store, model]);
+    assert!(ok, "{err}");
+    assert!(!out.contains("already stored"), "{out}");
+    assert!(out.contains("1 write(s)"), "{out}");
+    assert!(entry.exists(), "slot must be re-filled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_pre_elaborates_an_sp_grid() {
+    let model = temp_model("warm-grid", "jacobi");
+    let dir = temp_store_dir("warm-grid");
+    let (ok, out, err) = prophet(&[
+        "warm",
+        "--store",
+        dir.to_str().unwrap(),
+        "--nodes",
+        "1,2,4,8",
+        model.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("4 pre-elaborated SP point(s)"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_usage_errors_name_the_offending_token() {
+    // Missing --store entirely.
+    let model = temp_model("warm-usage", "sample");
+    let model = model.to_str().unwrap();
+    let (code, _out, err) = prophet_code(&["warm", model]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("--store"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // --store present, value missing.
+    let (code, _out, err) = prophet_code(&["warm", "--store"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing value after `--store`"), "{err}");
+
+    // No model argument.
+    let dir = temp_store_dir("warm-usage");
+    let (code, _out, err) = prophet_code(&["warm", "--store", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing <model.xml> argument"), "{err}");
+
+    // Bad node count, token named.
+    let (code, _out, err) = prophet_code(&[
+        "warm",
+        "--store",
+        dir.to_str().unwrap(),
+        "--nodes",
+        "1,two",
+        model,
+    ]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("bad node count `two`"), "{err}");
+
+    // Unknown flag, token named.
+    let (code, _out, err) = prophet_code(&[
+        "warm",
+        "--store",
+        dir.to_str().unwrap(),
+        "--frobnicate",
+        model,
+    ]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_store_path_is_a_runtime_failure_not_usage() {
+    // A store path that cannot become a writable directory (it names an
+    // existing regular file) is the environment's fault, not the
+    // arguments': exit 1, no usage block — for both `warm` and `serve`.
+    let file = std::env::temp_dir().join(format!("prophet-cli-store-file-{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").unwrap();
+    let model = temp_model("store-file", "sample");
+
+    let (code, _out, err) = prophet_code(&[
+        "warm",
+        "--store",
+        file.to_str().unwrap(),
+        model.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("cannot open store"), "{err}");
+    assert!(!err.contains("usage:"), "runtime errors skip usage: {err}");
+
+    let (code, _out, err) = prophet_code(&["serve", "--store", file.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("cannot open store"), "{err}");
+    assert!(!err.contains("usage:"), "{err}");
+
+    // `serve --store` with the value missing is a usage error (exit 2).
+    let (code, _out, err) = prophet_code(&["serve", "--store"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing value after `--store`"), "{err}");
+    let _ = std::fs::remove_file(&file);
+}
+
 #[test]
 fn check_reports_errors_on_broken_model() {
     // Corrupt a valid model by injecting an unparsable cost expression.

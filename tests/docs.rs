@@ -1,0 +1,135 @@
+//! Doc-sync tests: the documentation under `docs/` is kept honest
+//! against the code it describes. If a route, metrics field, or crate
+//! is added without documenting it, one of these fails.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: impl AsRef<Path>) -> String {
+    let path = repo_root().join(path.as_ref());
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+/// Every `/v1/...` route string spelled anywhere in the serve crate's
+/// sources (`server.rs`, `api.rs`, ...) must appear in docs/API.md.
+#[test]
+fn every_serve_route_is_documented_in_api_md() {
+    let api_md = read("docs/API.md");
+    let src_dir = repo_root().join("crates/serve/src");
+    let mut routes: BTreeSet<String> = BTreeSet::new();
+    for entry in std::fs::read_dir(&src_dir).expect("serve src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        // Route strings as they appear in source: "/v1/<word>".
+        let mut rest = source.as_str();
+        while let Some(at) = rest.find("/v1/") {
+            let tail = &rest[at + 4..];
+            let name: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                routes.insert(format!("/v1/{name}"));
+            }
+            rest = &rest[at + 4..];
+        }
+    }
+    assert!(
+        routes.len() >= 6,
+        "expected at least the six endpoints, found {routes:?}"
+    );
+    for route in &routes {
+        assert!(
+            api_md.contains(route),
+            "route `{route}` (spelled in crates/serve/src) is missing from docs/API.md"
+        );
+    }
+}
+
+/// The store metrics fields the server emits must be documented, and
+/// the doc must not invent fields the server doesn't emit.
+#[test]
+fn store_metrics_fields_match_api_md() {
+    let api_rs = read("crates/serve/src/api.rs");
+    let api_md = read("docs/API.md");
+    for field in [
+        "disk_hits",
+        "disk_misses",
+        "writes",
+        "write_errors",
+        "evictions",
+    ] {
+        assert!(
+            api_rs.contains(&format!("\"{field}\"")),
+            "`{field}` is no longer emitted by handle_metrics — update this test and docs/API.md"
+        );
+        assert!(
+            api_md.contains(field),
+            "store metrics field `{field}` is missing from docs/API.md"
+        );
+    }
+    // The top-level metrics sections, likewise.
+    for section in ["endpoints", "session_pool", "elab", "store"] {
+        assert!(
+            api_md.contains(section),
+            "metrics section `{section}` is missing from docs/API.md"
+        );
+    }
+}
+
+/// README links both documents, and they exist.
+#[test]
+fn readme_links_the_docs_layer() {
+    let readme = read("README.md");
+    for doc in ["docs/API.md", "docs/ARCHITECTURE.md"] {
+        assert!(readme.contains(doc), "README.md must link {doc}");
+        assert!(repo_root().join(doc).exists(), "{doc} does not exist");
+    }
+}
+
+/// The architecture doc's crate map covers every workspace crate.
+#[test]
+fn architecture_md_covers_every_crate() {
+    let arch = read("docs/ARCHITECTURE.md");
+    for entry in std::fs::read_dir(repo_root().join("crates")).expect("crates dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        assert!(
+            arch.contains(name.as_ref()),
+            "crate `{name}` is missing from docs/ARCHITECTURE.md's crate map"
+        );
+    }
+}
+
+/// The CLI's usage block and the README agree on the command set —
+/// every `prophet <cmd>` the usage text advertises is shown in README.
+#[test]
+fn readme_shows_every_cli_command() {
+    let main_rs = read("src/main.rs");
+    let readme = read("README.md");
+    for cmd in [
+        "check",
+        "transform",
+        "estimate",
+        "sweep",
+        "serve",
+        "warm",
+        "demo",
+    ] {
+        assert!(
+            main_rs.contains(&format!("prophet {cmd}")),
+            "usage text no longer mentions `prophet {cmd}` — update this test"
+        );
+        assert!(
+            readme.contains(&format!("prophet {cmd}")),
+            "README.md quickstart is missing `prophet {cmd}`"
+        );
+    }
+}

@@ -281,6 +281,154 @@ fn serve_binary_serves_and_drains_gracefully() {
     assert!(rest.contains("drained"), "missing drain message: {rest:?}");
 }
 
+/// Ask the running server to shut down and wait for a clean exit.
+fn drain(mut proc: ServeProcess) {
+    let ack = client::post(proc.addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+    assert_eq!(ack.status, 200);
+    assert!(proc.child.wait().expect("binary exits").success());
+}
+
+/// The PR acceptance criterion: restarting `prophet serve --store DIR`
+/// after a prior run serves its first estimate without recompiling —
+/// `/v1/metrics` reports a store disk hit and **zero** compiles, driven
+/// against the spawned binary twice over the same store directory.
+#[test]
+fn serve_restart_warm_starts_from_the_store() {
+    let dir = std::env::temp_dir().join(format!("prophet-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_flag = dir.to_str().unwrap();
+    let body = estimate_body("sample", 2);
+
+    // Run 1: cold store — the estimate compiles and writes back.
+    let predicted_cold;
+    {
+        let proc = spawn_serve(&["--workers", "2", "--store", store_flag]);
+        let first = client::post(proc.addr, "/v1/estimate", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        predicted_cold = field(&first.body, &["predicted_time"]);
+        let metrics = client::get(proc.addr, "/v1/metrics").unwrap().body;
+        assert_eq!(
+            field(&metrics, &["session_pool", "compiles"]),
+            1.0,
+            "{metrics}"
+        );
+        assert_eq!(field(&metrics, &["store", "disk_misses"]), 1.0, "{metrics}");
+        assert_eq!(field(&metrics, &["store", "writes"]), 1.0, "{metrics}");
+        drain(proc);
+    }
+
+    // Run 2: the same store directory — the pool warm-starts at boot,
+    // so the *first* estimate is already a pool reuse: a store disk
+    // hit, zero compile events anywhere, bit-identical prediction.
+    {
+        let proc = spawn_serve(&["--workers", "2", "--store", store_flag]);
+        let first = client::post(proc.addr, "/v1/estimate", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(
+            first
+                .body
+                .get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(true),
+            "warm-started session must be reused by the first request: {}",
+            first.body
+        );
+        assert_eq!(
+            field(&first.body, &["predicted_time"]).to_bits(),
+            predicted_cold.to_bits(),
+            "the loaded artifact must predict bit-identically"
+        );
+        let metrics = client::get(proc.addr, "/v1/metrics").unwrap().body;
+        assert_eq!(
+            field(&metrics, &["session_pool", "compiles"]),
+            0.0,
+            "restart must not recompile: {metrics}"
+        );
+        assert!(
+            field(&metrics, &["store", "disk_hits"]) >= 1.0,
+            "restart must hit the store: {metrics}"
+        );
+        drain(proc);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `prophet warm` → `prophet serve --store`: the CI warm-start smoke.
+/// A store populated offline serves its first estimate with zero
+/// compiles, and the pre-elaborated SP point lands as an elab hit.
+#[test]
+fn warm_then_serve_boots_hot() {
+    let dir = std::env::temp_dir().join(format!("prophet-warm-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_flag = dir.to_str().unwrap().to_string();
+
+    // Emit a model file and warm it into the store, pre-elaborating
+    // the SP grid the estimate below will ask for.
+    let model_path =
+        std::env::temp_dir().join(format!("prophet-warm-model-{}.xml", std::process::id()));
+    let demo = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["demo", "jacobi"])
+        .output()
+        .unwrap();
+    assert!(demo.status.success());
+    std::fs::write(&model_path, &demo.stdout).unwrap();
+    let warm = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["warm", "--store", &store_flag, "--nodes", "1,2,4"])
+        .arg(&model_path)
+        .output()
+        .unwrap();
+    assert!(warm.status.success(), "{warm:?}");
+    let out = String::from_utf8_lossy(&warm.stdout);
+    assert!(out.contains("warmed `jacobi`"), "{out}");
+    assert!(out.contains("3 pre-elaborated SP point(s)"), "{out}");
+
+    let proc = spawn_serve(&["--workers", "2", "--store", &store_flag]);
+    let first = client::post(proc.addr, "/v1/estimate", &estimate_body("jacobi", 4)).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(
+        first
+            .body
+            .get("session")
+            .unwrap()
+            .get("reused")
+            .unwrap()
+            .as_bool(),
+        Some(true),
+        "{}",
+        first.body
+    );
+    let metrics = client::get(proc.addr, "/v1/metrics").unwrap().body;
+    assert_eq!(
+        field(&metrics, &["session_pool", "compiles"]),
+        0.0,
+        "{metrics}"
+    );
+    assert!(field(&metrics, &["store", "disk_hits"]) >= 1.0, "{metrics}");
+    assert_eq!(
+        field(&metrics, &["elab", "hits"]),
+        1.0,
+        "the pre-elaborated SP point must be served from the seeded cache: {metrics}"
+    );
+    assert_eq!(field(&metrics, &["elab", "misses"]), 0.0, "{metrics}");
+    drain(proc);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&model_path);
+}
+
+#[test]
+fn metrics_has_no_store_section_without_a_store() {
+    let server = start();
+    let metrics = client::get(server.addr(), "/v1/metrics").unwrap().body;
+    assert!(
+        metrics.get("store").is_none(),
+        "store counters must only exist under --store: {metrics}"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn serve_binary_rejects_bad_flags_as_usage_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_prophet"))

@@ -1,0 +1,208 @@
+//! Integration tests for the persistent compiled-artifact store: save a
+//! compiled session, load it in a "new process" (a fresh `ArtifactStore`
+//! over the same directory), and prove the load skipped check +
+//! transform + flatten while predicting bit-identically — plus the
+//! corruption/versioning contract: truncated, bit-flipped and
+//! future-version entries each read back as a clean miss followed by a
+//! clean re-write.
+
+use prophet::check::McfConfig;
+use prophet::core::store::FORMAT_VERSION;
+use prophet::core::{
+    flatten_invocations, mpi_grid, transform_invocations, ArtifactKey, ArtifactStore, Scenario,
+    Session, StoreStats, SweepConfig,
+};
+use prophet::machine::SystemParams;
+use prophet::serve::api::{demo_model, demo_models};
+use std::path::PathBuf;
+
+/// A unique, cleaned temp directory per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prophet-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_demo_model_roundtrips_bit_identically() {
+    let dir = temp_dir("demos");
+    let store = ArtifactStore::open(&dir).unwrap();
+    for (name, _) in demo_models() {
+        let model = demo_model(name).unwrap();
+        let session = Session::new(model).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let loaded = store
+            .load_session(key)
+            .unwrap_or_else(|| panic!("{name}: store hit"));
+
+        assert_eq!(loaded.program(), session.program(), "{name}");
+        assert_eq!(
+            loaded.cpp().full_text(),
+            session.cpp().full_text(),
+            "{name}: generated C++ must survive the store"
+        );
+        assert_eq!(loaded.diagnostics().len(), session.diagnostics().len());
+
+        // Both backends agree bit-for-bit with the fresh compile.
+        for backend in [
+            prophet::core::Backend::Simulation,
+            prophet::core::Backend::Analytic,
+        ] {
+            let scenario = Scenario::new(SystemParams::flat_mpi(4, 1))
+                .with_backend(backend)
+                .without_trace();
+            let fresh = session.evaluate(&scenario).unwrap().predicted_time;
+            let warm = loaded.evaluate(&scenario).unwrap().predicted_time;
+            assert_eq!(
+                warm.to_bits(),
+                fresh.to_bits(),
+                "{name}/{backend}: loaded artifact must predict bit-identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn store_hit_skips_check_transform_and_flatten() {
+    let dir = temp_dir("skips");
+    let model = demo_model("jacobi").unwrap();
+    let mcf = McfConfig::default();
+    let points = mpi_grid(&[1, 2, 4, 8], 1);
+
+    // Warm the store offline: compile + pre-elaborate the grid.
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        let session = Session::compile_stored(model.clone(), mcf.clone(), Some(&store)).unwrap();
+        let report = session.sweep_with(&points, &SweepConfig::default(), |_, _| {});
+        assert_eq!(report.failures(), 0);
+        store.save_session(&session).unwrap();
+    }
+
+    // "Next process": everything — check, to_cpp, to_program, and the
+    // grid's elaborations — must come from disk. The counters are
+    // process-wide/thread-local, so sweep single-threaded.
+    let store = ArtifactStore::open(&dir).unwrap();
+    let transforms_before = transform_invocations();
+    let flattens_before = flatten_invocations();
+    let session = Session::compile_stored(model, mcf, Some(&store)).unwrap();
+    assert_eq!(
+        transform_invocations(),
+        transforms_before,
+        "store hit must not transform"
+    );
+    let config = SweepConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let report = session.sweep_with(&points, &config, |_, _| {});
+    assert_eq!(report.failures(), 0);
+    assert_eq!(
+        flatten_invocations(),
+        flattens_before,
+        "pre-elaborated SP points must not re-flatten"
+    );
+    let stats = session.elab_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (points.len() as u64, 0),
+        "{stats:?}"
+    );
+    assert_eq!(store.stats().disk_hits, 1);
+}
+
+/// The corruption/versioning satellite: each damage mode reads back as
+/// a clean miss (with the entry evicted), and the slot re-fills with a
+/// valid artifact on the next write.
+#[test]
+fn corrupt_and_stale_entries_miss_then_rewrite() {
+    type Damage = fn(&mut Vec<u8>);
+    let truncate: Damage = |bytes| bytes.truncate(bytes.len() / 3);
+    let bit_flip: Damage = |bytes| {
+        let mid = 16 + (bytes.len() - 24) / 2;
+        bytes[mid] ^= 0x01;
+    };
+    let version_bump: Damage =
+        |bytes| bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+
+    for (tag, damage) in [
+        ("truncate", truncate),
+        ("bitflip", bit_flip),
+        ("version", version_bump),
+    ] {
+        let dir = temp_dir(&format!("damage-{tag}"));
+        let store = ArtifactStore::open(&dir).unwrap();
+        let session = Session::new(demo_model("sample").unwrap()).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let path = store.entry_path(key);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        damage(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load_session(key).is_none(), "{tag}: must be a miss");
+        assert!(!path.exists(), "{tag}: damaged entry must be evicted");
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                disk_misses: 1,
+                evictions: 1,
+                writes: 1,
+                ..Default::default()
+            },
+            "{tag}"
+        );
+
+        // The miss is recoverable: compile_stored recompiles, re-writes
+        // the entry, and the store serves it again.
+        let again =
+            Session::compile_stored(session.model().clone(), McfConfig::default(), Some(&store))
+                .unwrap();
+        assert_eq!(again.program(), session.program(), "{tag}");
+        assert!(path.exists(), "{tag}: slot must re-fill");
+        assert!(store.load_session(key).is_some(), "{tag}");
+    }
+}
+
+#[test]
+fn distinct_mcf_configurations_get_distinct_artifacts() {
+    let dir = temp_dir("mcf");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let model = demo_model("sample").unwrap();
+
+    let default_key = store
+        .save_session(&Session::new(model.clone()).unwrap())
+        .unwrap();
+    let mut relaxed = McfConfig::default();
+    relaxed.disable("PP002");
+    let relaxed_key = store
+        .save_session(&Session::compile(model.clone(), relaxed.clone()).unwrap())
+        .unwrap();
+    assert_ne!(default_key, relaxed_key, "MCF is part of the content key");
+    assert_eq!(store.keys().len(), 2);
+
+    // Loads agree with their MCF spelling.
+    let loaded = store.load_session(relaxed_key).unwrap();
+    assert_eq!(loaded.mcf().to_xml(), relaxed.to_xml());
+    assert_eq!(ArtifactKey::of(loaded.model(), loaded.mcf()), relaxed_key);
+}
+
+#[test]
+fn builder_and_parsed_spellings_share_one_artifact() {
+    // The store keys on canonical content, so a builder-built model and
+    // its XML roundtrip hit the same artifact file — the disk analogue
+    // of the session pool's dedup guarantee.
+    let dir = temp_dir("canonical");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let built = demo_model("pipeline").unwrap();
+    let reparsed =
+        prophet::uml::xmi::model_from_xml(&prophet::uml::xmi::model_to_xml(&built)).unwrap();
+    store
+        .save_session(&Session::new(built.clone()).unwrap())
+        .unwrap();
+    let key = ArtifactKey::of(&reparsed, &McfConfig::default());
+    assert!(
+        store.load_session(key).is_some(),
+        "parsed spelling must hit the builder spelling's artifact"
+    );
+    assert_eq!(store.keys().len(), 1);
+}
