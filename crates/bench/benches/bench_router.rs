@@ -1,0 +1,205 @@
+//! Load generator for the scale-out front door: a two-shard fleet
+//! behind an in-process `prophet-router`, hammered from concurrent
+//! keep-alive clients. Before timing anything it *proves* the routing
+//! contracts over real loopback sockets — every bundled model compiles
+//! exactly once fleet-wide (digest pinning), both shards stay healthy,
+//! and routed answers match direct-to-shard answers — so the CI smoke
+//! run (tiny `PROPHET_BENCH_BUDGET_MS`) is a wire-level guard on
+//! digest routing, not just a timing.
+//!
+//! The timed sections compare routed vs direct throughput (the
+//! router's forwarding overhead) and the aggregated-metrics fan-out.
+//! Run with `PROPHET_BENCH_WRITE=1` to refresh the committed
+//! `BENCH_router.json` perf-trajectory file.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prophet_bench::trajectory::Trajectory;
+use prophet_router::{start, RouterConfig};
+use prophet_serve::client::{self, Connection};
+use prophet_serve::json::Json;
+use prophet_serve::server::{serve, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const CLIENT_THREADS: usize = 4;
+const REQUESTS_PER_THREAD: usize = 8;
+
+/// The six bundled demo workloads — the digest-pinning guard spreads
+/// them across the fleet.
+const MODELS: [&str; 6] = [
+    "sample",
+    "kernel6",
+    "jacobi",
+    "lapw0",
+    "pipeline",
+    "master_worker",
+];
+
+fn estimate_body(model: &str, nodes: usize) -> Json {
+    Json::object([
+        ("model_name", Json::from(model)),
+        ("nodes", Json::from(nodes)),
+        ("backend", Json::from("analytic")),
+    ])
+}
+
+/// Fire `CLIENT_THREADS × REQUESTS_PER_THREAD` estimates at `addr`,
+/// each thread over one keep-alive connection, rotating through the
+/// bundled models; panics on any non-200.
+fn hammer_estimates(addr: SocketAddr) {
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            scope.spawn(move || {
+                let mut conn = Connection::new(addr);
+                for i in 0..REQUESTS_PER_THREAD {
+                    let model = MODELS[(t + i) % MODELS.len()];
+                    let r = conn
+                        .post("/v1/estimate", &estimate_body(model, 8))
+                        .expect("estimate");
+                    assert_eq!(r.status, 200, "{model}: {}", r.body);
+                }
+                assert_eq!(conn.reconnects(), 0, "keep-alive must hold for a burst");
+            });
+        }
+    });
+}
+
+fn metric(metrics: &Json, path: &[&str]) -> f64 {
+    let mut cur = metrics;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    cur.as_f64().expect("numeric metric")
+}
+
+fn bench_router(c: &mut Criterion) {
+    let shard_a = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: CLIENT_THREADS,
+        ..Default::default()
+    })
+    .expect("bind shard a");
+    let shard_b = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: CLIENT_THREADS,
+        ..Default::default()
+    })
+    .expect("bind shard b");
+    let router = start(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: CLIENT_THREADS,
+        shards: vec![shard_a.addr(), shard_b.addr()],
+        probe_interval: Duration::from_millis(100),
+        ..Default::default()
+    })
+    .expect("bind router");
+    let addr = router.addr();
+
+    // Guard the routing contracts before timing anything: hammering
+    // every bundled model from concurrent threads through the router
+    // must compile each model exactly once *fleet-wide* (digest
+    // pinning — a round-robin balancer would compile up to one per
+    // shard), with every repeat a session reuse, and both shards
+    // answering their metrics fan-out.
+    {
+        hammer_estimates(addr);
+        let metrics = client::get(addr, "/v1/metrics").expect("metrics").body;
+        let total = (CLIENT_THREADS * REQUESTS_PER_THREAD) as f64;
+        assert_eq!(
+            metric(&metrics, &["fleet", "session_compiles"]),
+            MODELS.len() as f64,
+            "each model must compile exactly once fleet-wide: {metrics}"
+        );
+        assert_eq!(
+            metric(&metrics, &["fleet", "session_reuses"]),
+            total - MODELS.len() as f64,
+            "{metrics}"
+        );
+        assert_eq!(metric(&metrics, &["router", "routing", "shards"]), 2.0);
+        assert_eq!(
+            metric(&metrics, &["router", "routing", "healthy"]),
+            2.0,
+            "both shards must be healthy under load: {metrics}"
+        );
+        assert!(
+            metric(&metrics, &["router", "routing", "forwards"]) >= total,
+            "{metrics}"
+        );
+    }
+
+    // Routed-only timed sections first, so digest pinning can still be
+    // asserted strictly afterwards (direct-to-shard traffic below
+    // compiles models on whichever shard it hits).
+    let requests = (CLIENT_THREADS * REQUESTS_PER_THREAD) as u64;
+    let mut group = c.benchmark_group("router/loopback");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests));
+    group.bench_function("routed_estimate_x32", |b| b.iter(|| hammer_estimates(addr)));
+    group.bench_function("aggregated_metrics", |b| {
+        b.iter(|| {
+            let r = client::get(addr, "/v1/metrics").expect("metrics");
+            assert_eq!(r.status, 200);
+        })
+    });
+    group.bench_function("shards_view", |b| {
+        b.iter(|| {
+            let r = client::get(addr, "/v1/shards").expect("shards");
+            assert_eq!(r.status, 200);
+        })
+    });
+    group.finish();
+
+    // Perf trajectory: routed requests/sec (measured before any direct
+    // traffic), written to BENCH_router.json when PROPHET_BENCH_WRITE=1.
+    const TRAJECTORY_ROUNDS: u64 = 8;
+    let mut trajectory = Trajectory::new("router");
+    trajectory.measure("routed_estimate", TRAJECTORY_ROUNDS * requests, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            hammer_estimates(addr);
+        }
+    });
+    trajectory.measure("aggregated_metrics", TRAJECTORY_ROUNDS, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            assert_eq!(
+                client::get(addr, "/v1/metrics").expect("metrics").status,
+                200
+            );
+        }
+    });
+
+    // However hard the fleet was hammered through the router, digest
+    // pinning held: still exactly one compile per model across both
+    // shards.
+    let metrics = client::get(addr, "/v1/metrics").expect("metrics").body;
+    assert_eq!(
+        metric(&metrics, &["fleet", "session_compiles"]),
+        MODELS.len() as f64,
+        "digest pinning must survive sustained load: {metrics}"
+    );
+
+    // Finally the same burst straight at one shard: the difference to
+    // the routed number is the forwarding overhead. (This compiles the
+    // models shard_a did not own, so it runs after the pinning checks.)
+    let mut group = c.benchmark_group("router/loopback");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests));
+    group.bench_function("direct_estimate_x32", |b| {
+        b.iter(|| hammer_estimates(shard_a.addr()))
+    });
+    group.finish();
+    trajectory.measure("direct_estimate", TRAJECTORY_ROUNDS * requests, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            hammer_estimates(shard_a.addr());
+        }
+    });
+    if let Some(path) = trajectory.write_if_requested() {
+        println!("wrote {}", path.display());
+    }
+
+    router.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

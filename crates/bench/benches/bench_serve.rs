@@ -1,15 +1,20 @@
 //! Load generator for the prediction service: N client threads hammer
-//! `POST /v1/estimate` and `POST /v1/sweep` over a real loopback
-//! socket, then the metrics endpoint is used to *prove* the serve-path
-//! contracts — the model compiled exactly once into the session pool,
-//! and repeat evaluations were elaboration-cache hits.
+//! `POST /v1/estimate` and `POST /v1/sweep` over real loopback sockets
+//! — each thread on one persistent keep-alive [`Connection`], so the
+//! bench measures request throughput, not TCP connect throughput —
+//! then the metrics endpoint is used to *prove* the serve-path
+//! contracts: the model compiled exactly once into the session pool,
+//! repeat evaluations were elaboration-cache hits, and keep-alive held
+//! (zero reconnects under sustained load).
 //!
 //! The CI smoke run of this bench (tiny `PROPHET_BENCH_BUDGET_MS`) is
 //! therefore a wire-level guard on session-pool reuse, not just a
-//! timing.
+//! timing. Run with `PROPHET_BENCH_WRITE=1` to refresh the committed
+//! `BENCH_serve.json` perf-trajectory file.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use prophet_serve::client;
+use prophet_bench::trajectory::Trajectory;
+use prophet_serve::client::{self, Connection};
 use prophet_serve::json::Json;
 use prophet_serve::server::{serve, ServerConfig};
 use std::net::SocketAddr;
@@ -35,15 +40,34 @@ fn sweep_body() -> Json {
 }
 
 /// Fire `CLIENT_THREADS × REQUESTS_PER_THREAD` requests at `addr`, all
-/// concurrently, panicking on any non-200.
+/// concurrently, each thread over one keep-alive connection, panicking
+/// on any non-200 — and on any mid-burst reconnect, which would mean
+/// the server dropped a pooled connection.
 fn hammer(addr: SocketAddr, body: &Json, path: &str) {
     std::thread::scope(|scope| {
         for _ in 0..CLIENT_THREADS {
             scope.spawn(|| {
+                let mut conn = Connection::new(addr);
                 for _ in 0..REQUESTS_PER_THREAD {
-                    let r = client::post(addr, path, body).expect("request");
+                    let r = conn.post(path, body).expect("request");
                     assert_eq!(r.status, 200, "{}", r.body);
                 }
+                assert_eq!(conn.reconnects(), 0, "keep-alive must hold for a burst");
+            });
+        }
+    });
+}
+
+/// [`hammer`] for a GET endpoint.
+fn hammer_get(addr: SocketAddr, path: &str) {
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENT_THREADS {
+            scope.spawn(|| {
+                let mut conn = Connection::new(addr);
+                for _ in 0..REQUESTS_PER_THREAD {
+                    assert_eq!(conn.get(path).expect("request").status, 200);
+                }
+                assert_eq!(conn.reconnects(), 0, "keep-alive must hold for a burst");
             });
         }
     });
@@ -75,12 +99,15 @@ fn bench_serve(c: &mut Criterion) {
         std::thread::scope(|scope| {
             for t in 0..CLIENT_THREADS {
                 scope.spawn(move || {
+                    let mut conn = Connection::new(addr);
                     for i in 0..REQUESTS_PER_THREAD {
                         let nodes = 1usize << ((t + i) % 4); // 1,2,4,8
-                        let r = client::post(addr, "/v1/estimate", &estimate_body(nodes))
+                        let r = conn
+                            .post("/v1/estimate", &estimate_body(nodes))
                             .expect("estimate");
                         assert_eq!(r.status, 200, "{}", r.body);
                     }
+                    assert_eq!(conn.reconnects(), 0, "keep-alive must hold");
                 });
             }
         });
@@ -115,19 +142,32 @@ fn bench_serve(c: &mut Criterion) {
         b.iter(|| hammer(addr, &sweep_body(), "/v1/sweep"))
     });
     group.bench_function("metrics_x32", |b| {
-        b.iter(|| {
-            std::thread::scope(|scope| {
-                for _ in 0..CLIENT_THREADS {
-                    scope.spawn(|| {
-                        for _ in 0..REQUESTS_PER_THREAD {
-                            assert_eq!(client::get(addr, "/v1/metrics").unwrap().status, 200);
-                        }
-                    });
-                }
-            })
-        })
+        b.iter(|| hammer_get(addr, "/v1/metrics"))
     });
     group.finish();
+
+    // Perf trajectory: requests/sec over keep-alive connections,
+    // written to BENCH_serve.json when PROPHET_BENCH_WRITE=1.
+    const TRAJECTORY_ROUNDS: u64 = 8;
+    let mut trajectory = Trajectory::new("serve");
+    trajectory.measure("estimate_keepalive", TRAJECTORY_ROUNDS * requests, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            hammer(addr, &estimate_body(8), "/v1/estimate");
+        }
+    });
+    trajectory.measure("sweep4_keepalive", TRAJECTORY_ROUNDS * requests, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            hammer(addr, &sweep_body(), "/v1/sweep");
+        }
+    });
+    trajectory.measure("metrics_keepalive", TRAJECTORY_ROUNDS * requests, || {
+        for _ in 0..TRAJECTORY_ROUNDS {
+            hammer_get(addr, "/v1/metrics");
+        }
+    });
+    if let Some(path) = trajectory.write_if_requested() {
+        println!("wrote {}", path.display());
+    }
 
     // However much the timed sections hammered, the pool never compiled
     // a second session for the same model.

@@ -1,0 +1,399 @@
+//! The router's request handling: route, forward, retry, aggregate.
+//!
+//! | endpoint | routed how |
+//! |---|---|
+//! | `POST /v1/check` \| `/v1/estimate` \| `/v1/sweep` | to the shard owning the body's `(model, MCF)` digest |
+//! | `GET /v1/models` | round-robin over healthy shards |
+//! | `GET /v1/metrics` | fan-out: per-shard sections + fleet totals |
+//! | `GET /v1/shards` | the router's own view: health + routing counters |
+//! | `POST /v1/shutdown` | token-checked, broadcast to every shard, then drains the router |
+//!
+//! Digest routing is what makes scale-out *compile-once* scale-out: the
+//! router resolves the model exactly like a shard would
+//! ([`resolve_model`]/[`resolve_mcf`] are the shard's own functions)
+//! and hashes the same [`ArtifactKey`] the shard pools sessions by, so
+//! every repeat of a model — inline XML or by name — lands on the one
+//! shard that already compiled it.
+//!
+//! Failover is the ring's successor order: a transport failure marks
+//! the shard down and moves to the next shard, so a killed shard costs
+//! clients a retry inside the router, never an error. `5xx` answers
+//! also fail over (the next shard may be healthier), but the shard is
+//! not marked down — it answered, so its transport works. `4xx`
+//! answers are the client's problem and are forwarded as-is.
+
+use crate::ring::{route_key, Ring};
+use crate::shard::Shard;
+use prophet_core::ArtifactKey;
+use prophet_serve::api::{bearer_authorized, resolve_mcf, resolve_model};
+use prophet_serve::http::{Request, Response};
+use prophet_serve::json::{self, Json};
+use prophet_serve::metrics::Metrics;
+use prophet_serve::Handler;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Routing counters, all relaxed atomics (same discipline as the serve
+/// metrics: observability never takes a lock on the hot path).
+#[derive(Debug, Default)]
+pub struct RouterCounters {
+    /// Requests answered by a shard.
+    pub forwards: AtomicU64,
+    /// Extra attempts past the first shard (failovers).
+    pub retries: AtomicU64,
+    /// Requests no shard could answer (502s).
+    pub no_shard: AtomicU64,
+    /// Round-robin cursor for un-keyed forwards (`GET /v1/models`).
+    rr: AtomicUsize,
+}
+
+/// Everything the router's workers share.
+#[derive(Debug)]
+pub struct RouterState {
+    shards: Vec<Shard>,
+    ring: Ring,
+    /// The router's own per-endpoint request metrics.
+    pub metrics: Metrics,
+    /// Routing counters.
+    pub counters: RouterCounters,
+    token: Option<String>,
+    probe_interval: Duration,
+}
+
+impl RouterState {
+    /// Router state over a fixed shard fleet.
+    pub fn new(
+        shards: Vec<std::net::SocketAddr>,
+        token: Option<String>,
+        probe_interval: Duration,
+        io_timeout: Duration,
+    ) -> Self {
+        let labels: Vec<String> = shards.iter().map(|a| a.to_string()).collect();
+        Self {
+            shards: shards
+                .into_iter()
+                .map(|addr| Shard::new(addr, io_timeout))
+                .collect(),
+            ring: Ring::new(&labels),
+            metrics: Metrics::default(),
+            counters: RouterCounters::default(),
+            token,
+            probe_interval,
+        }
+    }
+
+    /// The shard fleet (for the prober and tests).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// How often the prober sweeps the fleet.
+    pub fn probe_interval(&self) -> Duration {
+        self.probe_interval
+    }
+
+    /// The shard index owning a content key — exposed so tests can
+    /// assert pinning without replicating the hash.
+    pub fn owner_of(&self, key: ArtifactKey) -> usize {
+        self.ring.route(route_key(key))
+    }
+
+    /// Try shards in `order` until one answers without a server-side
+    /// failure. Transport errors mark the shard down; the winning shard
+    /// is marked up (an answer is better evidence than any probe).
+    fn try_in_order(&self, order: &[usize], req: &Request) -> Response {
+        // Healthy shards first (in ring order), down shards as a last
+        // resort — a mark-down is a hint, not a verdict, and trying a
+        // down shard last is what makes "every shard marked down" still
+        // recoverable without waiting out a probe cycle.
+        let (up, down): (Vec<usize>, Vec<usize>) = order
+            .iter()
+            .partition(|&&shard| self.shards[shard].health().is_healthy());
+        let body = (!req.body.is_empty()).then_some(req.body.as_str());
+        let mut attempts = 0u64;
+        for &index in up.iter().chain(down.iter()) {
+            attempts += 1;
+            let shard = &self.shards[index];
+            match shard.send(&req.method, &req.path, body, &[]) {
+                Ok(answer) if answer.status < 500 => {
+                    shard.health().mark_up();
+                    self.counters.forwards.fetch_add(1, Ordering::Relaxed);
+                    if attempts > 1 {
+                        self.counters
+                            .retries
+                            .fetch_add(attempts - 1, Ordering::Relaxed);
+                    }
+                    return Response::json(answer.status, answer.body);
+                }
+                // The shard answered, so its transport is fine — but a
+                // 5xx is worth one try elsewhere before giving up.
+                Ok(_server_error) => {}
+                Err(_) => shard.health().mark_down(self.probe_interval),
+            }
+        }
+        self.counters.no_shard.fetch_add(1, Ordering::Relaxed);
+        error_response(502, format!("no shard could answer ({attempts} attempted)"))
+    }
+
+    /// Forward a model-keyed request to the shard owning its digest.
+    fn forward_by_key(&self, req: &Request) -> Response {
+        let body = match json::parse(&req.body) {
+            Ok(body @ Json::Object(_)) => body,
+            Ok(other) => {
+                return error_response(
+                    400,
+                    format!("request body must be a JSON object, got {other}"),
+                )
+            }
+            Err(e) => return error_response(400, e.to_string()),
+        };
+        // Resolve exactly as the shard will: same functions, same
+        // digests — a body a shard would reject never leaves the
+        // router, and a body a shard would accept routes to the shard
+        // whose session pool already holds it.
+        let model = match resolve_model(&body) {
+            Ok(model) => model,
+            Err(response) => return response,
+        };
+        let mcf = match resolve_mcf(&body) {
+            Ok(mcf) => mcf,
+            Err(response) => return response,
+        };
+        let key = route_key(ArtifactKey::of(&model, &mcf));
+        self.try_in_order(&self.ring.successors(key), req)
+    }
+
+    /// Forward an un-keyed request (`GET /v1/models`) round-robin.
+    fn forward_any(&self, req: &Request) -> Response {
+        let n = self.shards.len();
+        let start = self.counters.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let order: Vec<usize> = (0..n).map(|offset| (start + offset) % n).collect();
+        self.try_in_order(&order, req)
+    }
+
+    /// `GET /v1/metrics`: the router's own counters, every shard's
+    /// metrics document, and fleet-wide totals summed across shards.
+    fn aggregate_metrics(&self) -> Response {
+        let mut shard_sections = Vec::with_capacity(self.shards.len());
+        let mut fleet = FleetTotals::default();
+        for shard in &self.shards {
+            let mut section = vec![
+                ("addr".to_string(), Json::from(shard.addr().to_string())),
+                (
+                    "healthy".to_string(),
+                    Json::from(shard.health().is_healthy()),
+                ),
+            ];
+            match shard.send("GET", "/v1/metrics", None, &[]) {
+                Ok(answer) if answer.status == 200 => match json::parse(&answer.body) {
+                    Ok(metrics) => {
+                        fleet.absorb(&metrics);
+                        section.push(("metrics".to_string(), metrics));
+                    }
+                    Err(e) => section.push((
+                        "error".to_string(),
+                        Json::from(format!("unparsable metrics: {e}")),
+                    )),
+                },
+                Ok(answer) => section.push((
+                    "error".to_string(),
+                    Json::from(format!("metrics answered {}", answer.status)),
+                )),
+                Err(e) => section.push(("error".to_string(), Json::from(e))),
+            }
+            shard_sections.push(Json::Object(section));
+        }
+        Response::json(
+            200,
+            Json::object([
+                (
+                    "router",
+                    Json::object([
+                        ("endpoints", self.metrics.to_json()),
+                        ("routing", self.routing_json()),
+                    ]),
+                ),
+                ("shards", Json::Array(shard_sections)),
+                ("fleet", fleet.to_json()),
+            ])
+            .encode(),
+        )
+    }
+
+    /// The `routing` counter section.
+    fn routing_json(&self) -> Json {
+        let healthy = self
+            .shards
+            .iter()
+            .filter(|s| s.health().is_healthy())
+            .count();
+        Json::object([
+            ("shards", Json::from(self.shards.len())),
+            ("healthy", Json::from(healthy)),
+            (
+                "forwards",
+                Json::from(self.counters.forwards.load(Ordering::Relaxed)),
+            ),
+            (
+                "retries",
+                Json::from(self.counters.retries.load(Ordering::Relaxed)),
+            ),
+            (
+                "no_shard",
+                Json::from(self.counters.no_shard.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+
+    /// `GET /v1/shards`: the router's live view of its fleet.
+    fn shards_json(&self) -> Response {
+        let shards: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                Json::object([
+                    ("addr", Json::from(shard.addr().to_string())),
+                    ("healthy", Json::from(shard.health().is_healthy())),
+                    ("downs", Json::from(shard.health().downs())),
+                    ("probes", Json::from(shard.health().probes())),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::object([
+                ("shards", Json::Array(shards)),
+                ("routing", self.routing_json()),
+            ])
+            .encode(),
+        )
+    }
+
+    /// Broadcast `POST /v1/shutdown` to every shard, forwarding the
+    /// client's `Authorization` header (the fleet shares one operator
+    /// token), and report each shard's acknowledgement.
+    fn broadcast_shutdown(&self, req: &Request) -> Response {
+        let auth = req.header("authorization");
+        let headers: Vec<(&str, &str)> = auth
+            .map(|value| vec![("authorization", value)])
+            .unwrap_or_default();
+        let acks: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let addr = Json::from(shard.addr().to_string());
+                match shard.send("POST", "/v1/shutdown", Some("{}"), &headers) {
+                    Ok(answer) => Json::object([
+                        ("addr", addr),
+                        ("ok", Json::from(answer.status == 200)),
+                        ("status", Json::from(u64::from(answer.status))),
+                    ]),
+                    Err(e) => Json::object([
+                        ("addr", addr),
+                        ("ok", Json::from(false)),
+                        ("error", Json::from(e)),
+                    ]),
+                }
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::object([("ok", Json::from(true)), ("shards", Json::Array(acks))]).encode(),
+        )
+    }
+}
+
+/// Fleet-wide sums over the shard metrics documents.
+#[derive(Debug, Default)]
+struct FleetTotals {
+    requests: u64,
+    errors: u64,
+    session_compiles: u64,
+    session_reuses: u64,
+    store_disk_hits: u64,
+    store_writes: u64,
+}
+
+/// A counter out of a nested metrics document, as `u64`.
+fn counter(json: &Json, path: &[&str]) -> u64 {
+    let mut node = json;
+    for segment in path {
+        match node.get(segment) {
+            Some(next) => node = next,
+            None => return 0,
+        }
+    }
+    node.as_f64().map(|v| v.max(0.0) as u64).unwrap_or(0)
+}
+
+impl FleetTotals {
+    fn absorb(&mut self, metrics: &Json) {
+        if let Some(Json::Object(endpoints)) = metrics.get("endpoints") {
+            for (name, _) in endpoints {
+                self.requests += counter(metrics, &["endpoints", name.as_str(), "requests"]);
+                self.errors += counter(metrics, &["endpoints", name.as_str(), "errors"]);
+            }
+        }
+        self.session_compiles += counter(metrics, &["session_pool", "compiles"]);
+        self.session_reuses += counter(metrics, &["session_pool", "reuses"]);
+        self.store_disk_hits += counter(metrics, &["store", "disk_hits"]);
+        self.store_writes += counter(metrics, &["store", "writes"]);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("requests", Json::from(self.requests)),
+            ("errors", Json::from(self.errors)),
+            ("session_compiles", Json::from(self.session_compiles)),
+            ("session_reuses", Json::from(self.session_reuses)),
+            ("store_disk_hits", Json::from(self.store_disk_hits)),
+            ("store_writes", Json::from(self.store_writes)),
+        ])
+    }
+}
+
+/// An error response: status + `{"error": message}` body (the same
+/// shape the shards answer with, so clients see one error format).
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        Json::object([("error", Json::from(message.into()))]).encode(),
+    )
+}
+
+impl Handler for RouterState {
+    fn handle(&self, req: &Request) -> (Response, bool) {
+        let response = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/check" | "/v1/estimate" | "/v1/sweep") => self.forward_by_key(req),
+            ("GET", "/v1/models") => self.forward_any(req),
+            ("GET", "/v1/metrics") => self.aggregate_metrics(),
+            ("GET", "/v1/shards") => self.shards_json(),
+            ("POST", "/v1/shutdown") => {
+                if let Some(expected) = &self.token {
+                    if !bearer_authorized(req, expected) {
+                        return (
+                            error_response(401, "shutdown requires a valid bearer token"),
+                            false,
+                        );
+                    }
+                }
+                return (self.broadcast_shutdown(req), true);
+            }
+            (
+                _,
+                "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/models" | "/v1/metrics"
+                | "/v1/shards" | "/v1/shutdown",
+            ) => error_response(405, format!("{} not allowed here", req.method)),
+            _ => error_response(404, format!("no such endpoint `{}`", req.path)),
+        };
+        (response, false)
+    }
+
+    fn record(&self, endpoint: Option<(&str, &str)>, latency: Duration, error: bool) {
+        let counters = match endpoint {
+            Some((method, path)) => self.metrics.endpoint(method, path),
+            None => &self.metrics.other,
+        };
+        counters.record(latency, error);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shard health: mark-down on failure, probed recovery with backoff.
+//!
+//! A shard is marked down the moment a forward fails at the transport
+//! (connect refused, send/receive error) — the *request* that noticed
+//! already retried on the next ring successor, and the mark keeps later
+//! requests from re-paying the connect timeout. A background prober
+//! (`prober_loop` on the router state) then checks every shard each
+//! probe interval: healthy shards cheaply (one `GET /v1/models`), down
+//! shards on an exponential backoff, and marks them up the moment a
+//! probe succeeds — so a restarted shard rejoins the ring within a few
+//! probe intervals without any operator action.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on the backoff exponent: probe a down shard at least every
+/// `probe_interval * 2^MAX_BACKOFF_EXP`.
+const MAX_BACKOFF_EXP: u32 = 5;
+
+/// Health bookkeeping for one shard.
+#[derive(Debug)]
+pub struct HealthState {
+    healthy: AtomicBool,
+    /// Healthy→down transitions (mark-downs that changed state).
+    downs: AtomicU64,
+    /// Probes issued against this shard.
+    probes: AtomicU64,
+    backoff: Mutex<Backoff>,
+}
+
+#[derive(Debug)]
+struct Backoff {
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// Don't probe a down shard before this instant.
+    next_probe: Instant,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        Self {
+            healthy: AtomicBool::new(true),
+            downs: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            backoff: Mutex::new(Backoff {
+                failures: 0,
+                next_probe: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl HealthState {
+    /// Whether the shard is currently believed alive.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Healthy→down transitions so far.
+    pub fn downs(&self) -> u64 {
+        self.downs.load(Ordering::Relaxed)
+    }
+
+    /// Probes issued so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Record a transport failure: mark down and push the next probe
+    /// out exponentially (capped), so a dead shard costs a probe every
+    /// few intervals instead of every interval.
+    pub fn mark_down(&self, probe_interval: Duration) {
+        if self.healthy.swap(false, Ordering::SeqCst) {
+            self.downs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut backoff = self.backoff.lock().expect("health backoff lock");
+        backoff.failures = backoff.failures.saturating_add(1);
+        let exp = backoff.failures.min(MAX_BACKOFF_EXP);
+        backoff.next_probe = Instant::now() + probe_interval * 2u32.pow(exp);
+    }
+
+    /// Record a success (a probe or a real forwarded answer): the shard
+    /// is alive, reset the backoff.
+    pub fn mark_up(&self) {
+        // Cheap fast path: forwards call this on every success.
+        if self.healthy.load(Ordering::SeqCst) {
+            return;
+        }
+        self.healthy.store(true, Ordering::SeqCst);
+        let mut backoff = self.backoff.lock().expect("health backoff lock");
+        backoff.failures = 0;
+        backoff.next_probe = Instant::now();
+    }
+
+    /// Whether the prober should check this shard now: always for a
+    /// healthy shard (detect silent death before a client does), only
+    /// past the backoff deadline for a down one.
+    pub fn probe_due(&self, now: Instant) -> bool {
+        if self.is_healthy() {
+            return true;
+        }
+        now >= self.backoff.lock().expect("health backoff lock").next_probe
+    }
+
+    /// Count one issued probe.
+    pub fn count_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_down_then_up_roundtrips() {
+        let h = HealthState::default();
+        assert!(h.is_healthy());
+        h.mark_down(Duration::from_millis(10));
+        assert!(!h.is_healthy());
+        assert_eq!(h.downs(), 1);
+        // Repeated mark-downs don't double-count the transition.
+        h.mark_down(Duration::from_millis(10));
+        assert_eq!(h.downs(), 1);
+        h.mark_up();
+        assert!(h.is_healthy());
+        h.mark_down(Duration::from_millis(10));
+        assert_eq!(h.downs(), 2);
+    }
+
+    #[test]
+    fn down_shards_back_off_their_probes() {
+        let h = HealthState::default();
+        let interval = Duration::from_millis(50);
+        h.mark_down(interval);
+        // Immediately after a failure the next probe is in the future.
+        assert!(!h.probe_due(Instant::now()));
+        // ... but due once the backoff elapses.
+        assert!(h.probe_due(Instant::now() + interval * 4));
+        // More failures push it out further (exponentially, capped).
+        for _ in 0..10 {
+            h.mark_down(interval);
+        }
+        assert!(!h.probe_due(Instant::now() + interval * 4));
+        assert!(h.probe_due(Instant::now() + interval * 64));
+    }
+
+    #[test]
+    fn healthy_shards_are_always_due() {
+        let h = HealthState::default();
+        assert!(h.probe_due(Instant::now()));
+    }
+}

@@ -1,0 +1,420 @@
+//! # prophet-router
+//!
+//! Digest-routed **scale-out** for the prediction service: one HTTP
+//! front door that spreads `(model, MCF)` content keys across N
+//! `prophet serve` shards, so the fleet's compile-once behavior scales
+//! horizontally without any shard coordinating with another.
+//!
+//! ```text
+//!             clients
+//!                │
+//!         prophet router          (this crate)
+//!      resolve model/MCF → ArtifactKey → ring
+//!        ╱        │        ╲
+//!   shard A    shard B    shard C     (prophet serve)
+//!      ╲          │        ╱
+//!        shared --store DIR           (optional warm-start)
+//! ```
+//!
+//! * [`ring`] — the consistent-hash ring: stable shard placement by
+//!   address label, with a deterministic failover order,
+//! * [`shard`] — per-shard keep-alive connection pools,
+//! * [`health`] — mark-down on failure, probed recovery with backoff,
+//! * [`api`] — the [`RouterState`] handler: digest forwarding,
+//!   retry-on-next-shard, aggregated `/v1/metrics`, fleet shutdown.
+//!
+//! The router serves on the exact server core the shards use
+//! ([`prophet_serve::serve_with`]): same accept loop, worker pool,
+//! keep-alive handling and graceful drain — it is "just" a different
+//! [`Handler`](prophet_serve::Handler).
+//!
+//! **Why routing by content digest matters:** each shard pools compiled
+//! sessions by the `(model, MCF)` digest pair. A round-robin balancer
+//! would compile every model on every shard (N× the compile work, N×
+//! the memory); the digest ring sends every repeat of a model to the
+//! shard that already holds it, so the fleet as a whole still compiles
+//! each model once. With a shared `--store` directory, even that one
+//! compile is amortized across restarts *and replacements*: a cold
+//! shard warm-starts from its siblings' write-backs.
+
+pub mod api;
+pub mod health;
+pub mod ring;
+pub mod shard;
+
+pub use api::RouterState;
+pub use ring::{route_key, Ring};
+
+use prophet_serve::{serve_with, ServerConfig, ServerHandle};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default interval between health-probe sweeps.
+pub const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` selects the available parallelism.
+    pub workers: usize,
+    /// The backend shard addresses. Order does not matter (the ring
+    /// hashes addresses, not positions), but every router in front of
+    /// the same fleet must list the same addresses.
+    pub shards: Vec<SocketAddr>,
+    /// Operator bearer token: guards the router's `POST /v1/shutdown`
+    /// and is forwarded to the shards on the broadcast.
+    pub token: Option<String>,
+    /// Interval between health-probe sweeps over the fleet.
+    pub probe_interval: Duration,
+    /// Socket timeout for both client connections and shard forwards.
+    pub io_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 0,
+            shards: Vec::new(),
+            token: None,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
+            io_timeout: prophet_serve::server::DEFAULT_IO_TIMEOUT,
+        }
+    }
+}
+
+/// Bind and start the router: the shared server core over a
+/// [`RouterState`], plus the background health prober (which stops
+/// with the server's shutdown signal).
+///
+/// # Errors
+/// Rejects an empty shard list; propagates the bind failure.
+pub fn start(config: &RouterConfig) -> io::Result<ServerHandle<RouterState>> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "router needs at least one --shards address",
+        ));
+    }
+    let state = Arc::new(RouterState::new(
+        config.shards.clone(),
+        config.token.clone(),
+        config.probe_interval,
+        config.io_timeout,
+    ));
+    let handle = serve_with(
+        &ServerConfig {
+            addr: config.addr.clone(),
+            workers: config.workers,
+            io_timeout: config.io_timeout,
+            store: None,
+            token: None, // the router's handler enforces its own token
+        },
+        Arc::clone(&state),
+    )?;
+    let shutdown = handle.shutdown_signal();
+    std::thread::spawn(move || prober_loop(&state, &shutdown));
+    Ok(handle)
+}
+
+/// Poll slice while waiting out a probe interval, so the prober notices
+/// shutdown promptly (mirrors the server core's idle polling).
+const PROBE_POLL: Duration = Duration::from_millis(25);
+
+/// The health prober: sweep the fleet every probe interval — healthy
+/// shards every sweep, down shards on their backoff — until the server
+/// drains.
+fn prober_loop(state: &RouterState, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let next_sweep = Instant::now() + state.probe_interval();
+        let now = Instant::now();
+        for shard in state.shards() {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shard.health().probe_due(now) {
+                continue;
+            }
+            if shard.probe() {
+                shard.health().mark_up();
+            } else {
+                shard.health().mark_down(state.probe_interval());
+            }
+        }
+        while Instant::now() < next_sweep {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(PROBE_POLL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_serve::client;
+    use prophet_serve::json::Json;
+    use prophet_serve::server;
+
+    /// A running shard on an ephemeral port.
+    fn shard() -> ServerHandle {
+        server::serve(&server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..Default::default()
+        })
+        .expect("bind shard")
+    }
+
+    /// A router over the given shards, probing fast for test speed.
+    fn router(shards: Vec<SocketAddr>) -> ServerHandle<RouterState> {
+        start(&RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            shards,
+            probe_interval: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .expect("bind router")
+    }
+
+    fn estimate_body(name: &str) -> Json {
+        Json::object([
+            ("model_name", Json::from(name)),
+            ("nodes", Json::from(2usize)),
+        ])
+    }
+
+    #[test]
+    fn refuses_to_start_without_shards() {
+        let err = start(&RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..Default::default()
+        })
+        .expect_err("no shards must not bind");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn repeats_of_a_model_pin_to_one_shard() {
+        let (a, b) = (shard(), shard());
+        let router = router(vec![a.addr(), b.addr()]);
+        for round in 0..3 {
+            let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(
+                r.body
+                    .get("session")
+                    .unwrap()
+                    .get("reused")
+                    .unwrap()
+                    .as_bool(),
+                Some(round > 0),
+                "round {round}: repeats must land on the shard that compiled"
+            );
+        }
+        // Exactly one shard compiled; the fleet total is one compile.
+        let metrics = client::get(router.addr(), "/v1/metrics").unwrap().body;
+        let fleet = metrics.get("fleet").unwrap();
+        assert_eq!(
+            fleet.get("session_compiles").unwrap().as_f64(),
+            Some(1.0),
+            "{metrics}"
+        );
+        assert_eq!(fleet.get("session_reuses").unwrap().as_f64(), Some(2.0));
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn killed_shard_fails_over_without_client_errors() {
+        let (a, b) = (shard(), shard());
+        let (addr_a, addr_b) = (a.addr(), b.addr());
+        // Probe so rarely that failover must come from the request
+        // path's retry, never from the prober winning the race.
+        let router = start(&RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            shards: vec![addr_a, addr_b],
+            probe_interval: Duration::from_secs(300),
+            ..Default::default()
+        })
+        .expect("bind router");
+        // Wait out the prober's initial sweep so it cannot run after
+        // the kill below.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let shards = client::get(router.addr(), "/v1/shards").unwrap().body;
+            let swept = shards
+                .get("shards")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .all(|s| s.get("probes").unwrap().as_f64() >= Some(1.0));
+            if swept {
+                break;
+            }
+            assert!(Instant::now() < deadline, "initial sweep never ran");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Find which shard owns "sample", then kill exactly that one.
+        let owner = router.state().owner_of(prophet_core::ArtifactKey::of(
+            &prophet_serve::api::demo_model("sample").unwrap(),
+            &Default::default(),
+        ));
+        let (owned, other) = if owner == 0 { (a, b) } else { (b, a) };
+        let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        owned.shutdown();
+        // The very next request must still succeed: transport failure →
+        // mark-down → retry on the ring successor.
+        for _ in 0..3 {
+            let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+            assert_eq!(r.status, 200, "failover must hide the kill: {}", r.body);
+        }
+        let shards = client::get(router.addr(), "/v1/shards").unwrap().body;
+        let routing = shards.get("routing").unwrap();
+        assert!(
+            routing.get("retries").unwrap().as_f64().unwrap() >= 1.0,
+            "{shards}"
+        );
+        assert_eq!(routing.get("healthy").unwrap().as_f64(), Some(1.0));
+        router.shutdown();
+        other.shutdown();
+    }
+
+    #[test]
+    fn all_shards_down_answers_502_and_recovery_is_probed() {
+        let a = shard();
+        let addr_a = a.addr();
+        let router = router(vec![addr_a]);
+        a.shutdown();
+        let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+        assert_eq!(r.status, 502, "{}", r.body);
+        assert!(r.body.get("error").is_some());
+        // Bring a shard back on the same address: the prober marks it
+        // up within a few 50 ms sweeps, without any client traffic.
+        let revived = server::serve(&server::ServerConfig {
+            addr: addr_a.to_string(),
+            workers: 1,
+            ..Default::default()
+        })
+        .expect("rebind shard address");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let shards = client::get(router.addr(), "/v1/shards").unwrap().body;
+            let healthy = shards.get("routing").unwrap().get("healthy").unwrap();
+            if healthy.as_f64() == Some(1.0) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "prober never marked up: {shards}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        router.shutdown();
+        revived.shutdown();
+    }
+
+    #[test]
+    fn invalid_bodies_bounce_at_the_router() {
+        let a = shard();
+        let router = router(vec![a.addr()]);
+        for (body, status) in [
+            ("not json", 400),
+            ("[]", 400),
+            ("{}", 400),
+            (r#"{"model_name":"nope"}"#, 404),
+            (r#"{"model":"<model><broken"}"#, 422),
+        ] {
+            let raw = client::Connection::connect(router.addr())
+                .unwrap()
+                .send("POST", "/v1/estimate", Some(body), &[])
+                .unwrap();
+            assert_eq!(raw.status, status, "{body} -> {}", raw.body);
+        }
+        // None of those reached the shard: its estimate endpoint (which
+        // health probes never touch) stayed at zero requests.
+        let metrics = client::get(router.addr(), "/v1/metrics").unwrap().body;
+        let estimate_hits = metrics.get("shards").unwrap().as_array().unwrap()[0]
+            .get("metrics")
+            .unwrap()
+            .get("endpoints")
+            .unwrap()
+            .get("estimate")
+            .unwrap()
+            .get("requests")
+            .unwrap()
+            .as_f64();
+        assert_eq!(estimate_hits, Some(0.0), "{metrics}");
+        router.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
+    fn shutdown_broadcast_is_token_checked_and_drains_the_fleet() {
+        let token = "fleet-s3cret";
+        let a = server::serve(&server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            token: Some(token.to_string()),
+            ..Default::default()
+        })
+        .expect("bind shard");
+        let router = start(&RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            shards: vec![a.addr()],
+            token: Some(token.to_string()),
+            probe_interval: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .expect("bind router");
+        let bare = client::post(router.addr(), "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+        assert_eq!(bare.status, 401, "{}", bare.body);
+        let ok = client::Connection::connect(router.addr())
+            .unwrap()
+            .send(
+                "POST",
+                "/v1/shutdown",
+                Some("{}"),
+                &[("authorization", "Bearer fleet-s3cret")],
+            )
+            .unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // The broadcast carried the token: the shard acknowledged.
+        assert!(ok.body.contains("\"ok\":true"), "{}", ok.body);
+        router.wait();
+        a.wait(); // the shard drains too: the broadcast reached it
+    }
+
+    #[test]
+    fn models_and_unknown_routes_behave() {
+        let a = shard();
+        let router = router(vec![a.addr()]);
+        let models = client::get(router.addr(), "/v1/models").unwrap();
+        assert_eq!(models.status, 200);
+        assert_eq!(
+            models.body.get("models").unwrap().as_array().unwrap().len(),
+            6
+        );
+        assert_eq!(client::get(router.addr(), "/nope").unwrap().status, 404);
+        assert_eq!(
+            client::get(router.addr(), "/v1/estimate").unwrap().status,
+            405
+        );
+        router.shutdown();
+        a.shutdown();
+    }
+}

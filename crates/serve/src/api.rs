@@ -33,6 +33,9 @@ pub struct AppState {
     pub pool: SessionPool,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// Operator bearer token guarding `POST /v1/shutdown`; `None`
+    /// leaves the endpoint open (single-operator dev setups).
+    pub shutdown_token: Option<String>,
 }
 
 impl AppState {
@@ -42,8 +45,18 @@ impl AppState {
         Self {
             pool,
             metrics: Metrics::default(),
+            shutdown_token: None,
         }
     }
+}
+
+/// Whether a request carries `Authorization: Bearer <expected>`.
+/// Shared with the router, which guards its own shutdown the same way.
+pub fn bearer_authorized(req: &Request, expected: &str) -> bool {
+    req.header("authorization")
+        .and_then(|h| h.strip_prefix("Bearer "))
+        .map(str::trim)
+        == Some(expected)
 }
 
 /// The bundled demo workloads servable by name, with the same default
@@ -108,6 +121,17 @@ pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
         ("GET", "/v1/models") => handle_models(),
         ("GET", "/v1/metrics") => handle_metrics(state),
         ("POST", "/v1/shutdown") => {
+            // Shutdown is operator-only when a token is configured: the
+            // prediction endpoints stay open, but draining the fleet
+            // requires `Authorization: Bearer <token>`.
+            if let Some(expected) = &state.shutdown_token {
+                if !bearer_authorized(req, expected) {
+                    return (
+                        error_response(401, "shutdown requires a valid bearer token"),
+                        false,
+                    );
+                }
+            }
             let ack = Response::json(200, Json::object([("ok", Json::from(true))]).encode());
             return (ack, true);
         }
@@ -133,8 +157,10 @@ fn parse_body(req: &Request) -> Result<Json, Response> {
     }
 }
 
-/// Resolve the model named or embedded in a request body.
-fn resolve_model(body: &Json) -> Result<Model, Response> {
+/// Resolve the model named or embedded in a request body. Public
+/// because the router resolves the same members to compute the content
+/// digest it routes by — router and shard must agree on the key.
+pub fn resolve_model(body: &Json) -> Result<Model, Response> {
     match (body.get("model"), body.get("model_name")) {
         (Some(_), Some(_)) => Err(error_response(
             400,
@@ -169,8 +195,9 @@ fn resolve_model(body: &Json) -> Result<Model, Response> {
     }
 }
 
-/// Resolve the optional `mcf` member.
-fn resolve_mcf(body: &Json) -> Result<McfConfig, Response> {
+/// Resolve the optional `mcf` member. Public for the router (see
+/// [`resolve_model`]).
+pub fn resolve_mcf(body: &Json) -> Result<McfConfig, Response> {
     match body.get("mcf") {
         None => Ok(McfConfig::default()),
         Some(xml) => {
@@ -471,6 +498,7 @@ mod tests {
             path: path.into(),
             headers: Vec::new(),
             body: body.into(),
+            keep_alive: true,
         }
     }
 
@@ -480,6 +508,7 @@ mod tests {
             path: path.into(),
             headers: Vec::new(),
             body: String::new(),
+            keep_alive: true,
         }
     }
 

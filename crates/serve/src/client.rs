@@ -1,10 +1,12 @@
-//! A tiny blocking HTTP client for the service's own tests, benches and
-//! CI smoke checks — one request per connection, mirroring the server's
-//! connection model.
+//! A tiny blocking HTTP client: one-shot helpers for tests and smoke
+//! checks, plus a persistent keep-alive [`Connection`] — the router's
+//! transport to its shards, and what the benches use so sustained load
+//! stops paying a TCP connect per request.
 
 use crate::json::{self, Json};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// A decoded response: status code and parsed JSON body.
 #[derive(Debug)]
@@ -15,7 +17,289 @@ pub struct ClientResponse {
     pub body: Json,
 }
 
-/// Issue one request and parse the JSON response.
+/// An undecoded response off a [`Connection`]: what a proxy forwards
+/// verbatim without re-parsing the payload.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The raw body text.
+    pub body: String,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Longest accepted response head line, mirroring the server's bound.
+const MAX_RESPONSE_LINE: usize = 8 * 1024;
+
+/// The two halves of one established connection: writes go straight to
+/// the socket, reads through a buffer that survives across requests.
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A persistent keep-alive connection to one server.
+///
+/// Requests run sequentially over a single TCP connection; when the
+/// server closes it (idle timeout, `connection: close`, restart), the
+/// next request transparently reconnects — and a request that fails on
+/// a previously *used* connection is retried once on a fresh one, since
+/// a pooled socket may have died while idle. Callers that must not
+/// retry should use the one-shot helpers instead.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    wire: Option<Wire>,
+    io_timeout: Option<Duration>,
+    reconnects: u64,
+}
+
+impl std::fmt::Debug for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wire").finish()
+    }
+}
+
+impl Connection {
+    /// A lazily-connected handle; the first request dials.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            wire: None,
+            io_timeout: None,
+            reconnects: 0,
+        }
+    }
+
+    /// Connect eagerly, surfacing dial failures immediately.
+    ///
+    /// # Errors
+    /// The connect failure, as a message string.
+    pub fn connect(addr: SocketAddr) -> Result<Self, String> {
+        let mut conn = Self::new(addr);
+        conn.dial()?;
+        Ok(conn)
+    }
+
+    /// Bound every socket read/write on this connection (`None` blocks
+    /// indefinitely, the default).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) {
+        self.io_timeout = timeout;
+        if let Some(wire) = &self.wire {
+            let _ = wire.stream.set_read_timeout(timeout);
+            let _ = wire.stream.set_write_timeout(timeout);
+        }
+    }
+
+    /// The peer address this connection dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many times a request had to re-dial after the first
+    /// connection was established — 0 under healthy keep-alive.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn dial(&mut self) -> Result<(), String> {
+        let stream =
+            TcpStream::connect(self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.io_timeout);
+        let _ = stream.set_write_timeout(self.io_timeout);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone socket: {e}"))?,
+        );
+        if self.wire.is_some() || self.reconnects > 0 {
+            self.reconnects += 1;
+        }
+        self.wire = Some(Wire { stream, reader });
+        Ok(())
+    }
+
+    /// Issue one request, reusing the pooled socket when possible. A
+    /// failure on a previously used connection is retried once on a
+    /// fresh one (the pooled socket may have been closed while idle);
+    /// a failure on a fresh connection is final.
+    ///
+    /// # Errors
+    /// Dial/send/receive failures and malformed responses, as a
+    /// message string.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> Result<RawResponse, String> {
+        let pooled = self.wire.is_some();
+        match self.try_send(method, path, body, headers) {
+            Err(_) if pooled => {
+                self.wire = None;
+                self.try_send(method, path, body, headers)
+            }
+            result => result,
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> Result<RawResponse, String> {
+        if self.wire.is_none() {
+            self.dial()?;
+        }
+        let wire = self.wire.as_mut().expect("dialed above");
+        let payload = body.unwrap_or_default();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            self.addr,
+            payload.len()
+        );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        // Head + body in one write: two small packets back to back
+        // would hit the Nagle/delayed-ACK stall on a pooled socket.
+        head.push_str(payload);
+        let sent = wire
+            .stream
+            .write_all(head.as_bytes())
+            .and_then(|()| wire.stream.flush());
+        if let Err(e) = sent {
+            self.wire = None;
+            return Err(format!("send: {e}"));
+        }
+        match read_response(&mut wire.reader) {
+            Ok(response) => {
+                if !response.keep_alive {
+                    self.wire = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.wire = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Connection::send`], decoding the JSON body.
+    ///
+    /// # Errors
+    /// Transport failures and non-JSON bodies, as a message string.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<ClientResponse, String> {
+        let payload = body.map(Json::encode);
+        let raw = self.send(method, path, payload.as_deref(), &[])?;
+        let body =
+            json::parse(&raw.body).map_err(|e| format!("non-JSON body {:?}: {e}", raw.body))?;
+        Ok(ClientResponse {
+            status: raw.status,
+            body,
+        })
+    }
+
+    /// [`Connection::request`] for `GET` endpoints.
+    ///
+    /// # Errors
+    /// As [`Connection::request`].
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, None)
+    }
+
+    /// [`Connection::request`] for `POST` endpoints.
+    ///
+    /// # Errors
+    /// As [`Connection::request`].
+    pub fn post(&mut self, path: &str, body: &Json) -> Result<ClientResponse, String> {
+        self.request("POST", path, Some(body))
+    }
+}
+
+/// Read one bounded CRLF-terminated line of a response head.
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        reader
+            .read_exact(&mut byte)
+            .map_err(|e| format!("response ended mid-line: {e}"))?;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| "non-UTF-8 in response head".to_string());
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_RESPONSE_LINE {
+            return Err("response head line too long".to_string());
+        }
+    }
+}
+
+/// Parse one framed response: status line, headers, `content-length`
+/// body. Framing by length (not EOF) is what makes keep-alive possible.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, String> {
+    let status_line = read_head_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let mut length: Option<usize> = None;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let line = read_head_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed response header {line:?}"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            length = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?,
+            );
+        } else if name == "connection" {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let length = length.ok_or("response without content-length")?;
+    if length > crate::http::MAX_BODY {
+        return Err(format!("response body of {length} bytes is over the limit"));
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short response body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "response body is not UTF-8".to_string())?;
+    Ok(RawResponse {
+        status,
+        body,
+        keep_alive,
+    })
+}
+
+/// Issue one request on a throwaway connection and parse the JSON
+/// response. The request announces `connection: close`, so the server
+/// ends the connection after answering.
 ///
 /// # Errors
 /// I/O failures, malformed responses and non-JSON bodies all surface as
@@ -27,14 +311,15 @@ pub fn request(
     body: Option<&Json>,
 ) -> Result<ClientResponse, String> {
     let payload = body.map(Json::encode).unwrap_or_default();
-    let head = format!(
+    let mut frame = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         payload.len()
     );
+    frame.push_str(&payload);
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
     stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .write_all(frame.as_bytes())
         .map_err(|e| format!("send: {e}"))?;
     let mut raw = String::new();
     stream
@@ -53,11 +338,17 @@ pub fn request(
 }
 
 /// [`request`] for `GET` endpoints.
+///
+/// # Errors
+/// As [`request`].
 pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, String> {
     request(addr, "GET", path, None)
 }
 
 /// [`request`] for `POST` endpoints.
+///
+/// # Errors
+/// As [`request`].
 pub fn post(addr: SocketAddr, path: &str, body: &Json) -> Result<ClientResponse, String> {
     request(addr, "POST", path, Some(body))
 }

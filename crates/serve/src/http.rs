@@ -3,15 +3,16 @@
 //!
 //! Requests are parsed from the socket with hard limits (request-line
 //! size, header count, body size) so a misbehaving client cannot make a
-//! worker allocate unboundedly. Each connection carries one request and
-//! the response always closes the connection (`Connection: close`) —
-//! the service's unit of work is one prediction, and the expensive
-//! state (compiled sessions, elaborations) is shared *behind* the
-//! connection, so keep-alive would buy nothing measurable on loopback
-//! and complicates draining on shutdown.
+//! worker allocate unboundedly. Connections are **persistent** by
+//! default (HTTP/1.1 keep-alive): a client — in particular the router,
+//! which funnels many clients' requests into a few shard connections —
+//! pays the TCP connect once and pipelines request/response cycles
+//! sequentially. `Connection: close` (or HTTP/1.0 without
+//! `keep-alive`) restores the one-shot behavior, and the server always
+//! answers with an explicit `connection:` header so clients never have
+//! to guess.
 
-use std::io::{BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{Read, Write};
 
 /// Longest accepted request line (method + path + version).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -31,6 +32,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the client is willing to reuse this connection for
+    /// another request: HTTP/1.1 unless `Connection: close`, HTTP/1.0
+    /// only with an explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -65,17 +70,33 @@ impl Response {
         }
     }
 
-    /// Serialize and write this response to `stream`.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Serialize and write this response, closing the connection.
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        self.write_with_connection(stream, false)
+    }
+
+    /// Serialize and write this response, announcing in the
+    /// `connection:` header whether the server will keep the socket
+    /// open for another request.
+    pub fn write_with_connection<W: Write>(
+        &self,
+        stream: &mut W,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        // One write for head + body: a split write of two small
+        // packets triggers the Nagle/delayed-ACK stall (~40 ms) on
+        // keep-alive connections.
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(self.body.as_bytes());
+        stream.write_all(&frame)?;
         stream.flush()
     }
 }
@@ -84,11 +105,13 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         _ => "Unknown",
     }
 }
@@ -119,10 +142,10 @@ impl ParseError {
     }
 }
 
-/// Read and parse one request from `stream`.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
-    let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+/// Read and parse one request from `reader` (typically a `BufReader`
+/// over the socket, reused across requests on a keep-alive connection).
+pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
+    let line = read_line(reader, MAX_REQUEST_LINE)?;
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) => (m, t, v),
@@ -135,7 +158,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+        let line = read_line(reader, MAX_REQUEST_LINE)?;
         if line.is_empty() {
             break;
         }
@@ -165,16 +188,26 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         .map_err(|e| ParseError::bad(format!("short body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| ParseError::bad("body is not valid UTF-8"))?;
 
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match version {
+        "HTTP/1.0" => connection.as_deref() == Some("keep-alive"),
+        _ => connection.as_deref() != Some("close"),
+    };
+
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
         headers,
         body,
+        keep_alive,
     })
 }
 
 /// Read one CRLF (or LF) terminated line, bounded by `limit` bytes.
-fn read_line(reader: &mut BufReader<&mut TcpStream>, limit: usize) -> Result<String, ParseError> {
+fn read_line<R: Read>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -223,6 +256,7 @@ mod tests {
         assert_eq!(req.path, "/v1/estimate");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, "body");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -231,6 +265,16 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/v1/metrics");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = roundtrip("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = roundtrip("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
     }
 
     #[test]

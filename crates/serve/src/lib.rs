@@ -77,4 +77,4 @@ pub mod server;
 
 pub use json::Json;
 pub use pool::{PoolStats, SessionPool};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with, Handler, ServerConfig, ServerHandle};

@@ -1,29 +1,41 @@
 //! The server core: one accept loop, a fixed pool of worker threads, a
-//! shared [`AppState`], graceful drain on shutdown.
+//! shared handler state, graceful drain on shutdown.
 //!
 //! Architecture (std-only, no async runtime):
 //!
 //! ```text
 //!  TcpListener ──accept──▶ mpsc channel ──recv──▶ worker 0..W
 //!      │                                             │
-//!      │  (accept thread)                            ├─ parse request
-//!      │                                             ├─ api::handle(state)
-//!   shutdown flag ◀── POST /v1/shutdown ─────────────┤
-//!      │                                             └─ write response
+//!      │  (accept thread)                            ├─ parse request(s)
+//!      │                                             ├─ Handler::handle
+//!   shutdown flag ◀── POST /v1/shutdown ─────────────┤   (keep-alive loop)
+//!      │                                             └─ write response(s)
 //!      └─ self-connect wakes accept; channel closes; workers drain
 //! ```
 //!
 //! The accept thread only accepts and enqueues, so a slow client never
 //! blocks accepting; workers pull connections off the channel, which
 //! gives FIFO fairness and natural backpressure (the queue, not the
-//! listener backlog, is where bursts wait). Shutdown — via
-//! [`ServerHandle::shutdown`] or `POST /v1/shutdown` — flips the flag,
-//! wakes the accept thread with a loopback connect, closes the channel,
-//! and joins every worker after it finished its in-flight request:
-//! accepted connections are always answered, never dropped.
+//! listener backlog, is where bursts wait). Connections are persistent
+//! (HTTP/1.1 keep-alive): a worker serves requests off one socket until
+//! the client closes, asks for `Connection: close`, stays idle past the
+//! I/O timeout, or shutdown begins. Idle keep-alive sockets are polled
+//! in short slices, so a parked worker notices the shutdown flag within
+//! ~50 ms instead of holding the drain hostage for a full timeout.
+//!
+//! Shutdown — via [`ServerHandle::shutdown`] or `POST /v1/shutdown` —
+//! flips the flag, wakes the accept thread with a loopback connect,
+//! closes the channel, and joins every worker after it finished its
+//! in-flight request: accepted connections are always answered, never
+//! dropped.
+//!
+//! The loop is generic over a [`Handler`], so the same accept/worker/
+//! keep-alive/drain machinery serves both the prediction service
+//! ([`AppState`], via [`serve`]) and the scale-out router
+//! (`prophet-router`, via [`serve_with`]).
 
 use crate::api::{self, AppState};
-use crate::http::{read_request, Response};
+use crate::http::{read_request, Request, Response};
 use crate::pool::SessionPool;
 use prophet_core::ArtifactStore;
 use std::io;
@@ -32,9 +44,43 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default per-connection socket read/write timeout.
-pub const DEFAULT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Slice length for polling idle keep-alive connections: the worker
+/// waits for the next request in slices this long, checking the
+/// shutdown flag between slices.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Routes one parsed request to a response. Implemented by the
+/// prediction service's [`AppState`] and the router's state; everything
+/// socket-shaped (accept, keep-alive, timeouts, drain) lives here in
+/// the server core and is shared.
+pub trait Handler: Send + Sync + 'static {
+    /// Route one request. The bool is the shutdown signal: `true` when
+    /// the request asked the server to drain.
+    fn handle(&self, req: &Request) -> (Response, bool);
+
+    /// Record one handled request for metrics. `endpoint` is
+    /// `(method, path)`, or `None` when the request never parsed.
+    fn record(&self, endpoint: Option<(&str, &str)>, latency: Duration, error: bool);
+}
+
+impl Handler for AppState {
+    fn handle(&self, req: &Request) -> (Response, bool) {
+        api::handle(self, req)
+    }
+
+    fn record(&self, endpoint: Option<(&str, &str)>, latency: Duration, error: bool) {
+        let counters = match endpoint {
+            Some((method, path)) => self.metrics.endpoint(method, path),
+            None => &self.metrics.other,
+        };
+        counters.record(latency, error);
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -47,12 +93,16 @@ pub struct ServerConfig {
     /// that connects and sends nothing (slow-loris, half-open probe)
     /// would park a worker in a blocking read forever — and a wedged
     /// worker can never be joined, so graceful drain would hang too.
-    pub io_timeout: std::time::Duration,
+    /// Also bounds how long an idle keep-alive connection is retained.
+    pub io_timeout: Duration,
     /// Optional persistent artifact store (`prophet serve --store DIR`):
     /// the session pool warm-starts from it before the listener spawns,
     /// consults it on pool misses, and writes fresh compiles back, so a
     /// restarted server answers its first estimate with zero compiles.
     pub store: Option<Arc<ArtifactStore>>,
+    /// Operator bearer token: when set, `POST /v1/shutdown` requires
+    /// an `Authorization: Bearer <token>` header (401 otherwise).
+    pub token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -62,20 +112,21 @@ impl Default for ServerConfig {
             workers: 0,
             io_timeout: DEFAULT_IO_TIMEOUT,
             store: None,
+            token: None,
         }
     }
 }
 
 /// A running server: the bound address plus the handle to stop it.
-pub struct ServerHandle {
+pub struct ServerHandle<H: Handler = AppState> {
     addr: SocketAddr,
-    state: Arc<AppState>,
+    state: Arc<H>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for ServerHandle {
+impl<H: Handler> std::fmt::Debug for ServerHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
@@ -84,13 +135,34 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Bind and start serving in background threads. With a store
-/// configured, the pool warm-starts from it *before* any worker spawns,
-/// so the very first request can land on a pre-loaded session.
+/// Bind and start the prediction service in background threads. With a
+/// store configured, the pool warm-starts from it *before* any worker
+/// spawns, so the very first request can land on a pre-loaded session.
 ///
 /// # Errors
 /// Propagates the bind failure (port in use, bad address).
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let pool = match &config.store {
+        Some(store) => SessionPool::with_store(crate::pool::DEFAULT_CAPACITY, Arc::clone(store)),
+        None => SessionPool::default(),
+    };
+    let state = Arc::new(AppState {
+        pool,
+        metrics: crate::metrics::Metrics::default(),
+        shutdown_token: config.token.clone(),
+    });
+    state.pool.warm_start();
+    serve_with(config, state)
+}
+
+/// [`serve`] over a caller-built handler: the same accept loop, worker
+/// pool, keep-alive handling and graceful drain, routing through `state`
+/// instead of the prediction-service endpoints. This is what the router
+/// binary runs on.
+///
+/// # Errors
+/// Propagates the bind failure (port in use, bad address).
+pub fn serve_with<H: Handler>(config: &ServerConfig, state: Arc<H>) -> io::Result<ServerHandle<H>> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = if config.workers == 0 {
@@ -101,12 +173,6 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         config.workers
     };
 
-    let pool = match &config.store {
-        Some(store) => SessionPool::with_store(crate::pool::DEFAULT_CAPACITY, Arc::clone(store)),
-        None => SessionPool::default(),
-    };
-    let state = Arc::new(AppState::with_pool(pool));
-    state.pool.warm_start();
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -117,7 +183,7 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || worker_loop(&rx, &state, &shutdown, io_timeout))
+            std::thread::spawn(move || worker_loop(&rx, state.as_ref(), &shutdown, io_timeout))
         })
         .collect();
 
@@ -141,11 +207,14 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: &AtomicBo
         // Transient accept errors (EMFILE, aborted handshakes) must not
         // kill the server, so only `Ok` streams are enqueued — and even
         // the connection that woke us for shutdown is: it is usually
-        // join_all's self-connect (answered with a cheap 400 against a
-        // closed socket), but it can also be a real client racing the
-        // drain, and accepted clients are always answered, never
-        // dropped.
+        // join_all's self-connect (closed without a request, so the
+        // worker drops it quietly), but it can also be a real client
+        // racing the drain, and accepted clients with a request already
+        // in flight are answered, never dropped.
         if let Ok(stream) = stream {
+            // Responses go out in full frames; Nagle would only add
+            // delayed-ACK stalls between keep-alive requests.
+            let _ = stream.set_nodelay(true);
             if tx.send(stream).is_err() {
                 break;
             }
@@ -158,11 +227,11 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: &AtomicBo
     // accepted, then exit.
 }
 
-fn worker_loop(
+fn worker_loop<H: Handler>(
     rx: &Mutex<Receiver<TcpStream>>,
-    state: &AppState,
+    state: &H,
     shutdown: &AtomicBool,
-    io_timeout: std::time::Duration,
+    io_timeout: Duration,
 ) {
     loop {
         // Hold the lock only to receive; handling runs unlocked.
@@ -174,49 +243,113 @@ fn worker_loop(
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    state: &AppState,
-    shutdown: &AtomicBool,
-    io_timeout: std::time::Duration,
-) {
-    let started = std::time::Instant::now();
-    // Bound every socket operation: a silent or stalled peer costs a
-    // worker at most `io_timeout`, never forever.
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
-    let (response, stop, endpoint) = match read_request(&mut stream) {
-        Ok(request) => {
-            let endpoint = (request.method.clone(), request.path.clone());
-            let (response, stop) = api::handle(state, &request);
-            (response, stop, Some(endpoint))
-        }
-        Err(e) => (
-            Response::json(
-                e.status,
-                crate::json::Json::object([("error", crate::json::Json::from(e.message))]).encode(),
-            ),
-            false,
-            None,
-        ),
-    };
-    let error = response.status >= 400;
-    // Record metrics *before* the response bytes become visible: a
-    // client that sees its response and immediately asks /v1/metrics
-    // must find its own request already counted.
-    let counters = match &endpoint {
-        Some((method, path)) => state.metrics.endpoint(method, path),
-        None => &state.metrics.other,
-    };
-    counters.record(started.elapsed(), error);
-    if stop {
-        shutdown.store(true, Ordering::SeqCst);
-    }
-    // A dead client is the client's problem; the worker moves on.
-    let _ = response.write_to(&mut stream);
+/// What the idle wait observed on a connection.
+enum Await {
+    /// Request bytes are available.
+    Data,
+    /// Peer closed, idle deadline passed, drain began, or socket error:
+    /// stop serving this connection.
+    Closed,
 }
 
-impl ServerHandle {
+/// Wait for the next request on an idle connection, polling in
+/// [`IDLE_POLL`] slices so shutdown is noticed promptly. A connection
+/// already carrying data when shutdown flips is still answered (its
+/// response just closes the socket).
+fn await_data(stream: &TcpStream, shutdown: &AtomicBool, io_timeout: Duration) -> Await {
+    let deadline = Instant::now() + io_timeout;
+    let mut byte = [0u8; 1];
+    loop {
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        match stream.peek(&mut byte) {
+            Ok(0) => return Await::Closed, // clean EOF between requests
+            Ok(_) => return Await::Data,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    return Await::Closed;
+                }
+            }
+            Err(_) => return Await::Closed,
+        }
+    }
+}
+
+fn handle_connection<H: Handler>(
+    stream: TcpStream,
+    state: &H,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    // One buffered reader for the whole connection, so bytes of a
+    // pipelined next request are never lost between loop iterations;
+    // responses are written to the unbuffered clone.
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = io::BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        // Wait for the next request (or the first — a fresh connection
+        // with nothing to say costs at most `io_timeout`, never a
+        // wedged worker). Skip the wait when the reader already holds
+        // buffered bytes of the next request.
+        if reader.buffer().is_empty() {
+            match await_data(&stream, shutdown, io_timeout) {
+                Await::Data => {}
+                Await::Closed => return,
+            }
+        }
+        // Bound every socket operation while a request is in flight.
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        let started = Instant::now();
+        let (response, stop, endpoint, client_keep_alive) = match read_request(&mut reader) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive;
+                let endpoint = (request.method.clone(), request.path.clone());
+                let (response, stop) = state.handle(&request);
+                (response, stop, Some(endpoint), keep_alive)
+            }
+            Err(e) => (
+                Response::json(
+                    e.status,
+                    crate::json::Json::object([("error", crate::json::Json::from(e.message))])
+                        .encode(),
+                ),
+                false,
+                None,
+                // A parse error may have desynced the request framing;
+                // never reuse the connection after one.
+                false,
+            ),
+        };
+        let error = response.status >= 400;
+        // Record metrics *before* the response bytes become visible: a
+        // client that sees its response and immediately asks
+        // /v1/metrics must find its own request already counted.
+        state.record(
+            endpoint.as_ref().map(|(m, p)| (m.as_str(), p.as_str())),
+            started.elapsed(),
+            error,
+        );
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        let keep_alive = client_keep_alive && !stop && !shutdown.load(Ordering::SeqCst);
+        // A dead client is the client's problem; the worker moves on.
+        if response
+            .write_with_connection(&mut stream, keep_alive)
+            .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+impl<H: Handler> ServerHandle<H> {
     /// The bound address (the actual port when configured with `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -224,8 +357,14 @@ impl ServerHandle {
 
     /// The shared handler state (pool + metrics) — for in-process
     /// assertions in tests and benches.
-    pub fn state(&self) -> &AppState {
+    pub fn state(&self) -> &H {
         &self.state
+    }
+
+    /// The shutdown flag, for auxiliary threads (e.g. the router's
+    /// health prober) that should stop when the server drains.
+    pub fn shutdown_signal(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
     }
 
     /// True once shutdown has been requested (e.g. `POST /v1/shutdown`).
@@ -238,7 +377,7 @@ impl ServerHandle {
     /// returns. This is what `prophet serve` parks on.
     pub fn wait(mut self) {
         while !self.shutdown.load(Ordering::SeqCst) {
-            std::thread::sleep(std::time::Duration::from_millis(25));
+            std::thread::sleep(Duration::from_millis(25));
         }
         self.join_all();
     }
@@ -261,7 +400,7 @@ impl ServerHandle {
             // exits in case a racing real connection consumed the wake.
             while !accept.is_finished() {
                 let _ = TcpStream::connect(self.addr);
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::sleep(Duration::from_millis(2));
             }
             let _ = accept.join();
         }
@@ -271,7 +410,7 @@ impl ServerHandle {
     }
 }
 
-impl Drop for ServerHandle {
+impl<H: Handler> Drop for ServerHandle<H> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.join_all();
@@ -300,7 +439,7 @@ mod tests {
         let server = serve(&ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
-            io_timeout: std::time::Duration::from_millis(50),
+            io_timeout: Duration::from_millis(50),
             ..Default::default()
         })
         .expect("bind port 0");
@@ -332,6 +471,46 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = start(1);
+        let addr = server.addr();
+        let mut conn = client::Connection::connect(addr).expect("connect");
+        for _ in 0..4 {
+            let r = conn.get("/v1/models").expect("keep-alive request");
+            assert_eq!(r.status, 200);
+        }
+        assert_eq!(
+            conn.reconnects(),
+            0,
+            "four requests must ride one TCP connection"
+        );
+        // All four requests were counted — they really arrived.
+        let metrics = client::get(addr, "/v1/metrics").unwrap().body;
+        let models = metrics.get("endpoints").unwrap().get("models").unwrap();
+        assert_eq!(models.get("requests").unwrap().as_f64(), Some(4.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_closes_idle_keep_alive_connections_quickly() {
+        let server = start(2);
+        let addr = server.addr();
+        // Park an idle keep-alive connection on a worker.
+        let mut conn = client::Connection::connect(addr).unwrap();
+        assert_eq!(conn.get("/v1/models").unwrap().status, 200);
+        // Drain must not wait out the 10 s default io_timeout on the
+        // idle connection.
+        let started = Instant::now();
+        client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+        server.wait();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain stalled on an idle keep-alive connection: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn malformed_http_gets_an_error_response_and_server_survives() {
         use std::io::{Read, Write};
         let server = start(1);
@@ -356,6 +535,45 @@ mod tests {
         server.wait(); // must return: the endpoint stopped the server
                        // The port is released: a fresh bind to the same address works.
         TcpListener::bind(addr).expect("address released after shutdown");
+    }
+
+    #[test]
+    fn shutdown_with_token_rejects_unauthenticated_requests() {
+        let server = serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            token: Some("s3cret".to_string()),
+            ..Default::default()
+        })
+        .expect("bind port 0");
+        let addr = server.addr();
+        // No token, wrong scheme, wrong token: all 401, server stays up.
+        let bare = client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+        assert_eq!(bare.status, 401, "{}", bare.body);
+        let mut conn = client::Connection::connect(addr).unwrap();
+        for auth in ["Basic s3cret", "Bearer wrong"] {
+            let r = conn
+                .send(
+                    "POST",
+                    "/v1/shutdown",
+                    Some("{}"),
+                    &[("authorization", auth)],
+                )
+                .unwrap();
+            assert_eq!(r.status, 401, "{auth}: {}", r.body);
+        }
+        assert_eq!(client::get(addr, "/v1/models").unwrap().status, 200);
+        // The right token drains it.
+        let ok = conn
+            .send(
+                "POST",
+                "/v1/shutdown",
+                Some("{}"),
+                &[("authorization", "Bearer s3cret")],
+            )
+            .unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        server.wait();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`trace`] | prophet-trace | TF trace files + visualization data |
 //! | [`core`] | prophet-core | transformation pipeline, compile-once sessions, sweeps |
 //! | [`serve`] | prophet-serve | prediction service: session pool + HTTP/JSON layer |
+//! | [`router`] | prophet-router | scale-out front door: digest-routed sharding across serve fleets |
 //! | [`workloads`] | prophet-workloads | Livermore kernels + experiment models |
 //!
 //! ## Quickstart
@@ -63,6 +64,7 @@ pub use prophet_core as core;
 pub use prophet_estimator as estimator;
 pub use prophet_expr as expr;
 pub use prophet_machine as machine;
+pub use prophet_router as router;
 pub use prophet_serve as serve;
 pub use prophet_sim as sim;
 pub use prophet_trace as trace;

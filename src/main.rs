@@ -9,7 +9,9 @@
 //!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
 //!                   [--backend simulation|analytic] [--no-elab-cache]
-//! prophet serve     [--addr A] [--workers W] [--store DIR]
+//! prophet serve     [--addr A] [--workers W] [--store DIR] [--token T]
+//! prophet router    --shards H:P,H:P,... [--addr A] [--workers W]
+//!                   [--token T] [--probe-ms MS]
 //! prophet warm      --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]]
 //!                   <model.xml>...
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
@@ -48,6 +50,25 @@
 //! prophet warm --store ./artifacts --nodes 1,2,4,8 jacobi.xml sample.xml
 //! prophet serve --store ./artifacts
 //! ```
+//!
+//! `router` scales the service out horizontally: it consistent-hashes
+//! each request's `(model, MCF)` content digest across N `serve` shards
+//! (so the fleet still compiles every model exactly once), health-checks
+//! the shards and retries a killed shard's traffic on its ring
+//! successor, and aggregates `GET /v1/metrics` fleet-wide. Shards
+//! sharing one `--store` directory warm-start from each other's
+//! write-backs:
+//!
+//! ```text
+//! prophet serve --addr 127.0.0.1:7071 --store ./artifacts &
+//! prophet serve --addr 127.0.0.1:7072 --store ./artifacts &
+//! prophet router --shards 127.0.0.1:7071,127.0.0.1:7072
+//! ```
+//!
+//! `--token T` (or the `PROPHET_TOKEN` environment variable) on `serve`
+//! and `router` guards `POST /v1/shutdown` behind
+//! `Authorization: Bearer T`; the router forwards the header when it
+//! broadcasts a fleet shutdown.
 //!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
@@ -109,7 +130,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W] [--store DIR]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -123,6 +144,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "estimate" => cmd_estimate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "router" => cmd_router(&args[1..]),
         "warm" => cmd_warm(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -367,9 +389,22 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The operator token for `serve`/`router`: `--token` wins, the
+/// `PROPHET_TOKEN` environment variable is the fallback (so process
+/// lists don't have to show the secret).
+fn token_from(args: &[String]) -> Result<Option<String>, CliError> {
+    match value_flag(args, "--token")? {
+        Some(token) => Ok(Some(token.to_string())),
+        None => Ok(std::env::var("PROPHET_TOKEN")
+            .ok()
+            .filter(|t| !t.is_empty())),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let addr = value_flag(args, "--addr")?.unwrap_or("127.0.0.1:7077");
     let workers: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
+    let token = token_from(args)?;
     let store_dir = value_flag(args, "--store")?;
     let store = store_dir
         .map(|dir| {
@@ -382,6 +417,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         addr: addr.to_string(),
         workers,
         store,
+        token,
         ..Default::default()
     })
     .map_err(|e| runtime_err(format!("cannot bind `{addr}`: {e}")))?;
@@ -402,6 +438,55 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // requests before returning.
     server.wait();
     println!("prophet-serve drained and stopped");
+    Ok(())
+}
+
+/// `prophet router`: the scale-out front door over N `serve` shards.
+fn cmd_router(args: &[String]) -> Result<(), CliError> {
+    let addr = value_flag(args, "--addr")?.unwrap_or("127.0.0.1:7070");
+    let workers: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
+    let probe_ms: u64 = parsed_flag(args, "--probe-ms")?.unwrap_or(500);
+    if probe_ms == 0 {
+        return Err(usage_err("`--probe-ms` must be at least 1"));
+    }
+    let token = token_from(args)?;
+    let shard_list = value_flag(args, "--shards")?
+        .ok_or_else(|| usage_err("router requires --shards HOST:PORT,HOST:PORT,..."))?;
+    let shards: Vec<std::net::SocketAddr> = shard_list
+        .split(',')
+        .map(|s| {
+            s.trim().parse().map_err(|_| {
+                usage_err(format!(
+                    "bad shard address `{s}` in `--shards {shard_list}`"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let router = prophet::router::start(&prophet::router::RouterConfig {
+        addr: addr.to_string(),
+        workers,
+        shards: shards.clone(),
+        token,
+        probe_interval: std::time::Duration::from_millis(probe_ms),
+        ..Default::default()
+    })
+    .map_err(|e| runtime_err(format!("cannot bind `{addr}`: {e}")))?;
+    println!("prophet-router listening on http://{}", router.addr());
+    println!(
+        "routing {} shard(s): {}",
+        shards.len(),
+        shards
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "endpoints: POST /v1/check /v1/estimate /v1/sweep — GET /v1/models /v1/metrics /v1/shards"
+    );
+    println!("POST /v1/shutdown broadcasts to the fleet, then drains the router");
+    router.wait();
+    println!("prophet-router drained and stopped");
     Ok(())
 }
 

@@ -14,41 +14,48 @@ fn read(path: impl AsRef<Path>) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
 }
 
-/// Every `/v1/...` route string spelled anywhere in the serve crate's
-/// sources (`server.rs`, `api.rs`, ...) must appear in docs/API.md.
+/// Every `/v1/...` route string spelled anywhere in the serve or
+/// router crate's sources (`server.rs`, `api.rs`, ...) must appear in
+/// docs/API.md — router-only endpoints like `/v1/shards` included.
 #[test]
 fn every_serve_route_is_documented_in_api_md() {
     let api_md = read("docs/API.md");
-    let src_dir = repo_root().join("crates/serve/src");
     let mut routes: BTreeSet<String> = BTreeSet::new();
-    for entry in std::fs::read_dir(&src_dir).expect("serve src dir") {
-        let path = entry.expect("dir entry").path();
-        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
-            continue;
-        }
-        let source = std::fs::read_to_string(&path).unwrap();
-        // Route strings as they appear in source: "/v1/<word>".
-        let mut rest = source.as_str();
-        while let Some(at) = rest.find("/v1/") {
-            let tail = &rest[at + 4..];
-            let name: String = tail
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                routes.insert(format!("/v1/{name}"));
+    for src_dir in ["crates/serve/src", "crates/router/src"] {
+        let src_dir = repo_root().join(src_dir);
+        for entry in std::fs::read_dir(&src_dir).expect("crate src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
             }
-            rest = &rest[at + 4..];
+            let source = std::fs::read_to_string(&path).unwrap();
+            // Route strings as they appear in source: "/v1/<word>".
+            let mut rest = source.as_str();
+            while let Some(at) = rest.find("/v1/") {
+                let tail = &rest[at + 4..];
+                let name: String = tail
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    routes.insert(format!("/v1/{name}"));
+                }
+                rest = &rest[at + 4..];
+            }
         }
     }
     assert!(
-        routes.len() >= 6,
-        "expected at least the six endpoints, found {routes:?}"
+        routes.contains("/v1/shards"),
+        "expected the router-only /v1/shards endpoint in the scan, found {routes:?}"
+    );
+    assert!(
+        routes.len() >= 7,
+        "expected at least the seven endpoints, found {routes:?}"
     );
     for route in &routes {
         assert!(
             api_md.contains(route),
-            "route `{route}` (spelled in crates/serve/src) is missing from docs/API.md"
+            "route `{route}` (spelled in crates/serve/src or crates/router/src) is missing from docs/API.md"
         );
     }
 }
@@ -120,6 +127,7 @@ fn readme_shows_every_cli_command() {
         "estimate",
         "sweep",
         "serve",
+        "router",
         "warm",
         "demo",
     ] {

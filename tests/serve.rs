@@ -473,6 +473,62 @@ fn serve_binary_rejects_bad_flags_as_usage_errors() {
     );
 }
 
+/// Keep-alive against the real binary: many requests ride one TCP
+/// connection (the transport the router pools toward its shards).
+#[test]
+fn binary_serves_many_requests_per_connection() {
+    let proc = spawn_serve(&["--workers", "1"]);
+    let mut conn = client::Connection::connect(proc.addr).expect("connect");
+    for _ in 0..5 {
+        let r = conn.get("/v1/models").expect("keep-alive request");
+        assert_eq!(r.status, 200);
+    }
+    assert_eq!(
+        conn.reconnects(),
+        0,
+        "five requests must reuse one connection"
+    );
+    drain(proc);
+}
+
+/// The `PROPHET_TOKEN` environment variable guards shutdown exactly
+/// like `--token`: 401 without the bearer header, drain with it.
+#[test]
+fn binary_token_env_guards_shutdown() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prophet"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .env("PROPHET_TOKEN", "env-s3cret")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr: SocketAddr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable listen line: {line:?}"));
+
+    let bare = client::post(addr, "/v1/shutdown", &Json::object::<&str>([])).unwrap();
+    assert_eq!(bare.status, 401, "{}", bare.body);
+    // The service endpoints stay open without the token.
+    assert_eq!(client::get(addr, "/v1/models").unwrap().status, 200);
+    let ack = client::Connection::connect(addr)
+        .unwrap()
+        .send(
+            "POST",
+            "/v1/shutdown",
+            Some("{}"),
+            &[("authorization", "Bearer env-s3cret")],
+        )
+        .unwrap();
+    assert_eq!(ack.status, 200, "{}", ack.body);
+    assert!(child.wait().expect("binary exits").success());
+}
+
 /// Raw-socket client hygiene: a malformed request gets a 400 and the
 /// server keeps serving on the same port.
 #[test]
