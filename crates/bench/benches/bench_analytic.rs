@@ -4,6 +4,7 @@
 //! never measured against wrong answers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_bench::trajectory::Trajectory;
 use prophet_core::{mpi_grid, Backend, Scenario, Session, SweepConfig, SweepPoint};
 use prophet_machine::SystemParams;
 use prophet_workloads::models::jacobi_model;
@@ -123,6 +124,82 @@ fn bench_analytic(c: &mut Criterion) {
     group.bench_function("elab_cached", |b| b.iter(|| sweep_8_seeds(false)));
     group.bench_function("elab_uncached", |b| b.iter(|| sweep_8_seeds(true)));
     group.finish();
+
+    // Batch-path floor: a cached analytic sweep dispatches whole chunks
+    // through `prophet_estimator::batch` (compacted ops, statically
+    // matched messages, reused scratch), while `Session::evaluate` stays
+    // on the per-point oracle. Both sides run warm on the same elab
+    // cache, so the ratio isolates the batch walk itself. The floor is
+    // 3x (typical measured speedup is well above 5x); same best-of-3
+    // x 3-attempt shape as the elab-cache guard above to shrug off
+    // shared-runner scheduler noise.
+    let batch_pass = || {
+        assert_eq!(
+            session
+                .sweep_with(&big, &config(Backend::Analytic), |_, _| {})
+                .failures(),
+            0
+        );
+    };
+    let per_point_pass = || {
+        for point in &big {
+            let scenario = Scenario::new(point.sp)
+                .with_backend(Backend::Analytic)
+                .without_trace();
+            std::hint::black_box(session.evaluate(&scenario).unwrap().predicted_time);
+        }
+    };
+    batch_pass(); // warm: compiles the BatchProgram into the elab cache
+    per_point_pass();
+    let best_of_3 = |pass: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                pass();
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let mut batch_speedup = 0.0f64;
+    for _ in 0..3 {
+        let batch = best_of_3(&batch_pass);
+        let per_point = best_of_3(&per_point_pass);
+        batch_speedup = batch_speedup.max(per_point.as_secs_f64() / batch.as_secs_f64());
+        if batch_speedup >= 3.0 {
+            break;
+        }
+    }
+    assert!(
+        batch_speedup >= 3.0,
+        "batched analytic sweep must be >= 3x the per-point oracle on the 64pt \
+         grid in at least one of 3 attempts, best was {batch_speedup:.2}x"
+    );
+    println!("batch evaluation speedup on 64pt analytic sweep: {batch_speedup:.2}x");
+
+    // Trajectory snapshot (BENCH_analytic.json under PROPHET_BENCH_WRITE=1):
+    // warm points/sec through each evaluation path on the 64-point grid.
+    let mut trajectory = Trajectory::new("analytic");
+    let n = big.len() as u64;
+    trajectory.measure("batch_sweep_64pt_points_per_sec", n * 8, || {
+        for _ in 0..8 {
+            batch_pass();
+        }
+    });
+    trajectory.measure("per_point_analytic_64pt_points_per_sec", n * 8, || {
+        for _ in 0..8 {
+            per_point_pass();
+        }
+    });
+    trajectory.measure("simulation_sweep_64pt_points_per_sec", n, || {
+        assert_eq!(
+            session
+                .sweep_with(&big, &config(Backend::Simulation), |_, _| {})
+                .failures(),
+            0
+        );
+    });
+    trajectory.write_if_requested();
 }
 
 criterion_group!(benches, bench_analytic);

@@ -4,9 +4,10 @@
 //! flatten-once elaboration cache vs per-evaluation elaboration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_bench::trajectory::Trajectory;
 use prophet_core::{
-    flatten_invocations, mpi_grid, transform_invocations, EstimatorOptions, Session, SweepConfig,
-    SweepPoint,
+    flatten_invocations, mpi_grid, transform_invocations, Backend, EstimatorOptions, Session,
+    SweepConfig, SweepPoint,
 };
 use prophet_workloads::models::jacobi_model;
 
@@ -141,6 +142,44 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_function("elab_cached", |b| b.iter(|| sweep_4_seeds(false)));
     group.bench_function("elab_uncached", |b| b.iter(|| sweep_4_seeds(true)));
     group.finish();
+
+    // Trajectory snapshot (BENCH_sweep.json under PROPHET_BENCH_WRITE=1):
+    // warm sweep throughput through each dispatch path.
+    let analytic_serial = SweepConfig {
+        threads: 1,
+        backend: Backend::Analytic,
+        ..Default::default()
+    };
+    assert_eq!(
+        session
+            .sweep_with(&big, &analytic_serial, |_, _| {})
+            .failures(),
+        0
+    ); // warm: elab cache + BatchProgram compilation
+    let mut trajectory = Trajectory::new("sweep");
+    let n = big.len() as u64;
+    trajectory.measure("sim_sweep_serial_64pt_points_per_sec", n, || {
+        assert_eq!(session.sweep_with(&big, &serial, |_, _| {}).failures(), 0);
+    });
+    trajectory.measure("sim_sweep_parallel_64pt_points_per_sec", n, || {
+        assert_eq!(session.sweep_with(&big, &parallel, |_, _| {}).failures(), 0);
+    });
+    trajectory.measure("analytic_batch_sweep_64pt_points_per_sec", n * 8, || {
+        for _ in 0..8 {
+            assert_eq!(
+                session
+                    .sweep_with(&big, &analytic_serial, |_, _| {})
+                    .failures(),
+                0
+            );
+        }
+    });
+    trajectory.measure(
+        "elab_cached_8pt_x4seed_points_per_sec",
+        (grid8.len() * 4) as u64,
+        || sweep_4_seeds(false),
+    );
+    trajectory.write_if_requested();
 }
 
 criterion_group!(benches, bench_sweep);

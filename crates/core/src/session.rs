@@ -34,7 +34,8 @@ use crate::transform::{to_cpp, to_program};
 use prophet_check::{check_model, Diagnostic, McfConfig};
 use prophet_codegen::CppUnit;
 use prophet_estimator::{
-    Backend, ElabStats, ElaborationCache, Estimator, EstimatorOptions, Evaluation, Program,
+    Backend, BatchScratch, ElabStats, ElaborationCache, Estimator, EstimatorOptions, Evaluation,
+    Program,
 };
 use prophet_machine::{CommParams, MachineModel, SystemParams};
 use prophet_uml::Model;
@@ -437,24 +438,60 @@ pub(crate) fn sweep_program(
     };
     let comm = config.comm;
     let backend = config.backend;
-    let results = run_indexed(
-        points.len(),
-        config.threads,
-        |i| {
-            let sp = points[i].sp;
-            let outcome = MachineModel::new(sp, comm)
-                .map_err(Error::from)
-                .and_then(|machine| {
-                    Estimator::run_backend_cached(backend, program, &machine, &options, elab)
-                        .map(|e| e.predicted_time)
+    let results = match (backend, elab) {
+        // Cached analytic sweeps go through the batch path: workers
+        // claim whole chunks off the cursor and replay each point into
+        // their own reusable scratch (predictions are bit-identical to
+        // the per-point path — see `prophet_estimator::batch`).
+        (Backend::Analytic, Some(cache)) => run_indexed_chunked(
+            points.len(),
+            config.threads,
+            ANALYTIC_CHUNK,
+            BatchScratch::new,
+            |scratch, i| {
+                let sp = points[i].sp;
+                let outcome =
+                    MachineModel::new(sp, comm)
                         .map_err(Error::from)
-                });
-            PointResult { sp, outcome }
-        },
-        &mut on_point,
-    );
+                        .and_then(|machine| {
+                            Estimator::run_analytic_batched(
+                                program, &machine, &options, cache, scratch,
+                            )
+                            .map(|e| e.predicted_time)
+                            .map_err(Error::from)
+                        });
+                PointResult { sp, outcome }
+            },
+            &mut on_point,
+        ),
+        _ => run_indexed(
+            points.len(),
+            config.threads,
+            |i| {
+                let sp = points[i].sp;
+                let outcome =
+                    MachineModel::new(sp, comm)
+                        .map_err(Error::from)
+                        .and_then(|machine| {
+                            Estimator::run_backend_cached(
+                                backend, program, &machine, &options, elab,
+                            )
+                            .map(|e| e.predicted_time)
+                            .map_err(Error::from)
+                        });
+                PointResult { sp, outcome }
+            },
+            &mut on_point,
+        ),
+    };
     SweepReport { points: results }
 }
+
+/// Cursor claim size of batch-path analytic sweeps: large enough to
+/// amortize the atomic `fetch_add` per claim across cheap closed-form
+/// points, small enough that an uneven grid still balances across
+/// workers.
+const ANALYTIC_CHUNK: usize = 8;
 
 /// Evaluate `count` independent jobs over scoped worker threads.
 ///
@@ -468,9 +505,27 @@ fn run_indexed<T: Send>(
     job: impl Fn(usize) -> T + Sync,
     observe: &mut impl FnMut(usize, &T),
 ) -> Vec<T> {
+    run_indexed_chunked(count, threads, 1, || (), |(), i| job(i), observe)
+}
+
+/// [`run_indexed`] with chunked claims and per-worker state: each worker
+/// builds one `state` with `init` and claims `chunk` consecutive indices
+/// per cursor `fetch_add`, passing the state to every job it runs. The
+/// batch analytic sweep path uses the state as its reusable evaluation
+/// scratch; `chunk == 1` with a unit state degenerates to the plain
+/// work-stealing loop.
+fn run_indexed_chunked<T: Send, S>(
+    count: usize,
+    threads: usize,
+    chunk: usize,
+    init: impl Fn() -> S + Sync,
+    job: impl Fn(&mut S, usize) -> T + Sync,
+    observe: &mut impl FnMut(usize, &T),
+) -> Vec<T> {
     if count == 0 {
         return Vec::new();
     }
+    let chunk = chunk.max(1);
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -478,13 +533,15 @@ fn run_indexed<T: Send>(
     } else {
         threads
     };
-    let threads = threads.min(count);
+    // More workers than chunk claims would only spawn idle threads.
+    let threads = threads.min(count.div_ceil(chunk));
 
     if threads == 1 {
         // Run on the caller's thread: same semantics, no machinery.
+        let mut state = init();
         return (0..count)
             .map(|i| {
-                let r = job(i);
+                let r = job(&mut state, i);
                 observe(i, &r);
                 r
             })
@@ -500,16 +557,22 @@ fn run_indexed<T: Send>(
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
+            let init = &init;
             let job = &job;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= count {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(count) {
+                        // The receiver outlives the scope; a send can
+                        // only fail if the main thread panicked, in
+                        // which case unwinding is already underway.
+                        let _ = tx.send((i, job(&mut state, i)));
+                    }
                 }
-                // The receiver outlives the scope; a send can only fail
-                // if the main thread panicked, in which case unwinding
-                // is already underway.
-                let _ = tx.send((i, job(i)));
             });
         }
         drop(tx);

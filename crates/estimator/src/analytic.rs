@@ -262,7 +262,7 @@ impl Replay<'_> {
 /// approximation: greedy list scheduling of arm totals onto the
 /// servers, raised to a per-lock serialization lower bound of
 /// `min(first acquisition offset) + Σ locked time`.
-fn team_time(arms: &[Vec<PrimOp>], servers: usize) -> Result<f64, EstimatorError> {
+pub(crate) fn team_time(arms: &[Vec<PrimOp>], servers: usize) -> Result<f64, EstimatorError> {
     if arms.is_empty() {
         return Ok(0.0);
     }

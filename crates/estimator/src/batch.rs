@@ -1,0 +1,605 @@
+//! Batch analytic evaluation: prepare once, evaluate many SP points.
+//!
+//! [`crate::analytic::evaluate_ops`] re-walks the full `Arc<[PrimOp]>`
+//! structure per SP point: every evaluation re-skips the trace markers,
+//! re-hashes `(src, dst, tag)` channel keys into a fresh `HashMap` of
+//! `VecDeque`s, re-prices every Hockney transfer and re-schedules every
+//! thread team — even though all of that is a pure function of the
+//! elaboration and the machine model, which the sweep holds fixed per
+//! elaboration-cache entry. During a sweep the same op lists are walked
+//! once per point, so the redundant work dominates the hot loop.
+//!
+//! [`BatchProgram::prepare`] hoists everything scenario-invariant out of
+//! the per-point walk, compiling the op lists into a structure-of-arrays
+//! form the critical-path pass can replay with no allocation and no
+//! hashing:
+//!
+//! * **trace markers and master-flow locks are dropped** — they are
+//!   no-ops in the analytic pass, and they are the *majority* of ops in
+//!   elaborated models (every element contributes an `Enter`/`Exit`
+//!   pair),
+//! * **sends and receives are matched statically** — FIFO matching per
+//!   `(src, dst, tag)` is order-deterministic: the k-th receive on a
+//!   channel always pairs with the k-th send, because both sides post in
+//!   program order. Each send gets a dense slot index; each receive
+//!   stores its partner's slot, so the per-point replay is an array read
+//!   instead of a `HashMap` + `VecDeque` pop,
+//! * **costs are resolved to one `f64` per op** — Hockney transfer
+//!   times, send overheads and thread-team completion times (the full
+//!   FCFS lock schedule) are priced at prepare time,
+//! * **scratch is reused across points** — [`BatchScratch`] holds the
+//!   per-rank clocks/cursors and the send-timestamp arena; a sweep
+//!   worker clears it per point instead of reallocating.
+//!
+//! The replay is the *same* round-robin critical-path pass as the
+//! per-point oracle, performing the identical floating-point operations
+//! in the identical order, so predictions are **bit-identical** to
+//! [`crate::analytic::evaluate_ops`] — pinned by unit tests here, the
+//! conformance suite, and the batch-vs-single differential proptest in
+//! `tests/conformance.rs`. Deadlocks are reported with the exact same
+//! [`SimError::Deadlock`] shape (the compact ops remember their source
+//! op index for the message).
+//!
+//! Preparation itself can fail where the oracle would not have — e.g. a
+//! thread team holding a communication op errors at prepare time but
+//! only errors per-point if the replay *reaches* it (the model might
+//! deadlock first). [`prepare`](BatchProgram::prepare) failures are
+//! therefore never surfaced: callers
+//! ([`ElaborationCache::get_or_flatten_batched`](crate::elab::ElaborationCache::get_or_flatten_batched))
+//! fall back to the per-point oracle, keeping observable behavior
+//! identical in every case.
+
+use crate::elab::RankOps;
+use crate::estimator::{EstimatorError, Evaluation};
+use crate::flatten::PrimOp;
+use prophet_machine::MachineModel;
+use prophet_sim::{SimError, SimReport};
+use prophet_trace::TraceFile;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// One compact analytic op. The meaning of `arg`/`val` depends on the
+/// kind; see [`Kind`].
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Advance the rank clock by `val` (compute, wait, or a whole
+    /// thread team priced by the FCFS schedule at prepare time).
+    Add,
+    /// Post send slot `arg` at the current clock; no sender cost
+    /// (zero-byte control message, or `send_overhead == 0`).
+    Post,
+    /// Post send slot `arg`, then advance the clock by `val` (the
+    /// sender-side overhead of a data message).
+    PostPay,
+    /// Complete at `max(clock, send_time[arg] + val)` — `val` is the
+    /// Hockney transfer time priced at prepare time.
+    Recv,
+    /// Complete at `max(clock, send_time[arg])` exactly — a zero-byte
+    /// message adds no transfer term (and no `+ 0.0`, which could
+    /// perturb the bit pattern).
+    RecvZero,
+    /// A receive with no matching send anywhere in the elaboration:
+    /// blocks forever (the deadlock is reported like the oracle's).
+    RecvNever,
+}
+
+/// Sentinel for "send not posted yet" in the scratch arena.
+const UNPOSTED: f64 = f64::NAN;
+
+/// One elaboration compiled for batch evaluation: the scenario-invariant
+/// half of the analytic critical-path pass, resolved once per
+/// `(elaboration, machine)` pair and replayed per SP point.
+///
+/// Built by [`BatchProgram::prepare`]; cached per elaboration-cache
+/// entry by
+/// [`ElaborationCache::get_or_flatten_batched`](crate::elab::ElaborationCache::get_or_flatten_batched).
+#[derive(Debug)]
+pub struct BatchProgram {
+    /// Structure-of-arrays over compact ops, all ranks concatenated.
+    kinds: Vec<Kind>,
+    /// Send-slot index (`Post*`/`Recv*`); unused for `Add`.
+    args: Vec<u32>,
+    /// Pre-priced cost; meaning depends on the kind.
+    vals: Vec<f64>,
+    /// Index of the originating op in its rank's source list — only
+    /// read to format deadlock reports from the original `PrimOp`.
+    orig: Vec<u32>,
+    /// Per-rank compact op range into the arrays above.
+    ranks: Vec<Range<u32>>,
+    /// Total send slots (sizes the scratch arena).
+    sends: usize,
+    /// The source elaboration (deadlock formatting only).
+    ops: RankOps,
+}
+
+/// Reusable per-worker scratch for [`BatchProgram::evaluate`]: the
+/// mutable state of one replay, cleared (not reallocated) per point.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Per-rank cursor into the compact op arrays.
+    ip: Vec<u32>,
+    /// Per-rank clock.
+    time: Vec<f64>,
+    /// Post time per send slot ([`UNPOSTED`] until the sender reaches
+    /// it) — the arena replacing the oracle's channel map.
+    send_time: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; grows to fit the first program it replays.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BatchProgram {
+    /// Compile `rank_ops` + `machine` into batch form.
+    ///
+    /// # Errors
+    /// Anything the per-point pass could raise while pricing
+    /// (communication inside a thread team, invalid team shapes), plus
+    /// elaborations too large for the compact `u32` indices. Callers
+    /// treat any error as "use the per-point oracle for this entry".
+    pub fn prepare(rank_ops: &RankOps, machine: &MachineModel) -> Result<Self, EstimatorError> {
+        let total_ops: usize = rank_ops.iter().map(|r| r.len()).sum();
+        let total_sends: usize = rank_ops
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .filter(|op| matches!(op, PrimOp::SendTo { .. }))
+                    .count()
+            })
+            .sum();
+        if total_ops > u32::MAX as usize || rank_ops.len() > u32::MAX as usize {
+            return Err(EstimatorError::Mismatch(
+                "elaboration too large for batch compilation".into(),
+            ));
+        }
+
+        // Pass 1 — static FIFO matching: assign each send a dense slot
+        // in (rank, program-order) and queue it on its channel; the
+        // replay posts sends in exactly this order, so the k-th pop in
+        // pass 2 is the send the oracle's k-th pop would match.
+        let mut channels: HashMap<(usize, usize, i64), VecDeque<(u32, u64)>> = HashMap::new();
+        let mut slot = 0u32;
+        for (pid, ops) in rank_ops.iter().enumerate() {
+            for op in ops.iter() {
+                if let PrimOp::SendTo {
+                    dest, bytes, tag, ..
+                } = op
+                {
+                    channels
+                        .entry((pid, *dest, *tag))
+                        .or_default()
+                        .push_back((slot, *bytes));
+                    slot += 1;
+                }
+            }
+        }
+        debug_assert_eq!(slot as usize, total_sends);
+
+        // Pass 2 — compact each rank, dropping analytic no-ops and
+        // pricing everything scenario-invariant.
+        let mut kinds = Vec::with_capacity(total_ops);
+        let mut args = Vec::with_capacity(total_ops);
+        let mut vals = Vec::with_capacity(total_ops);
+        let mut orig = Vec::with_capacity(total_ops);
+        let mut ranks = Vec::with_capacity(rank_ops.len());
+        let overhead = machine.comm.params.send_overhead;
+        let mut next_slot = 0u32;
+        for (pid, ops) in rank_ops.iter().enumerate() {
+            let start = kinds.len() as u32;
+            for (at, op) in ops.iter().enumerate() {
+                let (kind, arg, val) = match op {
+                    PrimOp::Enter(_) | PrimOp::Exit(_) => continue,
+                    PrimOp::Lock(_) | PrimOp::Unlock(_) => continue,
+                    PrimOp::Compute { seconds, .. } | PrimOp::Wait { seconds, .. } => {
+                        (Kind::Add, 0, *seconds)
+                    }
+                    PrimOp::SendTo { bytes, .. } => {
+                        let s = next_slot;
+                        next_slot += 1;
+                        if *bytes > 0 && overhead > 0.0 {
+                            (Kind::PostPay, s, overhead)
+                        } else {
+                            (Kind::Post, s, 0.0)
+                        }
+                    }
+                    PrimOp::RecvFrom { src, tag, .. } => {
+                        match channels
+                            .get_mut(&(*src, pid, *tag))
+                            .and_then(VecDeque::pop_front)
+                        {
+                            Some((s, bytes)) if bytes > 0 => {
+                                // The transfer is priced from the *sender's*
+                                // size, as the oracle prices it.
+                                (Kind::Recv, s, machine.comm.ptp_time(*src, pid, bytes))
+                            }
+                            Some((s, _)) => (Kind::RecvZero, s, 0.0),
+                            None => (Kind::RecvNever, 0, 0.0),
+                        }
+                    }
+                    PrimOp::Threads { arms, .. } => (
+                        Kind::Add,
+                        0,
+                        crate::analytic::team_time(arms, machine.sp.cpus_per_node)?,
+                    ),
+                };
+                kinds.push(kind);
+                args.push(arg);
+                vals.push(val);
+                orig.push(at as u32);
+            }
+            ranks.push(start..kinds.len() as u32);
+        }
+
+        Ok(Self {
+            kinds,
+            args,
+            vals,
+            orig,
+            ranks,
+            sends: total_sends,
+            ops: rank_ops.clone(),
+        })
+    }
+
+    /// Replay one point: the same round-robin critical-path pass as
+    /// [`crate::analytic::evaluate_ops`], bit-identical by construction.
+    ///
+    /// # Errors
+    /// [`EstimatorError::Sim`] with the oracle's deadlock shape when the
+    /// send/recv dependency graph has a cycle or an unmatched receive.
+    pub fn evaluate(
+        &self,
+        name: &str,
+        scratch: &mut BatchScratch,
+    ) -> Result<Evaluation, EstimatorError> {
+        let n = self.ranks.len();
+        scratch.ip.clear();
+        scratch.ip.extend(self.ranks.iter().map(|r| r.start));
+        scratch.time.clear();
+        scratch.time.resize(n, 0.0);
+        scratch.send_time.clear();
+        scratch.send_time.resize(self.sends, UNPOSTED);
+
+        loop {
+            let mut progressed = false;
+            for pid in 0..n {
+                progressed |= self.advance(pid, scratch);
+            }
+            if scratch
+                .ip
+                .iter()
+                .zip(&self.ranks)
+                .all(|(&ip, range)| ip >= range.end)
+            {
+                break;
+            }
+            if !progressed {
+                return Err(EstimatorError::Sim(self.deadlock(scratch)));
+            }
+        }
+
+        let end_time = scratch.time.iter().copied().fold(0.0, f64::max);
+        Ok(Evaluation {
+            predicted_time: end_time,
+            report: SimReport {
+                end_time,
+                events_processed: 0,
+                processes_completed: n,
+                processes_spawned: n,
+                facilities: Vec::new(),
+                hit_time_limit: false,
+            },
+            trace: TraceFile::new(name.to_string(), n),
+        })
+    }
+
+    /// Advance rank `pid` until it completes or blocks on an unposted
+    /// send. Returns whether any op was resolved.
+    fn advance(&self, pid: usize, scratch: &mut BatchScratch) -> bool {
+        let end = self.ranks[pid].end;
+        let mut ip = scratch.ip[pid];
+        let mut t = scratch.time[pid];
+        let mut progressed = false;
+        while ip < end {
+            let i = ip as usize;
+            match self.kinds[i] {
+                Kind::Add => t += self.vals[i],
+                Kind::Post => scratch.send_time[self.args[i] as usize] = t,
+                Kind::PostPay => {
+                    scratch.send_time[self.args[i] as usize] = t;
+                    t += self.vals[i];
+                }
+                Kind::Recv => {
+                    let sent_at = scratch.send_time[self.args[i] as usize];
+                    if sent_at.is_nan() {
+                        break; // blocked: matching send not posted yet
+                    }
+                    t = t.max(sent_at + self.vals[i]);
+                }
+                Kind::RecvZero => {
+                    let sent_at = scratch.send_time[self.args[i] as usize];
+                    if sent_at.is_nan() {
+                        break;
+                    }
+                    t = t.max(sent_at);
+                }
+                Kind::RecvNever => break,
+            }
+            ip += 1;
+            progressed = true;
+        }
+        scratch.ip[pid] = ip;
+        scratch.time[pid] = t;
+        progressed
+    }
+
+    /// Shape the stall exactly like the oracle's deadlock report: the
+    /// blocked compact op maps back to its source `PrimOp`.
+    fn deadlock(&self, scratch: &BatchScratch) -> SimError {
+        let blocked: Vec<String> = self
+            .ranks
+            .iter()
+            .zip(&scratch.ip)
+            .enumerate()
+            .filter(|(_, (range, &ip))| ip < range.end)
+            .map(
+                |(pid, (_, &ip))| match &self.ops[pid][self.orig[ip as usize] as usize] {
+                    PrimOp::RecvFrom { src, tag, .. } => {
+                        format!("rank{pid} waiting for message from rank {src} (tag {tag})")
+                    }
+                    other => format!("rank{pid} stuck at {other:?}"),
+                },
+            )
+            .collect();
+        let at = scratch.time.iter().copied().fold(0.0, f64::max);
+        SimError::Deadlock {
+            blocked,
+            at: format!("{at:.6}"),
+        }
+    }
+}
+
+// Batch programs are cached inside the elaboration cache's lock-free
+// nodes and shared by reference across sweep workers.
+const _: () = {
+    const fn thread_safe<T: Send + Sync>() {}
+    thread_safe::<BatchProgram>();
+    thread_safe::<BatchScratch>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::flatten_all;
+    use crate::estimator::EstimatorOptions;
+    use crate::program::{MpiOp, Program, Step};
+    use prophet_expr::parse_expression;
+    use prophet_machine::{CommParams, MachineModel, SystemParams};
+
+    fn machine(nodes: usize, cpn: usize) -> MachineModel {
+        MachineModel::new(SystemParams::flat_mpi(nodes, cpn), CommParams::default()).unwrap()
+    }
+
+    fn exec(name: &str, cost: &str) -> Step {
+        Step::Exec {
+            name: name.into(),
+            cost: Some(parse_expression(cost).unwrap()),
+            code: vec![],
+        }
+    }
+
+    /// Assert batch and per-point agree bit-for-bit on `p` × `m`.
+    fn assert_bit_identical(p: &Program, m: &MachineModel) {
+        let ops = flatten_all(p, m, Default::default()).unwrap();
+        let oracle =
+            crate::analytic::evaluate_ops(&p.name, &ops, m, &EstimatorOptions::default()).unwrap();
+        let batch = BatchProgram::prepare(&ops, m).unwrap();
+        let mut scratch = BatchScratch::new();
+        let got = batch.evaluate(&p.name, &mut scratch).unwrap();
+        assert_eq!(
+            got.predicted_time.to_bits(),
+            oracle.predicted_time.to_bits(),
+            "batch {} vs oracle {}",
+            got.predicted_time,
+            oracle.predicted_time
+        );
+        assert_eq!(
+            got.report.end_time.to_bits(),
+            oracle.report.end_time.to_bits()
+        );
+        assert_eq!(
+            got.report.processes_completed,
+            oracle.report.processes_completed
+        );
+        assert!(got.trace.is_empty());
+    }
+
+    fn ping_pong(bytes: &str) -> Program {
+        let mut p = Program::new("pp");
+        p.body = Step::Branch(vec![
+            (
+                Some(parse_expression("pid == 0").unwrap()),
+                Step::Mpi {
+                    name: "s".into(),
+                    op: MpiOp::Send {
+                        dest: parse_expression("1").unwrap(),
+                        size: parse_expression(bytes).unwrap(),
+                        tag: 0,
+                    },
+                },
+            ),
+            (
+                None,
+                Step::Mpi {
+                    name: "r".into(),
+                    op: MpiOp::Recv {
+                        src: parse_expression("0").unwrap(),
+                        tag: 0,
+                    },
+                },
+            ),
+        ]);
+        p
+    }
+
+    #[test]
+    fn sequential_model_is_bit_identical() {
+        let mut p = Program::new("seq");
+        p.body = Step::Seq(vec![exec("A", "1.5"), exec("B", "2.5 + 0.125 * pid")]);
+        assert_bit_identical(&p, &machine(4, 1));
+    }
+
+    #[test]
+    fn message_passing_is_bit_identical() {
+        assert_bit_identical(&ping_pong("1000000"), &machine(2, 1));
+    }
+
+    #[test]
+    fn zero_byte_messages_are_bit_identical() {
+        // A zero-size send must complete the receive at exactly
+        // `sent_at` — `sent_at + 0.0` would still be bit-equal, but the
+        // kind split keeps the operation sequences literally identical.
+        assert_bit_identical(&ping_pong("0"), &machine(2, 1));
+    }
+
+    #[test]
+    fn collectives_are_bit_identical() {
+        let mut p = Program::new("bar");
+        p.body = Step::Seq(vec![
+            exec("W", "0.5 + 0.25 * pid"),
+            Step::Mpi {
+                name: "b".into(),
+                op: MpiOp::Barrier,
+            },
+            exec("tail", "1"),
+        ]);
+        for nodes in [2, 4, 8] {
+            assert_bit_identical(&p, &machine(nodes, 1));
+        }
+    }
+
+    #[test]
+    fn thread_teams_are_bit_identical() {
+        let mut p = Program::new("omp");
+        p.body = Step::ParallelRegion {
+            name: "R".into(),
+            threads: Some(parse_expression("4").unwrap()),
+            body: Box::new(Step::Seq(vec![
+                exec("Par", "1"),
+                Step::Critical {
+                    name: "Crit".into(),
+                    lock: "<global>".into(),
+                    body: Box::new(exec("Locked", "1")),
+                },
+            ])),
+        };
+        let m = MachineModel::new(
+            SystemParams {
+                nodes: 1,
+                cpus_per_node: 4,
+                processes: 1,
+                threads_per_process: 4,
+            },
+            CommParams::default(),
+        )
+        .unwrap();
+        assert_bit_identical(&p, &m);
+    }
+
+    #[test]
+    fn scratch_reuse_across_points_stays_identical() {
+        // One scratch across a whole grid — stale state from a larger
+        // point must never leak into a smaller one.
+        let mut p = Program::new("grid");
+        p.body = Step::Seq(vec![
+            exec("W", "1 + pid"),
+            Step::Mpi {
+                name: "b".into(),
+                op: MpiOp::Barrier,
+            },
+        ]);
+        let mut scratch = BatchScratch::new();
+        for nodes in [8, 2, 4, 1, 8, 3] {
+            let m = machine(nodes, 1);
+            let ops = flatten_all(&p, &m, Default::default()).unwrap();
+            let oracle =
+                crate::analytic::evaluate_ops(&p.name, &ops, &m, &EstimatorOptions::default())
+                    .unwrap();
+            let batch = BatchProgram::prepare(&ops, &m).unwrap();
+            let got = batch.evaluate(&p.name, &mut scratch).unwrap();
+            assert_eq!(
+                got.predicted_time.to_bits(),
+                oracle.predicted_time.to_bits(),
+                "nodes={nodes}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_report_matches_the_oracle() {
+        let mut p = Program::new("stuck");
+        p.body = Step::Branch(vec![(
+            Some(parse_expression("pid == 0").unwrap()),
+            Step::Mpi {
+                name: "r".into(),
+                op: MpiOp::Recv {
+                    src: parse_expression("1").unwrap(),
+                    tag: 0,
+                },
+            },
+        )]);
+        let m = machine(2, 1);
+        let ops = flatten_all(&p, &m, Default::default()).unwrap();
+        let oracle = crate::analytic::evaluate_ops(&p.name, &ops, &m, &EstimatorOptions::default())
+            .unwrap_err();
+        let batch = BatchProgram::prepare(&ops, &m).unwrap();
+        let got = batch
+            .evaluate(&p.name, &mut BatchScratch::new())
+            .unwrap_err();
+        assert_eq!(format!("{got}"), format!("{oracle}"));
+    }
+
+    #[test]
+    fn compaction_drops_markers_and_locks() {
+        let mut p = Program::new("markers");
+        p.body = Step::Seq(vec![exec("A", "1"), exec("B", "2")]);
+        let m = machine(1, 1);
+        let ops = flatten_all(&p, &m, Default::default()).unwrap();
+        let source_ops: usize = ops.iter().map(|r| r.len()).sum();
+        let batch = BatchProgram::prepare(&ops, &m).unwrap();
+        assert!(
+            batch.kinds.len() < source_ops,
+            "{} compact vs {source_ops} source ops",
+            batch.kinds.len()
+        );
+        assert!(batch.kinds.iter().all(|k| matches!(k, Kind::Add)));
+    }
+
+    #[test]
+    fn comm_inside_a_team_fails_prepare() {
+        // The oracle only errors if the replay *reaches* the bad op;
+        // prepare prices all teams eagerly and must surface the error so
+        // callers fall back to the oracle.
+        use crate::flatten::PrimOp;
+        let m = machine(2, 1);
+        let bad: RankOps = vec![
+            vec![PrimOp::Threads {
+                element: "T".into(),
+                arms: vec![vec![PrimOp::SendTo {
+                    element: "s".into(),
+                    dest: 1,
+                    bytes: 8,
+                    tag: 0,
+                }]],
+            }]
+            .into(),
+            vec![].into(),
+        ]
+        .into();
+        assert!(BatchProgram::prepare(&bad, &m).is_err());
+    }
+}

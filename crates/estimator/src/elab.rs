@@ -47,6 +47,7 @@
 //! the same [`FlattenError`] to every scenario that hits it, without
 //! re-walking the program.
 
+use crate::batch::BatchProgram;
 use crate::flatten::{flatten_for_process, FlattenError, FlattenLimits, PrimOp};
 use crate::program::Program;
 use prophet_machine::{CommParams, MachineModel, SystemParams};
@@ -154,6 +155,11 @@ struct Node {
     hash: u64,
     key: ElabKey,
     slot: OnceLock<Result<RankOps, FlattenError>>,
+    /// The entry's elaboration compiled for batch analytic evaluation,
+    /// built on first [`ElaborationCache::get_or_flatten_batched`] —
+    /// `None` when preparation failed (callers use the per-point
+    /// oracle). Simulation-only sweeps never pay for it.
+    batch: OnceLock<Option<Arc<BatchProgram>>>,
     /// Immutable after publication (set before the CAS that links it).
     next: *mut Node,
 }
@@ -248,6 +254,7 @@ const _: () = {
     thread_safe::<RankOps>();
     thread_safe::<FlattenError>();
     thread_safe::<OnceLock<Result<RankOps, FlattenError>>>();
+    thread_safe::<OnceLock<Option<Arc<BatchProgram>>>>();
     thread_safe::<ElaborationCache>();
 };
 
@@ -320,6 +327,50 @@ impl ElaborationCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         result.clone()
+    }
+
+    /// [`ElaborationCache::get_or_flatten`], additionally serving the
+    /// entry's [`BatchProgram`] — the elaboration compiled for batch
+    /// analytic evaluation, built at most once per entry and shared
+    /// across sweep workers like the op lists themselves.
+    ///
+    /// Returns `None` for the batch half when preparation failed (the
+    /// caller must evaluate per-point — behavior is identical, see the
+    /// [`crate::batch`] module docs) or when the lookup bypassed the
+    /// cache at capacity (a throwaway batch compilation would cost more
+    /// than it saves). Counts hits/misses/bypasses exactly like
+    /// [`ElaborationCache::get_or_flatten`].
+    ///
+    /// # Errors
+    /// The (cached) [`FlattenError`] when elaboration fails.
+    pub fn get_or_flatten_batched(
+        &self,
+        program: &Program,
+        machine: &MachineModel,
+        limits: FlattenLimits,
+    ) -> Result<(RankOps, Option<Arc<BatchProgram>>), FlattenError> {
+        let key = ElabKey::new(machine, limits);
+        let hash = key.hash();
+        let Some(node) = self.intern(key, hash) else {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return Ok((flatten_all(program, machine, limits)?, None));
+        };
+        let mut filled = false;
+        let result = node.slot.get_or_init(|| {
+            filled = true;
+            flatten_all(program, machine, limits)
+        });
+        if filled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let ops = result.clone()?;
+        let batch = node
+            .batch
+            .get_or_init(|| BatchProgram::prepare(&ops, machine).ok().map(Arc::new))
+            .clone();
+        Ok((ops, batch))
     }
 
     /// Pre-fill the entry for `(sp, comm, limits)` with an elaboration
@@ -464,6 +515,7 @@ impl ElaborationCache {
                     hash,
                     key,
                     slot: OnceLock::new(),
+                    batch: OnceLock::new(),
                     next: head,
                 }));
             } else {

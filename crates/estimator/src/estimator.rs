@@ -196,6 +196,31 @@ impl Estimator {
         }
     }
 
+    /// Analytic evaluation through the batch path: the cache entry's
+    /// [`BatchProgram`](crate::batch::BatchProgram) replays into
+    /// `scratch` (no per-point allocation), falling back to the
+    /// per-point oracle for entries that could not be batch-compiled or
+    /// that bypassed the cache. Predictions are bit-identical to
+    /// [`Estimator::run_backend_cached`] with [`Backend::Analytic`]
+    /// either way — this is strictly a throughput path for sweeps
+    /// (`prophet_core::Session::sweep` dispatches analytic chunks here).
+    ///
+    /// # Errors
+    /// As [`Estimator::run_backend_cached`].
+    pub fn run_analytic_batched(
+        program: &Program,
+        machine: &MachineModel,
+        options: &EstimatorOptions,
+        cache: &ElaborationCache,
+        scratch: &mut crate::batch::BatchScratch,
+    ) -> Result<Evaluation, EstimatorError> {
+        let (rank_ops, batch) = cache.get_or_flatten_batched(program, machine, options.limits)?;
+        match batch {
+            Some(batch) => batch.evaluate(&program.name, scratch),
+            None => crate::analytic::evaluate_ops(&program.name, &rank_ops, machine, options),
+        }
+    }
+
     /// Evaluate `program` on `machine` with `options` by simulation,
     /// borrowing all three.
     ///

@@ -27,6 +27,11 @@
 //!   lists resolved by a critical-path pass with no DES kernel (and no
 //!   trace) — much faster for sweeps, and an independent oracle for
 //!   differential testing,
+//! * [`batch`] — the analytic backend's sweep accelerator: one
+//!   elaboration compiled into a compact structure-of-arrays replay
+//!   (markers dropped, messages matched statically, costs pre-priced)
+//!   evaluated per SP point into reusable scratch — bit-identical to
+//!   [`analytic`] by construction,
 //! * [`estimator`] — the driver: integrate program model + machine model,
 //!   run on the selected [`Backend`], produce a
 //!   [`prophet_trace::TraceFile`] (TF, simulation only) and an
@@ -61,6 +66,7 @@
 //!   sees a private copy of the environment.
 
 pub mod analytic;
+pub mod batch;
 pub mod elab;
 pub mod estimator;
 pub mod flatten;
@@ -68,6 +74,7 @@ pub mod interp;
 pub mod program;
 
 pub use analytic::evaluate_analytic;
+pub use batch::{BatchProgram, BatchScratch};
 pub use elab::{flatten_all, ElabEntry, ElabStats, ElaborationCache, RankOps};
 pub use estimator::{Backend, Estimator, EstimatorError, EstimatorOptions, Evaluation};
 pub use flatten::{

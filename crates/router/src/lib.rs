@@ -233,6 +233,41 @@ mod tests {
         b.shutdown();
     }
 
+    /// The router runs the same request parser as the shards
+    /// (`serve_with` shares the serve core), so request-smuggling
+    /// frames — `Transfer-Encoding`, conflicting `Content-Length`
+    /// duplicates, `+`-prefixed lengths — bounce with 400 *at the
+    /// router*, before anything is forwarded.
+    #[test]
+    fn smuggling_frames_bounce_on_the_routed_path() {
+        use std::io::{Read, Write};
+        let a = shard();
+        let router = router(vec![a.addr()]);
+        let frames: [&[u8]; 3] = [
+            b"POST /v1/check HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n",
+            b"POST /v1/check HTTP/1.1\r\nhost: t\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\n{}",
+            b"POST /v1/check HTTP/1.1\r\nhost: t\r\ncontent-length: +2\r\n\r\n{}",
+        ];
+        for frame in frames {
+            let mut s = std::net::TcpStream::connect(router.addr()).unwrap();
+            s.write_all(frame).unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(
+                resp.starts_with("HTTP/1.1 400"),
+                "frame {:?} got {resp}",
+                String::from_utf8_lossy(frame)
+            );
+        }
+        // The router keeps routing afterwards.
+        assert_eq!(
+            client::get(router.addr(), "/v1/models").unwrap().status,
+            200
+        );
+        router.shutdown();
+        a.shutdown();
+    }
+
     #[test]
     fn killed_shard_fails_over_without_client_errors() {
         let (a, b) = (shard(), shard());

@@ -11,6 +11,15 @@
 //! `keep-alive`) restores the one-shot behavior, and the server always
 //! answers with an explicit `connection:` header so clients never have
 //! to guess.
+//!
+//! Framing is strict, because a keep-alive parser that guesses wrong
+//! about where one request ends hands the *rest of the body* to the
+//! next parse — a request-smuggling vector once the router multiplexes
+//! many clients onto shared shard connections. Bodies are framed by
+//! `Content-Length` only: any `Transfer-Encoding` header, conflicting
+//! duplicate `Content-Length` values, and non-digit lengths (`+10`) are
+//! all refused with 400, and the connection closes (see the "HTTP
+//! conformance" section of `docs/API.md`).
 
 use std::io::{Read, Write};
 
@@ -171,12 +180,19 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => v
-            .parse()
-            .map_err(|_| ParseError::bad(format!("bad content-length `{v}`")))?,
-        None => 0,
-    };
+    // This parser frames bodies by `Content-Length` only. A request
+    // bearing `Transfer-Encoding` would leave its chunked body on the
+    // socket to be parsed as the *next* request of a keep-alive
+    // connection — a request-smuggling vector behind the forwarding
+    // router — so any such request is refused outright (RFC 9112 §6.1
+    // permits a server to reject `Transfer-Encoding`; 400 closes the
+    // connection, discarding the unread body).
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ParseError::bad(
+            "transfer-encoding is not supported; frame the body with content-length",
+        ));
+    }
+    let length = content_length(&headers)?;
     if length > MAX_BODY {
         return Err(ParseError::too_large(format!(
             "body of {length} bytes exceeds the {MAX_BODY}-byte limit"
@@ -188,13 +204,20 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
         .map_err(|e| ParseError::bad(format!("short body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| ParseError::bad("body is not valid UTF-8"))?;
 
-    let connection = headers
-        .iter()
-        .find(|(n, _)| n == "connection")
-        .map(|(_, v)| v.to_ascii_lowercase());
+    // `Connection` is a comma-separated token list (`close, foo` must
+    // close); every instance of the header contributes tokens.
+    let mut close = false;
+    let mut keep = false;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "connection") {
+        for token in value.split(',') {
+            let token = token.trim();
+            close |= token.eq_ignore_ascii_case("close");
+            keep |= token.eq_ignore_ascii_case("keep-alive");
+        }
+    }
     let keep_alive = match version {
-        "HTTP/1.0" => connection.as_deref() == Some("keep-alive"),
-        _ => connection.as_deref() != Some("close"),
+        "HTTP/1.0" => keep && !close,
+        _ => !close,
     };
 
     Ok(Request {
@@ -204,6 +227,34 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
         body,
         keep_alive,
     })
+}
+
+/// The request's body length per RFC 9112 §6.3: all `Content-Length`
+/// headers must agree (differing duplicates are a smuggling vector —
+/// two parsers picking different values split one stream into different
+/// requests), and values must be digits only (`usize::from_str` alone
+/// would accept `+10`, which a peer proxy may parse differently).
+fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let mut length: Option<usize> = None;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::bad(format!("bad content-length `{value}`")));
+        }
+        let parsed: usize = value
+            .parse()
+            .map_err(|_| ParseError::bad(format!("bad content-length `{value}`")))?;
+        match length {
+            // Identical duplicates collapse to one; differing values
+            // make the message length ambiguous.
+            Some(seen) if seen != parsed => {
+                return Err(ParseError::bad(format!(
+                    "conflicting content-length values `{seen}` and `{parsed}`"
+                )));
+            }
+            _ => length = Some(parsed),
+        }
+    }
+    Ok(length.unwrap_or(0))
 }
 
 /// Read one CRLF (or LF) terminated line, bounded by `limit` bytes.
@@ -298,6 +349,75 @@ mod tests {
         );
         let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
         assert_eq!(roundtrip(&long).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn rejects_any_transfer_encoding() {
+        // A chunked body would be parsed as the next request on a
+        // keep-alive connection; every TE flavor must bounce.
+        for te in ["chunked", "identity", "gzip, chunked", "Chunked"] {
+            let err = roundtrip(&format!(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: {te}\r\n\r\n0\r\n\r\n"
+            ))
+            .unwrap_err();
+            assert_eq!(err.status, 400, "TE `{te}`: {}", err.message);
+        }
+        // Even combined with a valid Content-Length.
+        let err = roundtrip(
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\nbody",
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn rejects_conflicting_content_lengths() {
+        let err =
+            roundtrip("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody")
+                .unwrap_err();
+        assert_eq!(err.status, 400, "{}", err.message);
+        // Identical duplicates collapse to one (RFC 9112 §6.3 allows it).
+        let req =
+            roundtrip("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn rejects_non_digit_content_lengths() {
+        // `usize::from_str` accepts a leading `+`; a peer proxy may not,
+        // so anything but pure digits is ambiguous framing.
+        // (`4 ` is absent: surrounding whitespace is OWS, trimmed at
+        // header parse before the digits check — unambiguous framing.)
+        for bad in ["+10", "-1", "0x10", "4,4", "", "۴"] {
+            let err = roundtrip(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nbodybodybody"
+            ))
+            .unwrap_err();
+            assert_eq!(err.status, 400, "length `{bad}`: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn connection_is_a_token_list() {
+        // `close` anywhere in the list must close, regardless of case
+        // or padding, across any number of Connection headers.
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: close, foo\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "`close, foo` must close");
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: foo ,  Close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req =
+            roundtrip("GET / HTTP/1.1\r\nConnection: foo\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "second Connection header must count");
+        // A token merely *containing* `close` is not `close`.
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: closefoo\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        // HTTP/1.0: keep-alive in a list enables reuse, unless close
+        // also appears.
+        let req = roundtrip("GET / HTTP/1.0\r\nConnection: keep-alive, foo\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        let req = roundtrip("GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "close wins over keep-alive");
     }
 
     #[test]

@@ -224,6 +224,68 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch-vs-single differential: analytic sweeps dispatch whole
+    /// chunks through `prophet_estimator::batch` (compact ops, static
+    /// message matching, reused scratch), while `Session::evaluate`
+    /// stays on the per-point oracle. Every sweep point must be
+    /// **bit-identical** to its per-point evaluation — across models,
+    /// random grids with repeated points (exercising elab-cache hits
+    /// and scratch reuse), and worker counts (exercising the chunked
+    /// work-stealing dispatch).
+    #[test]
+    fn batch_sweep_is_bit_identical_to_per_point_evaluation(
+        model_idx in 0usize..6,
+        picks in proptest::collection::vec(0usize..4, 1..16),
+        threads in 0usize..4,
+    ) {
+        use prophet::core::{SweepConfig, SweepPoint};
+        let (name, model, grid): (_, Model, Vec<SystemParams>) = match model_idx {
+            0 => ("kernel6", kernel6_model(100, 5, 2e-9), vec![flat(1), flat(2), flat(4), flat(8)]),
+            1 => ("sample", sample_model(), vec![flat(1), flat(2), flat(4), flat(8)]),
+            2 => ("jacobi", jacobi_model(50_000, 3, 1e-8), vec![flat(1), flat(2), flat(4), flat(8)]),
+            3 => ("pipeline", pipeline_model(10, 0.01, 1024), vec![flat(1), flat(2), flat(4), flat(8)]),
+            4 => ("master_worker", master_worker_model(32, 0.005, 128), vec![flat(1), flat(2), flat(4), flat(8)]),
+            _ => (
+                "lapw0",
+                lapw0_model(32, 8, 1e-5),
+                // Hybrid grid: thread teams exercise the pre-priced
+                // FCFS lock schedules of the batch compilation.
+                vec![hybrid(1, 1, 1, 1), hybrid(2, 1, 2, 1), hybrid(2, 2, 2, 2), hybrid(4, 2, 4, 2)],
+            ),
+        };
+        let session = Session::new(model).expect("model compiles");
+        let points: Vec<SweepPoint> = picks.iter().map(|&i| SweepPoint { sp: grid[i] }).collect();
+        let report = session.sweep_with(
+            &points,
+            &SweepConfig {
+                backend: Backend::Analytic,
+                threads,
+                ..Default::default()
+            },
+            |_, _| {},
+        );
+        prop_assert_eq!(report.points.len(), points.len());
+        for (point, result) in points.iter().zip(&report.points) {
+            let batch = result
+                .time()
+                .unwrap_or_else(|| panic!("{name} sweep failed at {:?}", point.sp));
+            let single = session
+                .evaluate(&Scenario::new(point.sp).with_backend(Backend::Analytic).without_trace())
+                .unwrap_or_else(|e| panic!("{name} evaluate {:?}: {e}", point.sp))
+                .predicted_time;
+            prop_assert_eq!(
+                batch.to_bits(),
+                single.to_bits(),
+                "{} at {:?}: batch {} vs single {}",
+                name, point.sp, batch, single
+            );
+        }
+    }
+}
+
 /// The contrast: on a *stochastic* model (random service times drawn
 /// from the kernel's seeded streams) the simulation backend IS seed
 /// sensitive — which is exactly why the analytic backend's

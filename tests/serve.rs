@@ -529,6 +529,86 @@ fn binary_token_env_guards_shutdown() {
     assert!(child.wait().expect("binary exits").success());
 }
 
+/// Read one length-framed response off a pipelined connection.
+fn read_framed_response(reader: &mut BufReader<std::net::TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; length];
+    std::io::Read::read_exact(reader, &mut body).expect("framed body");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+/// HTTP/1.1 pipelining: two complete requests in a single write must
+/// come back as two in-order responses on the same connection — the
+/// keep-alive loop's buffered reader may not drop bytes that arrive
+/// behind the request it is parsing.
+#[test]
+fn pipelined_requests_in_one_write_both_answered() {
+    let server = start();
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.write_all(
+        b"GET /v1/models HTTP/1.1\r\nhost: t\r\n\r\n\
+          GET /v1/metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut reader = BufReader::new(s);
+    let (status, body) = read_framed_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("models"), "{body}");
+    let (status, body) = read_framed_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("requests"), "metrics body: {body}");
+}
+
+/// Request-smuggling frames bounce with 400 over a real socket: any
+/// `Transfer-Encoding`, conflicting duplicate `Content-Length`, and
+/// non-digit lengths. The connection closes after the 400, so the
+/// ambiguous bytes are discarded, never parsed as a next request.
+#[test]
+fn smuggling_frames_bounce_on_the_direct_path() {
+    let server = start();
+    let addr = server.addr();
+    let frames: [&[u8]; 3] = [
+        b"POST /v1/check HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n",
+        b"POST /v1/check HTTP/1.1\r\nhost: t\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\n{}",
+        b"POST /v1/check HTTP/1.1\r\nhost: t\r\ncontent-length: +2\r\n\r\n{}",
+    ];
+    for frame in frames {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(frame).unwrap();
+        let mut resp = String::new();
+        std::io::Read::read_to_string(&mut s, &mut resp).unwrap();
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "frame {:?} got {resp}",
+            String::from_utf8_lossy(frame)
+        );
+        assert!(
+            resp.contains("connection: close"),
+            "ambiguous framing must close the connection: {resp}"
+        );
+    }
+    // The server keeps serving afterwards.
+    assert_eq!(client::get(addr, "/v1/models").unwrap().status, 200);
+}
+
 /// Raw-socket client hygiene: a malformed request gets a 400 and the
 /// server keeps serving on the same port.
 #[test]
