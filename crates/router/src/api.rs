@@ -2,7 +2,7 @@
 //!
 //! | endpoint | routed how |
 //! |---|---|
-//! | `POST /v1/check` \| `/v1/estimate` \| `/v1/sweep` | to the shard owning the body's `(model, MCF)` digest |
+//! | `POST /v1/check` \| `/v1/estimate` \| `/v1/sweep` \| `/v1/optimize` | to the shard owning the body's `(model, MCF)` digest |
 //! | `GET /v1/models` | round-robin over healthy shards |
 //! | `GET /v1/metrics` | fan-out: per-shard sections + fleet totals |
 //! | `GET /v1/shards` | the router's own view: health + routing counters |
@@ -364,7 +364,9 @@ fn error_response(status: u16, message: impl Into<String>) -> Response {
 impl Handler for RouterState {
     fn handle(&self, req: &Request) -> (Response, bool) {
         let response = match (req.method.as_str(), req.path.as_str()) {
-            ("POST", "/v1/check" | "/v1/estimate" | "/v1/sweep") => self.forward_by_key(req),
+            ("POST", "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/optimize") => {
+                self.forward_by_key(req)
+            }
             ("GET", "/v1/models") => self.forward_any(req),
             ("GET", "/v1/metrics") => self.aggregate_metrics(),
             ("GET", "/v1/shards") => self.shards_json(),
@@ -381,8 +383,8 @@ impl Handler for RouterState {
             }
             (
                 _,
-                "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/models" | "/v1/metrics"
-                | "/v1/shards" | "/v1/shutdown",
+                "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/optimize" | "/v1/models"
+                | "/v1/metrics" | "/v1/shards" | "/v1/shutdown",
             ) => error_response(405, format!("{} not allowed here", req.method)),
             _ => error_response(404, format!("no such endpoint `{}`", req.path)),
         };

@@ -233,6 +233,55 @@ mod tests {
         b.shutdown();
     }
 
+    #[test]
+    fn optimize_routes_to_the_shard_that_compiled() {
+        let (a, b) = (shard(), shard());
+        let router = router(vec![a.addr(), b.addr()]);
+        let r = client::post(router.addr(), "/v1/estimate", &estimate_body("jacobi")).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        // An inverse query on the same model lands on the warm shard:
+        // digest routing + the pool mean zero extra compiles.
+        let body = Json::object([
+            ("model_name", Json::from("jacobi")),
+            (
+                "nodes",
+                Json::Array((1..=16usize).map(Json::from).collect()),
+            ),
+            (
+                "cpus",
+                Json::Array(vec![Json::from(1usize), Json::from(2usize)]),
+            ),
+        ]);
+        let r = client::post(router.addr(), "/v1/optimize", &body).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(
+            r.body
+                .get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(true),
+            "optimize must reuse the estimate's compiled session"
+        );
+        assert!(
+            !r.body
+                .get("frontier")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{}",
+            r.body
+        );
+        let metrics = client::get(router.addr(), "/v1/metrics").unwrap().body;
+        let fleet = metrics.get("fleet").unwrap();
+        assert_eq!(fleet.get("session_compiles").unwrap().as_f64(), Some(1.0));
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
     /// The router runs the same request parser as the shards
     /// (`serve_with` shares the serve core), so request-smuggling
     /// frames — `Transfer-Encoding`, conflicting `Content-Length`

@@ -6,6 +6,7 @@
 //! | `POST /v1/check` | `{model\|model_name, mcf?}` | checker diagnostics |
 //! | `POST /v1/estimate` | `+ nodes/cpus/processes/threads/seed/backend` | one prediction |
 //! | `POST /v1/sweep` | `+ nodes: [..], workers` | an SP-grid table |
+//! | `POST /v1/optimize` | `+ objective/deadline/max_cost/...` | the Pareto frontier of an inverse query |
 //! | `GET /v1/models` | — | bundled demo workloads, by name |
 //! | `GET /v1/metrics` | — | request/latency/pool/elab/store counters |
 //! | `POST /v1/shutdown` | — | acknowledges, then drains the server |
@@ -22,6 +23,7 @@ use crate::pool::SessionPool;
 use prophet_check::{check_model, McfConfig, Severity};
 use prophet_core::{render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint};
 use prophet_machine::SystemParams;
+use prophet_opt::{OptError, OptimizeRequest, OptimizeSession};
 use prophet_uml::Model;
 use prophet_workloads::models;
 use std::sync::Arc;
@@ -118,6 +120,7 @@ pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
         ("POST", "/v1/check") => handle_check(req),
         ("POST", "/v1/estimate") => handle_estimate(state, req),
         ("POST", "/v1/sweep") => handle_sweep(state, req),
+        ("POST", "/v1/optimize") => handle_optimize(state, req),
         ("GET", "/v1/models") => handle_models(),
         ("GET", "/v1/metrics") => handle_metrics(state),
         ("POST", "/v1/shutdown") => {
@@ -137,8 +140,8 @@ pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
         }
         (
             _,
-            "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/models" | "/v1/metrics"
-            | "/v1/shutdown",
+            "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/optimize" | "/v1/models"
+            | "/v1/metrics" | "/v1/shutdown",
         ) => error_response(405, format!("{} not allowed here", req.method)),
         _ => error_response(404, format!("no such endpoint `{}`", req.path)),
     };
@@ -218,6 +221,50 @@ fn usize_member(body: &Json, key: &str, default: usize) -> Result<usize, Respons
             .as_usize()
             .ok_or_else(|| error_response(400, format!("`{key}` must be a non-negative integer"))),
     }
+}
+
+/// An optional `f64` member; rejects non-numbers.
+fn f64_member(body: &Json, key: &str) -> Result<Option<f64>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| error_response(400, format!("`{key}` must be a number"))),
+    }
+}
+
+/// An axis of counts (the `nodes`/`cpus` arrays of sweep and optimize):
+/// every element must be a positive integer, repeats collapse to one
+/// point. A zero is rejected here by name — left through, it used to
+/// reach `SystemParams::validate` as a degenerate per-point failure row
+/// instead of the 400 the request deserves.
+fn count_axis(body: &Json, key: &str) -> Result<Option<Vec<usize>>, Response> {
+    let Some(v) = body.get(key) else {
+        return Ok(None);
+    };
+    let items = v.as_array().filter(|a| !a.is_empty()).ok_or_else(|| {
+        error_response(400, format!("`{key}` must be a non-empty array of counts"))
+    })?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let n = item.as_usize().ok_or_else(|| {
+            error_response(
+                400,
+                format!("bad count {item} in `{key}`: must be an integer"),
+            )
+        })?;
+        if n == 0 {
+            return Err(error_response(
+                400,
+                format!("bad count `0` in `{key}`: counts must be at least 1"),
+            ));
+        }
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    Ok(Some(out))
 }
 
 /// System parameters from a request body (defaults matching the CLI).
@@ -342,6 +389,22 @@ fn handle_estimate(state: &AppState, req: &Request) -> Response {
         Ok(e) => e,
         Err(e) => return error_response(422, render_chain_inline(&e)),
     };
+    // A model can evaluate "successfully" to inf/NaN (e.g. an
+    // overflowing cost expression). The JSON encoder would render that
+    // as `"predicted_time": null` inside a 200 — a silent lie. Fail
+    // loudly instead, naming the model and the SP point.
+    if !evaluation.predicted_time.is_finite() {
+        return error_response(
+            500,
+            format!(
+                "model `{}` produced a non-finite prediction ({}) at nodes={} cpus={}",
+                session.program().name,
+                evaluation.predicted_time,
+                sp.nodes,
+                sp.cpus_per_node
+            ),
+        );
+    }
     Response::json(
         200,
         Json::object([
@@ -365,9 +428,10 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
         Ok(b) => b,
         Err(r) => return r,
     };
-    let nodes = match body.get("nodes").and_then(Json::as_array) {
-        Some(nodes) if !nodes.is_empty() => nodes,
-        _ => return error_response(400, "`nodes` must be a non-empty array of node counts"),
+    let nodes = match count_axis(&body, "nodes") {
+        Ok(Some(nodes)) => nodes,
+        Ok(None) => return error_response(400, "`nodes` must be a non-empty array of node counts"),
+        Err(r) => return r,
     };
     let cpus = match usize_member(&body, "cpus", 1) {
         Ok(c) => c,
@@ -381,15 +445,12 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
         Ok(b) => b,
         Err(r) => return r,
     };
-    let mut points = Vec::with_capacity(nodes.len());
-    for n in nodes {
-        match n.as_usize() {
-            Some(n) => points.push(SweepPoint {
-                sp: SystemParams::flat_mpi(n, cpus),
-            }),
-            None => return error_response(400, format!("bad node count {n}: must be an integer")),
-        }
-    }
+    let points: Vec<SweepPoint> = nodes
+        .into_iter()
+        .map(|n| SweepPoint {
+            sp: SystemParams::flat_mpi(n, cpus),
+        })
+        .collect();
     let (session, reused) = match resolve_session(state, &body) {
         Ok(pair) => pair,
         Err(r) => return r,
@@ -400,6 +461,23 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
         ..Default::default()
     };
     let report = session.sweep_with(&points, &config, |_, _| {});
+    // Same guard as estimate: an Ok(inf/NaN) point must not reach the
+    // encoder as a null time (and would poison every speedup column).
+    if let Some(p) = report
+        .points
+        .iter()
+        .find(|p| matches!(&p.outcome, Ok(t) if !t.is_finite()))
+    {
+        return error_response(
+            500,
+            format!(
+                "model `{}` produced a non-finite prediction at nodes={} cpus={}",
+                session.program().name,
+                p.sp.nodes,
+                p.sp.cpus_per_node
+            ),
+        );
+    }
     let base = report.points.iter().find_map(|p| p.time());
     let rows: Vec<Json> = report
         .points
@@ -428,6 +506,153 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
             ("backend", Json::from(backend.to_string())),
             ("failures", Json::from(report.failures())),
             ("points", Json::Array(rows)),
+            ("session", Json::object([("reused", Json::from(reused))])),
+            ("elab", elab_json(&session)),
+        ])
+        .encode(),
+    )
+}
+
+fn handle_optimize(state: &AppState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let mut oreq = OptimizeRequest::default();
+    match count_axis(&body, "nodes") {
+        Ok(Some(nodes)) => oreq.nodes = nodes,
+        Ok(None) => {}
+        Err(r) => return r,
+    }
+    match count_axis(&body, "cpus") {
+        Ok(Some(cpus)) => oreq.cpus = cpus,
+        Ok(None) => {}
+        Err(r) => return r,
+    }
+    if let Some(v) = body.get("objective") {
+        let s = match v.as_str() {
+            Some(s) => s,
+            None => return error_response(400, "`objective` must be a string"),
+        };
+        oreq.objective = match s.parse() {
+            Ok(o) => o,
+            Err(e) => return error_response(400, e),
+        };
+    }
+    if let Some(v) = body.get("verify") {
+        let s = match v.as_str() {
+            Some(s) => s,
+            None => return error_response(400, "`verify` must be a string"),
+        };
+        oreq.verify = match s.parse() {
+            Ok(m) => m,
+            Err(e) => return error_response(400, e),
+        };
+    }
+    // Unlike estimate/sweep, a missing `backend` means the cheap
+    // analytic search oracle, not the simulation default.
+    if body.get("backend").is_some() {
+        oreq.backend = match resolve_backend(&body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+    }
+    let floats: [(&str, &mut Option<f64>); 2] = [
+        ("deadline", &mut oreq.constraints.deadline),
+        ("max_cost", &mut oreq.constraints.max_cost),
+    ];
+    for (key, slot) in floats {
+        match f64_member(&body, key) {
+            Ok(Some(v)) => *slot = Some(v),
+            Ok(None) => {}
+            Err(r) => return r,
+        }
+    }
+    let weights: [(&str, &mut f64); 3] = [
+        ("node_weight", &mut oreq.weights.per_node),
+        ("cpu_weight", &mut oreq.weights.per_cpu),
+        ("margin", &mut oreq.margin),
+    ];
+    for (key, slot) in weights {
+        match f64_member(&body, key) {
+            Ok(Some(v)) => *slot = v,
+            Ok(None) => {}
+            Err(r) => return r,
+        }
+    }
+    oreq.stride = match usize_member(&body, "stride", oreq.stride) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    oreq.workers = match usize_member(&body, "workers", 0) {
+        Ok(w) => w,
+        Err(r) => return r,
+    };
+    // Validate before compiling: a malformed request should not cost
+    // (or pollute the pool with) a session.
+    let oreq = match oreq.normalized() {
+        Ok(r) => r,
+        Err(e) => return error_response(400, e.to_string()),
+    };
+    let (session, reused) = match resolve_session(state, &body) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let report = match session.optimize(&oreq) {
+        Ok(r) => r,
+        Err(OptError::Request(msg)) => {
+            return error_response(400, format!("invalid optimize request: {msg}"))
+        }
+        Err(e @ OptError::NonFinite { .. }) => {
+            return error_response(500, format!("model `{}`: {e}", session.program().name))
+        }
+        Err(e) => return error_response(422, render_chain_inline(&e)),
+    };
+    let frontier: Vec<Json> = report
+        .frontier
+        .iter()
+        .map(|p| {
+            let mut row = vec![
+                ("nodes".to_string(), Json::from(p.sp.nodes)),
+                ("cpus".to_string(), Json::from(p.sp.cpus_per_node)),
+                ("processes".to_string(), Json::from(p.sp.processes)),
+                ("cost".to_string(), Json::from(p.cost)),
+                ("time".to_string(), Json::from(p.time)),
+                ("speedup".to_string(), Json::from(p.speedup)),
+            ];
+            if let Some(v) = p.verified_time {
+                row.push(("verified_time".to_string(), Json::from(v)));
+            }
+            Json::Object(row)
+        })
+        .collect();
+    let best = match report.best {
+        Some(i) => Json::from(i),
+        None => Json::Null,
+    };
+    let baseline = match &report.baseline {
+        Some((sp, time)) => Json::object([("sp", sp_json(*sp)), ("time", Json::from(*time))]),
+        None => Json::Null,
+    };
+    Response::json(
+        200,
+        Json::object([
+            ("model", Json::from(session.program().name.as_str())),
+            ("backend", Json::from(report.backend.to_string())),
+            ("objective", Json::from(report.objective.to_string())),
+            ("frontier", Json::Array(frontier)),
+            ("best", best),
+            ("baseline", baseline),
+            (
+                "search",
+                Json::object([
+                    ("oracle_evals", Json::from(report.oracle_evals)),
+                    ("grid_size", Json::from(report.grid_size)),
+                    ("cells_skipped", Json::from(report.cells_skipped)),
+                    ("cells_refined", Json::from(report.cells_refined)),
+                    ("verifier_evals", Json::from(report.verifier_evals)),
+                ]),
+            ),
             ("session", Json::object([("reused", Json::from(reused))])),
             ("elab", elab_json(&session)),
         ])
@@ -638,16 +863,240 @@ mod tests {
         assert_eq!(body.get("failures").unwrap().as_f64(), Some(0.0));
         assert_eq!(points[0].get("speedup").unwrap().as_f64(), Some(1.0));
         assert!(points[2].get("speedup").unwrap().as_f64().unwrap() > 1.0);
-        // A sweep with a failing point keeps the table shape.
+        // A zero node count is a client error, rejected up front by
+        // name — not a 200 with a per-point failure row.
         let (r, _) = handle(
             &state,
             &post("/v1/sweep", r#"{"model_name":"jacobi","nodes":[0,1]}"#),
         );
+        assert_eq!(r.status, 400, "{}", r.body);
+        let err = body_of(&r)
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("bad count `0` in `nodes`"), "{err}");
+        // Repeated node counts collapse to one point each.
+        let (r, _) = handle(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"model_name":"jacobi","nodes":[2,2,4,2],"backend":"analytic"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
         let body = body_of(&r);
-        assert_eq!(body.get("failures").unwrap().as_f64(), Some(1.0));
-        let points = body.get("points").unwrap().as_array().unwrap();
-        assert!(points[0].get("error").is_some(), "{body}");
-        assert!(points[1].get("time").is_some(), "{body}");
+        assert_eq!(body.get("points").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn optimize_returns_a_frontier_and_reuses_warm_sessions() {
+        let state = AppState::default();
+        // Warm the pool the way a client would: one estimate first.
+        let (r, _) = handle(
+            &state,
+            &post(
+                "/v1/estimate",
+                r#"{"model_name":"jacobi","backend":"analytic"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let compiles_before = state.pool.stats().compiles;
+
+        // A dense nodes axis: wide cells give the incumbent something
+        // to dominate, so the search visibly prunes.
+        let nodes: Vec<Json> = (1..=32usize).map(Json::from).collect();
+        let oreq = Json::object([
+            ("model_name", Json::from("jacobi")),
+            ("nodes", Json::Array(nodes)),
+            (
+                "cpus",
+                Json::Array(vec![
+                    Json::from(1usize),
+                    Json::from(2usize),
+                    Json::from(4usize),
+                ]),
+            ),
+            ("deadline", Json::from(0.02)),
+        ])
+        .encode();
+        let (r, _) = handle(&state, &post("/v1/optimize", &oreq));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let body = body_of(&r);
+        assert_eq!(body.get("backend").unwrap().as_str(), Some("analytic"));
+        assert_eq!(body.get("objective").unwrap().as_str(), Some("min_time"));
+        let frontier = body.get("frontier").unwrap().as_array().unwrap();
+        assert!(!frontier.is_empty(), "{body}");
+        // Frontier shape: cost strictly ascending, time strictly descending.
+        let costs: Vec<f64> = frontier
+            .iter()
+            .map(|p| p.get("cost").unwrap().as_f64().unwrap())
+            .collect();
+        let times: Vec<f64> = frontier
+            .iter()
+            .map(|p| p.get("time").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+        assert!(times.windows(2).all(|w| w[0] > w[1]), "{times:?}");
+        let best = body.get("best").unwrap().as_usize().unwrap();
+        assert!(best < frontier.len());
+        let search = body.get("search").unwrap();
+        let evals = search.get("oracle_evals").unwrap().as_f64().unwrap();
+        let grid = search.get("grid_size").unwrap().as_f64().unwrap();
+        assert_eq!(grid, 96.0);
+        assert!(evals < grid, "lazy search must not evaluate the full grid");
+        // Warm-model optimize: the session came from the pool, with
+        // zero additional compiles.
+        assert_eq!(
+            body.get("session")
+                .unwrap()
+                .get("reused")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(state.pool.stats().compiles, compiles_before);
+    }
+
+    #[test]
+    fn optimize_rejects_bad_requests() {
+        let state = AppState::default();
+        for (body, needle) in [
+            (
+                r#"{"model_name":"jacobi","nodes":[0,2]}"#,
+                "bad count `0` in `nodes`",
+            ),
+            (
+                r#"{"model_name":"jacobi","cpus":[]}"#,
+                "`cpus` must be a non-empty array",
+            ),
+            (
+                r#"{"model_name":"jacobi","nodes":[1.5]}"#,
+                "must be an integer",
+            ),
+            (
+                r#"{"model_name":"jacobi","objective":"fastest"}"#,
+                "unknown objective",
+            ),
+            (
+                r#"{"model_name":"jacobi","verify":"twice"}"#,
+                "unknown verify mode",
+            ),
+            (r#"{"model_name":"jacobi","margin":1.5}"#, "margin"),
+            (r#"{"model_name":"jacobi","stride":0}"#, "stride"),
+            (
+                r#"{"model_name":"jacobi","deadline":"soon"}"#,
+                "`deadline` must be a number",
+            ),
+            (r#"{"model_name":"jacobi","deadline":-1}"#, "deadline"),
+        ] {
+            let (r, _) = handle(&state, &post("/v1/optimize", body));
+            assert_eq!(r.status, 400, "{body} -> {}", r.body);
+            let err = body_of(&r)
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+        // Bad requests never reach compilation.
+        assert_eq!(state.pool.stats().compiles, 0);
+    }
+
+    #[test]
+    fn optimize_constraints_and_verification() {
+        let state = AppState::default();
+        let (r, _) = handle(
+            &state,
+            &post(
+                "/v1/optimize",
+                r#"{"model_name":"jacobi","nodes":[1,2,4,8],"cpus":[1,2],"objective":"min_cost","max_cost":6,"verify":"sim"}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let body = body_of(&r);
+        let frontier = body.get("frontier").unwrap().as_array().unwrap();
+        assert!(!frontier.is_empty(), "{body}");
+        for p in frontier {
+            assert!(p.get("cost").unwrap().as_f64().unwrap() <= 6.0, "{p}");
+            let sim = p.get("verified_time").unwrap().as_f64().unwrap();
+            let analytic = p.get("time").unwrap().as_f64().unwrap();
+            assert!(
+                ((sim - analytic) / analytic).abs() <= 1e-9,
+                "verified {sim} vs oracle {analytic}"
+            );
+        }
+        // min_cost: best is the cheapest frontier point, index 0.
+        assert_eq!(body.get("best").unwrap().as_usize(), Some(0));
+        let verifs = body
+            .get("search")
+            .unwrap()
+            .get("verifier_evals")
+            .unwrap()
+            .as_usize()
+            .unwrap();
+        assert_eq!(verifs, frontier.len());
+    }
+
+    /// The sample model with two costs rewritten to `1e308` each: every
+    /// individual op time passes the flattener's finiteness guard, but
+    /// the analytic backend's running sum overflows to `inf` — the
+    /// evaluator reports success with a non-finite prediction.
+    fn overflowing_model_xml() -> String {
+        prophet_uml::xmi::model_to_xml(&models::sample_model())
+            .replace("0.04 + 0.01 * P", "1e308")
+            .replace("body=\"0.5\"", "body=\"1e308\"")
+    }
+
+    #[test]
+    fn non_finite_predictions_are_a_500_not_a_null() {
+        let state = AppState::default();
+        let body = Json::object([
+            ("model", Json::from(overflowing_model_xml())),
+            ("backend", Json::from("analytic")),
+        ])
+        .encode();
+        let (r, _) = handle(&state, &post("/v1/estimate", &body));
+        assert_eq!(r.status, 500, "{}", r.body);
+        let err = body_of(&r)
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("non-finite"), "{err}");
+        assert!(err.contains("sample"), "names the model: {err}");
+        assert!(err.contains("nodes=1"), "names the SP point: {err}");
+
+        let sweep = Json::object([
+            ("model", Json::from(overflowing_model_xml())),
+            ("backend", Json::from("analytic")),
+            (
+                "nodes",
+                Json::Array(vec![Json::from(1usize), Json::from(2usize)]),
+            ),
+        ])
+        .encode();
+        let (r, _) = handle(&state, &post("/v1/sweep", &sweep));
+        assert_eq!(r.status, 500, "{}", r.body);
+        assert!(body_of(&r)
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("non-finite"));
+
+        let (r, _) = handle(&state, &post("/v1/optimize", &body));
+        assert_eq!(r.status, 500, "{}", r.body);
+        let err = body_of(&r)
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("non-finite"), "{err}");
     }
 
     #[test]

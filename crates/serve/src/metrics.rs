@@ -95,6 +95,8 @@ pub struct Metrics {
     pub estimate: EndpointMetrics,
     /// `POST /v1/sweep`.
     pub sweep: EndpointMetrics,
+    /// `POST /v1/optimize`.
+    pub optimize: EndpointMetrics,
     /// `GET /v1/models`.
     pub models: EndpointMetrics,
     /// `GET /v1/metrics`.
@@ -110,6 +112,7 @@ impl Metrics {
             ("POST", "/v1/check") => &self.check,
             ("POST", "/v1/estimate") => &self.estimate,
             ("POST", "/v1/sweep") => &self.sweep,
+            ("POST", "/v1/optimize") => &self.optimize,
             ("GET", "/v1/models") => &self.models,
             ("GET", "/v1/metrics") => &self.metrics,
             _ => &self.other,
@@ -122,6 +125,7 @@ impl Metrics {
             ("check", self.check.to_json()),
             ("estimate", self.estimate.to_json()),
             ("sweep", self.sweep.to_json()),
+            ("optimize", self.optimize.to_json()),
             ("models", self.models.to_json()),
             ("metrics", self.metrics.to_json()),
             ("other", self.other.to_json()),

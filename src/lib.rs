@@ -16,6 +16,7 @@
 //! | [`estimator`] | prophet-estimator | Performance Estimator |
 //! | [`trace`] | prophet-trace | TF trace files + visualization data |
 //! | [`core`] | prophet-core | transformation pipeline, compile-once sessions, sweeps |
+//! | [`opt`] | prophet-opt | inverse queries: lazy Pareto-front search over the SP lattice |
 //! | [`serve`] | prophet-serve | prediction service: session pool + HTTP/JSON layer |
 //! | [`router`] | prophet-router | scale-out front door: digest-routed sharding across serve fleets |
 //! | [`workloads`] | prophet-workloads | Livermore kernels + experiment models |
@@ -64,6 +65,7 @@ pub use prophet_core as core;
 pub use prophet_estimator as estimator;
 pub use prophet_expr as expr;
 pub use prophet_machine as machine;
+pub use prophet_opt as opt;
 pub use prophet_router as router;
 pub use prophet_serve as serve;
 pub use prophet_sim as sim;

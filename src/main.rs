@@ -9,6 +9,11 @@
 //!                   [--trace <tf.txt>] [--timeline]
 //! prophet sweep     <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W]
 //!                   [--backend simulation|analytic] [--no-elab-cache]
+//! prophet optimize  <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8]
+//!                   [--objective min_time|min_cost|max_speedup_per_cost]
+//!                   [--deadline S] [--max-cost C] [--node-weight W]
+//!                   [--cpu-weight W] [--backend simulation|analytic]
+//!                   [--verify sim] [--margin F] [--stride K] [--workers W]
 //! prophet serve     [--addr A] [--workers W] [--store DIR] [--token T]
 //! prophet router    --shards H:P,H:P,... [--addr A] [--workers W]
 //!                   [--token T] [--probe-ms MS]
@@ -25,6 +30,15 @@
 //! across workers and repeat points (the session's elaboration cache);
 //! `--no-elab-cache` opts out and re-elaborates every evaluation —
 //! results are identical, only slower.
+//!
+//! `optimize` is the inverse query: instead of enumerating a grid it
+//! searches the `(nodes, cpus)` lattice lazily (coarse seed, then
+//! refine only cells whose bound could still contribute) and prints the
+//! Pareto frontier over `(cost, time)` with the objective's pick —
+//! "cheapest configuration meeting `--deadline 0.02`", "best speedup
+//! per cost". `--verify sim` re-checks the frontier with the
+//! simulation backend. Costs follow
+//! `cost = node_weight·nodes + cpu_weight·nodes·cpus`.
 //!
 //! `serve` starts the long-running prediction service (prophet-serve):
 //! models are compiled once into a session pool and every subsequent
@@ -130,7 +144,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet optimize <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8] [--objective min_time|min_cost|max_speedup_per_cost] [--deadline S] [--max-cost C] [--node-weight W] [--cpu-weight W] [--backend simulation|analytic] [--verify sim] [--margin F] [--stride K] [--workers W]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -143,6 +157,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "transform" => cmd_transform(&args[1..]),
         "estimate" => cmd_estimate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "router" => cmd_router(&args[1..]),
         "warm" => cmd_warm(&args[1..]),
@@ -185,6 +200,30 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Opti
             .map(Some)
             .map_err(|_| usage_err(format!("invalid value `{value}` for `{flag}`"))),
     }
+}
+
+/// Parse a comma-separated count list (`--nodes 1,2,4`): every entry
+/// must be a positive integer — zero would flow into the engine as a
+/// degenerate `SystemParams` — and repeats are deduplicated (first
+/// occurrence wins), so `1,2,4,2,1` evaluates three points, not five.
+/// `noun` names the entries in errors ("node count", "cpu count").
+fn count_list(noun: &str, flag: &str, list: &str) -> Result<Vec<usize>, CliError> {
+    let mut out = Vec::new();
+    for s in list.split(',') {
+        let n: usize = s
+            .trim()
+            .parse()
+            .map_err(|_| usage_err(format!("bad {noun} `{s}` in `{flag} {list}`")))?;
+        if n == 0 {
+            return Err(usage_err(format!(
+                "bad {noun} `0` in `{flag} {list}`: counts must be at least 1"
+            )));
+        }
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    Ok(out)
 }
 
 fn load_model(args: &[String]) -> Result<Model, CliError> {
@@ -334,17 +373,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     }
     let threads: usize = parsed_flag(args, "--workers")?.unwrap_or(0);
     let backend = backend_from(args)?;
-    let points: Vec<SweepPoint> = nodes_list
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<usize>()
-                .map(|n| SweepPoint {
-                    sp: SystemParams::flat_mpi(n, cpus),
-                })
-                .map_err(|_| usage_err(format!("bad node count `{s}` in `--nodes {nodes_list}`")))
+    let points: Vec<SweepPoint> = count_list("node count", "--nodes", nodes_list)?
+        .into_iter()
+        .map(|n| SweepPoint {
+            sp: SystemParams::flat_mpi(n, cpus),
         })
-        .collect::<Result<_, _>>()?;
+        .collect();
     // Unlike the legacy CLI, sweep now gates on the model checker just
     // like `estimate` always has: a model with check errors won't sweep.
     let session = compile(load_model(args)?)?;
@@ -386,6 +420,111 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             ),
         }
     }
+    Ok(())
+}
+
+/// `prophet optimize`: the inverse query — search the `(nodes, cpus)`
+/// lattice instead of sweeping it, and print the Pareto frontier over
+/// `(cost, predicted time)` plus the objective's pick.
+fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
+    use prophet::opt::{Constraints, CostWeights, OptError, OptimizeRequest, OptimizeSession};
+    let mut req = OptimizeRequest::default();
+    if let Some(list) = value_flag(args, "--nodes")? {
+        req.nodes = count_list("node count", "--nodes", list)?;
+    }
+    if let Some(list) = value_flag(args, "--cpus")? {
+        req.cpus = count_list("cpu count", "--cpus", list)?;
+    }
+    if let Some(objective) = value_flag(args, "--objective")? {
+        req.objective = objective.parse().map_err(usage_err)?;
+    }
+    if let Some(verify) = value_flag(args, "--verify")? {
+        req.verify = verify.parse().map_err(usage_err)?;
+    }
+    req.constraints = Constraints {
+        deadline: parsed_flag(args, "--deadline")?,
+        max_cost: parsed_flag(args, "--max-cost")?,
+    };
+    let defaults = CostWeights::default();
+    req.weights = CostWeights {
+        per_node: parsed_flag(args, "--node-weight")?.unwrap_or(defaults.per_node),
+        per_cpu: parsed_flag(args, "--cpu-weight")?.unwrap_or(defaults.per_cpu),
+    };
+    if let Some(margin) = parsed_flag(args, "--margin")? {
+        req.margin = margin;
+    }
+    if let Some(stride) = parsed_flag(args, "--stride")? {
+        req.stride = stride;
+    }
+    req.workers = parsed_flag(args, "--workers")?.unwrap_or(0);
+    // Unlike estimate/sweep, the search oracle defaults to the cheap
+    // analytic backend; `--backend simulation` searches with the
+    // expensive twin directly.
+    if let Some(backend) = value_flag(args, "--backend")? {
+        req.backend = backend.parse().map_err(usage_err)?;
+    }
+    // Range mistakes (zero counts, margin ≥ 1, negative weights...) are
+    // argument errors: surface them before paying the compile.
+    let req = req.normalized().map_err(|e| usage_err(e.to_string()))?;
+    let session = compile(load_model(args)?)?;
+    let report = session.optimize(&req).map_err(|e| match e {
+        OptError::Request(_) => usage_err(e.to_string()),
+        other => runtime_err(render_chain(&other)),
+    })?;
+    println!(
+        "model `{}`: {} frontier over the {}-point lattice (oracle: {})",
+        session.program().name,
+        report.objective,
+        report.grid_size,
+        report.backend
+    );
+    let verified = report.frontier.iter().any(|p| p.verified_time.is_some());
+    print!(
+        "{:>8} {:>6} {:>8} {:>10} {:>14} {:>9}",
+        "nodes", "cpus", "P", "cost", "time(s)", "speedup"
+    );
+    println!(
+        "{}",
+        if verified {
+            format!(" {:>14}", "sim(s)")
+        } else {
+            String::new()
+        }
+    );
+    for p in &report.frontier {
+        print!(
+            "{:>8} {:>6} {:>8} {:>10.2} {:>14.6} {:>9.2}",
+            p.sp.nodes, p.sp.cpus_per_node, p.sp.processes, p.cost, p.time, p.speedup
+        );
+        match p.verified_time {
+            Some(t) => println!(" {t:>14.6}"),
+            None => println!(),
+        }
+    }
+    match report.best_point() {
+        Some(best) => println!(
+            "best ({}): {} node(s) × {} cpu(s) — time {:.6} s, cost {:.2}, speedup {:.2}",
+            report.objective,
+            best.sp.nodes,
+            best.sp.cpus_per_node,
+            best.time,
+            best.cost,
+            best.speedup
+        ),
+        None => println!("no feasible configuration meets the constraints"),
+    }
+    println!(
+        "oracle evaluations: {} of {} lattice points ({} cells skipped, {} refined{})",
+        report.oracle_evals,
+        report.grid_size,
+        report.cells_skipped,
+        report.cells_refined,
+        if report.verifier_evals > 0 {
+            format!("; {} sim verifications", report.verifier_evals)
+        } else {
+            String::new()
+        }
+    );
     Ok(())
 }
 
@@ -432,7 +571,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             server.state().pool.stats().size
         );
     }
-    println!("endpoints: POST /v1/check /v1/estimate /v1/sweep — GET /v1/models /v1/metrics");
+    println!("endpoints: POST /v1/check /v1/estimate /v1/sweep /v1/optimize — GET /v1/models /v1/metrics");
     println!("POST /v1/shutdown for graceful drain");
     // Parks until a shutdown request arrives, then drains in-flight
     // requests before returning.
@@ -482,7 +621,7 @@ fn cmd_router(args: &[String]) -> Result<(), CliError> {
             .join(", ")
     );
     println!(
-        "endpoints: POST /v1/check /v1/estimate /v1/sweep — GET /v1/models /v1/metrics /v1/shards"
+        "endpoints: POST /v1/check /v1/estimate /v1/sweep /v1/optimize — GET /v1/models /v1/metrics /v1/shards"
     );
     println!("POST /v1/shutdown broadcasts to the fleet, then drains the router");
     router.wait();
@@ -501,17 +640,12 @@ fn cmd_warm(args: &[String]) -> Result<(), CliError> {
     let cpus: usize = parsed_flag(args, "--cpus")?.unwrap_or(1);
     let points: Vec<SweepPoint> = match value_flag(args, "--nodes")? {
         None => Vec::new(),
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse::<usize>()
-                    .map(|n| SweepPoint {
-                        sp: SystemParams::flat_mpi(n, cpus),
-                    })
-                    .map_err(|_| usage_err(format!("bad node count `{s}` in `--nodes {list}`")))
+        Some(list) => count_list("node count", "--nodes", list)?
+            .into_iter()
+            .map(|n| SweepPoint {
+                sp: SystemParams::flat_mpi(n, cpus),
             })
-            .collect::<Result<_, _>>()?,
+            .collect(),
     };
     let mcf = match value_flag(args, "--mcf")? {
         Some(mcf_path) => {

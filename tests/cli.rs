@@ -192,8 +192,8 @@ fn sweep_accepts_workers_and_rejects_threads() {
 #[test]
 fn sweep_no_elab_cache_flag_gives_identical_output() {
     // The elaboration cache is a pure memoization: the sweep table must
-    // be byte-identical with and without it, repeated node counts
-    // included (repeats are exactly what the cache deduplicates).
+    // be byte-identical with and without it. (Repeated node counts in
+    // the flag collapse to one point each before the sweep runs.)
     let model = temp_model("sweep-elab", "jacobi");
     let model = model.to_str().unwrap();
     let (ok, cached, err) = prophet(&["sweep", model, "--nodes", "1,2,4,2,1"]);
@@ -215,13 +215,98 @@ fn sweep_no_elab_cache_flag_gives_identical_output() {
 
 #[test]
 fn sweep_failed_points_render_on_one_row() {
-    let model = temp_model("sweep-fail", "jacobi");
-    let (ok, out, err) = prophet(&["sweep", model.to_str().unwrap(), "--nodes", "0,1"]);
+    // A model whose cost divides by zero at exactly P=2: the P=2 row
+    // fails, its neighbours evaluate. (A zero node count no longer
+    // reaches this path — it is rejected as a usage error up front.)
+    let (ok, xml, err) = prophet(&["demo", "jacobi"]);
     assert!(ok, "{err}");
-    // Header + one failed row + one data row: failures must not spill
+    let xml = xml.replace(
+        "0.00000001 * points",
+        "0.00000001 * points / (P - 2) / (P - 2)",
+    );
+    let path = std::env::temp_dir().join("prophet-cli-test-sweep-fail.xml");
+    std::fs::write(&path, xml).unwrap();
+    let (ok, out, err) = prophet(&["sweep", path.to_str().unwrap(), "--nodes", "1,2,4"]);
+    assert!(ok, "{err}");
+    // Header + ok row + failed row + ok row: failures must not spill
     // onto extra lines (the error chain is flattened onto the row).
-    assert_eq!(out.lines().count(), 3, "{out}");
+    assert_eq!(out.lines().count(), 4, "{out}");
     assert!(out.contains("failed:"), "{out}");
+    assert!(out.contains("division by zero"), "{out}");
+}
+
+#[test]
+fn sweep_rejects_zero_counts_and_collapses_repeats() {
+    let model = temp_model("sweep-zero", "jacobi");
+    let model = model.to_str().unwrap();
+    // Zero is a usage error naming the offending token, before any
+    // model work happens.
+    let (code, _out, err) = prophet_code(&["sweep", model, "--nodes", "0,1"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("bad node count `0` in `--nodes 0,1`"), "{err}");
+    assert!(err.contains("at least 1"), "{err}");
+    // Repeated counts are one sweep point each, not duplicate rows.
+    let (ok, out, err) = prophet(&["sweep", model, "--nodes", "2,2,4,2"]);
+    assert!(ok, "{err}");
+    assert_eq!(
+        out.lines().count(),
+        3,
+        "header + one row per distinct count: {out}"
+    );
+}
+
+#[test]
+fn optimize_prints_frontier_and_best() {
+    let model = temp_model("optimize", "jacobi");
+    let (ok, out, err) = prophet(&[
+        "optimize",
+        model.to_str().unwrap(),
+        "--nodes",
+        "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16",
+        "--cpus",
+        "1,2",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("min_time frontier"), "{out}");
+    assert!(out.contains("(oracle: analytic)"), "{out}");
+    assert!(out.contains("best (min_time):"), "{out}");
+    assert!(out.contains("oracle evaluations:"), "{out}");
+    // Table columns present.
+    for col in ["nodes", "cpus", "cost", "time(s)", "speedup"] {
+        assert!(out.contains(col), "missing column {col}: {out}");
+    }
+}
+
+#[test]
+fn optimize_usage_errors_exit_2_and_name_the_token() {
+    let model = temp_model("optimize-usage", "jacobi");
+    let model = model.to_str().unwrap();
+    for (args, needle) in [
+        (
+            vec!["optimize", model, "--objective", "fastest"],
+            "unknown objective `fastest`",
+        ),
+        (
+            vec!["optimize", model, "--nodes", "0,4"],
+            "bad node count `0` in `--nodes 0,4`",
+        ),
+        (
+            vec!["optimize", model, "--cpus", "two"],
+            "bad cpu count `two`",
+        ),
+        (vec!["optimize", model, "--margin", "1.5"], "margin"),
+        (vec!["optimize", model, "--stride", "0"], "stride"),
+        (vec!["optimize", model, "--deadline", "-1"], "deadline"),
+        (
+            vec!["optimize", model, "--verify", "twice"],
+            "unknown verify mode `twice`",
+        ),
+    ] {
+        let (code, _out, err) = prophet_code(&args);
+        assert_eq!(code, Some(2), "{args:?}: {err}");
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
 }
 
 #[test]

@@ -14,14 +14,14 @@ fn read(path: impl AsRef<Path>) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
 }
 
-/// Every `/v1/...` route string spelled anywhere in the serve or
-/// router crate's sources (`server.rs`, `api.rs`, ...) must appear in
+/// Every `/v1/...` route string spelled anywhere in the serve, router,
+/// or opt crate's sources (`server.rs`, `api.rs`, ...) must appear in
 /// docs/API.md — router-only endpoints like `/v1/shards` included.
 #[test]
 fn every_serve_route_is_documented_in_api_md() {
     let api_md = read("docs/API.md");
     let mut routes: BTreeSet<String> = BTreeSet::new();
-    for src_dir in ["crates/serve/src", "crates/router/src"] {
+    for src_dir in ["crates/serve/src", "crates/router/src", "crates/opt/src"] {
         let src_dir = repo_root().join(src_dir);
         for entry in std::fs::read_dir(&src_dir).expect("crate src dir") {
             let path = entry.expect("dir entry").path();
@@ -126,6 +126,7 @@ fn readme_shows_every_cli_command() {
         "transform",
         "estimate",
         "sweep",
+        "optimize",
         "serve",
         "router",
         "warm",

@@ -1,0 +1,230 @@
+//! Differential suite for the lazy SP-lattice optimizer (`crates/opt`).
+//!
+//! The contract under test: on every bundled workload, with either
+//! backend as the oracle, [`Session::optimize`] returns a Pareto
+//! frontier **bit-identical** to the brute-force full-grid reference —
+//! while evaluating strictly fewer lattice points. The brute-force
+//! path shares the frontier-extraction machinery, so the differential
+//! isolates exactly the part that can go wrong: the pruning.
+//!
+//! A property-based section then drives random deadline/budget
+//! constraints through the same lattice and asserts that no frontier
+//! point ever violates them, that the pruned and exhaustive frontiers
+//! still agree, and that the search stays lazy.
+
+use prophet::core::{Backend, Session};
+use prophet::opt::{Constraints, OptimizeReport, OptimizeRequest, OptimizeSession};
+use prophet::uml::Model;
+use prophet::workloads::models::{
+    jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A frontier rendered to exact bits: any divergence — an extra point,
+/// a missing point, even a 1-ulp time difference — fails the equality.
+fn frontier_bits(report: &OptimizeReport) -> Vec<(usize, usize, u64, u64, u64)> {
+    report
+        .frontier
+        .iter()
+        .map(|p| {
+            (
+                p.sp.nodes,
+                p.sp.cpus_per_node,
+                p.cost.to_bits(),
+                p.time.to_bits(),
+                p.speedup.to_bits(),
+            )
+        })
+        .collect()
+}
+
+struct Case {
+    name: &'static str,
+    model: Model,
+    nodes: Vec<usize>,
+    cpus: Vec<usize>,
+    constraints: Constraints,
+}
+
+/// Every bundled workload with a lattice dense enough for the lazy
+/// search to have cells worth pruning. The curve shapes differ on
+/// purpose: increasing (sample, pipeline), constant (kernel6),
+/// decreasing-then-flat (jacobi, master_worker), and wiggly with a
+/// second dip (lapw0) — each exercises a different pruning rule.
+fn cases() -> Vec<Case> {
+    let dense: Vec<usize> = (1..=32).collect();
+    vec![
+        Case {
+            name: "sample",
+            model: sample_model(),
+            nodes: dense.clone(),
+            cpus: vec![1, 2, 4],
+            constraints: Constraints::default(),
+        },
+        Case {
+            name: "kernel6",
+            model: kernel6_model(500, 10, 2e-9),
+            nodes: dense.clone(),
+            cpus: vec![1, 2, 4],
+            constraints: Constraints::default(),
+        },
+        Case {
+            name: "jacobi",
+            model: jacobi_model(200_000, 5, 1e-8),
+            nodes: dense.clone(),
+            cpus: vec![1, 2, 4],
+            constraints: Constraints::default(),
+        },
+        Case {
+            name: "pipeline",
+            model: pipeline_model(20, 0.01, 1024),
+            nodes: dense.clone(),
+            cpus: vec![1, 2, 4],
+            constraints: Constraints::default(),
+        },
+        Case {
+            name: "master_worker",
+            model: master_worker_model(64, 0.005, 128),
+            nodes: dense.clone(),
+            cpus: vec![1, 2, 4],
+            // Strictly decreasing with an almost-but-not-bit-equal
+            // floor: neither the domination nor the plateau rule can
+            // fire, so laziness comes from the deadline making the
+            // slow, cheap cells provably infeasible — the constraint
+            // applies identically to the brute-force reference.
+            constraints: Constraints {
+                deadline: Some(0.06),
+                max_cost: None,
+            },
+        },
+        Case {
+            name: "lapw0",
+            model: lapw0_model(64, 16, 1e-5),
+            nodes: dense,
+            cpus: vec![1, 2, 4],
+            constraints: Constraints::default(),
+        },
+    ]
+}
+
+fn request(case: &Case, backend: Backend) -> OptimizeRequest {
+    OptimizeRequest {
+        nodes: case.nodes.clone(),
+        cpus: case.cpus.clone(),
+        constraints: case.constraints,
+        backend,
+        ..Default::default()
+    }
+}
+
+fn check_case(case: &Case, backend: Backend) {
+    let session = Session::new(case.model.clone()).expect("bundled workloads compile");
+    let req = request(case, backend);
+    let lazy = session.optimize(&req).expect("lazy search succeeds");
+    let full = session
+        .optimize_brute_force(&req)
+        .expect("brute force succeeds");
+    assert_eq!(
+        full.oracle_evals, full.grid_size,
+        "{}: reference is exhaustive",
+        case.name
+    );
+    assert_eq!(
+        frontier_bits(&lazy),
+        frontier_bits(&full),
+        "{} ({backend}): lazy frontier must match brute force bit-for-bit",
+        case.name
+    );
+    assert_eq!(lazy.best, full.best, "{}: best index agrees", case.name);
+    assert!(
+        lazy.oracle_evals < lazy.grid_size,
+        "{} ({backend}): lazy search evaluated the whole grid ({} of {})",
+        case.name,
+        lazy.oracle_evals,
+        lazy.grid_size
+    );
+}
+
+#[test]
+fn frontier_matches_brute_force_analytic() {
+    for case in cases() {
+        check_case(&case, Backend::Analytic);
+    }
+}
+
+#[test]
+fn frontier_matches_brute_force_simulation() {
+    for case in cases() {
+        check_case(&case, Backend::Simulation);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-constraint properties.
+// ---------------------------------------------------------------------
+
+/// One compiled jacobi session shared across proptest cases (compiling
+/// per case would dominate the runtime), plus the unconstrained
+/// brute-force time range the random constraints are scaled from.
+fn shared() -> &'static (Session, f64, f64, f64) {
+    static SHARED: OnceLock<(Session, f64, f64, f64)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let session = Session::new(jacobi_model(200_000, 5, 1e-8)).unwrap();
+        let req = OptimizeRequest {
+            nodes: (1..=32).collect(),
+            cpus: vec![1, 2, 4],
+            ..Default::default()
+        };
+        let full = session.optimize_brute_force(&req).unwrap();
+        let times: Vec<f64> = full.frontier.iter().map(|p| p.time).collect();
+        let tmin = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let tmax = times.iter().cloned().fold(0.0, f64::max);
+        let cmax = full.frontier.iter().map(|p| p.cost).fold(0.0, f64::max);
+        (session, tmin, tmax, cmax)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary deadline/budget constraints the frontier never
+    /// contains a violating point, still matches brute force exactly,
+    /// and the search still beats exhaustive evaluation.
+    #[test]
+    fn random_constraints_hold_on_the_frontier(
+        deadline_frac in 0.0f64..1.5,
+        budget_frac in 0.05f64..1.2,
+        use_deadline in any::<bool>(),
+        use_budget in any::<bool>(),
+    ) {
+        let (session, tmin, tmax, cmax) = shared();
+        let constraints = Constraints {
+            deadline: use_deadline.then(|| tmin + deadline_frac * (tmax - tmin)),
+            max_cost: use_budget.then(|| budget_frac * cmax),
+        };
+        let req = OptimizeRequest {
+            nodes: (1..=32).collect(),
+            cpus: vec![1, 2, 4],
+            constraints,
+            ..Default::default()
+        };
+        let lazy = session.optimize(&req).unwrap();
+        let full = session.optimize_brute_force(&req).unwrap();
+        prop_assert_eq!(frontier_bits(&lazy), frontier_bits(&full));
+        for p in &lazy.frontier {
+            if let Some(d) = constraints.deadline {
+                prop_assert!(p.time <= d, "frontier point {:?} breaks the deadline", p.sp);
+            }
+            if let Some(b) = constraints.max_cost {
+                prop_assert!(p.cost <= b, "frontier point {:?} breaks the budget", p.sp);
+            }
+        }
+        prop_assert!(
+            lazy.oracle_evals < lazy.grid_size,
+            "lazy search evaluated the whole grid ({} of {})",
+            lazy.oracle_evals,
+            lazy.grid_size
+        );
+    }
+}
