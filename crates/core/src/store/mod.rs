@@ -64,6 +64,17 @@ pub const FORMAT_VERSION: u32 = 1;
 /// File magic: "Prophet Persistent Artifact Format".
 pub const MAGIC: [u8; 4] = *b"PPAF";
 
+/// Metrics-checkpoint file magic: "Prophet Persistent Metrics
+/// Checkpoint".
+pub const METRICS_MAGIC: [u8; 4] = *b"PPMC";
+
+/// File-name prefix of the sidecar metrics checkpoints inside a store
+/// directory (see [`ArtifactStore::save_metrics`]). Checkpoints are
+/// per-instance — shards sharing one artifact store must not clobber
+/// each other's lifetime counters — so the full name is
+/// `pp-metrics-<instance>.ckpt`.
+pub const METRICS_PREFIX: &str = "pp-metrics";
+
 /// Elaboration entries larger than this many primitive ops (summed over
 /// all ranks, top level) are not persisted — re-flattening them is
 /// cheaper than reading them back.
@@ -307,6 +318,72 @@ impl ArtifactStore {
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+
+    /// Path of one instance's sidecar metrics checkpoint. The name
+    /// deliberately does not match the `pp-<digest>-<digest>.bin`
+    /// artifact pattern, so [`keys`](Self::keys) and warm-start never
+    /// see it. `instance` (typically the server's configured listen
+    /// address) is sanitized to filename-safe characters; instances
+    /// sharing a store directory therefore keep separate lifetime
+    /// counters as long as their labels differ.
+    pub fn metrics_path(&self, instance: &str) -> PathBuf {
+        let safe: String = instance
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{METRICS_PREFIX}-{safe}.ckpt"))
+    }
+
+    /// Atomically persist a flat `name -> value` counter snapshot (the
+    /// serve layer's lifetime request counters). Same temp-file +
+    /// rename discipline as artifacts; failures are the caller's to
+    /// ignore — a checkpoint that cannot write degrades to
+    /// metrics-per-boot, it does not take requests down.
+    ///
+    /// Checkpoint writes are *not* counted in [`StoreStats::writes`]:
+    /// those counters pin the compile-write-back contract in tests and
+    /// a periodic background write would drift them.
+    ///
+    /// # Errors
+    /// The underlying I/O error when the temp file cannot be written
+    /// or renamed into place.
+    pub fn save_metrics(&self, instance: &str, counters: &[(String, u64)]) -> io::Result<()> {
+        let bytes = encode_metrics(counters);
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = self.metrics_path(instance);
+        let tmp = path.with_extension(format!(
+            "ckpt.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Load the last metrics checkpoint, or `None` when absent or
+    /// unusable. Mirrors the artifact corruption contract: a corrupt
+    /// checkpoint is deleted and read as a clean miss — counters
+    /// restart from zero rather than from garbage.
+    pub fn load_metrics(&self, instance: &str) -> Option<Vec<(String, u64)>> {
+        let path = self.metrics_path(instance);
+        let bytes = std::fs::read(&path).ok()?;
+        match decode_metrics(&bytes) {
+            Ok(counters) => Some(counters),
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
 }
 
 impl Session {
@@ -338,6 +415,86 @@ impl Session {
         let _ = store.save_session(&session);
         Ok(session)
     }
+}
+
+// ---------------------------------------------------------------------
+// Metrics checkpoint encode / decode
+// ---------------------------------------------------------------------
+
+/// Serialize a counter snapshot with the same header discipline as
+/// artifacts: magic + version + payload length + payload + FNV-1a
+/// checksum. The payload is a count followed by length-prefixed name
+/// bytes and a little-endian value per counter.
+fn encode_metrics(counters: &[(String, u64)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(counters.len() as u64).to_le_bytes());
+    for (name, value) in counters {
+        payload.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        payload.extend_from_slice(name.as_bytes());
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&METRICS_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// Decode and verify a metrics checkpoint; every failure mode is a
+/// [`DecodeError`] the caller treats as a miss.
+fn decode_metrics(bytes: &[u8]) -> Result<Vec<(String, u64)>, DecodeError> {
+    let fail = |what: &str| Err(DecodeError(what.to_string()));
+    if bytes.len() < 16 + 8 {
+        return fail("shorter than header + checksum");
+    }
+    if bytes[0..4] != METRICS_MAGIC {
+        return fail("bad magic");
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return fail("stale format version");
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + payload_len + 8 {
+        return fail("length field disagrees with file size");
+    }
+    let payload = &bytes[16..16 + payload_len];
+    let checksum = u64::from_le_bytes(bytes[16 + payload_len..].try_into().unwrap());
+    if fnv1a(payload) != checksum {
+        return fail("checksum mismatch");
+    }
+
+    fn take<'a>(payload: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+        if *at + n > payload.len() {
+            return Err(DecodeError("truncated payload".to_string()));
+        }
+        let slice = &payload[*at..*at + n];
+        *at += n;
+        Ok(slice)
+    }
+    let mut at = 0usize;
+    let count = u64::from_le_bytes(take(payload, &mut at, 8)?.try_into().unwrap()) as usize;
+    // A corrupt count must not drive a huge preallocation.
+    if count > payload.len() {
+        return fail("counter count exceeds payload");
+    }
+    let mut counters = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u64::from_le_bytes(take(payload, &mut at, 8)?.try_into().unwrap()) as usize;
+        if name_len > payload.len() {
+            return fail("name length exceeds payload");
+        }
+        let name = String::from_utf8(take(payload, &mut at, name_len)?.to_vec())
+            .map_err(|_| DecodeError("non-UTF-8 counter name".to_string()))?;
+        let value = u64::from_le_bytes(take(payload, &mut at, 8)?.try_into().unwrap());
+        counters.push((name, value));
+    }
+    if at != payload.len() {
+        return fail("trailing bytes after counters");
+    }
+    Ok(counters)
 }
 
 // ---------------------------------------------------------------------
@@ -465,6 +622,65 @@ mod tests {
             std::env::temp_dir().join(format!("prophet-store-unit-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         ArtifactStore::open(dir).expect("temp store opens")
+    }
+
+    #[test]
+    fn metrics_checkpoint_roundtrips_and_stays_invisible_to_keys() {
+        let store = temp_store("metrics-ckpt");
+        let inst = "127.0.0.1:7071";
+        assert!(
+            store.load_metrics(inst).is_none(),
+            "fresh store: no checkpoint"
+        );
+        let counters = vec![
+            ("endpoints.estimate.requests".to_string(), 42u64),
+            ("endpoints.estimate.errors".to_string(), 0u64),
+            ("endpoints.other.requests".to_string(), u64::MAX),
+        ];
+        store.save_metrics(inst, &counters).unwrap();
+        assert_eq!(store.load_metrics(inst), Some(counters.clone()));
+        // The sidecar never shows up as an artifact key, and
+        // checkpoint writes never drift the artifact write counters.
+        assert!(store.keys().is_empty());
+        assert_eq!(store.stats().writes, 0);
+        // Overwrites replace, not append.
+        let newer = vec![("endpoints.estimate.requests".to_string(), 43u64)];
+        store.save_metrics(inst, &newer).unwrap();
+        assert_eq!(store.load_metrics(inst), Some(newer.clone()));
+        // Checkpoints are per-instance: a second shard sharing the
+        // store directory neither sees nor clobbers the first's.
+        let other = "127.0.0.1:7072";
+        assert!(store.load_metrics(other).is_none());
+        store
+            .save_metrics(other, &[("endpoints.sweep.requests".to_string(), 9)])
+            .unwrap();
+        assert_eq!(store.load_metrics(inst), Some(newer));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_metrics_checkpoint_is_a_clean_miss_and_evicted() {
+        let store = temp_store("metrics-corrupt");
+        let inst = "127.0.0.1:7071";
+        store
+            .save_metrics(inst, &[("endpoints.check.requests".to_string(), 7)])
+            .unwrap();
+        let path = store.metrics_path(inst);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            store.load_metrics(inst).is_none(),
+            "bit flip reads as a miss"
+        );
+        assert!(!path.exists(), "corrupt checkpoint is deleted");
+        // Truncation and wrong magic are misses too.
+        std::fs::write(&path, b"PP").unwrap();
+        assert!(store.load_metrics(inst).is_none());
+        std::fs::write(&path, b"NOPEnope_nope_nope_nope_").unwrap();
+        assert!(store.load_metrics(inst).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

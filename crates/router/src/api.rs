@@ -110,11 +110,14 @@ impl RouterState {
             .iter()
             .partition(|&&shard| self.shards[shard].health().is_healthy());
         let body = (!req.body.is_empty()).then_some(req.body.as_str());
+        // Propagate the client's trace ID to the shard, so one grep
+        // over fleet journals follows a request end to end.
+        let trace: [(&str, &str); 1] = [(prophet_serve::http::TRACE_HEADER, req.trace.as_str())];
         let mut attempts = 0u64;
         for &index in up.iter().chain(down.iter()) {
             attempts += 1;
             let shard = &self.shards[index];
-            match shard.send(&req.method, &req.path, body, &[]) {
+            match shard.send(&req.method, &req.path, body, &trace) {
                 Ok(answer) if answer.status < 500 => {
                     shard.health().mark_up();
                     self.counters.forwards.fetch_add(1, Ordering::Relaxed);
@@ -173,17 +176,23 @@ impl RouterState {
 
     /// `GET /v1/metrics`: the router's own counters, every shard's
     /// metrics document, and fleet-wide totals summed across shards.
-    fn aggregate_metrics(&self) -> Response {
+    /// `?format=prometheus` renders the whole fleet as one exposition
+    /// with per-shard labels instead.
+    fn aggregate_metrics(&self, req: &Request) -> Response {
+        match req.query_param("format") {
+            Some("prometheus") => return self.fleet_prometheus(),
+            None | Some("json") => {}
+            Some(other) => {
+                return error_response(
+                    400,
+                    format!("unknown metrics format `{other}`; use `json` or `prometheus`"),
+                )
+            }
+        }
         let mut shard_sections = Vec::with_capacity(self.shards.len());
         let mut fleet = FleetTotals::default();
         for shard in &self.shards {
-            let mut section = vec![
-                ("addr".to_string(), Json::from(shard.addr().to_string())),
-                (
-                    "healthy".to_string(),
-                    Json::from(shard.health().is_healthy()),
-                ),
-            ];
+            let mut section = shard_entry(shard);
             match shard.send("GET", "/v1/metrics", None, &[]) {
                 Ok(answer) if answer.status == 200 => match json::parse(&answer.body) {
                     Ok(metrics) => {
@@ -245,19 +254,149 @@ impl RouterState {
         ])
     }
 
+    /// `GET /v1/metrics?format=prometheus`: the fleet in one
+    /// exposition — the router's routing counters and endpoint
+    /// metrics, per-shard health gauges, and every reachable shard's
+    /// endpoint counters and latency/phase histograms re-exposed under
+    /// a `shard="addr"` label. Families are emitted once with all
+    /// their shard series grouped under a single `# TYPE` line.
+    fn fleet_prometheus(&self) -> Response {
+        use prophet_serve::metrics::ENDPOINT_NAMES;
+        use prophet_serve::prometheus::{histogram_from_json, Exposition};
+        // Fan out first, so family emission below can group series.
+        let docs: Vec<(String, Option<Json>)> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let doc = shard
+                    .send("GET", "/v1/metrics", None, &[])
+                    .ok()
+                    .filter(|answer| answer.status == 200)
+                    .and_then(|answer| json::parse(&answer.body).ok());
+                (shard.addr().to_string(), doc)
+            })
+            .collect();
+        let mut e = Exposition::new();
+        e.family("prophet_router_requests_total", "counter");
+        for (i, name) in ENDPOINT_NAMES.iter().enumerate() {
+            e.sample(
+                "prophet_router_requests_total",
+                &[("endpoint", name)],
+                self.metrics.by_index(i).requests(),
+            );
+        }
+        e.family("prophet_router_request_duration_seconds", "histogram");
+        for (i, name) in ENDPOINT_NAMES.iter().enumerate() {
+            e.histogram_snapshot(
+                "prophet_router_request_duration_seconds",
+                &[("endpoint", name)],
+                &self.metrics.by_index(i).latency_snapshot(),
+            );
+        }
+        for (name, value) in [
+            (
+                "prophet_router_forwards_total",
+                self.counters.forwards.load(Ordering::Relaxed),
+            ),
+            (
+                "prophet_router_retries_total",
+                self.counters.retries.load(Ordering::Relaxed),
+            ),
+            (
+                "prophet_router_no_shard_total",
+                self.counters.no_shard.load(Ordering::Relaxed),
+            ),
+        ] {
+            e.family(name, "counter");
+            e.sample(name, &[], value);
+        }
+        e.family("prophet_router_shard_healthy", "gauge");
+        for shard in &self.shards {
+            let addr = shard.addr().to_string();
+            e.sample(
+                "prophet_router_shard_healthy",
+                &[("shard", &addr)],
+                u64::from(shard.health().is_healthy()),
+            );
+        }
+        e.family("prophet_router_shard_consecutive_failures", "gauge");
+        for shard in &self.shards {
+            let addr = shard.addr().to_string();
+            e.sample(
+                "prophet_router_shard_consecutive_failures",
+                &[("shard", &addr)],
+                shard.health().consecutive_failures(),
+            );
+        }
+        e.family("prophet_router_shard_last_probe_ms_ago", "gauge");
+        for shard in &self.shards {
+            let addr = shard.addr().to_string();
+            if let Some(ms) = shard.health().last_probe_ms_ago() {
+                e.sample(
+                    "prophet_router_shard_last_probe_ms_ago",
+                    &[("shard", &addr)],
+                    ms,
+                );
+            }
+        }
+        // Per-shard re-exposition: the same families the shards serve,
+        // with the shard's address as an extra label.
+        e.family("prophet_requests_total", "counter");
+        for_each_endpoint(&docs, |addr, name, section| {
+            e.sample(
+                "prophet_requests_total",
+                &[("shard", addr), ("endpoint", name)],
+                counter(section, &["requests"]),
+            );
+        });
+        e.family("prophet_request_errors_total", "counter");
+        for_each_endpoint(&docs, |addr, name, section| {
+            e.sample(
+                "prophet_request_errors_total",
+                &[("shard", addr), ("endpoint", name)],
+                counter(section, &["errors"]),
+            );
+        });
+        e.family("prophet_request_duration_seconds", "histogram");
+        for_each_endpoint(&docs, |addr, name, section| {
+            if let Some((bounds, counts, total)) =
+                section.get("latency").and_then(histogram_from_json)
+            {
+                e.histogram(
+                    "prophet_request_duration_seconds",
+                    &[("shard", addr), ("endpoint", name)],
+                    &bounds,
+                    &counts,
+                    total,
+                );
+            }
+        });
+        e.family("prophet_phase_duration_seconds", "histogram");
+        for (addr, doc) in &docs {
+            let Some(Json::Object(phases)) = doc.as_ref().and_then(|d| d.get("phases")) else {
+                continue;
+            };
+            for (phase, section) in phases {
+                if let Some((bounds, counts, total)) = histogram_from_json(section) {
+                    e.histogram(
+                        "prophet_phase_duration_seconds",
+                        &[("shard", addr), ("phase", phase)],
+                        &bounds,
+                        &counts,
+                        total,
+                    );
+                }
+            }
+        }
+        Response::prometheus(e.finish())
+    }
+
     /// `GET /v1/shards`: the router's live view of its fleet.
     fn shards_json(&self) -> Response {
         let shards: Vec<Json> = self
             .shards
             .iter()
-            .map(|shard| {
-                Json::object([
-                    ("addr", Json::from(shard.addr().to_string())),
-                    ("healthy", Json::from(shard.health().is_healthy())),
-                    ("downs", Json::from(shard.health().downs())),
-                    ("probes", Json::from(shard.health().probes())),
-                ])
-            })
+            .map(|shard| Json::Object(shard_entry(shard)))
             .collect();
         Response::json(
             200,
@@ -352,6 +491,42 @@ impl FleetTotals {
     }
 }
 
+/// One shard's health entry, shared by `GET /v1/shards` and the
+/// per-shard sections of the aggregated metrics document.
+fn shard_entry(shard: &Shard) -> Vec<(String, Json)> {
+    let health = shard.health();
+    vec![
+        ("addr".to_string(), Json::from(shard.addr().to_string())),
+        ("healthy".to_string(), Json::from(health.is_healthy())),
+        ("downs".to_string(), Json::from(health.downs())),
+        ("probes".to_string(), Json::from(health.probes())),
+        (
+            "last_probe_ms_ago".to_string(),
+            health.last_probe_ms_ago().map_or(Json::Null, Json::from),
+        ),
+        (
+            "consecutive_failures".to_string(),
+            Json::from(health.consecutive_failures()),
+        ),
+    ]
+}
+
+/// Visit every `(shard addr, endpoint name, endpoint section)` of the
+/// fetched shard metrics documents, skipping unreachable shards.
+fn for_each_endpoint<'a>(
+    docs: &'a [(String, Option<Json>)],
+    mut visit: impl FnMut(&'a str, &'a str, &'a Json),
+) {
+    for (addr, doc) in docs {
+        let Some(Json::Object(endpoints)) = doc.as_ref().and_then(|d| d.get("endpoints")) else {
+            continue;
+        };
+        for (name, section) in endpoints {
+            visit(addr, name, section);
+        }
+    }
+}
+
 /// An error response: status + `{"error": message}` body (the same
 /// shape the shards answer with, so clients see one error format).
 fn error_response(status: u16, message: impl Into<String>) -> Response {
@@ -368,7 +543,7 @@ impl Handler for RouterState {
                 self.forward_by_key(req)
             }
             ("GET", "/v1/models") => self.forward_any(req),
-            ("GET", "/v1/metrics") => self.aggregate_metrics(),
+            ("GET", "/v1/metrics") => self.aggregate_metrics(req),
             ("GET", "/v1/shards") => self.shards_json(),
             ("POST", "/v1/shutdown") => {
                 if let Some(expected) = &self.token {

@@ -26,6 +26,11 @@ pub struct HealthState {
     downs: AtomicU64,
     /// Probes issued against this shard.
     probes: AtomicU64,
+    /// When the last probe was issued, as millis since `born`
+    /// (`u64::MAX` = never probed).
+    last_probe_ms: AtomicU64,
+    /// The epoch `last_probe_ms` counts from.
+    born: Instant,
     backoff: Mutex<Backoff>,
 }
 
@@ -43,6 +48,8 @@ impl Default for HealthState {
             healthy: AtomicBool::new(true),
             downs: AtomicU64::new(0),
             probes: AtomicU64::new(0),
+            last_probe_ms: AtomicU64::new(u64::MAX),
+            born: Instant::now(),
             backoff: Mutex::new(Backoff {
                 failures: 0,
                 next_probe: Instant::now(),
@@ -103,9 +110,35 @@ impl HealthState {
         now >= self.backoff.lock().expect("health backoff lock").next_probe
     }
 
-    /// Count one issued probe.
+    /// Count one issued probe, stamping its time.
     pub fn count_probe(&self) {
         self.probes.fetch_add(1, Ordering::Relaxed);
+        self.last_probe_ms
+            .store(self.elapsed_ms(), Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the most recent probe of this shard, `None`
+    /// before the first probe. An operator reading `/v1/shards` uses
+    /// this to tell "believed healthy, verified moments ago" from
+    /// "believed healthy, but the prober has stalled".
+    pub fn last_probe_ms_ago(&self) -> Option<u64> {
+        let at = self.last_probe_ms.load(Ordering::Relaxed);
+        if at == u64::MAX {
+            return None;
+        }
+        Some(self.elapsed_ms().saturating_sub(at))
+    }
+
+    /// Consecutive transport failures since the last success. Read off
+    /// the metrics path only, so the mutex is fine.
+    pub fn consecutive_failures(&self) -> u64 {
+        u64::from(self.backoff.lock().expect("health backoff lock").failures)
+    }
+
+    /// Millis since `born`, saturating shy of the never-probed sentinel.
+    fn elapsed_ms(&self) -> u64 {
+        let ms = self.born.elapsed().as_millis();
+        u64::try_from(ms).unwrap_or(u64::MAX - 1).min(u64::MAX - 1)
     }
 }
 
@@ -150,5 +183,19 @@ mod tests {
     fn healthy_shards_are_always_due() {
         let h = HealthState::default();
         assert!(h.probe_due(Instant::now()));
+    }
+
+    #[test]
+    fn probe_age_and_consecutive_failures_are_observable() {
+        let h = HealthState::default();
+        assert_eq!(h.last_probe_ms_ago(), None, "never probed yet");
+        assert_eq!(h.consecutive_failures(), 0);
+        h.count_probe();
+        assert!(h.last_probe_ms_ago().is_some());
+        h.mark_down(Duration::from_millis(10));
+        h.mark_down(Duration::from_millis(10));
+        assert_eq!(h.consecutive_failures(), 2);
+        h.mark_up();
+        assert_eq!(h.consecutive_failures(), 0, "success resets the streak");
     }
 }

@@ -484,6 +484,129 @@ mod tests {
     }
 
     #[test]
+    fn trace_ids_flow_through_to_the_owning_shard() {
+        let a = shard();
+        let router = router(vec![a.addr()]);
+        let raw = client::Connection::connect(router.addr())
+            .unwrap()
+            .send(
+                "POST",
+                "/v1/estimate",
+                Some(&estimate_body("sample").encode()),
+                &[("x-prophet-trace", "t-router-1")],
+            )
+            .unwrap();
+        assert_eq!(raw.status, 200, "{}", raw.body);
+        assert_eq!(
+            raw.trace.as_deref(),
+            Some("t-router-1"),
+            "the router must echo the client's trace ID"
+        );
+        // The shard saw the same trace: its journal carries the entry.
+        let journal = client::get(a.addr(), "/v1/requests").unwrap().body;
+        let rows = journal.get("requests").unwrap().as_array().unwrap();
+        assert!(
+            rows.iter()
+                .any(|r| r.get("trace_id").unwrap().as_str() == Some("t-router-1")),
+            "shard journal must hold the propagated trace: {journal}"
+        );
+        router.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
+    fn fleet_prometheus_exposition_covers_every_shard() {
+        let (a, b) = (shard(), shard());
+        let router = router(vec![a.addr(), b.addr()]);
+        let r = client::post(router.addr(), "/v1/estimate", &estimate_body("sample")).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let raw = client::Connection::connect(router.addr())
+            .unwrap()
+            .send("GET", "/v1/metrics?format=prometheus", None, &[])
+            .unwrap();
+        assert_eq!(raw.status, 200, "{}", raw.body);
+        for addr in [a.addr(), b.addr()] {
+            assert!(
+                raw.body.contains(&format!(
+                    "prophet_router_shard_healthy{{shard=\"{addr}\"}} 1"
+                )),
+                "{}",
+                raw.body
+            );
+            assert!(
+                raw.body.contains(&format!(
+                    "prophet_requests_total{{shard=\"{addr}\",endpoint=\"estimate\"}}"
+                )),
+                "{}",
+                raw.body
+            );
+        }
+        assert!(
+            raw.body
+                .contains("# TYPE prophet_request_duration_seconds histogram"),
+            "{}",
+            raw.body
+        );
+        assert!(
+            raw.body
+                .contains("prophet_router_requests_total{endpoint=\"estimate\"} 1"),
+            "{}",
+            raw.body
+        );
+        // Exactly one shard served the estimate; the fleet total is 1.
+        let estimates: u64 = [a.addr(), b.addr()]
+            .iter()
+            .map(|&addr| {
+                let line =
+                    format!("prophet_requests_total{{shard=\"{addr}\",endpoint=\"estimate\"}} ");
+                raw.body
+                    .lines()
+                    .find_map(|l| l.strip_prefix(line.as_str()))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(estimates, 1, "{}", raw.body);
+        // Unknown formats bounce with the shard's wording.
+        let bad = client::Connection::connect(router.addr())
+            .unwrap()
+            .send("GET", "/v1/metrics?format=xml", None, &[])
+            .unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shard_entries_report_probe_age_and_failure_streak() {
+        let a = shard();
+        let router = router(vec![a.addr()]);
+        // Wait out the prober's first sweep so the age field is live.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let entry = loop {
+            let shards = client::get(router.addr(), "/v1/shards").unwrap().body;
+            let entry = shards.get("shards").unwrap().as_array().unwrap()[0].clone();
+            if entry.get("probes").unwrap().as_f64() >= Some(1.0) {
+                break entry;
+            }
+            assert!(Instant::now() < deadline, "prober never swept: {shards}");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(
+            entry.get("last_probe_ms_ago").unwrap().as_f64().is_some(),
+            "a probed shard reports its probe age: {entry}"
+        );
+        assert_eq!(
+            entry.get("consecutive_failures").unwrap().as_f64(),
+            Some(0.0),
+            "{entry}"
+        );
+        router.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
     fn models_and_unknown_routes_behave() {
         let a = shard();
         let router = router(vec![a.addr()]);

@@ -9,7 +9,12 @@
 //! | `POST /v1/optimize` | `+ objective/deadline/max_cost/...` | the Pareto frontier of an inverse query |
 //! | `GET /v1/models` | — | bundled demo workloads, by name |
 //! | `GET /v1/metrics` | — | request/latency/pool/elab/store counters |
+//! | `GET /v1/requests` | — | recent-request span journal (trace IDs) |
 //! | `POST /v1/shutdown` | — | acknowledges, then drains the server |
+//!
+//! `GET /v1/metrics?format=prometheus` answers the same counters as
+//! text exposition; every request is measured into per-phase spans and
+//! journaled under its trace ID (see `docs/OBSERVABILITY.md`).
 //!
 //! Models are passed either inline (`"model": "<xml...>"`) or by bundled
 //! name (`"model_name": "jacobi"`); both resolve to the same content
@@ -18,8 +23,10 @@
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{self, Metrics};
 use crate::pool::SessionPool;
+use crate::prometheus::Exposition;
+use crate::spans::{Phase, SpanRecorder, SpanSet, PHASE_NAMES};
 use prophet_check::{check_model, McfConfig, Severity};
 use prophet_core::{render_chain_inline, Backend, Scenario, Session, SweepConfig, SweepPoint};
 use prophet_machine::SystemParams;
@@ -35,6 +42,17 @@ pub struct AppState {
     pub pool: SessionPool,
     /// Request counters and latency histograms.
     pub metrics: Metrics,
+    /// Per-request phase spans: the `GET /v1/requests` ring journal
+    /// plus the aggregated per-phase histograms of `/v1/metrics`.
+    pub spans: SpanRecorder,
+    /// Lifetime counter baseline loaded from the store's metrics
+    /// checkpoint at boot (empty without `--store`): the `lifetime`
+    /// section of `/v1/metrics` reports baseline + since-boot, so
+    /// monotone counters survive a restart.
+    pub baseline: Vec<(String, u64)>,
+    /// Metrics checkpoints written this boot (by the checkpoint thread
+    /// `server::serve` runs when a store is attached).
+    pub checkpoints: std::sync::atomic::AtomicU64,
     /// Operator bearer token guarding `POST /v1/shutdown`; `None`
     /// leaves the endpoint open (single-operator dev setups).
     pub shutdown_token: Option<String>,
@@ -46,9 +64,23 @@ impl AppState {
     pub fn with_pool(pool: SessionPool) -> Self {
         Self {
             pool,
-            metrics: Metrics::default(),
-            shutdown_token: None,
+            ..Self::default()
         }
+    }
+
+    /// Since-boot counters merged with the boot-time baseline: the
+    /// lifetime values `/v1/metrics` reports and the checkpoint thread
+    /// persists. Checkpoints store *lifetime* values, so counters stay
+    /// monotone across any number of restarts.
+    pub fn lifetime_counters(&self) -> Vec<(String, u64)> {
+        let mut out = self.metrics.flat_counters();
+        for (name, value) in &self.baseline {
+            match out.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = v.saturating_add(*value),
+                None => out.push((name.clone(), *value)),
+            }
+        }
+        out
     }
 }
 
@@ -115,14 +147,31 @@ fn error_response(status: u16, message: impl Into<String>) -> Response {
 
 /// Route one request. The bool is the shutdown signal: `true` after a
 /// `POST /v1/shutdown` has been acknowledged.
+///
+/// Every request — including errors and 404s — leaves a span-set entry
+/// in the journal under its trace ID, recorded after the response is
+/// built so the entry carries the final status and total time.
 pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
+    let mut spans = SpanSet::start();
+    let (response, stop) = route(state, req, &mut spans);
+    state.spans.record(
+        &req.trace,
+        metrics::endpoint_index(&req.method, &req.path),
+        response.status,
+        &spans,
+    );
+    (response, stop)
+}
+
+fn route(state: &AppState, req: &Request, spans: &mut SpanSet) -> (Response, bool) {
     let response = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/check") => handle_check(req),
-        ("POST", "/v1/estimate") => handle_estimate(state, req),
-        ("POST", "/v1/sweep") => handle_sweep(state, req),
-        ("POST", "/v1/optimize") => handle_optimize(state, req),
+        ("POST", "/v1/check") => handle_check(req, spans),
+        ("POST", "/v1/estimate") => handle_estimate(state, req, spans),
+        ("POST", "/v1/sweep") => handle_sweep(state, req, spans),
+        ("POST", "/v1/optimize") => handle_optimize(state, req, spans),
         ("GET", "/v1/models") => handle_models(),
-        ("GET", "/v1/metrics") => handle_metrics(state),
+        ("GET", "/v1/metrics") => handle_metrics(state, req),
+        ("GET", "/v1/requests") => handle_requests(state),
         ("POST", "/v1/shutdown") => {
             // Shutdown is operator-only when a token is configured: the
             // prediction endpoints stay open, but draining the fleet
@@ -141,7 +190,7 @@ pub fn handle(state: &AppState, req: &Request) -> (Response, bool) {
         (
             _,
             "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/optimize" | "/v1/models"
-            | "/v1/metrics" | "/v1/shutdown",
+            | "/v1/metrics" | "/v1/requests" | "/v1/shutdown",
         ) => error_response(405, format!("{} not allowed here", req.method)),
         _ => error_response(404, format!("no such endpoint `{}`", req.path)),
     };
@@ -294,17 +343,38 @@ fn resolve_backend(body: &Json) -> Result<Backend, Response> {
     }
 }
 
-/// The pooled session for a request body's model/MCF.
-fn resolve_session(state: &AppState, body: &Json) -> Result<(Arc<Session>, bool), Response> {
+/// The pooled session for a request body's model/MCF, attributing the
+/// checkout's time to the pool / store-load / compile spans: the pool
+/// checkout reports how long it spent on disk and compiling, and the
+/// remainder of the wall time (key hashing, lock waits, blocking on
+/// another thread's in-flight compile) is pool time.
+fn resolve_session(
+    state: &AppState,
+    body: &Json,
+    spans: &mut SpanSet,
+) -> Result<(Arc<Session>, bool), Response> {
     let model = resolve_model(body)?;
     let mcf = resolve_mcf(body)?;
-    state
-        .pool
-        .checkout(&model, &mcf)
+    let start = std::time::Instant::now();
+    let result = state.pool.checkout_timed(&model, &mcf);
+    let total_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let timing = match &result {
+        Ok((_, _, timing)) => *timing,
+        Err(_) => Default::default(),
+    };
+    spans.add_us(Phase::StoreLoad, timing.store_us);
+    spans.add_us(Phase::Compile, timing.compile_us);
+    spans.add_us(
+        Phase::Pool,
+        total_us.saturating_sub(timing.store_us + timing.compile_us),
+    );
+    spans.resync();
+    result
+        .map(|(session, reused, _)| (session, reused))
         .map_err(|chain| error_response(422, chain))
 }
 
-fn handle_check(req: &Request) -> Response {
+fn handle_check(req: &Request, spans: &mut SpanSet) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
@@ -313,6 +383,7 @@ fn handle_check(req: &Request) -> Response {
         Ok(pair) => pair,
         Err(r) => return r,
     };
+    spans.mark(Phase::Parse);
     // The check endpoint reports *all* findings, warnings included, so
     // it runs the checker directly instead of compiling a session
     // (which would drop warnings on failing models).
@@ -335,16 +406,16 @@ fn handle_check(req: &Request) -> Response {
             ])
         })
         .collect();
-    Response::json(
-        200,
-        Json::object([
-            ("model", Json::from(model.name.as_str())),
-            ("ok", Json::from(errors == 0)),
-            ("errors", Json::from(errors)),
-            ("diagnostics", Json::Array(items)),
-        ])
-        .encode(),
-    )
+    spans.mark(Phase::Evaluate);
+    let encoded = Json::object([
+        ("model", Json::from(model.name.as_str())),
+        ("ok", Json::from(errors == 0)),
+        ("errors", Json::from(errors)),
+        ("diagnostics", Json::Array(items)),
+    ])
+    .encode();
+    spans.mark(Phase::Encode);
+    Response::json(200, encoded)
 }
 
 fn sp_json(sp: SystemParams) -> Json {
@@ -365,16 +436,12 @@ fn elab_json(session: &Session) -> Json {
     ])
 }
 
-fn handle_estimate(state: &AppState, req: &Request) -> Response {
+fn handle_estimate(state: &AppState, req: &Request, spans: &mut SpanSet) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
     };
     let (sp, backend) = match resolve_sp(&body).and_then(|sp| Ok((sp, resolve_backend(&body)?))) {
-        Ok(pair) => pair,
-        Err(r) => return r,
-    };
-    let (session, reused) = match resolve_session(state, &body) {
         Ok(pair) => pair,
         Err(r) => return r,
     };
@@ -385,10 +452,22 @@ fn handle_estimate(state: &AppState, req: &Request) -> Response {
             None => return error_response(400, "`seed` must be a non-negative integer"),
         }
     }
+    spans.mark(Phase::Parse);
+    let (session, reused) = match resolve_session(state, &body, spans) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let elab_before = session.elab_stats();
     let evaluation = match session.evaluate(&scenario) {
         Ok(e) => e,
         Err(e) => return error_response(422, render_chain_inline(&e)),
     };
+    let elab_after = session.elab_stats();
+    spans.set_elab(
+        elab_after.hits.saturating_sub(elab_before.hits),
+        elab_after.misses.saturating_sub(elab_before.misses),
+    );
+    spans.mark(Phase::Evaluate);
     // A model can evaluate "successfully" to inf/NaN (e.g. an
     // overflowing cost expression). The JSON encoder would render that
     // as `"predicted_time": null` inside a 200 — a silent lie. Fail
@@ -405,25 +484,24 @@ fn handle_estimate(state: &AppState, req: &Request) -> Response {
             ),
         );
     }
-    Response::json(
-        200,
-        Json::object([
-            ("model", Json::from(session.program().name.as_str())),
-            ("backend", Json::from(backend.to_string())),
-            ("predicted_time", Json::from(evaluation.predicted_time)),
-            (
-                "events_processed",
-                Json::from(evaluation.report.events_processed as u64),
-            ),
-            ("sp", sp_json(sp)),
-            ("session", Json::object([("reused", Json::from(reused))])),
-            ("elab", elab_json(&session)),
-        ])
-        .encode(),
-    )
+    let encoded = Json::object([
+        ("model", Json::from(session.program().name.as_str())),
+        ("backend", Json::from(backend.to_string())),
+        ("predicted_time", Json::from(evaluation.predicted_time)),
+        (
+            "events_processed",
+            Json::from(evaluation.report.events_processed as u64),
+        ),
+        ("sp", sp_json(sp)),
+        ("session", Json::object([("reused", Json::from(reused))])),
+        ("elab", elab_json(&session)),
+    ])
+    .encode();
+    spans.mark(Phase::Encode);
+    Response::json(200, encoded)
 }
 
-fn handle_sweep(state: &AppState, req: &Request) -> Response {
+fn handle_sweep(state: &AppState, req: &Request, spans: &mut SpanSet) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
@@ -451,7 +529,8 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
             sp: SystemParams::flat_mpi(n, cpus),
         })
         .collect();
-    let (session, reused) = match resolve_session(state, &body) {
+    spans.mark(Phase::Parse);
+    let (session, reused) = match resolve_session(state, &body, spans) {
         Ok(pair) => pair,
         Err(r) => return r,
     };
@@ -460,7 +539,14 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
         backend,
         ..Default::default()
     };
+    let elab_before = session.elab_stats();
     let report = session.sweep_with(&points, &config, |_, _| {});
+    let elab_after = session.elab_stats();
+    spans.set_elab(
+        elab_after.hits.saturating_sub(elab_before.hits),
+        elab_after.misses.saturating_sub(elab_before.misses),
+    );
+    spans.mark(Phase::Evaluate);
     // Same guard as estimate: an Ok(inf/NaN) point must not reach the
     // encoder as a null time (and would poison every speedup column).
     if let Some(p) = report
@@ -499,21 +585,20 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
             Json::Object(row)
         })
         .collect();
-    Response::json(
-        200,
-        Json::object([
-            ("model", Json::from(session.program().name.as_str())),
-            ("backend", Json::from(backend.to_string())),
-            ("failures", Json::from(report.failures())),
-            ("points", Json::Array(rows)),
-            ("session", Json::object([("reused", Json::from(reused))])),
-            ("elab", elab_json(&session)),
-        ])
-        .encode(),
-    )
+    let encoded = Json::object([
+        ("model", Json::from(session.program().name.as_str())),
+        ("backend", Json::from(backend.to_string())),
+        ("failures", Json::from(report.failures())),
+        ("points", Json::Array(rows)),
+        ("session", Json::object([("reused", Json::from(reused))])),
+        ("elab", elab_json(&session)),
+    ])
+    .encode();
+    spans.mark(Phase::Encode);
+    Response::json(200, encoded)
 }
 
-fn handle_optimize(state: &AppState, req: &Request) -> Response {
+fn handle_optimize(state: &AppState, req: &Request, spans: &mut SpanSet) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(r) => return r,
@@ -594,10 +679,12 @@ fn handle_optimize(state: &AppState, req: &Request) -> Response {
         Ok(r) => r,
         Err(e) => return error_response(400, e.to_string()),
     };
-    let (session, reused) = match resolve_session(state, &body) {
+    spans.mark(Phase::Parse);
+    let (session, reused) = match resolve_session(state, &body, spans) {
         Ok(pair) => pair,
         Err(r) => return r,
     };
+    let elab_before = session.elab_stats();
     let report = match session.optimize(&oreq) {
         Ok(r) => r,
         Err(OptError::Request(msg)) => {
@@ -608,6 +695,12 @@ fn handle_optimize(state: &AppState, req: &Request) -> Response {
         }
         Err(e) => return error_response(422, render_chain_inline(&e)),
     };
+    let elab_after = session.elab_stats();
+    spans.set_elab(
+        elab_after.hits.saturating_sub(elab_before.hits),
+        elab_after.misses.saturating_sub(elab_before.misses),
+    );
+    spans.mark(Phase::Evaluate);
     let frontier: Vec<Json> = report
         .frontier
         .iter()
@@ -634,30 +727,29 @@ fn handle_optimize(state: &AppState, req: &Request) -> Response {
         Some((sp, time)) => Json::object([("sp", sp_json(*sp)), ("time", Json::from(*time))]),
         None => Json::Null,
     };
-    Response::json(
-        200,
-        Json::object([
-            ("model", Json::from(session.program().name.as_str())),
-            ("backend", Json::from(report.backend.to_string())),
-            ("objective", Json::from(report.objective.to_string())),
-            ("frontier", Json::Array(frontier)),
-            ("best", best),
-            ("baseline", baseline),
-            (
-                "search",
-                Json::object([
-                    ("oracle_evals", Json::from(report.oracle_evals)),
-                    ("grid_size", Json::from(report.grid_size)),
-                    ("cells_skipped", Json::from(report.cells_skipped)),
-                    ("cells_refined", Json::from(report.cells_refined)),
-                    ("verifier_evals", Json::from(report.verifier_evals)),
-                ]),
-            ),
-            ("session", Json::object([("reused", Json::from(reused))])),
-            ("elab", elab_json(&session)),
-        ])
-        .encode(),
-    )
+    let encoded = Json::object([
+        ("model", Json::from(session.program().name.as_str())),
+        ("backend", Json::from(report.backend.to_string())),
+        ("objective", Json::from(report.objective.to_string())),
+        ("frontier", Json::Array(frontier)),
+        ("best", best),
+        ("baseline", baseline),
+        (
+            "search",
+            Json::object([
+                ("oracle_evals", Json::from(report.oracle_evals)),
+                ("grid_size", Json::from(report.grid_size)),
+                ("cells_skipped", Json::from(report.cells_skipped)),
+                ("cells_refined", Json::from(report.cells_refined)),
+                ("verifier_evals", Json::from(report.verifier_evals)),
+            ]),
+        ),
+        ("session", Json::object([("reused", Json::from(reused))])),
+        ("elab", elab_json(&session)),
+    ])
+    .encode();
+    spans.mark(Phase::Encode);
+    Response::json(200, encoded)
 }
 
 fn handle_models() -> Response {
@@ -673,11 +765,26 @@ fn handle_models() -> Response {
     Response::json(200, Json::object([("models", Json::Array(items))]).encode())
 }
 
-fn handle_metrics(state: &AppState) -> Response {
+fn handle_metrics(state: &AppState, req: &Request) -> Response {
+    match req.query_param("format") {
+        Some("prometheus") => return Response::prometheus(render_prometheus(state)),
+        None | Some("json") => {}
+        Some(other) => {
+            return error_response(
+                400,
+                format!("unknown metrics format `{other}`; use `json` or `prometheus`"),
+            )
+        }
+    }
     let pool = state.pool.stats();
     let elab = state.pool.elab_stats();
     let mut members = vec![
         ("endpoints".to_string(), state.metrics.to_json()),
+        ("phases".to_string(), state.spans.phases_json()),
+        (
+            "journal".to_string(),
+            Json::object([("recorded", Json::from(state.spans.recorded()))]),
+        ),
         (
             "session_pool".to_string(),
             Json::object([
@@ -710,7 +817,142 @@ fn handle_metrics(state: &AppState) -> Response {
             ]),
         ));
     }
+    // Lifetime counters: boot-time checkpoint baseline + since-boot.
+    // Always present — without a store the baseline is empty and the
+    // values coincide with the since-boot `endpoints` section.
+    members.push((
+        "lifetime".to_string(),
+        Json::object([
+            (
+                "checkpoints",
+                Json::from(state.checkpoints.load(std::sync::atomic::Ordering::Relaxed)),
+            ),
+            (
+                "counters",
+                Json::Object(
+                    state
+                        .lifetime_counters()
+                        .into_iter()
+                        .map(|(name, value)| (name, Json::from(value)))
+                        .collect(),
+                ),
+            ),
+        ]),
+    ));
     Response::json(200, Json::Object(members).encode())
+}
+
+fn handle_requests(state: &AppState) -> Response {
+    Response::json(200, state.spans.journal_json().encode())
+}
+
+/// The `?format=prometheus` rendering of everything `/v1/metrics`
+/// reports: per-endpoint counters, latency histograms and quantile
+/// gauges, per-phase histograms, pool/elab/store counters, and the
+/// restart-surviving lifetime counters.
+fn render_prometheus(state: &AppState) -> String {
+    let mut e = Exposition::new();
+    e.family("prophet_requests_total", "counter");
+    for (i, name) in metrics::ENDPOINT_NAMES.iter().enumerate() {
+        e.sample(
+            "prophet_requests_total",
+            &[("endpoint", name)],
+            state.metrics.by_index(i).requests(),
+        );
+    }
+    e.family("prophet_request_errors_total", "counter");
+    for (i, name) in metrics::ENDPOINT_NAMES.iter().enumerate() {
+        e.sample(
+            "prophet_request_errors_total",
+            &[("endpoint", name)],
+            state.metrics.by_index(i).errors(),
+        );
+    }
+    e.family("prophet_request_duration_seconds", "histogram");
+    for (i, name) in metrics::ENDPOINT_NAMES.iter().enumerate() {
+        e.histogram_snapshot(
+            "prophet_request_duration_seconds",
+            &[("endpoint", name)],
+            &state.metrics.by_index(i).latency_snapshot(),
+        );
+    }
+    e.family("prophet_request_duration_quantile_seconds", "gauge");
+    for (i, name) in metrics::ENDPOINT_NAMES.iter().enumerate() {
+        e.quantiles(
+            "prophet_request_duration_quantile_seconds",
+            &[("endpoint", name)],
+            &state.metrics.by_index(i).latency_snapshot(),
+        );
+    }
+    e.family("prophet_phase_duration_seconds", "histogram");
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        e.histogram_snapshot(
+            "prophet_phase_duration_seconds",
+            &[("phase", name)],
+            &state.spans.phase_snapshot(i),
+        );
+    }
+    e.family("prophet_journal_recorded_total", "counter");
+    e.sample(
+        "prophet_journal_recorded_total",
+        &[],
+        state.spans.recorded(),
+    );
+
+    let pool = state.pool.stats();
+    e.family("prophet_session_pool_size", "gauge");
+    e.sample("prophet_session_pool_size", &[], pool.size as u64);
+    for (name, value) in [
+        ("prophet_session_pool_compiles_total", pool.compiles),
+        ("prophet_session_pool_reuses_total", pool.reuses),
+        ("prophet_session_pool_bypasses_total", pool.bypasses),
+    ] {
+        e.family(name, "counter");
+        e.sample(name, &[], value);
+    }
+    let elab = state.pool.elab_stats();
+    for (name, value) in [
+        ("prophet_elab_hits_total", elab.hits),
+        ("prophet_elab_misses_total", elab.misses),
+        ("prophet_elab_bypasses_total", elab.bypasses),
+    ] {
+        e.family(name, "counter");
+        e.sample(name, &[], value);
+    }
+    if let Some(store) = state.pool.store_stats() {
+        for (name, value) in [
+            ("prophet_store_disk_hits_total", store.disk_hits),
+            ("prophet_store_disk_misses_total", store.disk_misses),
+            ("prophet_store_writes_total", store.writes),
+            ("prophet_store_write_errors_total", store.write_errors),
+            ("prophet_store_evictions_total", store.evictions),
+        ] {
+            e.family(name, "counter");
+            e.sample(name, &[], value);
+        }
+    }
+    e.family("prophet_metrics_checkpoints_total", "counter");
+    e.sample(
+        "prophet_metrics_checkpoints_total",
+        &[],
+        state.checkpoints.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    e.family("prophet_requests_lifetime_total", "counter");
+    for (name, value) in state.lifetime_counters() {
+        // Checkpoint names are `endpoints.<name>.requests` /
+        // `.errors`; expose the request counters, labelled by endpoint.
+        if let Some(endpoint) = name
+            .strip_prefix("endpoints.")
+            .and_then(|rest| rest.strip_suffix(".requests"))
+        {
+            e.sample(
+                "prophet_requests_lifetime_total",
+                &[("endpoint", endpoint)],
+                value,
+            );
+        }
+    }
+    e.finish()
 }
 
 #[cfg(test)]
@@ -721,9 +963,11 @@ mod tests {
         Request {
             method: "POST".into(),
             path: path.into(),
+            query: String::new(),
             headers: Vec::new(),
             body: body.into(),
             keep_alive: true,
+            trace: "t-test".into(),
         }
     }
 
@@ -731,9 +975,11 @@ mod tests {
         Request {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             headers: Vec::new(),
             body: String::new(),
             keep_alive: true,
+            trace: "t-test".into(),
         }
     }
 
@@ -1127,8 +1373,152 @@ mod tests {
         assert_eq!(r.status, 404);
         let (r, _) = handle(&state, &get("/v1/estimate"));
         assert_eq!(r.status, 405);
+        let (r, _) = handle(&state, &post("/v1/requests", ""));
+        assert_eq!(r.status, 405);
         let (r, shutdown) = handle(&state, &post("/v1/shutdown", ""));
         assert_eq!(r.status, 200);
         assert!(shutdown);
+    }
+
+    #[test]
+    fn journal_records_every_request_with_phase_spans() {
+        let state = AppState::default();
+        let mut req = post("/v1/estimate", r#"{"model_name":"sample","nodes":2}"#);
+        req.trace = "t-journal-1".into();
+        let (r, _) = handle(&state, &req);
+        assert_eq!(r.status, 200, "{}", r.body);
+
+        let (r, _) = handle(&state, &get("/v1/requests"));
+        assert_eq!(r.status, 200);
+        let journal = body_of(&r);
+        assert_eq!(journal.get("recorded").unwrap().as_f64(), Some(1.0));
+        let rows = journal.get("requests").unwrap().as_array().unwrap();
+        let row = &rows[0];
+        assert_eq!(row.get("trace_id").unwrap().as_str(), Some("t-journal-1"));
+        assert_eq!(row.get("endpoint").unwrap().as_str(), Some("estimate"));
+        assert_eq!(row.get("status").unwrap().as_f64(), Some(200.0));
+        assert!(row.get("total_us").unwrap().as_f64().unwrap() > 0.0);
+        let phases = row.get("phases").unwrap();
+        for name in PHASE_NAMES {
+            assert!(phases.get(name).is_some(), "{name}");
+        }
+        // A cold estimate compiled: the compile span is measurable.
+        assert!(
+            phases.get("compile").unwrap().as_f64().unwrap() > 0.0,
+            "{phases}"
+        );
+        // One SP point, first evaluation: one elab miss, zero hits.
+        let elab = row.get("elab").unwrap();
+        assert_eq!(elab.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(elab.get("hits").unwrap().as_f64(), Some(0.0));
+
+        // Errors are journaled too, under their own trace and status.
+        let mut bad = post("/v1/estimate", "not json");
+        bad.trace = "t-journal-2".into();
+        handle(&state, &bad);
+        let (r, _) = handle(&state, &get("/v1/requests"));
+        let rows = body_of(&r);
+        let rows = rows.get("requests").unwrap().as_array().unwrap();
+        // Newest first: the 400, then the journal GET, then the 200.
+        assert_eq!(rows[0].get("status").unwrap().as_f64(), Some(400.0));
+        assert_eq!(
+            rows[0].get("trace_id").unwrap().as_str(),
+            Some("t-journal-2")
+        );
+        assert_eq!(rows[1].get("endpoint").unwrap().as_str(), Some("requests"));
+
+        // The aggregated phase histograms saw the compile too.
+        let (r, _) = handle(&state, &get("/v1/metrics"));
+        let metrics = body_of(&r);
+        let compile = metrics.get("phases").unwrap().get("compile").unwrap();
+        assert!(compile.get("observations").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(metrics.get("journal").unwrap().get("recorded").is_some());
+    }
+
+    #[test]
+    fn lifetime_counters_merge_the_boot_baseline() {
+        let state = AppState {
+            baseline: vec![
+                ("endpoints.estimate.requests".to_string(), 5),
+                ("endpoints.estimate.errors".to_string(), 2),
+            ],
+            ..AppState::default()
+        };
+        // Live traffic is recorded by the server layer; simulate one
+        // since-boot estimate.
+        state
+            .metrics
+            .endpoint("POST", "/v1/estimate")
+            .record(std::time::Duration::from_micros(40), false);
+        let (r, _) = handle(&state, &get("/v1/metrics"));
+        let body = body_of(&r);
+        let lifetime = body.get("lifetime").unwrap();
+        assert_eq!(lifetime.get("checkpoints").unwrap().as_f64(), Some(0.0));
+        let counters = lifetime.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("endpoints.estimate.requests")
+                .unwrap()
+                .as_f64(),
+            Some(6.0),
+            "baseline 5 + live 1"
+        );
+        assert_eq!(
+            counters.get("endpoints.estimate.errors").unwrap().as_f64(),
+            Some(2.0)
+        );
+        // The since-boot section stays since-boot.
+        let est = body.get("endpoints").unwrap().get("estimate").unwrap();
+        assert_eq!(est.get("requests").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn metrics_render_as_prometheus_text() {
+        let state = AppState::default();
+        let (r, _) = handle(&state, &post("/v1/estimate", r#"{"model_name":"sample"}"#));
+        assert_eq!(r.status, 200, "{}", r.body);
+        state
+            .metrics
+            .endpoint("POST", "/v1/estimate")
+            .record(std::time::Duration::from_micros(40), false);
+
+        let mut req = get("/v1/metrics");
+        req.query = "format=prometheus".into();
+        let (r, _) = handle(&state, &req);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        for needle in [
+            "# TYPE prophet_requests_total counter",
+            "prophet_requests_total{endpoint=\"estimate\"} 1",
+            "# TYPE prophet_request_duration_seconds histogram",
+            "prophet_request_duration_seconds_bucket{endpoint=\"estimate\",le=\"+Inf\"} 1",
+            "# TYPE prophet_phase_duration_seconds histogram",
+            "prophet_phase_duration_seconds_bucket{phase=\"compile\"",
+            "prophet_requests_lifetime_total{endpoint=\"estimate\"} 1",
+            "# TYPE prophet_session_pool_compiles_total counter",
+            "prophet_session_pool_compiles_total 1",
+        ] {
+            assert!(
+                r.body.contains(needle),
+                "missing `{needle}` in:\n{}",
+                r.body
+            );
+        }
+
+        // `?format=json` is the default spelling; anything else is 400.
+        let mut req = get("/v1/metrics");
+        req.query = "format=json".into();
+        let (r, _) = handle(&state, &req);
+        assert_eq!(r.status, 200);
+        let mut req = get("/v1/metrics");
+        req.query = "format=xml".into();
+        let (r, _) = handle(&state, &req);
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(body_of(&r)
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown metrics format"));
     }
 }

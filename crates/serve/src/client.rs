@@ -15,6 +15,8 @@ pub struct ClientResponse {
     pub status: u16,
     /// The response body, parsed as JSON.
     pub body: Json,
+    /// The server's `x-prophet-trace` response header, if present.
+    pub trace: Option<String>,
 }
 
 /// An undecoded response off a [`Connection`]: what a proxy forwards
@@ -27,6 +29,8 @@ pub struct RawResponse {
     pub body: String,
     /// Whether the server will keep the connection open.
     pub keep_alive: bool,
+    /// The server's `x-prophet-trace` response header, if present.
+    pub trace: Option<String>,
 }
 
 /// Longest accepted response head line, mirroring the server's bound.
@@ -209,6 +213,7 @@ impl Connection {
         Ok(ClientResponse {
             status: raw.status,
             body,
+            trace: raw.trace,
         })
     }
 
@@ -261,6 +266,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, Strin
         .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
     let mut length: Option<usize> = None;
     let mut keep_alive = true; // HTTP/1.1 default
+    let mut trace: Option<String> = None;
     loop {
         let line = read_head_line(reader)?;
         if line.is_empty() {
@@ -279,6 +285,8 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, Strin
             );
         } else if name == "connection" {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name == crate::http::TRACE_HEADER {
+            trace = Some(value.to_string());
         }
     }
     let length = length.ok_or("response without content-length")?;
@@ -294,6 +302,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, Strin
         status,
         body,
         keep_alive,
+        trace,
     })
 }
 
@@ -333,8 +342,18 @@ pub fn request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+    let trace = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case(crate::http::TRACE_HEADER)
+            .then(|| value.trim().to_string())
+    });
     let body = json::parse(body).map_err(|e| format!("non-JSON body {body:?}: {e}"))?;
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        body,
+        trace,
+    })
 }
 
 /// [`request`] for `GET` endpoints.

@@ -22,6 +22,8 @@
 //! conformance" section of `docs/API.md`).
 
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Longest accepted request line (method + path + version).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -29,6 +31,10 @@ pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 pub const MAX_HEADERS: usize = 64;
 /// Largest accepted request body (models are small XML documents).
 pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Header carrying the request's trace ID, in both directions.
+pub const TRACE_HEADER: &str = "x-prophet-trace";
+/// Longest accepted client-supplied trace ID.
+pub const MAX_TRACE_LEN: usize = 64;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -37,6 +43,8 @@ pub struct Request {
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Raw query string (after `?`, empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
@@ -45,6 +53,9 @@ pub struct Request {
     /// another request: HTTP/1.1 unless `Connection: close`, HTTP/1.0
     /// only with an explicit `Connection: keep-alive`.
     pub keep_alive: bool,
+    /// Trace ID for this request: the sanitized `X-Prophet-Trace`
+    /// header when the client supplied one, a generated ID otherwise.
+    pub trace: String,
 }
 
 impl Request {
@@ -56,6 +67,41 @@ impl Request {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Value of a `key=value` pair in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A trace ID a client may supply: 1..=64 chars from `[A-Za-z0-9._-]`.
+/// Anything else (control bytes, header-splitting attempts, novels) is
+/// discarded and replaced by a generated ID.
+pub fn valid_trace(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_TRACE_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Generate a process-unique trace ID (`t-<nonce>-<seq>`): a per-boot
+/// random nonce so IDs from different processes don't collide, plus a
+/// monotone per-process sequence number.
+pub fn generate_trace() -> String {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nonce = NONCE.get_or_init(|| {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u64(u64::from(std::process::id()));
+        h.finish()
+    });
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("t-{:08x}-{seq:x}", nonce & 0xffff_ffff)
 }
 
 /// A response ready to serialize.
@@ -67,6 +113,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body text.
     pub body: String,
+    /// Trace ID echoed back as an `x-prophet-trace` header, when set.
+    pub trace: Option<String>,
 }
 
 impl Response {
@@ -76,6 +124,17 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            trace: None,
+        }
+    }
+
+    /// A Prometheus text-exposition (format 0.0.4) response.
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+            trace: None,
         }
     }
 
@@ -92,12 +151,17 @@ impl Response {
         stream: &mut W,
         keep_alive: bool,
     ) -> std::io::Result<()> {
+        let trace_line = match &self.trace {
+            Some(id) => format!("{TRACE_HEADER}: {id}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
+            trace_line,
             if keep_alive { "keep-alive" } else { "close" }
         );
         // One write for head + body: a split write of two small
@@ -163,7 +227,10 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(ParseError::bad(format!("unsupported version `{version}`")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -220,12 +287,25 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, ParseError> {
         _ => !close,
     };
 
+    // A well-formed client-supplied trace ID is adopted verbatim so one
+    // request can be followed across the router into a shard; anything
+    // unusable (or absent) gets a fresh generated ID.
+    let trace = headers
+        .iter()
+        .find(|(n, _)| n == TRACE_HEADER)
+        .map(|(_, v)| v.as_str())
+        .filter(|v| valid_trace(v))
+        .map(String::from)
+        .unwrap_or_else(generate_trace);
+
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         headers,
         body,
         keep_alive,
+        trace,
     })
 }
 
@@ -305,9 +385,49 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/estimate");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, "body");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn trace_header_is_adopted_when_valid_and_replaced_otherwise() {
+        let req = roundtrip("GET / HTTP/1.1\r\nX-Prophet-Trace: t-123\r\n\r\n").unwrap();
+        assert_eq!(req.trace, "t-123");
+        // No header: a generated ID, unique per request.
+        let a = roundtrip("GET / HTTP/1.1\r\n\r\n").unwrap();
+        let b = roundtrip("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(a.trace.starts_with("t-"), "{}", a.trace);
+        assert_ne!(a.trace, b.trace);
+        // Unusable IDs (bad chars, oversized) are replaced, not echoed.
+        for bad in ["has space", "quote\"", &"x".repeat(MAX_TRACE_LEN + 1)] {
+            let req = roundtrip(&format!("GET / HTTP/1.1\r\nX-Prophet-Trace: {bad}\r\n\r\n"));
+            let req = req.unwrap();
+            assert_ne!(req.trace, *bad);
+            assert!(valid_trace(&req.trace), "{}", req.trace);
+        }
+    }
+
+    #[test]
+    fn response_emits_trace_header_when_set() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut resp = Response::json(200, "{}");
+        resp.trace = Some("t-echo".into());
+        resp.write_to(&mut stream).unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.contains("x-prophet-trace: t-echo\r\n"), "{text}");
     }
 
     #[test]

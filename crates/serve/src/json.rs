@@ -20,7 +20,7 @@
 //! `parse(&v.encode())` reproduces `v` exactly for any finite value
 //! (pinned by the round-trip proptest suite).
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Maximum nesting depth the decoder accepts (arrays + objects).
@@ -115,10 +115,19 @@ impl Json {
                 // JSON has no NaN/Infinity literal; encode those as null
                 // (the service never produces them, but the encoder must
                 // not emit unparsable text for any input).
-                if n.is_finite() {
-                    out.push_str(&format!("{n}"));
-                } else {
+                use std::fmt::Write as _;
+                if !n.is_finite() {
                     out.push_str("null");
+                } else if n.trunc() == *n
+                    && n.abs() <= 9_007_199_254_740_992.0
+                    && !(*n == 0.0 && n.is_sign_negative())
+                {
+                    // Counters and histogram buckets dominate the
+                    // service's documents; integer formatting skips
+                    // the float-to-shortest-decimal path entirely.
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
                 }
             }
             Json::String(s) => write_string(s, out),
@@ -331,11 +340,14 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut members = Vec::new();
+        let mut members: Vec<(String, Json)> = Vec::new();
         // Duplicate keys are rejected outright: `get` returns the first
         // match, so accepting duplicates would silently drop members of
-        // attacker-controlled request bodies.
-        let mut seen = BTreeMap::new();
+        // attacker-controlled request bodies. Small objects (the common
+        // case) use a linear scan; past the threshold the keys spill
+        // into a set so a huge adversarial object stays O(n log n).
+        const SEEN_SPILL: usize = 32;
+        let mut seen: BTreeSet<String> = BTreeSet::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -347,7 +359,15 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected string key in object"));
             }
             let key = self.string()?;
-            if seen.insert(key.clone(), ()).is_some() {
+            let duplicate = if members.len() < SEEN_SPILL {
+                members.iter().any(|(k, _)| *k == key)
+            } else {
+                if seen.is_empty() {
+                    seen.extend(members.iter().map(|(k, _)| k.clone()));
+                }
+                !seen.insert(key.clone())
+            };
+            if duplicate {
                 return Err(self.err(format!("duplicate object key `{key}`")));
             }
             self.skip_ws();
@@ -401,12 +421,22 @@ impl<'a> Parser<'a> {
                     return Err(self.err("unescaped control character in string"));
                 }
                 Some(_) => {
-                    // Consume one (already validated) UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the run of plain bytes up to the next
+                    // quote, escape, or control byte. Continuation
+                    // bytes are all >= 0x80, so the run never splits a
+                    // UTF-8 scalar — and validating only the run (not
+                    // the whole remaining input per character) keeps
+                    // parsing linear in document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(run);
                 }
             }
         }
@@ -448,6 +478,7 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
+        let mut integral = true;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -463,6 +494,7 @@ impl<'a> Parser<'a> {
             _ => return Err(self.err("expected digit")),
         }
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             if !matches!(self.peek(), Some(b'0'..=b'9')) {
                 return Err(self.err("expected digit after decimal point"));
@@ -472,6 +504,7 @@ impl<'a> Parser<'a> {
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -484,6 +517,13 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        // Plain integers (the bulk of metrics/journal documents) skip
+        // the decimal-float parser; i64 overflow falls through to it.
+        if integral && text != "-0" {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Number(i as f64));
+            }
+        }
         let n: f64 = text
             .parse()
             .map_err(|_| self.err("unrepresentable number"))?;

@@ -34,6 +34,12 @@
 //! * [`metrics`] — lock-free request counters and latency histograms,
 //!   including the pool/elab counters that let a load test *prove* the
 //!   compile-once contract over the wire,
+//! * [`spans`] — per-request phase spans (parse, pool, store load,
+//!   compile, evaluate, encode) in a lock-free ring journal behind
+//!   `GET /v1/requests`, keyed by the `X-Prophet-Trace` trace ID every
+//!   request carries (see `docs/OBSERVABILITY.md`),
+//! * [`prometheus`] — text-exposition rendering for
+//!   `GET /v1/metrics?format=prometheus`,
 //! * [`client`] — the tiny blocking client the tests, benches and CI
 //!   smoke checks drive the real socket with.
 //!
@@ -73,7 +79,9 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod prometheus;
 pub mod server;
+pub mod spans;
 
 pub use json::Json;
 pub use pool::{PoolStats, SessionPool};

@@ -56,6 +56,21 @@ pub type PoolKey = prophet_core::ArtifactKey;
 /// would be a free denial-of-service lever).
 type Slot = Arc<OnceLock<Result<Arc<Session>, String>>>;
 
+/// Where a [`SessionPool::checkout_timed`] call spent its time, for
+/// the per-request span recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckoutTiming {
+    /// Microseconds spent attempting an artifact-store load (hit or
+    /// miss), zero without a store.
+    pub store_us: u64,
+    /// Microseconds spent compiling, zero on a reuse or disk hit.
+    pub compile_us: u64,
+}
+
+fn elapsed_us(since: std::time::Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
 /// Counter snapshot of a [`SessionPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
@@ -165,6 +180,20 @@ impl SessionPool {
     /// served by an already-pooled session (`true`) or had to compile
     /// (`false`) — the flag `/v1/estimate` echoes back to clients.
     pub fn checkout(&self, model: &Model, mcf: &McfConfig) -> Result<(Arc<Session>, bool), String> {
+        self.checkout_timed(model, mcf)
+            .map(|(session, reused, _)| (session, reused))
+    }
+
+    /// [`SessionPool::checkout`], additionally reporting how long this
+    /// request spent loading from the store and compiling — the span
+    /// recorder's store-load and compile phases. A request that merely
+    /// waited on another thread's in-flight compile reports zeros for
+    /// both (its wait is pool time, measured by the caller).
+    pub fn checkout_timed(
+        &self,
+        model: &Model,
+        mcf: &McfConfig,
+    ) -> Result<(Arc<Session>, bool, CheckoutTiming), String> {
         let key = PoolKey::of(model, mcf);
         let (slot, reused) = {
             let mut slots = self.slots.lock().expect("pool lock");
@@ -179,13 +208,23 @@ impl SessionPool {
                     // disk is the bigger cache.
                     self.bypasses.fetch_add(1, Ordering::Relaxed);
                     drop(slots);
-                    return Session::compile_stored(
-                        model.clone(),
-                        mcf.clone(),
-                        self.store.as_deref(),
-                    )
-                    .map(|s| (Arc::new(s), false))
-                    .map_err(|e| prophet_core::render_chain(&e));
+                    let mut timing = CheckoutTiming::default();
+                    if let Some(store) = &self.store {
+                        let t = std::time::Instant::now();
+                        let loaded = store.load_session(key);
+                        timing.store_us = elapsed_us(t);
+                        if let Some(session) = loaded {
+                            return Ok((Arc::new(session), false, timing));
+                        }
+                    }
+                    let t = std::time::Instant::now();
+                    let compiled = Session::compile(model.clone(), mcf.clone())
+                        .map_err(|e| prophet_core::render_chain(&e))?;
+                    timing.compile_us = elapsed_us(t);
+                    if let Some(store) = &self.store {
+                        let _ = store.save_session(&compiled);
+                    }
+                    return Ok((Arc::new(compiled), false, timing));
                 }
                 None => {
                     let slot: Slot = Arc::new(OnceLock::new());
@@ -199,16 +238,23 @@ impl SessionPool {
         // With a store attached, the disk is consulted first: a disk
         // hit rebuilds the session without check or transform and does
         // NOT count as a compile; a miss compiles and writes back.
+        let mut timing = CheckoutTiming::default();
         let result = slot.get_or_init(|| {
             if let Some(store) = &self.store {
-                if let Some(session) = store.load_session(key) {
+                let t = std::time::Instant::now();
+                let loaded = store.load_session(key);
+                timing.store_us = elapsed_us(t);
+                if let Some(session) = loaded {
                     return Ok(Arc::new(session));
                 }
             }
             self.compiles.fetch_add(1, Ordering::Relaxed);
+            let t = std::time::Instant::now();
             let compiled = Session::compile(model.clone(), mcf.clone())
                 .map(Arc::new)
-                .map_err(|e| prophet_core::render_chain(&e))?;
+                .map_err(|e| prophet_core::render_chain(&e));
+            timing.compile_us = elapsed_us(t);
+            let compiled = compiled?;
             if let Some(store) = &self.store {
                 // Persistence is best-effort on the request path; the
                 // store counts write errors for /v1/metrics.
@@ -216,13 +262,19 @@ impl SessionPool {
             }
             Ok(compiled)
         });
-        result.clone().map(|session| (session, reused))
+        result.clone().map(|session| (session, reused, timing))
     }
 
     /// Counter snapshot of the attached artifact store, if any — the
     /// `/v1/metrics` `store` section.
     pub fn store_stats(&self) -> Option<StoreStats> {
         self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// The attached artifact store, if any — the metrics checkpoint
+    /// thread persists lifetime counters through it.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
     }
 
     /// Counter snapshot.
@@ -447,6 +499,30 @@ mod tests {
         // The corrupt entry was either skipped (and evicted) or simply
         // never reached under the capacity bound; never a panic.
         assert_eq!(pool.stats().compiles, 0);
+    }
+
+    #[test]
+    fn checkout_timing_splits_store_load_from_compile() {
+        let store = temp_store("timing");
+        let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+        let mcf = McfConfig::default();
+        let m = model("timed", "1.0");
+        // First checkout: a store miss, then a compile.
+        let (_, reused, t) = pool.checkout_timed(&m, &mcf).unwrap();
+        assert!(!reused);
+        assert!(t.compile_us > 0, "{t:?}");
+        // Reuse: no store work, no compile work.
+        let (_, reused, t) = pool.checkout_timed(&m, &mcf).unwrap();
+        assert!(reused);
+        assert_eq!(t, CheckoutTiming::default());
+        // A fresh pool over the same store: the disk hit is store time,
+        // not compile time.
+        let store2 = Arc::new(ArtifactStore::open(store.dir()).unwrap());
+        let pool2 = SessionPool::with_store(DEFAULT_CAPACITY, store2);
+        let (_, _, t) = pool2.checkout_timed(&m, &mcf).unwrap();
+        assert!(t.store_us > 0, "{t:?}");
+        assert_eq!(t.compile_us, 0, "{t:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

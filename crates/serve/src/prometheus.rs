@@ -1,0 +1,236 @@
+//! Prometheus text exposition (format 0.0.4) building blocks, shared
+//! by the shard's and the router's `GET /v1/metrics?format=prometheus`.
+//!
+//! The exposition contract the tests lint for: every series is preceded
+//! by a `# TYPE` line for its family, histogram `_bucket` series are
+//! cumulative and monotone with a closing `le="+Inf"` bucket equal to
+//! `_count`, bucket bounds are rendered in seconds, and label values
+//! escape `\`, `"` and newlines.
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Render a microsecond quantity in seconds, trimming to a compact
+/// decimal (`10` not `10.000000`, `0.00001` not `1e-5`).
+fn seconds(us: f64) -> String {
+    let s = us / 1e6;
+    if s == s.trunc() && s.abs() < 1e15 {
+        format!("{}", s as i64)
+    } else {
+        // `{}` on f64 prints the shortest round-tripping decimal,
+        // which for our magnitudes never falls back to exponent form.
+        let text = format!("{s}");
+        if text.contains('e') || text.contains('E') {
+            format!("{s:.9}")
+        } else {
+            text
+        }
+    }
+}
+
+/// Incrementally built exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit the `# TYPE` line opening a metric family. Call once per
+    /// family, before any of its series.
+    pub fn family(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one integer-valued series sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// Emit one float-valued series sample.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// Emit the `_bucket`/`_sum`/`_count` series of one histogram,
+    /// with bounds converted from microseconds to seconds. `labels`
+    /// are repeated on every series (plus `le` on the buckets).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds_us: &[u64],
+        counts: &[u64],
+        total_us: u64,
+    ) {
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            let le = match bounds_us.get(i) {
+                Some(&bound) => seconds(bound as f64),
+                None => "+Inf".to_string(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &with_le, cumulative);
+        }
+        self.sample_f64(&format!("{name}_sum"), labels, total_us as f64 / 1e6);
+        self.sample(&format!("{name}_count"), labels, cumulative);
+    }
+
+    /// [`Exposition::histogram`] straight from a snapshot.
+    pub fn histogram_snapshot(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.histogram(
+            name,
+            labels,
+            &crate::metrics::BUCKET_BOUNDS_US,
+            &snap.counts,
+            snap.total_us,
+        );
+    }
+
+    /// Emit p50/p90/p99 gauge samples for a histogram, in seconds.
+    pub fn quantiles(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+            if let Some(us) = snap.quantile_us(q) {
+                let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+                with_q.push(("quantile", label));
+                self.sample_f64(name, &with_q, us / 1e6);
+            }
+        }
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Decode a histogram section (`{"bounds_us": [...], "counts": [...],
+/// "total_us": N}`) from a shard's JSON metrics document, so the
+/// router can re-expose per-shard histograms under its own labels.
+pub fn histogram_from_json(json: &Json) -> Option<(Vec<u64>, Vec<u64>, u64)> {
+    let nums = |key: &str| -> Option<Vec<u64>> {
+        json.get(key)?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as u64))
+            .collect()
+    };
+    let bounds = nums("bounds_us")?;
+    let counts = nums("counts")?;
+    if counts.len() != bounds.len() + 1 {
+        return None;
+    }
+    let total_us = json.get("total_us")?.as_f64()? as u64;
+    Some((bounds, counts, total_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn label_escaping_covers_backslash_quote_newline() {
+        assert_eq!(escape_label(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+        let mut e = Exposition::new();
+        e.family("m", "counter");
+        e.sample("m", &[("shard", "a\"b")], 1);
+        assert!(e.finish().contains(r#"m{shard="a\"b"} 1"#));
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_with_inf_equal_to_count() {
+        let h = Histogram::default();
+        h.record_us(5); // bucket 0 (<= 10µs)
+        h.record_us(50); // bucket 1
+        h.record_us(50);
+        let mut e = Exposition::new();
+        e.family("d", "histogram");
+        e.histogram_snapshot("d", &[("endpoint", "estimate")], &h.snapshot());
+        let text = e.finish();
+        assert!(
+            text.contains("d_bucket{endpoint=\"estimate\",le=\"0.00001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d_bucket{endpoint=\"estimate\",le=\"0.0001\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d_bucket{endpoint=\"estimate\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("d_count{endpoint=\"estimate\"} 3"), "{text}");
+        // Sum is in seconds: 105µs.
+        assert!(
+            text.contains("d_sum{endpoint=\"estimate\"} 0.000105"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn seconds_rendering_avoids_exponent_form() {
+        for &us in crate::metrics::BUCKET_BOUNDS_US.iter() {
+            let text = seconds(us as f64);
+            assert!(!text.contains('e') && !text.contains('E'), "{text}");
+            let parsed: f64 = text.parse().unwrap();
+            assert!((parsed - us as f64 / 1e6).abs() < 1e-12);
+        }
+        assert_eq!(seconds(10_000_000.0), "10");
+    }
+
+    #[test]
+    fn shard_histograms_round_trip_through_json() {
+        let h = Histogram::default();
+        h.record_us(42);
+        let json = h.snapshot().to_json();
+        let (bounds, counts, total) = histogram_from_json(&json).unwrap();
+        assert_eq!(bounds, crate::metrics::BUCKET_BOUNDS_US.to_vec());
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        assert_eq!(total, 42);
+    }
+}

@@ -146,13 +146,69 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         Some(store) => SessionPool::with_store(crate::pool::DEFAULT_CAPACITY, Arc::clone(store)),
         None => SessionPool::default(),
     };
+    // Lifetime counters survive restarts: the last checkpoint the
+    // previous process wrote becomes this boot's baseline. Checkpoints
+    // are keyed by the *bound* listen address (bind first, then load),
+    // so shards sharing one artifact store keep separate lifetime
+    // counters instead of clobbering each other's.
+    let listener = TcpListener::bind(&config.addr)?;
+    let instance = listener.local_addr()?.to_string();
+    let baseline = config
+        .store
+        .as_ref()
+        .and_then(|store| store.load_metrics(&instance))
+        .unwrap_or_default();
     let state = Arc::new(AppState {
         pool,
-        metrics: crate::metrics::Metrics::default(),
+        baseline,
         shutdown_token: config.token.clone(),
+        ..AppState::default()
     });
     state.pool.warm_start();
-    serve_with(config, state)
+    let mut handle = serve_on(listener, config, Arc::clone(&state))?;
+    // With a store attached, a background thread checkpoints the
+    // lifetime counters periodically (and once more on drain), so even
+    // a hard kill loses at most one interval of counts.
+    if state.pool.store().is_some() {
+        let shutdown = Arc::clone(&handle.shutdown);
+        handle.workers.push(std::thread::spawn(move || {
+            checkpoint_loop(&state, &instance, &shutdown)
+        }));
+    }
+    Ok(handle)
+}
+
+/// How often the checkpoint thread persists the lifetime counters.
+const CHECKPOINT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Periodically persist baseline + since-boot counters through the
+/// artifact store, until shutdown (then write one final checkpoint).
+/// Checkpoints carry *lifetime* values, so the next boot's baseline is
+/// monotone no matter how many restarts preceded it.
+fn checkpoint_loop(state: &AppState, instance: &str, shutdown: &AtomicBool) {
+    let Some(store) = state.pool.store().cloned() else {
+        return;
+    };
+    let mut last_written: Option<Vec<(String, u64)>> = None;
+    loop {
+        let deadline = Instant::now() + CHECKPOINT_INTERVAL;
+        while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(IDLE_POLL);
+        }
+        let stopping = shutdown.load(Ordering::SeqCst);
+        let counters = state.lifetime_counters();
+        if last_written.as_ref() != Some(&counters)
+            && store.save_metrics(instance, &counters).is_ok()
+        {
+            state
+                .checkpoints
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            last_written = Some(counters);
+        }
+        if stopping {
+            return;
+        }
+    }
 }
 
 /// [`serve`] over a caller-built handler: the same accept loop, worker
@@ -164,6 +220,16 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
 /// Propagates the bind failure (port in use, bad address).
 pub fn serve_with<H: Handler>(config: &ServerConfig, state: Arc<H>) -> io::Result<ServerHandle<H>> {
     let listener = TcpListener::bind(&config.addr)?;
+    serve_on(listener, config, state)
+}
+
+/// [`serve_with`] over an already-bound listener — lets [`serve`] learn
+/// the bound address (for checkpoint keying) before workers start.
+fn serve_on<H: Handler>(
+    listener: TcpListener,
+    config: &ServerConfig,
+    state: Arc<H>,
+) -> io::Result<ServerHandle<H>> {
     let addr = listener.local_addr()?;
     let workers = if config.workers == 0 {
         std::thread::available_parallelism()
@@ -305,27 +371,38 @@ fn handle_connection<H: Handler>(
         let _ = stream.set_read_timeout(Some(io_timeout));
         let _ = stream.set_write_timeout(Some(io_timeout));
         let started = Instant::now();
-        let (response, stop, endpoint, client_keep_alive) = match read_request(&mut reader) {
-            Ok(request) => {
-                let keep_alive = request.keep_alive;
-                let endpoint = (request.method.clone(), request.path.clone());
-                let (response, stop) = state.handle(&request);
-                (response, stop, Some(endpoint), keep_alive)
-            }
-            Err(e) => (
-                Response::json(
-                    e.status,
-                    crate::json::Json::object([("error", crate::json::Json::from(e.message))])
-                        .encode(),
+        let (mut response, stop, endpoint, client_keep_alive, trace) =
+            match read_request(&mut reader) {
+                Ok(request) => {
+                    let keep_alive = request.keep_alive;
+                    let endpoint = (request.method.clone(), request.path.clone());
+                    let (response, stop) = state.handle(&request);
+                    (response, stop, Some(endpoint), keep_alive, request.trace)
+                }
+                Err(e) => (
+                    Response::json(
+                        e.status,
+                        crate::json::Json::object([("error", crate::json::Json::from(e.message))])
+                            .encode(),
+                    ),
+                    false,
+                    None,
+                    // A parse error may have desynced the request
+                    // framing; never reuse the connection after one.
+                    false,
+                    // The request never parsed, so no client ID could be
+                    // adopted — but the error is still traceable.
+                    crate::http::generate_trace(),
                 ),
-                false,
-                None,
-                // A parse error may have desynced the request framing;
-                // never reuse the connection after one.
-                false,
-            ),
-        };
+            };
         let error = response.status >= 400;
+        // Every response — success, error, even a parse failure —
+        // carries the trace ID in its header, and error envelopes name
+        // it in the body so a logged error alone finds the journal row.
+        if error {
+            stamp_trace(&mut response, &trace);
+        }
+        response.trace = Some(trace);
         // Record metrics *before* the response bytes become visible: a
         // client that sees its response and immediately asks
         // /v1/metrics must find its own request already counted.
@@ -345,6 +422,17 @@ fn handle_connection<H: Handler>(
             || !keep_alive
         {
             return;
+        }
+    }
+}
+
+/// Add a `trace_id` member to a JSON error envelope (unless the body
+/// already names one — the router forwards shard envelopes verbatim).
+fn stamp_trace(response: &mut Response, trace: &str) {
+    if let Ok(crate::json::Json::Object(mut members)) = crate::json::parse(&response.body) {
+        if !members.iter().any(|(key, _)| key == "trace_id") {
+            members.push(("trace_id".to_string(), crate::json::Json::from(trace)));
+            response.body = crate::json::Json::Object(members).encode();
         }
     }
 }

@@ -19,6 +19,7 @@
 //!                   [--token T] [--probe-ms MS]
 //! prophet warm      --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]]
 //!                   <model.xml>...
+//! prophet metrics   <url> [--watch SECS]
 //! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
 //! ```
 //!
@@ -84,6 +85,17 @@
 //! `Authorization: Bearer T`; the router forwards the header when it
 //! broadcasts a fleet shutdown.
 //!
+//! `metrics` renders a running server's `GET /v1/metrics` document as
+//! a table — per-endpoint requests/errors with p50/p90/p99 latency,
+//! pool/elab/store counters, and lifetime totals — against a shard or
+//! a router (whose document it renders per shard). `--watch SECS`
+//! re-fetches and re-prints every SECS seconds until interrupted:
+//!
+//! ```text
+//! prophet metrics localhost:7077
+//! prophet metrics http://127.0.0.1:7070 --watch 2
+//! ```
+//!
 //! `demo` prints a ready-made model as XML, so a full round trip is:
 //!
 //! ```text
@@ -144,7 +156,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet optimize <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8] [--objective min_time|min_cost|max_speedup_per_cost] [--deadline S] [--max-cost C] [--node-weight W] [--cpu-weight W] [--backend simulation|analytic] [--verify sim] [--margin F] [--stride K] [--workers W]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet optimize <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8] [--objective min_time|min_cost|max_speedup_per_cost] [--deadline S] [--max-cost C] [--node-weight W] [--cpu-weight W] [--backend simulation|analytic] [--verify sim] [--margin F] [--stride K] [--workers W]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet metrics <url> [--watch SECS]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
         .to_string()
 }
 
@@ -161,6 +173,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "serve" => cmd_serve(&args[1..]),
         "router" => cmd_router(&args[1..]),
         "warm" => cmd_warm(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -744,6 +757,217 @@ fn cmd_warm(args: &[String]) -> Result<(), CliError> {
         stats.writes, stats.disk_hits
     );
     Ok(())
+}
+
+/// `prophet metrics`: fetch a running server's `/v1/metrics` JSON and
+/// render it as tables — against a shard or a router (whose fleet
+/// document is rendered per shard). `--watch SECS` loops forever.
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    // `--watch` takes a value, so extract the positional url by
+    // skipping flag/value pairs (the warm command's discipline) — a
+    // value like `2` must not be mistaken for the url.
+    let mut url: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--watch" {
+            i += 2;
+            continue;
+        }
+        if arg.starts_with("--") {
+            return Err(usage_err(format!("unknown flag `{arg}` for metrics")));
+        }
+        if url.is_some() {
+            return Err(usage_err(format!("unexpected extra argument `{arg}`")));
+        }
+        url = Some(arg);
+        i += 1;
+    }
+    let url = url.ok_or_else(|| usage_err("missing <url> argument"))?;
+    let watch: Option<u64> = parsed_flag(args, "--watch")?;
+    if watch == Some(0) {
+        return Err(usage_err(
+            "invalid value `0` for `--watch`: must be at least 1 second",
+        ));
+    }
+    let addr = resolve_url(url)?;
+    loop {
+        let answer = prophet::serve::client::get(addr, "/v1/metrics")
+            .map_err(|e| runtime_err(format!("cannot fetch metrics from `{url}`: {e}")))?;
+        if answer.status != 200 {
+            return Err(runtime_err(format!(
+                "`{url}` answered {}: {}",
+                answer.status,
+                answer.body.encode()
+            )));
+        }
+        if answer.body.get("router").is_some() {
+            render_router_metrics(&answer.body);
+        } else {
+            render_service_metrics(&answer.body, "");
+        }
+        let Some(secs) = watch else { return Ok(()) };
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        println!();
+    }
+}
+
+/// Resolve `HOST:PORT` (an optional `http://` prefix is stripped) to a
+/// socket address, naming the token on failure.
+fn resolve_url(url: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    let trimmed = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    trimmed
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .ok_or_else(|| {
+            usage_err(format!(
+                "bad server url `{url}`; expected HOST:PORT or http://HOST:PORT"
+            ))
+        })
+}
+
+/// A numeric field of a metrics document, `0` when absent.
+fn metric(json: &prophet::serve::json::Json, key: &str) -> u64 {
+    json.get(key)
+        .and_then(|v| v.as_f64())
+        .map(|v| v.max(0.0) as u64)
+        .unwrap_or(0)
+}
+
+/// Render one serve-shaped metrics document (endpoints, pool, elab,
+/// store, lifetime), indented so the router renderer can nest it.
+fn render_service_metrics(doc: &prophet::serve::json::Json, indent: &str) {
+    use prophet::serve::json::Json;
+    println!(
+        "{indent}{:<10} {:>9} {:>7} {:>10} {:>10} {:>10}",
+        "endpoint", "requests", "errors", "p50(ms)", "p90(ms)", "p99(ms)"
+    );
+    if let Some(Json::Object(endpoints)) = doc.get("endpoints") {
+        for (name, section) in endpoints {
+            let requests = metric(section, "requests");
+            if requests == 0 {
+                continue;
+            }
+            let latency = section.get("latency");
+            let quantile = |key: &str| {
+                latency
+                    .and_then(|l| l.get(key))
+                    .and_then(|v| v.as_f64())
+                    .map_or_else(|| "-".to_string(), |us| format!("{:.2}", us / 1000.0))
+            };
+            println!(
+                "{indent}{name:<10} {requests:>9} {:>7} {:>10} {:>10} {:>10}",
+                metric(section, "errors"),
+                quantile("p50_us"),
+                quantile("p90_us"),
+                quantile("p99_us"),
+            );
+        }
+    }
+    if let Some(pool) = doc.get("session_pool") {
+        println!(
+            "{indent}pool: size {} — compiles {}, reuses {}, bypasses {}",
+            metric(pool, "size"),
+            metric(pool, "compiles"),
+            metric(pool, "reuses"),
+            metric(pool, "bypasses"),
+        );
+    }
+    if let Some(elab) = doc.get("elab") {
+        println!(
+            "{indent}elab cache: hits {}, misses {}, bypasses {}",
+            metric(elab, "hits"),
+            metric(elab, "misses"),
+            metric(elab, "bypasses"),
+        );
+    }
+    if let Some(store) = doc.get("store") {
+        println!(
+            "{indent}store: disk hits {}, misses {}, writes {} ({} failed), evictions {}",
+            metric(store, "disk_hits"),
+            metric(store, "disk_misses"),
+            metric(store, "writes"),
+            metric(store, "write_errors"),
+            metric(store, "evictions"),
+        );
+    }
+    if let Some(journal) = doc.get("journal") {
+        println!(
+            "{indent}journal: {} request(s) recorded",
+            metric(journal, "recorded")
+        );
+    }
+    if let Some(lifetime) = doc.get("lifetime") {
+        let total: u64 = match lifetime.get("counters") {
+            Some(Json::Object(counters)) => counters
+                .iter()
+                .filter(|(name, _)| name.ends_with(".requests"))
+                .map(|(_, v)| v.as_f64().map(|f| f.max(0.0) as u64).unwrap_or(0))
+                .sum(),
+            _ => 0,
+        };
+        println!(
+            "{indent}lifetime: {} request(s) across restarts, {} checkpoint(s) this boot",
+            total,
+            metric(lifetime, "checkpoints"),
+        );
+    }
+}
+
+/// Render a router-shaped metrics document: routing summary, fleet
+/// totals, then each shard's section nested under its address.
+fn render_router_metrics(doc: &prophet::serve::json::Json) {
+    if let Some(routing) = doc.get("router").and_then(|r| r.get("routing")) {
+        println!(
+            "router: {} shard(s), {} healthy — forwards {}, retries {}, no-shard {}",
+            metric(routing, "shards"),
+            metric(routing, "healthy"),
+            metric(routing, "forwards"),
+            metric(routing, "retries"),
+            metric(routing, "no_shard"),
+        );
+    }
+    if let Some(fleet) = doc.get("fleet") {
+        println!(
+            "fleet: {} request(s) ({} errors), {} compile(s), {} reuse(s), {} disk hit(s)",
+            metric(fleet, "requests"),
+            metric(fleet, "errors"),
+            metric(fleet, "session_compiles"),
+            metric(fleet, "session_reuses"),
+            metric(fleet, "store_disk_hits"),
+        );
+    }
+    let Some(shards) = doc.get("shards").and_then(|s| s.as_array()) else {
+        return;
+    };
+    for shard in shards {
+        let addr = shard
+            .get("addr")
+            .and_then(|a| a.as_str())
+            .unwrap_or("<unknown>");
+        let healthy = shard.get("healthy").and_then(|h| h.as_bool());
+        println!(
+            "\nshard {addr} — {}",
+            if healthy == Some(true) {
+                "healthy"
+            } else {
+                "DOWN"
+            }
+        );
+        match shard.get("metrics") {
+            Some(metrics) => render_service_metrics(metrics, "  "),
+            None => {
+                if let Some(error) = shard.get("error").and_then(|e| e.as_str()) {
+                    println!("  unreachable: {error}");
+                }
+            }
+        }
+    }
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), CliError> {

@@ -562,6 +562,45 @@ fn unusable_store_path_is_a_runtime_failure_not_usage() {
 }
 
 #[test]
+fn metrics_usage_errors_name_the_offending_token() {
+    // Missing url entirely (the --watch value is not a url).
+    for args in [&["metrics"][..], &["metrics", "--watch", "2"][..]] {
+        let (code, _out, err) = prophet_code(args);
+        assert_eq!(code, Some(2), "{args:?}: {err}");
+        assert!(err.contains("missing <url> argument"), "{args:?}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+
+    // Unresolvable url: named before the usage block.
+    let (code, _out, err) = prophet_code(&["metrics", "not a url"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("bad server url `not a url`"), "{err}");
+
+    // --watch value missing, unparsable, or zero.
+    let (code, _out, err) = prophet_code(&["metrics", "127.0.0.1:1", "--watch"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("missing value after `--watch`"), "{err}");
+    let (code, _out, err) = prophet_code(&["metrics", "127.0.0.1:1", "--watch", "soon"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("invalid value `soon` for `--watch`"), "{err}");
+    let (code, _out, err) = prophet_code(&["metrics", "127.0.0.1:1", "--watch", "0"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("`--watch`"), "{err}");
+
+    // Unknown flag, token named.
+    let (code, _out, err) = prophet_code(&["metrics", "127.0.0.1:1", "--frobnicate"]);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+
+    // An unreachable server is the environment's fault, not the
+    // arguments': exit 1, no usage block.
+    let (code, _out, err) = prophet_code(&["metrics", "127.0.0.1:1"]);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("cannot fetch metrics"), "{err}");
+    assert!(!err.contains("usage:"), "runtime errors skip usage: {err}");
+}
+
+#[test]
 fn check_reports_errors_on_broken_model() {
     // Corrupt a valid model by injecting an unparsable cost expression.
     let model = temp_model("broken", "sample");

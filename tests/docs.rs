@@ -83,7 +83,15 @@ fn store_metrics_fields_match_api_md() {
         );
     }
     // The top-level metrics sections, likewise.
-    for section in ["endpoints", "session_pool", "elab", "store"] {
+    for section in [
+        "endpoints",
+        "session_pool",
+        "elab",
+        "store",
+        "phases",
+        "journal",
+        "lifetime",
+    ] {
         assert!(
             api_md.contains(section),
             "metrics section `{section}` is missing from docs/API.md"
@@ -95,7 +103,11 @@ fn store_metrics_fields_match_api_md() {
 #[test]
 fn readme_links_the_docs_layer() {
     let readme = read("README.md");
-    for doc in ["docs/API.md", "docs/ARCHITECTURE.md"] {
+    for doc in [
+        "docs/API.md",
+        "docs/ARCHITECTURE.md",
+        "docs/OBSERVABILITY.md",
+    ] {
         assert!(readme.contains(doc), "README.md must link {doc}");
         assert!(repo_root().join(doc).exists(), "{doc} does not exist");
     }
@@ -130,6 +142,7 @@ fn readme_shows_every_cli_command() {
         "serve",
         "router",
         "warm",
+        "metrics",
         "demo",
     ] {
         assert!(
