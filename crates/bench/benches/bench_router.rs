@@ -8,9 +8,12 @@
 //! digest routing, not just a timing.
 //!
 //! The timed sections compare routed vs direct throughput (the
-//! router's forwarding overhead) and the aggregated-metrics fan-out.
-//! Run with `PROPHET_BENCH_WRITE=1` to refresh the committed
-//! `BENCH_router.json` perf-trajectory file.
+//! router's forwarding overhead) and the aggregated-metrics fan-out;
+//! the trajectory additionally records routed throughput *while the
+//! fleet is live-reshaped* (a third shard joining and leaving through
+//! `POST /v1/shards` mid-burst), so the rebalance overhead is visible
+//! as its own curve. Run with `PROPHET_BENCH_WRITE=1` to refresh the
+//! committed `BENCH_router.json` perf-trajectory file.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use prophet_bench::trajectory::Trajectory;
@@ -24,8 +27,8 @@ use std::time::Duration;
 const CLIENT_THREADS: usize = 4;
 const REQUESTS_PER_THREAD: usize = 8;
 
-/// The six bundled demo workloads — the digest-pinning guard spreads
-/// them across the fleet.
+/// Six of the bundled demo workloads — the digest-pinning guard
+/// spreads them across the fleet.
 const MODELS: [&str; 6] = [
     "sample",
     "kernel6",
@@ -72,16 +75,24 @@ fn metric(metrics: &Json, path: &[&str]) -> f64 {
     cur.as_f64().expect("numeric metric")
 }
 
+// Each serve worker owns one connection at a time, and the router keeps
+// a keep-alive connection per router worker per shard — plus health
+// probes and the handoff's warm/evict dials during a live reshape. Size
+// each shard's worker pool above that sum, or the handoff connections
+// starve behind pooled keep-alives and every reconfigure stalls on the
+// idle timeout instead of measuring real rebalance overhead.
+const SHARD_WORKERS: usize = 2 * CLIENT_THREADS;
+
 fn bench_router(c: &mut Criterion) {
     let shard_a = serve(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: CLIENT_THREADS,
+        workers: SHARD_WORKERS,
         ..Default::default()
     })
     .expect("bind shard a");
     let shard_b = serve(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: CLIENT_THREADS,
+        workers: SHARD_WORKERS,
         ..Default::default()
     })
     .expect("bind shard b");
@@ -177,6 +188,50 @@ fn bench_router(c: &mut Criterion) {
         "digest pinning must survive sustained load: {metrics}"
     );
 
+    // Live-join trajectory: routed throughput while the fleet is being
+    // reshaped. Each round fires one membership mutation (a third shard
+    // alternately joining and leaving through POST /v1/shards) *while*
+    // the client burst runs, so the measured rate pays for the epoch
+    // swap and the warm-before/evict-after handoff — the rebalance
+    // overhead is the gap to `routed_estimate` in BENCH_router.json.
+    // (Runs after the strict pinning assert above: handoff primes are
+    // legitimate extra compiles.)
+    let shard_c = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: SHARD_WORKERS,
+        ..Default::default()
+    })
+    .expect("bind shard c");
+    let joiner = shard_c.addr().to_string();
+    trajectory.measure(
+        "routed_estimate_live_join",
+        TRAJECTORY_ROUNDS * requests,
+        || {
+            for round in 0..TRAJECTORY_ROUNDS {
+                let verb = if round % 2 == 0 { "add" } else { "remove" };
+                std::thread::scope(|scope| {
+                    let joiner = &joiner;
+                    scope.spawn(move || {
+                        let body =
+                            Json::object([(verb, Json::Array(vec![Json::from(joiner.clone())]))]);
+                        let r = client::post(addr, "/v1/shards", &body).expect("reconfigure");
+                        assert_eq!(r.status, 200, "live {verb}: {}", r.body);
+                    });
+                    hammer_estimates(addr);
+                });
+            }
+        },
+    );
+    // An even number of alternating add/remove rounds settles the fleet
+    // back on the two founding shards, with every mid-swap request
+    // answered 200 (hammer_estimates asserts).
+    let shards_view = client::get(addr, "/v1/shards").expect("shards").body;
+    assert_eq!(
+        metric(&shards_view, &["routing", "shards"]),
+        2.0,
+        "{shards_view}"
+    );
+
     // Finally the same burst straight at one shard: the difference to
     // the routed number is the forwarding overhead. (This compiles the
     // models shard_a did not own, so it runs after the pinning checks.)
@@ -199,6 +254,7 @@ fn bench_router(c: &mut Criterion) {
     router.shutdown();
     shard_a.shutdown();
     shard_b.shutdown();
+    shard_c.shutdown();
 }
 
 criterion_group!(benches, bench_router);

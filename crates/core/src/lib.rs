@@ -70,6 +70,7 @@
 
 pub mod error;
 pub mod project;
+pub mod ring;
 pub mod session;
 pub mod store;
 pub mod sweep;
@@ -84,7 +85,7 @@ pub use prophet_estimator::{
     flatten_invocations, Backend, ElabStats, ElaborationCache, EstimatorOptions, Evaluation,
 };
 pub use session::{mpi_grid, PointResult, Scenario, Session, SweepConfig, SweepPoint, SweepReport};
-pub use store::{ArtifactKey, ArtifactStore, StoreStats};
+pub use store::{ArtifactKey, ArtifactStore, GcReport, StoreStats};
 #[allow(deprecated)]
 pub use sweep::{sweep_parallel, sweep_serial, SweepResult};
 pub use transform::{to_cpp, to_program, transform_invocations, TransformError};

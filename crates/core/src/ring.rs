@@ -1,0 +1,214 @@
+//! The consistent-hash ring: which shard owns a content key.
+//!
+//! Each shard is planted on a `u64` ring at [`VNODES`] points (FNV-1a
+//! over `"{label}#{vnode}"`); a key is owned by the first shard point at
+//! or clockwise after it. Hashing shard *labels* (their addresses) —
+//! not positional indices — means every process configured with the
+//! same shard list computes the same placement regardless of list
+//! order, and adding a shard only moves the keys that land in its new
+//! arcs (~1/N of the space) instead of reshuffling everything, so the
+//! sibling shards' compiled-session pools and store write-backs stay
+//! warm.
+//!
+//! The ring lives in `prophet-core` (not the router crate) because
+//! placement is a *fleet-wide agreement*: the router routes by it, and
+//! a partitioned `prophet serve --store DIR --partition` shard uses the
+//! identical ring to decide which store entries are its own to
+//! warm-start. Both layers hashing the same labels through the same
+//! code is what makes "the router sends key K to shard S" and "shard S
+//! warm-starts key K" the same statement.
+//!
+//! [`Ring::successors`] yields *all* shards in ring order from the
+//! key's point: the owner first, then a deterministic failover
+//! sequence — every router agrees on which shard is "next" when the
+//! owner is down, so retried keys pile onto one fallback (which then
+//! compiles the model once) instead of scattering.
+
+use crate::store::fnv1a;
+use crate::ArtifactKey;
+
+/// Ring points per shard. Enough that per-shard load evens out to a
+/// few percent; cheap enough that building the ring is trivial.
+pub const VNODES: usize = 64;
+
+/// Finalize a digest into a ring position. FNV-1a alone is a poor ring
+/// hash: shard labels differ only in their last few bytes, which leaves
+/// their high bits (what the sorted ring orders by) correlated and the
+/// arcs badly skewed. One xor-shift/multiply finalizer pass avalanches
+/// every input bit across the word.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The routing key of a `(model, MCF)` content key: both digests
+/// through one FNV-1a pass plus the finalizer, so near-identical
+/// artifact keys (same model, default MCF) still land uniformly.
+pub fn route_key(key: ArtifactKey) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&key.model.to_be_bytes());
+    bytes[8..].copy_from_slice(&key.mcf.to_be_bytes());
+    mix(fnv1a(&bytes))
+}
+
+/// A consistent-hash ring over shard indices `0..N`.
+#[derive(Debug)]
+pub struct Ring {
+    /// `(ring position, shard index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Build the ring from shard labels (addresses). Placement depends
+    /// only on the label *values*, never on their order.
+    pub fn new<S: AsRef<str>>(labels: &[S]) -> Self {
+        let mut points = Vec::with_capacity(labels.len() * VNODES);
+        for (index, label) in labels.iter().enumerate() {
+            for vnode in 0..VNODES {
+                let point = mix(fnv1a(format!("{}#{vnode}", label.as_ref()).as_bytes()));
+                points.push((point, index));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            shards: labels.len(),
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards == 0
+    }
+
+    /// The shard owning `key`.
+    ///
+    /// # Panics
+    /// On an empty ring; the router refuses to start without shards.
+    pub fn route(&self, key: u64) -> usize {
+        self.successors(key)[0]
+    }
+
+    /// Every shard exactly once, in ring order from `key`'s point: the
+    /// owner first, then the failover order every router agrees on.
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(point, _)| point < key);
+        let mut order = Vec::with_capacity(self.shards);
+        let mut seen = vec![false; self.shards];
+        let wrapped = self.points[start..].iter().chain(&self.points[..start]);
+        for &(_, shard) in wrapped {
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = Ring::new(&labels(3));
+        for key in 0..1000u64 {
+            let shard = ring.route(key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert!(shard < 3);
+            assert_eq!(
+                shard,
+                ring.route(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                "same key, same shard"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_ignores_label_order() {
+        let mut names = labels(4);
+        let forward = Ring::new(&names);
+        names.reverse();
+        let backward = Ring::new(&names);
+        for key in (0..1000u64).map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d)) {
+            // Shard indices differ (the lists are reversed), but the
+            // *label* that owns the key must be identical.
+            assert_eq!(
+                labels(4)[forward.route(key)],
+                names[backward.route(key)],
+                "placement must depend on label values, not positions"
+            );
+        }
+    }
+
+    #[test]
+    fn load_spreads_over_every_shard() {
+        let ring = Ring::new(&labels(4));
+        let mut owned = [0usize; 4];
+        for key in (0..4000u64).map(|k| k.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            owned[ring.route(key)] += 1;
+        }
+        for (shard, &count) in owned.iter().enumerate() {
+            assert!(
+                count > 400,
+                "shard {shard} owns only {count}/4000 keys: {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn successors_visit_every_shard_once() {
+        let ring = Ring::new(&labels(5));
+        let order = ring.successors(route_key(ArtifactKey { model: 7, mcf: 9 }));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "dedup failed: {order:?}");
+        assert_eq!(
+            order[0],
+            ring.route(route_key(ArtifactKey { model: 7, mcf: 9 }))
+        );
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_its_own_arcs() {
+        let four = Ring::new(&labels(4));
+        let five = Ring::new(&labels(5));
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| {
+                let before = four.route(k);
+                let after = five.route(k);
+                after != before && after != 4 // moved, but not to the new shard
+            })
+            .count();
+        assert_eq!(
+            moved, 0,
+            "keys may only move *to* the new shard, never between old ones"
+        );
+        let to_new = keys.iter().filter(|&&k| five.route(k) == 4).count();
+        assert!(
+            to_new > 100 && to_new < 900,
+            "the new shard should take roughly 1/5 of the keys, took {to_new}/2000"
+        );
+    }
+}

@@ -80,6 +80,18 @@ pub const METRICS_PREFIX: &str = "pp-metrics";
 /// cheaper than reading them back.
 pub const MAX_PERSISTED_ENTRY_OPS: usize = 1 << 16;
 
+/// Suffix of the per-entry access-stamp sidecar (`pp-<m>-<mcf>.atime`).
+///
+/// Filesystem atime is useless for LRU purposes (`relatime`/`noatime`
+/// mounts update it rarely or never), so the store keeps its own: every
+/// successful load or save best-effort rewrites a tiny sidecar holding
+/// the access time as decimal milliseconds since the Unix epoch.
+/// [`ArtifactStore::gc`] orders entries by that stamp, falling back to
+/// the entry file's mtime when no sidecar exists (e.g. stores written
+/// by older builds). The suffix deliberately does not match the `.bin`
+/// artifact pattern, so `keys()` and warm-start never see sidecars.
+pub const ATIME_SUFFIX: &str = ".atime";
+
 /// Content key of one compiled artifact — the `(model, MCF)` digest
 /// pair shared with the serve layer's session pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -160,6 +172,69 @@ pub struct StoreStats {
     pub write_errors: u64,
     /// Corrupt or stale-version entries deleted on load.
     pub evictions: u64,
+}
+
+/// What one [`ArtifactStore::gc`] pass did, for operator output
+/// (`prophet store gc`) and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Artifact entries examined.
+    pub entries_scanned: usize,
+    /// Their summed on-disk size before the pass.
+    pub bytes_scanned: u64,
+    /// Entries deleted because they failed header/checksum validation —
+    /// always reclaimable, whatever the budget.
+    pub corrupt_evicted: usize,
+    /// Valid entries deleted least-recently-used-first to meet the
+    /// budget.
+    pub lru_evicted: usize,
+    /// Bytes freed by both eviction classes.
+    pub bytes_reclaimed: u64,
+    /// Entries left in the store.
+    pub entries_retained: usize,
+    /// Their summed size (≤ the budget, barring concurrent writers).
+    pub bytes_retained: u64,
+}
+
+/// Milliseconds since the Unix epoch, saturating at 0 for pre-epoch
+/// clocks.
+fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A file's mtime as milliseconds since the Unix epoch (0 when the
+/// filesystem cannot say).
+fn mtime_millis(meta: &std::fs::Metadata) -> u64 {
+    meta.modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Cheap structural validation of an artifact byte image: magic,
+/// version, length field, payload checksum — everything
+/// [`decode_session`] checks before it starts parsing XML. GC uses
+/// this instead of the full decode so a sweep over a large store stays
+/// I/O-bound.
+fn artifact_header_ok(bytes: &[u8]) -> bool {
+    if bytes.len() < 16 + 8 || bytes[0..4] != MAGIC {
+        return false;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return false;
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + payload_len + 8 {
+        return false;
+    }
+    let payload = &bytes[16..16 + payload_len];
+    let checksum = u64::from_le_bytes(bytes[16 + payload_len..].try_into().unwrap());
+    fnv1a(payload) == checksum
 }
 
 /// A content-addressed on-disk store of compiled sessions.
@@ -245,6 +320,7 @@ impl ArtifactStore {
         match decode_session(&bytes, key) {
             Ok(session) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
                 Some(session)
             }
             Err(_) => {
@@ -298,6 +374,7 @@ impl ArtifactStore {
         match result {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
                 Ok(key)
             }
             Err(e) => {
@@ -317,6 +394,122 @@ impl ArtifactStore {
             write_errors: self.write_errors.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Path of the access-stamp sidecar for `key` (see
+    /// [`ATIME_SUFFIX`]) — exposed for tests and operational tooling
+    /// that needs to pin or inspect an entry's recency.
+    pub fn access_stamp_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!(
+            "pp-{:016x}-{:016x}{ATIME_SUFFIX}",
+            key.model, key.mcf
+        ))
+    }
+
+    /// Best-effort: record that `key` was used now. A failed write
+    /// (read-only directory, ENOSPC) costs nothing but GC accuracy —
+    /// the entry falls back to its file mtime.
+    fn touch(&self, key: ArtifactKey) {
+        let _ = std::fs::write(self.access_stamp_path(key), now_millis().to_string());
+    }
+
+    /// When `key` was last used, in epoch milliseconds: its sidecar
+    /// stamp if one parses, else the artifact file's mtime, else 0
+    /// (absent entries sort oldest, which is what GC wants).
+    fn last_used_millis(&self, key: ArtifactKey) -> u64 {
+        if let Some(stamp) = std::fs::read_to_string(self.access_stamp_path(key))
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            return stamp;
+        }
+        std::fs::metadata(self.entry_path(key))
+            .map(|m| mtime_millis(&m))
+            .unwrap_or(0)
+    }
+
+    /// Garbage-collect the store down to `max_bytes` of artifact data.
+    ///
+    /// Two eviction classes, in order:
+    ///
+    /// 1. **Corrupt entries** — anything failing the header/checksum
+    ///    validation is deleted regardless of budget (it can only ever
+    ///    read back as a miss, so the bytes are pure waste);
+    /// 2. **LRU** — while the remaining entries exceed the budget, the
+    ///    least-recently-used one (by access stamp, see
+    ///    [`ATIME_SUFFIX`]) is deleted, strictly oldest-first.
+    ///
+    /// Concurrent use is safe: entries that change between the scan and
+    /// their deletion (a serve write-back renaming a fresh artifact
+    /// into place, a load refreshing the stamp) are skipped rather than
+    /// deleted, mirroring `load_session`'s eviction guard — GC may then
+    /// leave the store slightly over budget, never delete fresh work.
+    /// Orphaned stamp sidecars (entry already gone) are swept on the
+    /// way out.
+    pub fn gc(&self, max_bytes: u64) -> GcReport {
+        let mut report = GcReport::default();
+        let mut live: Vec<(u64, ArtifactKey, u64)> = Vec::new(); // (last_used, key, size)
+        for key in self.keys() {
+            let path = self.entry_path(key);
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue; // raced a deletion; nothing to account
+            };
+            report.entries_scanned += 1;
+            report.bytes_scanned += bytes.len() as u64;
+            if !artifact_header_ok(&bytes) {
+                // Same concurrent-writer guard as load_session: only
+                // delete while the file still looks like the bytes
+                // that failed validation.
+                let unchanged = std::fs::metadata(&path)
+                    .map(|m| m.len() == bytes.len() as u64)
+                    .unwrap_or(false);
+                if unchanged {
+                    let _ = std::fs::remove_file(&path);
+                    let _ = std::fs::remove_file(self.access_stamp_path(key));
+                    report.corrupt_evicted += 1;
+                    report.bytes_reclaimed += bytes.len() as u64;
+                    continue;
+                }
+            }
+            live.push((self.last_used_millis(key), key, bytes.len() as u64));
+        }
+        live.sort_unstable();
+        let mut total: u64 = live.iter().map(|&(_, _, size)| size).sum();
+        for &(seen_at, key, size) in &live {
+            if total <= max_bytes {
+                break;
+            }
+            // Skip entries used since the scan — eviction must never
+            // race a concurrent load/write-back into deleting what
+            // just became the *most* recently used entry.
+            if self.last_used_millis(key) > seen_at {
+                continue;
+            }
+            if std::fs::remove_file(self.entry_path(key)).is_ok() {
+                let _ = std::fs::remove_file(self.access_stamp_path(key));
+                report.lru_evicted += 1;
+                report.bytes_reclaimed += size;
+                total -= size;
+            }
+        }
+        report.entries_retained =
+            report.entries_scanned - report.corrupt_evicted - report.lru_evicted;
+        report.bytes_retained = report.bytes_scanned - report.bytes_reclaimed;
+        // Orphaned sidecars: stamps whose artifact is gone.
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(stem) = name.strip_suffix(ATIME_SUFFIX) else {
+                    continue;
+                };
+                if ArtifactKey::from_file_name(&format!("{stem}.bin"))
+                    .is_some_and(|key| !self.entry_path(key).exists())
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        report
     }
 
     /// Path of one instance's sidecar metrics checkpoint. The name
@@ -830,6 +1023,135 @@ mod tests {
         std::fs::write(&path, b"i am a file").unwrap();
         assert!(ArtifactStore::open(&path).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Pin an entry's recency to a chosen logical stamp, the way GC
+    /// tests control LRU order without sleeping.
+    fn stamp(store: &ArtifactStore, key: ArtifactKey, at: u64) {
+        std::fs::write(store.access_stamp_path(key), at.to_string()).unwrap();
+    }
+
+    #[test]
+    fn loads_and_saves_refresh_the_access_stamp() {
+        let store = temp_store("atime");
+        let session = Session::new(model("a", "1.0")).unwrap();
+        let key = store.save_session(&session).unwrap();
+        let saved: u64 = std::fs::read_to_string(store.access_stamp_path(key))
+            .expect("save writes the stamp sidecar")
+            .parse()
+            .unwrap();
+        stamp(&store, key, 17);
+        store.load_session(key).expect("hit");
+        let loaded: u64 = std::fs::read_to_string(store.access_stamp_path(key))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            loaded >= saved,
+            "a load must refresh the stamp ({loaded} < {saved})"
+        );
+        // Sidecars are invisible to key listing and warm-start.
+        assert_eq!(store.keys(), vec![key]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_under_budget_is_a_no_op() {
+        let store = temp_store("gc-noop");
+        let key = store
+            .save_session(&Session::new(model("g", "1.0")).unwrap())
+            .unwrap();
+        let report = store.gc(u64::MAX);
+        assert_eq!(report.entries_scanned, 1);
+        assert_eq!(report.lru_evicted + report.corrupt_evicted, 0);
+        assert_eq!(report.bytes_reclaimed, 0);
+        assert_eq!(report.entries_retained, 1);
+        assert!(store.load_session(key).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_evicts_strictly_least_recently_used_first() {
+        let store = temp_store("gc-lru");
+        let keys: Vec<ArtifactKey> = (0..4)
+            .map(|i| {
+                store
+                    .save_session(&Session::new(model(&format!("m{i}"), "1.0")).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        // Recency order by logical stamps: keys[2] oldest, then [0],
+        // [3], [1] — deliberately not save order.
+        for (key, at) in [(keys[2], 10), (keys[0], 20), (keys[3], 30), (keys[1], 40)] {
+            stamp(&store, key, at);
+        }
+        let one = std::fs::metadata(store.entry_path(keys[0])).unwrap().len();
+        // Budget for two entries: the two *oldest* must go.
+        let report = store.gc(2 * one + one / 2);
+        assert_eq!(report.lru_evicted, 2, "{report:?}");
+        assert_eq!(report.corrupt_evicted, 0);
+        assert_eq!(report.entries_retained, 2);
+        assert!(report.bytes_retained <= 2 * one + one / 2);
+        let survivors = store.keys();
+        assert!(!survivors.contains(&keys[2]), "oldest must be evicted");
+        assert!(!survivors.contains(&keys[0]), "second-oldest must go too");
+        assert!(survivors.contains(&keys[3]) && survivors.contains(&keys[1]));
+        // Evicted entries' sidecars are gone with them.
+        assert!(!store.access_stamp_path(keys[2]).exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_reclaims_corrupt_entries_regardless_of_budget() {
+        let store = temp_store("gc-corrupt");
+        let good = store
+            .save_session(&Session::new(model("good", "1.0")).unwrap())
+            .unwrap();
+        let bad = store
+            .save_session(&Session::new(model("bad", "2.0")).unwrap())
+            .unwrap();
+        let bad_path = store.entry_path(bad);
+        let mut bytes = std::fs::read(&bad_path).unwrap();
+        let mid = 16 + (bytes.len() - 24) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&bad_path, &bytes).unwrap();
+        // Budget is unlimited — the corrupt entry still goes.
+        let report = store.gc(u64::MAX);
+        assert_eq!(report.corrupt_evicted, 1, "{report:?}");
+        assert_eq!(report.lru_evicted, 0);
+        assert!(report.bytes_reclaimed >= bytes.len() as u64 - 1);
+        assert!(!bad_path.exists());
+        assert!(store.load_session(good).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_with_zero_budget_empties_the_store() {
+        let store = temp_store("gc-zero");
+        for i in 0..3 {
+            store
+                .save_session(&Session::new(model(&format!("z{i}"), "1.0")).unwrap())
+                .unwrap();
+        }
+        let report = store.gc(0);
+        assert_eq!(report.lru_evicted, 3, "{report:?}");
+        assert_eq!(report.entries_retained, 0);
+        assert_eq!(report.bytes_retained, 0);
+        assert!(store.keys().is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_stamp_sidecars() {
+        let store = temp_store("gc-orphan");
+        let key = ArtifactKey { model: 7, mcf: 9 };
+        std::fs::write(store.access_stamp_path(key), "12345").unwrap();
+        store.gc(u64::MAX);
+        assert!(
+            !store.access_stamp_path(key).exists(),
+            "a stamp without its artifact is swept"
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -6,7 +6,20 @@
 //! | `GET /v1/models` | round-robin over healthy shards |
 //! | `GET /v1/metrics` | fan-out: per-shard sections + fleet totals |
 //! | `GET /v1/shards` | the router's own view: health + routing counters |
+//! | `POST /v1/shards` | token-checked elastic membership: join/leave with handoff |
 //! | `POST /v1/shutdown` | token-checked, broadcast to every shard, then drains the router |
+//!
+//! **Elastic membership** (`POST /v1/shards`, body
+//! `{"add": ["h:p", ...], "remove": ["h:p", ...]}`) rebuilds the ring
+//! under an epoch-stamped snapshot swap: readers route on an immutable
+//! [`FleetView`] loaded from an atomic pointer — no locks on the hot
+//! path — while the single writer validates the change, warms every
+//! moved key's *new* owner (`POST /v1/warm` on the shard: a disk hit
+//! under a shared store, a compile-prime otherwise), installs the new
+//! view, and only then evicts the moved keys from their surviving old
+//! owners. Consistent hashing bounds the churn: only ~K/N of the keys
+//! change owner on a single join or leave, and never between
+//! survivors.
 //!
 //! Digest routing is what makes scale-out *compile-once* scale-out: the
 //! router resolves the model exactly like a shard would
@@ -30,7 +43,9 @@ use prophet_serve::http::{Request, Response};
 use prophet_serve::json::{self, Json};
 use prophet_serve::metrics::Metrics;
 use prophet_serve::Handler;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Routing counters, all relaxed atomics (same discipline as the serve
@@ -47,44 +62,111 @@ pub struct RouterCounters {
     rr: AtomicUsize,
 }
 
+/// An immutable fleet snapshot: the membership, its ring, and the
+/// epoch that stamped it. Workers route whole requests against one
+/// view, so ring indices stay coherent even while a reconfiguration
+/// installs the next epoch.
+#[derive(Debug)]
+pub struct FleetView {
+    /// Monotone reconfiguration counter; the boot fleet is epoch 0.
+    pub epoch: u64,
+    shards: Vec<Arc<Shard>>,
+    ring: Ring,
+}
+
+impl FleetView {
+    fn new(epoch: u64, shards: Vec<Arc<Shard>>) -> Self {
+        let labels: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+        Self {
+            epoch,
+            shards,
+            ring: Ring::new(&labels),
+        }
+    }
+
+    /// The member shards, in ring-label order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The shard index owning a content key under this view's ring.
+    pub fn owner_of(&self, key: ArtifactKey) -> usize {
+        self.ring.route(route_key(key))
+    }
+}
+
+/// How many routed `(model, MCF)` keys the router remembers prime
+/// recipes for. The handoff pass can only warm keys it knows about;
+/// past the cap, new keys route fine but rebalance cold.
+const RECIPE_CAPACITY: usize = 1024;
+
 /// Everything the router's workers share.
 #[derive(Debug)]
 pub struct RouterState {
-    shards: Vec<Shard>,
-    ring: Ring,
+    /// The live [`FleetView`]. The hot path loads this pointer and
+    /// routes on the snapshot — no locks; writers install a new view
+    /// under the `views` mutex.
+    view: AtomicPtr<FleetView>,
+    /// Writer serialization *and* the ownership of every view ever
+    /// installed, the live one included. Retired views are never freed
+    /// while the state lives, so a reader's borrowed snapshot cannot
+    /// dangle; membership changes are operator-rare, so retention
+    /// stays bounded in practice.
+    // The boxes are the point (not clippy's redundant indirection):
+    // `view` holds a raw pointer into an element, so every view needs
+    // an address that survives the Vec growing.
+    #[allow(clippy::vec_box)]
+    views: Mutex<Vec<Box<FleetView>>>,
     /// The router's own per-endpoint request metrics.
     pub metrics: Metrics,
     /// Routing counters.
     pub counters: RouterCounters,
     token: Option<String>,
     probe_interval: Duration,
+    io_timeout: Duration,
+    /// Routed key → the request members that can re-create it
+    /// (`model`/`model_name`/`mcf`), i.e. the body the handoff pass
+    /// POSTs to `/v1/warm` on a key's new owner.
+    recipes: Mutex<HashMap<ArtifactKey, String>>,
 }
 
 impl RouterState {
-    /// Router state over a fixed shard fleet.
+    /// Router state over the boot shard fleet (epoch 0).
     pub fn new(
         shards: Vec<std::net::SocketAddr>,
         token: Option<String>,
         probe_interval: Duration,
         io_timeout: Duration,
     ) -> Self {
-        let labels: Vec<String> = shards.iter().map(|a| a.to_string()).collect();
+        let shards: Vec<Arc<Shard>> = shards
+            .into_iter()
+            .map(|addr| Arc::new(Shard::new(addr, io_timeout)))
+            .collect();
+        let first = Box::new(FleetView::new(0, shards));
+        let view = AtomicPtr::new(Box::as_ref(&first) as *const FleetView as *mut FleetView);
         Self {
-            shards: shards
-                .into_iter()
-                .map(|addr| Shard::new(addr, io_timeout))
-                .collect(),
-            ring: Ring::new(&labels),
+            view,
+            views: Mutex::new(vec![first]),
             metrics: Metrics::default(),
             counters: RouterCounters::default(),
             token,
             probe_interval,
+            io_timeout,
+            recipes: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The shard fleet (for the prober and tests).
-    pub fn shards(&self) -> &[Shard] {
-        &self.shards
+    /// The live fleet snapshot. Lock-free: one atomic load.
+    pub fn view(&self) -> &FleetView {
+        // Safety: the pointee is owned by `self.views`, which only
+        // ever grows; it is freed when `self` drops, strictly after
+        // this `&self` borrow ends.
+        unsafe { &*self.view.load(Ordering::Acquire) }
+    }
+
+    /// The current shard fleet (for the prober and tests).
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        self.view().shards()
     }
 
     /// How often the prober sweeps the fleet.
@@ -95,20 +177,23 @@ impl RouterState {
     /// The shard index owning a content key — exposed so tests can
     /// assert pinning without replicating the hash.
     pub fn owner_of(&self, key: ArtifactKey) -> usize {
-        self.ring.route(route_key(key))
+        self.view().owner_of(key)
     }
 
-    /// Try shards in `order` until one answers without a server-side
-    /// failure. Transport errors mark the shard down; the winning shard
-    /// is marked up (an answer is better evidence than any probe).
-    fn try_in_order(&self, order: &[usize], req: &Request) -> Response {
+    /// Try shards of `view` in `order` until one answers without a
+    /// server-side failure. Transport errors mark the shard down; the
+    /// winning shard is marked up (an answer is better evidence than
+    /// any probe). The caller's view pins the indices: a concurrent
+    /// reconfiguration installs a *new* snapshot and never mutates
+    /// this one.
+    fn try_in_order(&self, view: &FleetView, order: &[usize], req: &Request) -> Response {
         // Healthy shards first (in ring order), down shards as a last
         // resort — a mark-down is a hint, not a verdict, and trying a
         // down shard last is what makes "every shard marked down" still
         // recoverable without waiting out a probe cycle.
         let (up, down): (Vec<usize>, Vec<usize>) = order
             .iter()
-            .partition(|&&shard| self.shards[shard].health().is_healthy());
+            .partition(|&&shard| view.shards[shard].health().is_healthy());
         let body = (!req.body.is_empty()).then_some(req.body.as_str());
         // Propagate the client's trace ID to the shard, so one grep
         // over fleet journals follows a request end to end.
@@ -116,7 +201,7 @@ impl RouterState {
         let mut attempts = 0u64;
         for &index in up.iter().chain(down.iter()) {
             attempts += 1;
-            let shard = &self.shards[index];
+            let shard = &view.shards[index];
             match shard.send(&req.method, &req.path, body, &trace) {
                 Ok(answer) if answer.status < 500 => {
                     shard.health().mark_up();
@@ -162,16 +247,35 @@ impl RouterState {
             Ok(mcf) => mcf,
             Err(response) => return response,
         };
-        let key = route_key(ArtifactKey::of(&model, &mcf));
-        self.try_in_order(&self.ring.successors(key), req)
+        let key = ArtifactKey::of(&model, &mcf);
+        self.remember_recipe(key, &body);
+        let view = self.view();
+        self.try_in_order(view, &view.ring.successors(route_key(key)), req)
+    }
+
+    /// Record the prime recipe for a routed key: the body members that
+    /// re-create its session (`model`/`model_name`/`mcf`), so a later
+    /// rebalance can warm the key's new owner.
+    fn remember_recipe(&self, key: ArtifactKey, body: &Json) {
+        let members: Vec<(&str, Json)> = ["model", "model_name", "mcf"]
+            .into_iter()
+            .filter_map(|name| body.get(name).map(|v| (name, v.clone())))
+            .collect();
+        let recipe = Json::object(members).encode();
+        let mut recipes = self.recipes.lock().expect("recipe map lock");
+        if recipes.len() >= RECIPE_CAPACITY && !recipes.contains_key(&key) {
+            return; // full: new keys still route, they just rebalance cold
+        }
+        recipes.insert(key, recipe);
     }
 
     /// Forward an un-keyed request (`GET /v1/models`) round-robin.
     fn forward_any(&self, req: &Request) -> Response {
-        let n = self.shards.len();
+        let view = self.view();
+        let n = view.shards.len();
         let start = self.counters.rr.fetch_add(1, Ordering::Relaxed) % n;
         let order: Vec<usize> = (0..n).map(|offset| (start + offset) % n).collect();
-        self.try_in_order(&order, req)
+        self.try_in_order(view, &order, req)
     }
 
     /// `GET /v1/metrics`: the router's own counters, every shard's
@@ -189,10 +293,11 @@ impl RouterState {
                 )
             }
         }
-        let mut shard_sections = Vec::with_capacity(self.shards.len());
+        let view = self.view();
+        let mut shard_sections = Vec::with_capacity(view.shards.len());
         let mut fleet = FleetTotals::default();
-        for shard in &self.shards {
-            let mut section = shard_entry(shard);
+        for shard in &view.shards {
+            let mut section = shard_entry(shard.as_ref());
             match shard.send("GET", "/v1/metrics", None, &[]) {
                 Ok(answer) if answer.status == 200 => match json::parse(&answer.body) {
                     Ok(metrics) => {
@@ -231,13 +336,15 @@ impl RouterState {
 
     /// The `routing` counter section.
     fn routing_json(&self) -> Json {
-        let healthy = self
+        let view = self.view();
+        let healthy = view
             .shards
             .iter()
             .filter(|s| s.health().is_healthy())
             .count();
         Json::object([
-            ("shards", Json::from(self.shards.len())),
+            ("epoch", Json::from(view.epoch)),
+            ("shards", Json::from(view.shards.len())),
             ("healthy", Json::from(healthy)),
             (
                 "forwards",
@@ -263,8 +370,9 @@ impl RouterState {
     fn fleet_prometheus(&self) -> Response {
         use prophet_serve::metrics::ENDPOINT_NAMES;
         use prophet_serve::prometheus::{histogram_from_json, Exposition};
+        let view = self.view();
         // Fan out first, so family emission below can group series.
-        let docs: Vec<(String, Option<Json>)> = self
+        let docs: Vec<(String, Option<Json>)> = view
             .shards
             .iter()
             .map(|shard| {
@@ -311,7 +419,7 @@ impl RouterState {
             e.sample(name, &[], value);
         }
         e.family("prophet_router_shard_healthy", "gauge");
-        for shard in &self.shards {
+        for shard in &view.shards {
             let addr = shard.addr().to_string();
             e.sample(
                 "prophet_router_shard_healthy",
@@ -320,7 +428,7 @@ impl RouterState {
             );
         }
         e.family("prophet_router_shard_consecutive_failures", "gauge");
-        for shard in &self.shards {
+        for shard in &view.shards {
             let addr = shard.addr().to_string();
             e.sample(
                 "prophet_router_shard_consecutive_failures",
@@ -329,7 +437,7 @@ impl RouterState {
             );
         }
         e.family("prophet_router_shard_last_probe_ms_ago", "gauge");
-        for shard in &self.shards {
+        for shard in &view.shards {
             let addr = shard.addr().to_string();
             if let Some(ms) = shard.health().last_probe_ms_ago() {
                 e.sample(
@@ -394,9 +502,10 @@ impl RouterState {
     /// `GET /v1/shards`: the router's live view of its fleet.
     fn shards_json(&self) -> Response {
         let shards: Vec<Json> = self
+            .view()
             .shards
             .iter()
-            .map(|shard| Json::Object(shard_entry(shard)))
+            .map(|shard| Json::Object(shard_entry(shard.as_ref())))
             .collect();
         Response::json(
             200,
@@ -417,6 +526,7 @@ impl RouterState {
             .map(|value| vec![("authorization", value)])
             .unwrap_or_default();
         let acks: Vec<Json> = self
+            .view()
             .shards
             .iter()
             .map(|shard| {
@@ -440,6 +550,214 @@ impl RouterState {
             Json::object([("ok", Json::from(true)), ("shards", Json::Array(acks))]).encode(),
         )
     }
+
+    /// `POST /v1/shards` (`{"add": ["h:p", ...], "remove": [...]}`):
+    /// elastic fleet membership with rebalance handoff.
+    ///
+    /// Under the single writer lock: validate the change (409 on
+    /// duplicate joins, unknown leaves, add∩remove overlap, or an
+    /// emptied fleet), build the next view reusing the survivors'
+    /// shard handles (their connection pools and health state carry
+    /// over), warm every moved key's new owner, install the view with
+    /// one atomic pointer store (epoch + 1), and only then evict the
+    /// moved keys from surviving old owners. In-flight requests keep
+    /// routing on the old snapshot throughout; requests started after
+    /// the store route on the new one.
+    fn reconfigure(&self, req: &Request) -> Response {
+        let body = match json::parse(&req.body) {
+            Ok(body @ Json::Object(_)) => body,
+            Ok(other) => {
+                return error_response(
+                    400,
+                    format!("request body must be a JSON object, got {other}"),
+                )
+            }
+            Err(e) => return error_response(400, e.to_string()),
+        };
+        let (add, remove) = match (string_list(&body, "add"), string_list(&body, "remove")) {
+            (Ok(add), Ok(remove)) => (add, remove),
+            (Err(r), _) | (_, Err(r)) => return r,
+        };
+        if add.is_empty() && remove.is_empty() {
+            return error_response(400, "nothing to do: both `add` and `remove` are empty");
+        }
+        let mut added: Vec<(String, std::net::SocketAddr)> = Vec::with_capacity(add.len());
+        for label in &add {
+            match label.parse() {
+                Ok(addr) => added.push((label.clone(), addr)),
+                Err(_) => {
+                    return error_response(400, format!("bad shard address `{label}`"));
+                }
+            }
+        }
+
+        // One writer at a time; the lock also owns the view history.
+        let mut views = self.views.lock().expect("fleet view history lock");
+        // Safety: same argument as `Self::view` — and under the lock
+        // this is the newest view, the one the change applies to.
+        let current: &FleetView = unsafe { &*self.view.load(Ordering::Acquire) };
+        let labels: Vec<String> = current
+            .shards
+            .iter()
+            .map(|s| s.addr().to_string())
+            .collect();
+        for label in &add {
+            if remove.contains(label) {
+                return error_response(409, format!("`{label}` is in both add and remove"));
+            }
+            if labels.contains(label) {
+                return error_response(409, format!("shard `{label}` is already in the fleet"));
+            }
+            if add.iter().filter(|l| *l == label).count() > 1 {
+                return error_response(409, format!("shard `{label}` added twice"));
+            }
+        }
+        for label in &remove {
+            if !labels.contains(label) {
+                return error_response(409, format!("shard `{label}` is not in the fleet"));
+            }
+        }
+        let mut next_shards: Vec<Arc<Shard>> = current
+            .shards
+            .iter()
+            .filter(|s| !remove.contains(&s.addr().to_string()))
+            .cloned()
+            .collect();
+        if next_shards.is_empty() && added.is_empty() {
+            return error_response(409, "refusing to remove the last shard");
+        }
+        next_shards.extend(
+            added
+                .iter()
+                .map(|(_, addr)| Arc::new(Shard::new(*addr, self.io_timeout))),
+        );
+        let next = Box::new(FleetView::new(current.epoch + 1, next_shards));
+
+        // The handoff set: every remembered key whose owner changes.
+        let moved: Vec<(ArtifactKey, String, usize, usize)> = {
+            let recipes = self.recipes.lock().expect("recipe map lock");
+            recipes
+                .iter()
+                .filter_map(|(key, recipe)| {
+                    let before = current.owner_of(*key);
+                    let after = next.owner_of(*key);
+                    let before_label = current.shards[before].addr().to_string();
+                    let after_label = next.shards[after].addr().to_string();
+                    (before_label != after_label).then(|| (*key, recipe.clone(), before, after))
+                })
+                .collect()
+        };
+        let auth = self.token.as_ref().map(|t| format!("Bearer {t}"));
+        let headers: Vec<(&str, &str)> = auth
+            .as_deref()
+            .map(|value| vec![("authorization", value)])
+            .unwrap_or_default();
+        // Warm each moved key's new owner *before* the swap: by the
+        // time traffic routes there, the session is pooled (a disk hit
+        // under a shared store, one compile-prime otherwise).
+        let mut primed = 0u64;
+        for (_, recipe, _, after) in &moved {
+            if matches!(
+                next.shards[*after].send("POST", "/v1/warm", Some(recipe), &headers),
+                Ok(answer) if answer.status == 200
+            ) {
+                primed += 1;
+            }
+        }
+
+        // Install: readers see the whole new view or the whole old one.
+        let ptr = Box::as_ref(&next) as *const FleetView as *mut FleetView;
+        let epoch = next.epoch;
+        let shard_count = next.shards.len();
+        // Group evictions by surviving old owner before `next` moves
+        // into the history (removed shards keep their whole pool;
+        // nothing to evict there — their idle connections are closed
+        // after the swap instead).
+        let mut evict_by_owner: HashMap<String, Vec<ArtifactKey>> = HashMap::new();
+        for (key, _, before, _) in &moved {
+            let owner = current.shards[*before].addr().to_string();
+            if next.shards.iter().any(|s| s.addr().to_string() == owner) {
+                evict_by_owner.entry(owner).or_default().push(*key);
+            }
+        }
+        views.push(next);
+        self.view.store(ptr, Ordering::Release);
+        let view = self.view();
+
+        // Old owners drop their moved entries only now, after the
+        // swap: they kept answering for those keys until no new
+        // request could route to them.
+        let mut evicted = 0u64;
+        for (owner, keys) in &evict_by_owner {
+            let Some(shard) = view.shards.iter().find(|s| &s.addr().to_string() == owner) else {
+                continue;
+            };
+            let items: Vec<Json> = keys
+                .iter()
+                .map(|key| {
+                    Json::object([
+                        ("model", Json::from(format!("{:016x}", key.model))),
+                        ("mcf", Json::from(format!("{:016x}", key.mcf))),
+                    ])
+                })
+                .collect();
+            let body = Json::object([("keys", Json::Array(items))]).encode();
+            if let Ok(answer) = shard.send("POST", "/v1/evict", Some(&body), &headers) {
+                if answer.status == 200 {
+                    evicted += json::parse(&answer.body)
+                        .ok()
+                        .and_then(|b| b.get("evicted").and_then(Json::as_f64))
+                        .map(|v| v.max(0.0) as u64)
+                        .unwrap_or(0);
+                }
+            }
+        }
+        // Removed shards' handles live on in the view history, so shed
+        // their idle keep-alive connections now — each one pins a
+        // worker on the remote serve process until its idle timeout,
+        // and a later re-join would dial a fresh pool anyway.
+        for shard in &current.shards {
+            if remove.contains(&shard.addr().to_string()) {
+                shard.disconnect();
+            }
+        }
+        Response::json(
+            200,
+            Json::object([
+                ("ok", Json::from(true)),
+                ("epoch", Json::from(epoch)),
+                ("shards", Json::from(shard_count)),
+                ("added", Json::from(add.len())),
+                ("removed", Json::from(remove.len())),
+                ("moved", Json::from(moved.len())),
+                ("primed", Json::from(primed)),
+                ("evicted", Json::from(evicted)),
+            ])
+            .encode(),
+        )
+    }
+}
+
+/// An optional string-array member (`add`/`remove`); absent means
+/// empty.
+fn string_list(body: &Json, key: &str) -> Result<Vec<String>, Response> {
+    let Some(v) = body.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = v.as_array().ok_or_else(|| {
+        error_response(
+            400,
+            format!("`{key}` must be an array of host:port strings"),
+        )
+    })?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str().map(str::to_string).ok_or_else(|| {
+                error_response(400, format!("`{key}` entries must be host:port strings"))
+            })
+        })
+        .collect()
 }
 
 /// Fleet-wide sums over the shard metrics documents.
@@ -545,6 +863,20 @@ impl Handler for RouterState {
             ("GET", "/v1/models") => self.forward_any(req),
             ("GET", "/v1/metrics") => self.aggregate_metrics(req),
             ("GET", "/v1/shards") => self.shards_json(),
+            ("POST", "/v1/shards") => {
+                if let Some(expected) = &self.token {
+                    if !bearer_authorized(req, expected) {
+                        return (
+                            error_response(
+                                401,
+                                "fleet reconfiguration requires a valid bearer token",
+                            ),
+                            false,
+                        );
+                    }
+                }
+                self.reconfigure(req)
+            }
             ("POST", "/v1/shutdown") => {
                 if let Some(expected) = &self.token {
                     if !bearer_authorized(req, expected) {

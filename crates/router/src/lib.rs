@@ -114,6 +114,7 @@ pub fn start(config: &RouterConfig) -> io::Result<ServerHandle<RouterState>> {
             io_timeout: config.io_timeout,
             store: None,
             token: None, // the router's handler enforces its own token
+            partition: None,
         },
         Arc::clone(&state),
     )?;
@@ -607,6 +608,170 @@ mod tests {
     }
 
     #[test]
+    fn join_then_leave_moves_keys_with_warm_handoff() {
+        let (a, b) = (shard(), shard());
+        let router = router(vec![a.addr()]);
+        let names = ["sample", "jacobi", "pipeline", "master_worker"];
+        for name in names {
+            let r = client::post(router.addr(), "/v1/estimate", &estimate_body(name)).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+        let fleet_compiles = |addr| {
+            client::get(addr, "/v1/metrics")
+                .unwrap()
+                .body
+                .get("fleet")
+                .unwrap()
+                .get("session_compiles")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(fleet_compiles(router.addr()), names.len() as f64);
+
+        // Join b: the handoff warms every moved key on b before the
+        // swap, then evicts it from a after.
+        let join = Json::object([("add", Json::Array(vec![Json::from(b.addr().to_string())]))]);
+        let r = client::post(router.addr(), "/v1/shards", &join).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.body.get("epoch").unwrap().as_f64(), Some(1.0));
+        assert_eq!(r.body.get("shards").unwrap().as_f64(), Some(2.0));
+        let moved = r.body.get("moved").unwrap().as_f64().unwrap();
+        assert!(moved >= 1.0, "four keys over two shards must move some");
+        assert_eq!(r.body.get("primed").unwrap().as_f64(), Some(moved));
+        assert_eq!(r.body.get("evicted").unwrap().as_f64(), Some(moved));
+
+        // Every repeat is a pool reuse: moved keys were pre-warmed on
+        // the joiner, unmoved keys stayed warm on a.
+        for name in names {
+            let r = client::post(router.addr(), "/v1/estimate", &estimate_body(name)).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(
+                r.body
+                    .get("session")
+                    .unwrap()
+                    .get("reused")
+                    .unwrap()
+                    .as_bool(),
+                Some(true),
+                "{name} must be warm right after the join"
+            );
+        }
+        // Without a shared store each prime is one compile on the
+        // joiner — and nothing else compiled.
+        assert_eq!(fleet_compiles(router.addr()), names.len() as f64 + moved);
+
+        // Leave a: everything it still owned moves to b, pre-warmed
+        // again, so clients never see a cold (or failed) request.
+        let leave = Json::object([(
+            "remove",
+            Json::Array(vec![Json::from(a.addr().to_string())]),
+        )]);
+        let r = client::post(router.addr(), "/v1/shards", &leave).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.body.get("epoch").unwrap().as_f64(), Some(2.0));
+        for name in names {
+            let r = client::post(router.addr(), "/v1/estimate", &estimate_body(name)).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(
+                r.body
+                    .get("session")
+                    .unwrap()
+                    .get("reused")
+                    .unwrap()
+                    .as_bool(),
+                Some(true),
+                "{name} must be warm right after the leave"
+            );
+        }
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn reconfigure_is_validated_and_token_guarded() {
+        let token = "fleet-s3cret";
+        let a = server::serve(&server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            token: Some(token.to_string()),
+            ..Default::default()
+        })
+        .expect("bind shard");
+        let router = start(&RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            shards: vec![a.addr()],
+            token: Some(token.to_string()),
+            probe_interval: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .expect("bind router");
+        let a_label = a.addr().to_string();
+        let join = Json::object([(
+            "add",
+            Json::Array(vec![Json::from("127.0.0.9:7099".to_string())]),
+        )]);
+        // No token: 401 before any validation.
+        let bare = client::post(router.addr(), "/v1/shards", &join).unwrap();
+        assert_eq!(bare.status, 401, "{}", bare.body);
+        let send = |body: &Json| {
+            client::Connection::connect(router.addr())
+                .unwrap()
+                .send(
+                    "POST",
+                    "/v1/shards",
+                    Some(&body.encode()),
+                    &[("authorization", "Bearer fleet-s3cret")],
+                )
+                .unwrap()
+        };
+        // 400: nothing to do, malformed address.
+        assert_eq!(send(&Json::object::<&str>([])).status, 400);
+        let bad = Json::object([("add", Json::Array(vec![Json::from("not-an-addr")]))]);
+        assert_eq!(send(&bad).status, 400);
+        // 409: duplicate join, double join, unknown leave, overlap,
+        // emptied fleet.
+        let dup = Json::object([("add", Json::Array(vec![Json::from(a_label.clone())]))]);
+        assert_eq!(send(&dup).status, 409);
+        let twice = Json::object([(
+            "add",
+            Json::Array(vec![
+                Json::from("127.0.0.9:7099".to_string()),
+                Json::from("127.0.0.9:7099".to_string()),
+            ]),
+        )]);
+        assert_eq!(send(&twice).status, 409);
+        let unknown = Json::object([(
+            "remove",
+            Json::Array(vec![Json::from("127.0.0.9:7099".to_string())]),
+        )]);
+        assert_eq!(send(&unknown).status, 409);
+        let overlap = Json::object([
+            (
+                "add",
+                Json::Array(vec![Json::from("127.0.0.9:7099".to_string())]),
+            ),
+            (
+                "remove",
+                Json::Array(vec![Json::from("127.0.0.9:7099".to_string())]),
+            ),
+        ]);
+        assert_eq!(send(&overlap).status, 409);
+        let empties = Json::object([("remove", Json::Array(vec![Json::from(a_label)]))]);
+        assert_eq!(send(&empties).status, 409);
+        // None of the rejects touched the fleet: still epoch 0, one
+        // shard.
+        let shards = client::get(router.addr(), "/v1/shards").unwrap().body;
+        let routing = shards.get("routing").unwrap();
+        assert_eq!(routing.get("epoch").unwrap().as_f64(), Some(0.0));
+        assert_eq!(routing.get("shards").unwrap().as_f64(), Some(1.0));
+        router.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
     fn models_and_unknown_routes_behave() {
         let a = shard();
         let router = router(vec![a.addr()]);
@@ -614,7 +779,7 @@ mod tests {
         assert_eq!(models.status, 200);
         assert_eq!(
             models.body.get("models").unwrap().as_array().unwrap().len(),
-            6
+            10
         );
         assert_eq!(client::get(router.addr(), "/nope").unwrap().status, 404);
         assert_eq!(

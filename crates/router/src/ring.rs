@@ -1,206 +1,98 @@
-//! The consistent-hash ring: which shard owns a model.
+//! The consistent-hash ring, re-exported from `prophet_core::ring`.
 //!
-//! Each shard is planted on a `u64` ring at [`VNODES`] points (FNV-1a
-//! over `"{label}#{vnode}"`); a key is owned by the first shard point at
-//! or clockwise after it. Hashing shard *labels* (their addresses) —
-//! not positional indices — means every router configured with the same
-//! shard list computes the same placement regardless of list order, and
-//! adding a shard only moves the keys that land in its new arcs
-//! (~1/N of the space) instead of reshuffling everything, so the
-//! sibling shards' compiled-session pools and store write-backs stay
-//! warm.
-//!
-//! [`Ring::successors`] yields *all* shards in ring order from the
-//! key's point: the owner first, then a deterministic failover
-//! sequence — every router agrees on which shard is "next" when the
-//! owner is down, so retried keys pile onto one fallback (which then
-//! compiles the model once) instead of scattering.
+//! The ring itself lives in `prophet-core` so the serve layer can use
+//! the identical placement for per-shard store partitioning
+//! (`serve --partition`) without a circular dependency on this crate.
+//! Router callers keep importing it from here — the routing semantics
+//! and the rebalance guarantees are the router's contract, so the
+//! rebalance property tests live here too.
 
-use prophet_core::store::fnv1a;
-use prophet_core::ArtifactKey;
-
-/// Ring points per shard. Enough that per-shard load evens out to a
-/// few percent; cheap enough that building the ring is trivial.
-pub const VNODES: usize = 64;
-
-/// Finalize a digest into a ring position. FNV-1a alone is a poor ring
-/// hash: shard labels differ only in their last few bytes, which leaves
-/// their high bits (what the sorted ring orders by) correlated and the
-/// arcs badly skewed. One xor-shift/multiply finalizer pass avalanches
-/// every input bit across the word.
-fn mix(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^= x >> 31;
-    x
-}
-
-/// The routing key of a `(model, MCF)` content key: both digests
-/// through one FNV-1a pass plus the finalizer, so near-identical
-/// artifact keys (same model, default MCF) still land uniformly.
-pub fn route_key(key: ArtifactKey) -> u64 {
-    let mut bytes = [0u8; 16];
-    bytes[..8].copy_from_slice(&key.model.to_be_bytes());
-    bytes[8..].copy_from_slice(&key.mcf.to_be_bytes());
-    mix(fnv1a(&bytes))
-}
-
-/// A consistent-hash ring over shard indices `0..N`.
-#[derive(Debug)]
-pub struct Ring {
-    /// `(ring position, shard index)`, sorted by position.
-    points: Vec<(u64, usize)>,
-    shards: usize,
-}
-
-impl Ring {
-    /// Build the ring from shard labels (addresses). Placement depends
-    /// only on the label *values*, never on their order.
-    pub fn new<S: AsRef<str>>(labels: &[S]) -> Self {
-        let mut points = Vec::with_capacity(labels.len() * VNODES);
-        for (index, label) in labels.iter().enumerate() {
-            for vnode in 0..VNODES {
-                let point = mix(fnv1a(format!("{}#{vnode}", label.as_ref()).as_bytes()));
-                points.push((point, index));
-            }
-        }
-        points.sort_unstable();
-        Self {
-            points,
-            shards: labels.len(),
-        }
-    }
-
-    /// Number of shards on the ring.
-    pub fn len(&self) -> usize {
-        self.shards
-    }
-
-    /// Whether the ring has no shards.
-    pub fn is_empty(&self) -> bool {
-        self.shards == 0
-    }
-
-    /// The shard owning `key`.
-    ///
-    /// # Panics
-    /// On an empty ring; the router refuses to start without shards.
-    pub fn route(&self, key: u64) -> usize {
-        self.successors(key)[0]
-    }
-
-    /// Every shard exactly once, in ring order from `key`'s point: the
-    /// owner first, then the failover order every router agrees on.
-    pub fn successors(&self, key: u64) -> Vec<usize> {
-        let start = self.points.partition_point(|&(point, _)| point < key);
-        let mut order = Vec::with_capacity(self.shards);
-        let mut seen = vec![false; self.shards];
-        let wrapped = self.points[start..].iter().chain(&self.points[..start]);
-        for &(_, shard) in wrapped {
-            if !seen[shard] {
-                seen[shard] = true;
-                order.push(shard);
-                if order.len() == self.shards {
-                    break;
-                }
-            }
-        }
-        order
-    }
-}
+pub use prophet_core::ring::{route_key, Ring, VNODES};
 
 #[cfg(test)]
-mod tests {
+mod rebalance_tests {
     use super::*;
+    use proptest::prelude::*;
 
-    fn labels(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
-    }
+    /// How many digests we sample the key space with. Large enough
+    /// that the expected movement (K/N) dominates variance at N=16.
+    const K: usize = 2048;
 
-    #[test]
-    fn routing_is_deterministic_and_total() {
-        let ring = Ring::new(&labels(3));
-        for key in 0..1000u64 {
-            let shard = ring.route(key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            assert!(shard < 3);
-            assert_eq!(
-                shard,
-                ring.route(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                "same key, same shard"
-            );
-        }
-    }
-
-    #[test]
-    fn placement_ignores_label_order() {
-        let mut names = labels(4);
-        let forward = Ring::new(&names);
-        names.reverse();
-        let backward = Ring::new(&names);
-        for key in (0..1000u64).map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d)) {
-            // Shard indices differ (the lists are reversed), but the
-            // *label* that owns the key must be identical.
-            assert_eq!(
-                labels(4)[forward.route(key)],
-                names[backward.route(key)],
-                "placement must depend on label values, not positions"
-            );
-        }
-    }
-
-    #[test]
-    fn load_spreads_over_every_shard() {
-        let ring = Ring::new(&labels(4));
-        let mut owned = [0usize; 4];
-        for key in (0..4000u64).map(|k| k.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
-            owned[ring.route(key)] += 1;
-        }
-        for (shard, &count) in owned.iter().enumerate() {
-            assert!(
-                count > 400,
-                "shard {shard} owns only {count}/4000 keys: {owned:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn successors_visit_every_shard_once() {
-        let ring = Ring::new(&labels(5));
-        let order = ring.successors(route_key(ArtifactKey { model: 7, mcf: 9 }));
-        let mut sorted = order.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "dedup failed: {order:?}");
-        assert_eq!(
-            order[0],
-            ring.route(route_key(ArtifactKey { model: 7, mcf: 9 }))
-        );
-    }
-
-    #[test]
-    fn adding_a_shard_moves_only_its_own_arcs() {
-        let four = Ring::new(&labels(4));
-        let five = Ring::new(&labels(5));
-        let keys: Vec<u64> = (0..2000u64)
-            .map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d))
-            .collect();
-        let moved = keys
-            .iter()
-            .filter(|&&k| {
-                let before = four.route(k);
-                let after = five.route(k);
-                after != before && after != 4 // moved, but not to the new shard
+    fn fleet_labels(n: usize, seed: u64) -> Vec<String> {
+        // Port numbers derived from the seed so fleets differ run to
+        // run, while staying valid "host:port" shapes.
+        (0..n)
+            .map(|i| {
+                format!(
+                    "10.0.{}.{}:{}",
+                    seed % 250,
+                    i,
+                    7000 + ((seed / 250 + i as u64) % 2000)
+                )
             })
-            .count();
-        assert_eq!(
-            moved, 0,
-            "keys may only move *to* the new shard, never between old ones"
-        );
-        let to_new = keys.iter().filter(|&&k| five.route(k) == 4).count();
+            .collect()
+    }
+
+    fn sampled_keys() -> Vec<u64> {
+        (0..K as u64)
+            .map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .collect()
+    }
+
+    /// Rebalance movement when one shard joins or leaves a random
+    /// fleet: at most `2·K/N` of K sampled digests change owner, and a
+    /// key never moves between two *surviving* shards — the only legal
+    /// moves are to the joining shard or off the leaving one.
+    fn check_single_change(labels: &[String], changed: &str, grown: &[String]) {
+        let before = Ring::new(labels);
+        let after = Ring::new(grown);
+        let n = grown.len().max(labels.len());
+        let bound = 2 * K / n;
+        let mut moved = 0usize;
+        for key in sampled_keys() {
+            let owner_before = &labels[before.route(key)];
+            let owner_after = &grown[after.route(key)];
+            if owner_before != owner_after {
+                moved += 1;
+                assert!(
+                    owner_before == changed || owner_after == changed,
+                    "key {key:#x} moved {owner_before} -> {owner_after}, \
+                     but only `{changed}` joined/left"
+                );
+            }
+        }
         assert!(
-            to_new > 100 && to_new < 900,
-            "the new shard should take roughly 1/5 of the keys, took {to_new}/2000"
+            moved <= bound,
+            "{moved}/{K} keys moved; consistent hashing bounds movement \
+             by 2·K/N = {bound} for N = {n}"
         );
+    }
+
+    proptest! {
+        #[test]
+        fn join_moves_at_most_2k_over_n_and_only_to_the_joiner(
+            n in 2usize..=16,
+            seed in any::<u64>(),
+        ) {
+            let labels = fleet_labels(n, seed);
+            let mut grown = labels.clone();
+            let joiner = format!("10.9.9.9:{}", 6000 + (seed % 1000));
+            grown.push(joiner.clone());
+            check_single_change(&labels, &joiner, &grown);
+        }
+
+        #[test]
+        fn leave_moves_at_most_2k_over_n_and_only_off_the_leaver(
+            n in 2usize..=16,
+            seed in any::<u64>(),
+            victim in any::<usize>(),
+        ) {
+            let labels = fleet_labels(n, seed);
+            let mut shrunk = labels.clone();
+            let leaver = shrunk.remove(victim % n);
+            // Same invariant, read in the shrinking direction: the
+            // "before" fleet is the larger one.
+            check_single_change(&labels, &leaver, &shrunk);
+        }
     }
 }

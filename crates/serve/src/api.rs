@@ -10,7 +10,15 @@
 //! | `GET /v1/models` | — | bundled demo workloads, by name |
 //! | `GET /v1/metrics` | — | request/latency/pool/elab/store counters |
 //! | `GET /v1/requests` | — | recent-request span journal (trace IDs) |
+//! | `POST /v1/warm` | `{model\|model_name, mcf?}` | prime the pool (token-guarded) |
+//! | `POST /v1/evict` | `{keys: [{model, mcf}, ..]}` | drop pooled sessions (token-guarded) |
 //! | `POST /v1/shutdown` | — | acknowledges, then drains the server |
+//!
+//! `/v1/warm` and `/v1/evict` are the shard half of the router's
+//! rebalance handoff: when fleet membership changes, the router warms
+//! each moved key's *new* owner (a disk hit under a shared store, a
+//! compile otherwise), then evicts it from the old owner's pool — both
+//! behind the same operator token as `/v1/shutdown`.
 //!
 //! `GET /v1/metrics?format=prometheus` answers the same counters as
 //! text exposition; every request is measured into per-phase spans and
@@ -103,6 +111,19 @@ pub fn demo_models() -> Vec<(&'static str, &'static str)> {
         ("lapw0", "LAPW0 material-science phase (ASKALON case study)"),
         ("pipeline", "point-to-point ring pipeline"),
         ("master_worker", "master/worker task farm"),
+        (
+            "task_farm",
+            "iterative broadcast/reduce task farm with stateful steering",
+        ),
+        (
+            "branching_pipeline",
+            "pipeline with parity-branched stage costs",
+        ),
+        ("halo_ring", "wrap-around ring halo exchange with step norm"),
+        (
+            "mapreduce",
+            "scatter/map/shuffle/reduce job with paired shuffle",
+        ),
     ]
 }
 
@@ -121,6 +142,13 @@ pub fn demo_model(name: &str) -> Option<Model> {
             ("lapw0", models::lapw0_model(64, 32, 1e-4)),
             ("pipeline", models::pipeline_model(32, 0.01, 4096)),
             ("master_worker", models::master_worker_model(64, 0.01, 256)),
+            ("task_farm", models::task_farm_model(8, 0.002, 512)),
+            (
+                "branching_pipeline",
+                models::branching_pipeline_model(24, 0.004, 2048),
+            ),
+            ("halo_ring", models::halo_ring_model(16, 0.003, 4096)),
+            ("mapreduce", models::mapreduce_model(4096, 1e-6, 64)),
         ]
         .into_iter()
         .map(|(name, model)| {
@@ -172,6 +200,8 @@ fn route(state: &AppState, req: &Request, spans: &mut SpanSet) -> (Response, boo
         ("GET", "/v1/models") => handle_models(),
         ("GET", "/v1/metrics") => handle_metrics(state, req),
         ("GET", "/v1/requests") => handle_requests(state),
+        ("POST", "/v1/warm") => handle_warm(state, req, spans),
+        ("POST", "/v1/evict") => handle_evict(state, req),
         ("POST", "/v1/shutdown") => {
             // Shutdown is operator-only when a token is configured: the
             // prediction endpoints stay open, but draining the fleet
@@ -190,7 +220,7 @@ fn route(state: &AppState, req: &Request, spans: &mut SpanSet) -> (Response, boo
         (
             _,
             "/v1/check" | "/v1/estimate" | "/v1/sweep" | "/v1/optimize" | "/v1/models"
-            | "/v1/metrics" | "/v1/requests" | "/v1/shutdown",
+            | "/v1/metrics" | "/v1/requests" | "/v1/warm" | "/v1/evict" | "/v1/shutdown",
         ) => error_response(405, format!("{} not allowed here", req.method)),
         _ => error_response(404, format!("no such endpoint `{}`", req.path)),
     };
@@ -792,6 +822,7 @@ fn handle_metrics(state: &AppState, req: &Request) -> Response {
                 ("compiles", Json::from(pool.compiles)),
                 ("reuses", Json::from(pool.reuses)),
                 ("bypasses", Json::from(pool.bypasses)),
+                ("evictions", Json::from(state.pool.evictions())),
             ]),
         ),
         (
@@ -844,6 +875,106 @@ fn handle_metrics(state: &AppState, req: &Request) -> Response {
 
 fn handle_requests(state: &AppState) -> Response {
     Response::json(200, state.spans.journal_json().encode())
+}
+
+/// Require the operator bearer token (the `/v1/shutdown` one) on a
+/// mutation endpoint. `None` token leaves the endpoint open, matching
+/// shutdown's single-operator dev default.
+fn operator_guard(state: &AppState, req: &Request, what: &str) -> Option<Response> {
+    if let Some(expected) = &state.shutdown_token {
+        if !bearer_authorized(req, expected) {
+            return Some(error_response(
+                401,
+                format!("{what} requires a valid bearer token"),
+            ));
+        }
+    }
+    None
+}
+
+/// `POST /v1/warm`: prime the pool for a model/MCF without answering a
+/// prediction. Same body shape as `/v1/check`; the checkout goes
+/// store-first, so under a shared store a warm is a disk hit, not a
+/// recompile. The router drives this during rebalance handoff.
+fn handle_warm(state: &AppState, req: &Request, spans: &mut SpanSet) -> Response {
+    if let Some(denied) = operator_guard(state, req, "warm") {
+        return denied;
+    }
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    spans.mark(Phase::Parse);
+    let (session, reused) = match resolve_session(state, &body, spans) {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let key = crate::pool::PoolKey::of(session.model(), session.mcf());
+    let encoded = Json::object([
+        ("ok", Json::from(true)),
+        ("reused", Json::from(reused)),
+        (
+            "key",
+            Json::object([
+                ("model", Json::from(format!("{:016x}", key.model))),
+                ("mcf", Json::from(format!("{:016x}", key.mcf))),
+            ]),
+        ),
+    ])
+    .encode();
+    spans.mark(Phase::Encode);
+    Response::json(200, encoded)
+}
+
+/// One `{model, mcf}` digest pair from the evict body, 16-hex each.
+fn parse_evict_key(item: &Json) -> Result<crate::pool::PoolKey, Response> {
+    let digest = |name: &str| -> Result<u64, Response> {
+        let s = item.get(name).and_then(Json::as_str).ok_or_else(|| {
+            error_response(400, format!("each key needs a `{name}` hex-digest string"))
+        })?;
+        u64::from_str_radix(s, 16)
+            .map_err(|_| error_response(400, format!("bad `{name}` digest `{s}`: not 64-bit hex")))
+    };
+    Ok(crate::pool::PoolKey {
+        model: digest("model")?,
+        mcf: digest("mcf")?,
+    })
+}
+
+/// `POST /v1/evict`: drop pooled sessions by digest key
+/// (`{"keys": [{"model": "<16 hex>", "mcf": "<16 hex>"}, ...]}`). Keys
+/// not in the pool count as requested but not evicted — eviction is
+/// idempotent, so the router can re-drive a handoff safely.
+fn handle_evict(state: &AppState, req: &Request) -> Response {
+    if let Some(denied) = operator_guard(state, req, "evict") {
+        return denied;
+    }
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let Some(items) = body.get("keys").and_then(Json::as_array) else {
+        return error_response(400, "missing `keys`: an array of {model, mcf} digest pairs");
+    };
+    let mut evicted = 0usize;
+    for item in items {
+        match parse_evict_key(item) {
+            Ok(key) => {
+                if state.pool.evict(key) {
+                    evicted += 1;
+                }
+            }
+            Err(r) => return r,
+        }
+    }
+    Response::json(
+        200,
+        Json::object([
+            ("requested", Json::from(items.len())),
+            ("evicted", Json::from(evicted)),
+        ])
+        .encode(),
+    )
 }
 
 /// The `?format=prometheus` rendering of everything `/v1/metrics`
@@ -906,6 +1037,10 @@ fn render_prometheus(state: &AppState) -> String {
         ("prophet_session_pool_compiles_total", pool.compiles),
         ("prophet_session_pool_reuses_total", pool.reuses),
         ("prophet_session_pool_bypasses_total", pool.bypasses),
+        (
+            "prophet_session_pool_evictions_total",
+            state.pool.evictions(),
+        ),
     ] {
         e.family(name, "counter");
         e.sample(name, &[], value);
@@ -1357,8 +1492,9 @@ mod tests {
             .iter()
             .map(|m| m.get("name").unwrap().as_str().unwrap().to_string())
             .collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 10);
         assert!(names.contains(&"jacobi".to_string()));
+        assert!(names.contains(&"halo_ring".to_string()));
         // Every listed model actually resolves and compiles.
         for name in &names {
             Session::new(demo_model(name).unwrap()).unwrap();
@@ -1378,6 +1514,75 @@ mod tests {
         let (r, shutdown) = handle(&state, &post("/v1/shutdown", ""));
         assert_eq!(r.status, 200);
         assert!(shutdown);
+    }
+
+    fn post_auth(path: &str, body: &str, token: &str) -> Request {
+        let mut req = post(path, body);
+        req.headers
+            .push(("authorization".into(), format!("Bearer {token}")));
+        req
+    }
+
+    #[test]
+    fn warm_and_evict_manage_the_pool_behind_the_operator_token() {
+        let state = AppState {
+            shutdown_token: Some("sekrit".into()),
+            ..AppState::default()
+        };
+
+        // Both mutations share the shutdown token guard.
+        let (r, _) = handle(&state, &post("/v1/warm", r#"{"model_name":"sample"}"#));
+        assert_eq!(r.status, 401);
+        let (r, _) = handle(&state, &post("/v1/evict", r#"{"keys":[]}"#));
+        assert_eq!(r.status, 401);
+        let (r, _) = handle(&state, &get("/v1/warm"));
+        assert_eq!(r.status, 405);
+
+        // A cold warm compiles into the pool; a second one is a reuse.
+        let warm = post_auth("/v1/warm", r#"{"model_name":"sample"}"#, "sekrit");
+        let (r, _) = handle(&state, &warm);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let first = body_of(&r);
+        assert_eq!(first.get("reused").unwrap().as_bool(), Some(false));
+        let key = first.get("key").unwrap();
+        let model_hex = key.get("model").unwrap().as_str().unwrap().to_string();
+        let mcf_hex = key.get("mcf").unwrap().as_str().unwrap().to_string();
+        assert_eq!(model_hex.len(), 16);
+        let (r, _) = handle(&state, &warm);
+        assert_eq!(body_of(&r).get("reused").unwrap().as_bool(), Some(true));
+        assert_eq!(state.pool.stats().size, 1);
+
+        // Evict by the digest pair the warm reported; unknown keys are
+        // counted as requested but not evicted, and re-evicting is a
+        // no-op — the handoff driver can replay safely.
+        let body = format!(
+            r#"{{"keys":[{{"model":"{model_hex}","mcf":"{mcf_hex}"}},{{"model":"dead","mcf":"beef"}}]}}"#
+        );
+        let (r, _) = handle(&state, &post_auth("/v1/evict", &body, "sekrit"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let evicted = body_of(&r);
+        assert_eq!(evicted.get("requested").unwrap().as_f64(), Some(2.0));
+        assert_eq!(evicted.get("evicted").unwrap().as_f64(), Some(1.0));
+        assert_eq!(state.pool.stats().size, 0);
+        let (r, _) = handle(&state, &post_auth("/v1/evict", &body, "sekrit"));
+        assert_eq!(body_of(&r).get("evicted").unwrap().as_f64(), Some(0.0));
+
+        // Malformed bodies are 400s, not panics.
+        let (r, _) = handle(&state, &post_auth("/v1/evict", r#"{}"#, "sekrit"));
+        assert_eq!(r.status, 400);
+        let bad = r#"{"keys":[{"model":"nothex!","mcf":"0"}]}"#;
+        let (r, _) = handle(&state, &post_auth("/v1/evict", bad, "sekrit"));
+        assert_eq!(r.status, 400);
+
+        // The eviction shows up in both metrics renderings.
+        let (r, _) = handle(&state, &get("/v1/metrics"));
+        let pool = body_of(&r);
+        let pool = pool.get("session_pool").unwrap();
+        assert_eq!(pool.get("evictions").unwrap().as_f64(), Some(1.0));
+        let mut prom = get("/v1/metrics");
+        prom.query = "format=prometheus".into();
+        let (r, _) = handle(&state, &prom);
+        assert!(r.body.contains("prophet_session_pool_evictions_total 1"));
     }
 
     #[test]

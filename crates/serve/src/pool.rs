@@ -84,6 +84,42 @@ pub struct PoolStats {
     pub bypasses: u64,
 }
 
+/// Which slice of a shared artifact store this shard owns: the fleet's
+/// consistent-hash ring plus this shard's position on it
+/// (`prophet serve --store DIR --partition FLEET`).
+///
+/// Partitioning namespaces the shared store by ring ownership *at
+/// warm-start*: a partitioned pool pre-loads only the keys the fleet's
+/// ring assigns to this shard, so boot cost stays ~K/N as the fleet
+/// grows instead of every shard loading every sibling's write-backs.
+/// The request path is deliberately unfiltered — a shard may serve (and
+/// write back) keys it doesn't own during failover or a rebalance.
+#[derive(Debug)]
+pub struct StorePartition {
+    ring: prophet_core::ring::Ring,
+    own: usize,
+}
+
+impl StorePartition {
+    /// Partition by the fleet's shard labels (addresses — the same
+    /// strings the router's `--shards` list uses) and this shard's own
+    /// label. `None` when `own` is not in `fleet` — a partition that
+    /// owns nothing is a misconfiguration, not an empty warm start.
+    pub fn new<S: AsRef<str>>(fleet: &[S], own: &str) -> Option<Self> {
+        let own_index = fleet.iter().position(|l| l.as_ref() == own)?;
+        Some(Self {
+            ring: prophet_core::ring::Ring::new(fleet),
+            own: own_index,
+        })
+    }
+
+    /// Whether this shard owns `key` under the fleet's ring — the
+    /// identical placement the router computes for the same labels.
+    pub fn owns(&self, key: PoolKey) -> bool {
+        self.ring.route(prophet_core::ring::route_key(key)) == self.own
+    }
+}
+
 /// A bounded, concurrency-safe pool of compiled [`Session`]s,
 /// optionally backed by a persistent [`ArtifactStore`].
 #[derive(Debug)]
@@ -91,9 +127,11 @@ pub struct SessionPool {
     slots: Mutex<HashMap<PoolKey, Slot>>,
     capacity: usize,
     store: Option<Arc<ArtifactStore>>,
+    partition: Option<StorePartition>,
     compiles: AtomicU64,
     reuses: AtomicU64,
     bypasses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for SessionPool {
@@ -109,10 +147,20 @@ impl SessionPool {
             slots: Mutex::new(HashMap::new()),
             capacity,
             store: None,
+            partition: None,
             compiles: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Restrict [`warm_start`](Self::warm_start) to the store keys this
+    /// shard owns under `partition` (see [`StorePartition`]). Builder
+    /// style, applied before the pool starts serving.
+    pub fn with_partition(mut self, partition: StorePartition) -> Self {
+        self.partition = Some(partition);
+        self
     }
 
     /// [`SessionPool::with_capacity`], backed by a persistent artifact
@@ -140,6 +188,9 @@ impl SessionPool {
         let Some(store) = &self.store else { return 0 };
         let mut loaded = 0;
         for key in store.keys() {
+            if self.partition.as_ref().is_some_and(|p| !p.owns(key)) {
+                continue;
+            }
             {
                 let slots = self.slots.lock().expect("pool lock");
                 if slots.len() >= self.capacity {
@@ -263,6 +314,26 @@ impl SessionPool {
             Ok(compiled)
         });
         result.clone().map(|session| (session, reused, timing))
+    }
+
+    /// Drop the pooled session for `key`, if present. The router's
+    /// rebalance handoff calls this (via `POST /v1/evict`) on a key's
+    /// *old* owner once the new owner is warm; in-flight requests keep
+    /// their `Arc<Session>` until they finish, and the on-disk artifact
+    /// (if any) is untouched — eviction frees pool capacity, not disk.
+    pub fn evict(&self, key: PoolKey) -> bool {
+        let removed = self.slots.lock().expect("pool lock").remove(&key).is_some();
+        if removed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// How many pooled sessions have been dropped via
+    /// [`evict`](Self::evict) — surfaced as
+    /// `session_pool.evictions` on `/v1/metrics`.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot of the attached artifact store, if any — the
@@ -499,6 +570,69 @@ mod tests {
         // The corrupt entry was either skipped (and evicted) or simply
         // never reached under the capacity bound; never a panic.
         assert_eq!(pool.stats().compiles, 0);
+    }
+
+    #[test]
+    fn evict_drops_exactly_the_named_key() {
+        let pool = SessionPool::default();
+        let mcf = McfConfig::default();
+        let keep = model("keep", "1.0");
+        let drop_me = model("drop", "2.0");
+        let kept = pool.session(&keep, &mcf).unwrap();
+        pool.session(&drop_me, &mcf).unwrap();
+        assert_eq!(pool.stats().size, 2);
+
+        assert!(pool.evict(PoolKey::of(&drop_me, &mcf)));
+        assert!(!pool.evict(PoolKey::of(&drop_me, &mcf)), "already gone");
+        assert_eq!(pool.stats().size, 1);
+        assert_eq!(pool.evictions(), 1);
+        // The survivor still reuses; the evicted key recompiles.
+        assert!(Arc::ptr_eq(&kept, &pool.session(&keep, &mcf).unwrap()));
+        pool.session(&drop_me, &mcf).unwrap();
+        assert_eq!(pool.stats().compiles, 3);
+    }
+
+    #[test]
+    fn partitioned_warm_start_loads_only_owned_keys() {
+        let store = temp_store("partition");
+        let mcf = McfConfig::default();
+        // Seed the shared store with enough distinct models that both
+        // partitions own something.
+        let models: Vec<Model> = (0..8)
+            .map(|i| model(&format!("p{i}"), &format!("{}.0", i + 1)))
+            .collect();
+        {
+            let pool = SessionPool::with_store(DEFAULT_CAPACITY, Arc::clone(&store));
+            for m in &models {
+                pool.session(m, &mcf).unwrap();
+            }
+        }
+        let fleet = ["10.0.0.1:7071", "10.0.0.2:7071"];
+        let all: Vec<PoolKey> = store.keys();
+        let owned_by = |own: &str| {
+            let p = StorePartition::new(&fleet, own).unwrap();
+            all.iter().filter(|&&k| p.owns(k)).count()
+        };
+        assert_eq!(
+            owned_by(fleet[0]) + owned_by(fleet[1]),
+            all.len(),
+            "every key has exactly one owner"
+        );
+
+        for own in fleet {
+            let store2 = Arc::new(ArtifactStore::open(store.dir()).unwrap());
+            let pool = SessionPool::with_store(DEFAULT_CAPACITY, store2)
+                .with_partition(StorePartition::new(&fleet, own).unwrap());
+            assert_eq!(
+                pool.warm_start(),
+                owned_by(own),
+                "{own} must warm exactly its ring slice"
+            );
+        }
+        // A label outside the fleet is a misconfiguration, not a shard
+        // that owns nothing.
+        assert!(StorePartition::new(&fleet, "10.9.9.9:1").is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub struct ServerConfig {
     /// Operator bearer token: when set, `POST /v1/shutdown` requires
     /// an `Authorization: Bearer <token>` header (401 otherwise).
     pub token: Option<String>,
+    /// Store partition (`prophet serve --store DIR --partition FLEET`):
+    /// `(fleet labels, own label)`. Warm-start then loads only the
+    /// artifacts this shard owns under the fleet's consistent-hash
+    /// ring, so N partitioned shards sharing one store each pre-load
+    /// ~1/N of it instead of all of it. Requests for non-owned keys
+    /// are still served (and cached) — partitioning shapes the
+    /// warm-start set, not correctness.
+    pub partition: Option<(Vec<String>, String)>,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +121,7 @@ impl Default for ServerConfig {
             io_timeout: DEFAULT_IO_TIMEOUT,
             store: None,
             token: None,
+            partition: None,
         }
     }
 }
@@ -142,10 +151,19 @@ impl<H: Handler> std::fmt::Debug for ServerHandle<H> {
 /// # Errors
 /// Propagates the bind failure (port in use, bad address).
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
-    let pool = match &config.store {
+    let mut pool = match &config.store {
         Some(store) => SessionPool::with_store(crate::pool::DEFAULT_CAPACITY, Arc::clone(store)),
         None => SessionPool::default(),
     };
+    if let Some((fleet, own)) = &config.partition {
+        let partition = crate::pool::StorePartition::new(fleet, own).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("partition shard `{own}` is not in the fleet {fleet:?}"),
+            )
+        })?;
+        pool = pool.with_partition(partition);
+    }
     // Lifetime counters survive restarts: the last checkpoint the
     // previous process wrote becomes this boot's baseline. Checkpoints
     // are keyed by the *bound* listen address (bind first, then load),
@@ -551,7 +569,7 @@ mod tests {
         assert_eq!(models.status, 200);
         assert_eq!(
             models.body.get("models").unwrap().as_array().unwrap().len(),
-            6
+            10
         );
         let metrics = client::get(addr, "/v1/metrics").unwrap();
         assert_eq!(metrics.status, 200);
@@ -662,6 +680,17 @@ mod tests {
             .unwrap();
         assert_eq!(ok.status, 200, "{}", ok.body);
         server.wait();
+    }
+
+    #[test]
+    fn partition_requires_own_shard_in_the_fleet() {
+        let err = serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            partition: Some((vec!["10.0.0.1:7077".into()], "10.0.0.2:7077".into())),
+            ..Default::default()
+        })
+        .expect_err("own label outside the fleet must refuse to start");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

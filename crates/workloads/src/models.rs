@@ -340,6 +340,284 @@ pub fn lapw0_model(atoms: usize, kpoints: usize, per_atom_cost: f64) -> Model {
     b.build()
 }
 
+/// A rounds-based task farm (master–worker shaped, promoted from the
+/// `tests/model_gen.rs` generator vocabulary): each of `rounds` rounds
+/// broadcasts `task_bytes` of work descriptors from rank 0, every rank
+/// computes a pid-skewed share whose cost also grows with an
+/// accumulated steering state `GV`, and a reduce collects partials.
+///
+/// Differs from [`master_worker_model`] in that the farm is iterative
+/// (a `<<loop+>>` of rounds rather than one scatter/gather) and
+/// stateful: the code fragment attached to the steering action bumps
+/// `GV` every round, so later rounds are costlier — the generator's
+/// `Stateful` segment as a named workload.
+pub fn task_farm_model(rounds: usize, per_task_cost: f64, task_bytes: u64) -> Model {
+    let mut b = ModelBuilder::new("task_farm");
+    b.function(
+        "FTask",
+        &["r"],
+        &format!("{per_task_cost} * r * (1 + 0.05 * pid)"),
+    );
+    b.function("FSteer", &[], &format!("{per_task_cost} * (1 + GV) / 4"));
+    b.global("GV", VarType::Int, Some("0"));
+    let main = b.main_diagram();
+    let body = b.diagram("round");
+
+    let i = b.initial(main, "start");
+    let lp = b.loop_activity(main, "Farm", body, &rounds.to_string());
+    let gather = b.mpi(
+        main,
+        "GatherResults",
+        "gather",
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr(task_bytes.to_string())),
+        ],
+    );
+    let f = b.final_node(main, "end");
+    b.flow(main, i, lp);
+    b.flow(main, lp, gather);
+    b.flow(main, gather, f);
+
+    // Round body: broadcast descriptors, steer (stateful), work, reduce.
+    let bcast = b.mpi(
+        body,
+        "BcastTasks",
+        "broadcast",
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr(task_bytes.to_string())),
+        ],
+    );
+    let steer = b.action(body, "Steer", "FSteer()");
+    b.attach_code(steer, "GV = GV + 1;");
+    let work = b.action(body, "Work", "FTask(64 / P)");
+    let reduce = b.mpi(
+        body,
+        "ReducePartials",
+        "reduce",
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr("8".into())),
+        ],
+    );
+    b.flow(body, bcast, steer);
+    b.flow(body, steer, work);
+    b.flow(body, work, reduce);
+
+    b.build()
+}
+
+/// A pipeline whose per-item work branches on rank parity (the
+/// generator's `Branch` segment promoted into [`pipeline_model`]'s
+/// streaming skeleton): even-rank stages do light filtering, odd-rank
+/// stages do the expensive transform, so the pipeline's steady-state
+/// rate is set by the odd stages.
+pub fn branching_pipeline_model(items: usize, per_item_cost: f64, item_bytes: u64) -> Model {
+    let mut b = ModelBuilder::new("branching_pipeline");
+    b.function("FLight", &[], &format!("{per_item_cost} / 4"));
+    b.function("FHeavy", &[], &format!("{per_item_cost}"));
+    let main = b.main_diagram();
+    let body = b.diagram("item");
+    let i = b.initial(main, "start");
+    let lp = b.loop_activity(main, "Stream", body, &items.to_string());
+    let f = b.final_node(main, "end");
+    b.flow(main, i, lp);
+    b.flow(main, lp, f);
+
+    // Item body: receive from the left (unless first), branch on rank
+    // parity for the processing cost, forward right (unless last).
+    let d_in = b.decision(body, "notFirst");
+    let rx = b.mpi(
+        body,
+        "RecvItem",
+        "recv",
+        &[
+            ("src", TagValue::Expr("pid - 1".into())),
+            ("tag", TagValue::Int(0)),
+        ],
+    );
+    let m_in = b.merge(body, "mergeIn");
+    let d_par = b.decision(body, "parity");
+    let filt = b.action(body, "Filter", "FLight()");
+    let xform = b.action(body, "Transform", "FHeavy()");
+    let m_par = b.merge(body, "mergeParity");
+    let d_out = b.decision(body, "notLast");
+    let tx = b.mpi(
+        body,
+        "SendItem",
+        "send",
+        &[
+            ("dest", TagValue::Expr("pid + 1".into())),
+            ("size", TagValue::Expr(item_bytes.to_string())),
+            ("tag", TagValue::Int(0)),
+        ],
+    );
+    let m_out = b.merge(body, "mergeOut");
+
+    b.guarded_flow(body, d_in, rx, "pid > 0");
+    b.guarded_flow(body, d_in, m_in, "else");
+    b.flow(body, rx, m_in);
+    b.flow(body, m_in, d_par);
+    b.guarded_flow(body, d_par, filt, "pid % 2 == 0");
+    b.guarded_flow(body, d_par, xform, "else");
+    b.flow(body, filt, m_par);
+    b.flow(body, xform, m_par);
+    b.flow(body, m_par, d_out);
+    b.guarded_flow(body, d_out, tx, "pid < P - 1");
+    b.guarded_flow(body, d_out, m_out, "else");
+    b.flow(body, tx, m_out);
+
+    b.build()
+}
+
+/// A periodic halo exchange on a ring (the generator's `RingShift`
+/// segment as a named workload): `iters` steps, each computing a
+/// `per_step_cost` update, shifting `cell_bytes` of boundary cells to
+/// `(pid + 1) % P` while receiving from `(pid − 1 + P) % P` — guarded
+/// by `P > 1` so the model stays valid on one rank — then an allreduce
+/// for the step norm.
+///
+/// Unlike [`jacobi_model`]'s open-ended up/down halo, the ring wraps:
+/// every rank sends and receives exactly one message per step, so the
+/// communication load is perfectly balanced at any `P`.
+pub fn halo_ring_model(iters: usize, per_step_cost: f64, cell_bytes: u64) -> Model {
+    let mut b = ModelBuilder::new("halo_ring");
+    b.function("FStep", &[], &format!("{per_step_cost} * (1 + 0.02 * pid)"));
+    let main = b.main_diagram();
+    let body = b.diagram("step");
+    let i = b.initial(main, "start");
+    let lp = b.loop_activity(main, "TimeLoop", body, &iters.to_string());
+    let f = b.final_node(main, "end");
+    b.flow(main, i, lp);
+    b.flow(main, lp, f);
+
+    // Step body: compute, ring shift (skipped entirely at P = 1), norm.
+    let compute = b.action(body, "Compute", "FStep()");
+    let d_ring = b.decision(body, "ring");
+    let tx = b.mpi(
+        body,
+        "RingSend",
+        "send",
+        &[
+            ("dest", TagValue::Expr("(pid + 1) % P".into())),
+            ("size", TagValue::Expr(cell_bytes.to_string())),
+            ("tag", TagValue::Int(3)),
+        ],
+    );
+    let rx = b.mpi(
+        body,
+        "RingRecv",
+        "recv",
+        &[
+            ("src", TagValue::Expr("(pid - 1 + P) % P".into())),
+            ("tag", TagValue::Int(3)),
+        ],
+    );
+    let m_ring = b.merge(body, "mergeRing");
+    let norm = b.mpi(
+        body,
+        "NormAllreduce",
+        "allreduce",
+        &[("size", TagValue::Expr("8".into()))],
+    );
+    b.flow(body, compute, d_ring);
+    b.guarded_flow(body, d_ring, tx, "P > 1");
+    b.guarded_flow(body, d_ring, m_ring, "else");
+    b.flow(body, tx, rx);
+    b.flow(body, rx, m_ring);
+    b.flow(body, m_ring, norm);
+
+    b.build()
+}
+
+/// A MapReduce-shaped job: rank 0 scatters `records` fixed-size input
+/// records, every rank maps its share at a pid-skewed cost, pairs of
+/// neighbouring ranks shuffle intermediate keys (the generator's
+/// `PairExchange` segment: even ranks with an odd right neighbour send,
+/// exactly those neighbours receive, so every send is matched at any
+/// `P`), each rank combines locally, and a reduce folds the combined
+/// partials into rank 0.
+pub fn mapreduce_model(records: usize, per_record_cost: f64, record_bytes: u64) -> Model {
+    let mut b = ModelBuilder::new("mapreduce");
+    b.function(
+        "FMap",
+        &["r"],
+        &format!("{per_record_cost} * r * (1 + 0.15 * pid)"),
+    );
+    b.function("FCombine", &["r"], &format!("{per_record_cost} * r / 8"));
+    b.global("RECORDS", VarType::Int, Some(&records.to_string()));
+    let main = b.main_diagram();
+
+    let i = b.initial(main, "start");
+    let scatter = b.mpi(
+        main,
+        "ScatterInput",
+        "scatter",
+        &[
+            ("root", TagValue::Expr("0".into())),
+            ("size", TagValue::Expr(format!("{record_bytes} * RECORDS"))),
+        ],
+    );
+    let map = b.action(main, "Map", "FMap(RECORDS / P)");
+    let d_tx = b.decision(main, "isSender");
+    let tx = b.mpi(
+        main,
+        "ShuffleSend",
+        "send",
+        &[
+            ("dest", TagValue::Expr("pid + 1".into())),
+            (
+                "size",
+                TagValue::Expr(format!("{record_bytes} * RECORDS / 4")),
+            ),
+            ("tag", TagValue::Int(5)),
+        ],
+    );
+    let m_tx = b.merge(main, "mergeSend");
+    let d_rx = b.decision(main, "isReceiver");
+    let rx = b.mpi(
+        main,
+        "ShuffleRecv",
+        "recv",
+        &[
+            ("src", TagValue::Expr("pid - 1".into())),
+            ("tag", TagValue::Int(5)),
+        ],
+    );
+    let m_rx = b.merge(main, "mergeRecv");
+    let combine = b.action(main, "Combine", "FCombine(RECORDS / P)");
+    let reduce = b.mpi(
+        main,
+        "ReduceOutput",
+        "reduce",
+        &[
+            ("root", TagValue::Expr("0".into())),
+            (
+                "size",
+                TagValue::Expr(format!("{record_bytes} * RECORDS / P")),
+            ),
+        ],
+    );
+    let f = b.final_node(main, "end");
+
+    b.flow(main, i, scatter);
+    b.flow(main, scatter, map);
+    b.flow(main, map, d_tx);
+    b.guarded_flow(main, d_tx, tx, "pid % 2 == 0 && pid + 1 < P");
+    b.guarded_flow(main, d_tx, m_tx, "else");
+    b.flow(main, tx, m_tx);
+    b.flow(main, m_tx, d_rx);
+    b.guarded_flow(main, d_rx, rx, "pid % 2 == 1");
+    b.guarded_flow(main, d_rx, m_rx, "else");
+    b.flow(main, rx, m_rx);
+    b.flow(main, m_rx, combine);
+    b.flow(main, combine, reduce);
+    b.flow(main, reduce, f);
+
+    b.build()
+}
+
 /// Convenience: compile `model` and pair it with the scenario for the
 /// given flat-MPI size.
 pub fn session_for(
@@ -381,6 +659,64 @@ mod tests {
         assert_checks(&pipeline_model(10, 0.01, 1024));
         assert_checks(&master_worker_model(64, 0.01, 256));
         assert_checks(&lapw0_model(32, 8, 1e-4));
+        assert_checks(&task_farm_model(8, 0.002, 512));
+        assert_checks(&branching_pipeline_model(24, 0.004, 2048));
+        assert_checks(&halo_ring_model(16, 0.003, 4096));
+        assert_checks(&mapreduce_model(4096, 1e-6, 64));
+    }
+
+    #[test]
+    fn task_farm_rounds_get_costlier() {
+        // GV accumulates across rounds, so doubling the rounds more
+        // than doubles the farm time (stateful steering, not a loop
+        // of identical bodies).
+        let time_for = |rounds| {
+            let (session, scenario) =
+                session_for(task_farm_model(rounds, 0.002, 512), 4, 1).unwrap();
+            session.evaluate(&scenario).unwrap().predicted_time
+        };
+        let (t4, t8) = (time_for(4), time_for(8));
+        assert!(t8 > 2.0 * t4, "t8 {t8} vs t4 {t4}: steering state lost");
+    }
+
+    #[test]
+    fn branching_pipeline_odd_stages_dominate() {
+        let (session, scenario) =
+            session_for(branching_pipeline_model(24, 0.004, 2048), 4, 1).unwrap();
+        let run = session.evaluate(&scenario).unwrap();
+        let a = TraceAnalysis::analyze(&run.trace);
+        let heavy = a.element("Transform").unwrap();
+        let light = a.element("Filter").unwrap();
+        assert!(
+            heavy.max_time > light.max_time,
+            "heavy {} !> light {}",
+            heavy.max_time,
+            light.max_time
+        );
+        // Steady-state rate is set by the heavy (odd) stages.
+        assert!(run.predicted_time >= 24.0 * 0.004, "{}", run.predicted_time);
+    }
+
+    #[test]
+    fn halo_ring_is_valid_at_any_p() {
+        // The `P > 1` guard makes one rank legal; the wrap makes the
+        // communication volume identical on every rank at P > 1.
+        for p in [1usize, 2, 3, 5] {
+            let (session, scenario) = session_for(halo_ring_model(16, 0.003, 4096), p, 1).unwrap();
+            let run = session.evaluate(&scenario).unwrap();
+            assert!(run.predicted_time > 0.0, "P={p}");
+        }
+    }
+
+    #[test]
+    fn mapreduce_shuffle_is_matched_at_odd_p() {
+        // P = 3: rank 0 sends, rank 1 receives, rank 2 does neither —
+        // the PairExchange guards keep every send matched.
+        for p in [1usize, 2, 3, 4] {
+            let (session, scenario) = session_for(mapreduce_model(4096, 1e-6, 64), p, 1).unwrap();
+            let run = session.evaluate(&scenario).unwrap();
+            assert!(run.predicted_time > 0.0, "P={p}");
+        }
     }
 
     #[test]

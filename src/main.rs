@@ -20,7 +20,7 @@
 //! prophet warm      --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]]
 //!                   <model.xml>...
 //! prophet metrics   <url> [--watch SECS]
-//! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker
+//! prophet demo      sample|kernel6|jacobi|lapw0|pipeline|master_worker|task_farm|branching_pipeline|halo_ring|mapreduce
 //! ```
 //!
 //! `--backend simulation` (default) replays the model on the DES kernel
@@ -156,7 +156,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet optimize <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8] [--objective min_time|min_cost|max_speedup_per_cost] [--deadline S] [--max-cost C] [--node-weight W] [--cpu-weight W] [--backend simulation|analytic] [--verify sim] [--margin F] [--stride K] [--workers W]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet metrics <url> [--watch SECS]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker"
+    "usage:\n  prophet check <model.xml> [--mcf <mcf.xml>]\n  prophet transform <model.xml> [--full] [--skeleton]\n  prophet estimate <model.xml> [--nodes N] [--cpus C] [--processes P] [--threads T] [--backend simulation|analytic] [--trace <file>] [--timeline]\n  prophet sweep <model.xml> --nodes 1,2,4,8 [--cpus C] [--workers W] [--backend simulation|analytic] [--no-elab-cache]\n  prophet optimize <model.xml> [--nodes 1,2,...,16] [--cpus 1,2,4,8] [--objective min_time|min_cost|max_speedup_per_cost] [--deadline S] [--max-cost C] [--node-weight W] [--cpu-weight W] [--backend simulation|analytic] [--verify sim] [--margin F] [--stride K] [--workers W]\n  prophet serve [--addr A] [--workers W] [--store DIR] [--partition H:P,H:P,...] [--token T]\n  prophet router --shards H:P,H:P,... [--addr A] [--workers W] [--token T] [--probe-ms MS]\n  prophet warm --store DIR [--mcf <mcf.xml>] [--nodes 1,2,4 [--cpus C]] <model.xml>...\n  prophet store gc --store DIR --max-bytes BYTES\n  prophet metrics <url> [--watch SECS]\n  prophet demo sample|kernel6|jacobi|lapw0|pipeline|master_worker|task_farm|branching_pipeline|halo_ring|mapreduce"
         .to_string()
 }
 
@@ -173,6 +173,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "serve" => cmd_serve(&args[1..]),
         "router" => cmd_router(&args[1..]),
         "warm" => cmd_warm(&args[1..]),
+        "store" => cmd_store(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -565,11 +566,25 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| runtime_err(format!("cannot open store `{dir}`: {e}")))
         })
         .transpose()?;
+    // `--partition H:P,H:P,...` names the whole fleet; this shard's
+    // own label is its `--addr`, which must appear in the list.
+    let partition = value_flag(args, "--partition")?
+        .map(|list| {
+            let fleet: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+            if !fleet.contains(&addr.to_string()) {
+                return Err(usage_err(format!(
+                    "`--partition {list}` does not contain this shard's --addr `{addr}`"
+                )));
+            }
+            Ok((fleet, addr.to_string()))
+        })
+        .transpose()?;
     let server = serve(&ServerConfig {
         addr: addr.to_string(),
         workers,
         store,
         token,
+        partition,
         ..Default::default()
     })
     .map_err(|e| runtime_err(format!("cannot bind `{addr}`: {e}")))?;
@@ -755,6 +770,41 @@ fn cmd_warm(args: &[String]) -> Result<(), CliError> {
     println!(
         "store `{store_dir}`: {} write(s), {} disk hit(s)",
         stats.writes, stats.disk_hits
+    );
+    Ok(())
+}
+
+/// `prophet store`: persistent-artifact-store maintenance.
+fn cmd_store(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("gc") => cmd_store_gc(&args[1..]),
+        Some(other) => Err(usage_err(format!("unknown store subcommand `{other}`"))),
+        None => Err(usage_err("store requires a subcommand: gc")),
+    }
+}
+
+/// `prophet store gc`: shrink a store under a byte budget. Corrupt
+/// entries go first (they can never be loaded again anyway), then the
+/// least-recently-used live entries until the store fits.
+fn cmd_store_gc(args: &[String]) -> Result<(), CliError> {
+    let dir =
+        value_flag(args, "--store")?.ok_or_else(|| usage_err("store gc requires --store <dir>"))?;
+    let max_bytes: u64 = parsed_flag(args, "--max-bytes")?
+        .ok_or_else(|| usage_err("store gc requires --max-bytes <bytes>"))?;
+    let store = ArtifactStore::open(dir)
+        .map_err(|e| runtime_err(format!("cannot open store `{dir}`: {e}")))?;
+    let report = store.gc(max_bytes);
+    println!(
+        "store `{dir}`: scanned {} entries ({} bytes)",
+        report.entries_scanned, report.bytes_scanned
+    );
+    println!(
+        "evicted {} corrupt, {} by LRU; reclaimed {} bytes",
+        report.corrupt_evicted, report.lru_evicted, report.bytes_reclaimed
+    );
+    println!(
+        "retained {} entries ({} bytes) under the {max_bytes}-byte budget",
+        report.entries_retained, report.bytes_retained
     );
     Ok(())
 }

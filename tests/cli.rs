@@ -485,6 +485,53 @@ fn warm_pre_elaborates_an_sp_grid() {
 }
 
 #[test]
+fn store_gc_shrinks_a_warmed_store_under_budget() {
+    let model = temp_model("gc", "sample");
+    let model = model.to_str().unwrap();
+    let dir = temp_store_dir("gc");
+    let store = dir.to_str().unwrap();
+    let (ok, _out, err) = prophet(&["warm", "--store", store, model]);
+    assert!(ok, "{err}");
+
+    // An ample budget retains the entry...
+    let (ok, out, err) = prophet(&["store", "gc", "--store", store, "--max-bytes", "100000000"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("scanned 1 entries"), "{out}");
+    assert!(out.contains("evicted 0 corrupt, 0 by LRU"), "{out}");
+    assert!(out.contains("retained 1 entries"), "{out}");
+
+    // ...a zero budget reclaims it.
+    let (ok, out, err) = prophet(&["store", "gc", "--store", store, "--max-bytes", "0"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("0 corrupt, 1 by LRU"), "{out}");
+    assert!(out.contains("retained 0 entries (0 bytes)"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_gc_usage_errors_name_the_offending_token() {
+    let (code, _out, err) = prophet_code(&["store"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("store requires a subcommand"), "{err}");
+
+    let (code, _out, err) = prophet_code(&["store", "shrink"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("unknown store subcommand `shrink`"), "{err}");
+
+    let (code, _out, err) = prophet_code(&["store", "gc", "--max-bytes", "10"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("requires --store"), "{err}");
+
+    let (code, _out, err) = prophet_code(&["store", "gc", "--store", "/tmp/x"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("requires --max-bytes"), "{err}");
+
+    let (code, _out, err) =
+        prophet_code(&["store", "gc", "--store", "/tmp/x", "--max-bytes", "lots"]);
+    assert_eq!(code, Some(2), "{err}");
+}
+
+#[test]
 fn warm_usage_errors_name_the_offending_token() {
     // Missing --store entirely.
     let model = temp_model("warm-usage", "sample");

@@ -48,9 +48,15 @@ fn every_serve_route_is_documented_in_api_md() {
         routes.contains("/v1/shards"),
         "expected the router-only /v1/shards endpoint in the scan, found {routes:?}"
     );
+    for handoff in ["/v1/warm", "/v1/evict"] {
+        assert!(
+            routes.contains(handoff),
+            "expected the rebalance-handoff endpoint {handoff} in the scan, found {routes:?}"
+        );
+    }
     assert!(
-        routes.len() >= 7,
-        "expected at least the seven endpoints, found {routes:?}"
+        routes.len() >= 9,
+        "expected at least the nine endpoints, found {routes:?}"
     );
     for route in &routes {
         assert!(
@@ -142,6 +148,7 @@ fn readme_shows_every_cli_command() {
         "serve",
         "router",
         "warm",
+        "store",
         "metrics",
         "demo",
     ] {

@@ -19,7 +19,8 @@ use prophet::estimator::{flatten_for_process, op_digest};
 use prophet::machine::{CommParams, MachineModel, SystemParams};
 use prophet::uml::Model;
 use prophet::workloads::models::{
-    jacobi_model, kernel6_model, lapw0_model, master_worker_model, pipeline_model, sample_model,
+    branching_pipeline_model, halo_ring_model, jacobi_model, kernel6_model, lapw0_model,
+    mapreduce_model, master_worker_model, pipeline_model, sample_model, task_farm_model,
 };
 
 struct Golden {
@@ -197,6 +198,86 @@ fn golden_lapw0() {
             events: 136,
             trace_len: 140,
             rank_ops: &[(74, 0x04233dfe254bbaec), (74, 0xe4d240013aa91bfc)],
+        },
+    );
+}
+
+#[test]
+fn golden_task_farm() {
+    check(
+        "task_farm",
+        task_farm_model(8, 0.002, 512),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.31823704,
+            events: 238,
+            trace_len: 272,
+            rank_ops: &[
+                (203, 0x00b0607587cba25d),
+                (135, 0x62ca55719b0d00fd),
+                (135, 0x9773f71aa5d25981),
+                (135, 0x5ec110beb1f33b61),
+            ],
+        },
+    );
+}
+
+#[test]
+fn golden_branching_pipeline() {
+    check(
+        "branching_pipeline",
+        branching_pipeline_model(24, 0.004, 2048),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.10223444000000008,
+            events: 293,
+            trace_len: 632,
+            rank_ops: &[
+                (146, 0xba0a83000a57ee5c),
+                (218, 0x2f9593a03a1267c4),
+                (218, 0x4ba8c3e1750a47c4),
+                (146, 0x0da7586850dcbb8c),
+            ],
+        },
+    );
+}
+
+#[test]
+fn golden_halo_ring() {
+    check(
+        "halo_ring",
+        halo_ring_model(16, 0.003, 4096),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.05554048,
+            events: 420,
+            trace_len: 648,
+            rank_ops: &[
+                (290, 0x4487004272b6ecd7),
+                (226, 0x61f5198d7fe69fdc),
+                (226, 0x1483f455fe895c7c),
+                (226, 0xfeafa6596576de6c),
+            ],
+        },
+    );
+}
+
+#[test]
+fn golden_mapreduce() {
+    check(
+        "mapreduce",
+        mapreduce_model(4096, 1e-6, 64),
+        SystemParams::flat_mpi(4, 1),
+        Golden {
+            time: 0.00569136,
+            events: 38,
+            trace_len: 44,
+            rank_ops: &[
+                (27, 0xa1d7fc3a720a144d),
+                (19, 0x6f4e919ce2c86bf4),
+                (19, 0x4a725385f19cb023),
+                (19, 0x59ac9b5c7e3d4539),
+            ],
         },
     );
 }

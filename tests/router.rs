@@ -77,7 +77,8 @@ fn field(v: &Json, path: &[&str]) -> f64 {
         .unwrap_or_else(|| panic!("non-number at {path:?} in {v}"))
 }
 
-/// The six bundled demo models `GET /v1/models` lists.
+/// Six of the bundled demo models — enough distinct digests to spread
+/// across the fleet while keeping the kill-phase traffic quick.
 const MODELS: [&str; 6] = [
     "sample",
     "kernel6",

@@ -186,6 +186,121 @@ fn distinct_mcf_configurations_get_distinct_artifacts() {
     assert_eq!(ArtifactKey::of(loaded.model(), loaded.mcf()), relaxed_key);
 }
 
+/// GC satellite 1: eviction is strictly least-recently-used. Five
+/// artifacts with hand-written access stamps; a budget that fits the
+/// newest two must delete exactly the oldest three, stamps included.
+#[test]
+fn gc_evicts_strictly_least_recently_used() {
+    let dir = temp_dir("gc-lru");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let names = ["sample", "kernel6", "jacobi", "pipeline", "master_worker"];
+    let mut keys = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let session = Session::new(demo_model(name).unwrap()).unwrap();
+        let key = store.save_session(&session).unwrap();
+        // Deterministic recency: index order, oldest first. Stamps are
+        // decimal epoch millis; any strictly increasing sequence works.
+        std::fs::write(store.access_stamp_path(key), format!("{}", 1_000 + i)).unwrap();
+        keys.push(key);
+    }
+    let size_of = |key| std::fs::metadata(store.entry_path(key)).unwrap().len();
+    let newest_two: u64 = keys[3..].iter().map(|&k| size_of(k)).sum();
+
+    let report = store.gc(newest_two);
+    assert_eq!(report.entries_scanned, 5);
+    assert_eq!(report.corrupt_evicted, 0);
+    assert_eq!(report.lru_evicted, 3, "{report:?}");
+    assert_eq!(report.entries_retained, 2);
+    assert_eq!(report.bytes_retained, newest_two);
+    for &key in &keys[..3] {
+        assert!(!store.entry_path(key).exists(), "old entry must go");
+        assert!(
+            !store.access_stamp_path(key).exists(),
+            "stamp must go with its entry"
+        );
+    }
+    for &key in &keys[3..] {
+        assert!(store.load_session(key).is_some(), "new entry must stay");
+    }
+}
+
+/// GC satellite 2: a GC pass racing serve-style write-backs and loads
+/// never deletes fresh work or corrupts an entry — every key a writer
+/// produced is either loadable afterwards or cleanly re-writable.
+#[test]
+fn gc_survives_concurrent_serve_write_backs() {
+    let dir = temp_dir("gc-race");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let names = ["sample", "kernel6", "jacobi", "pipeline"];
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers: the serve layer's write-back loop — compile against
+        // the store (disk hit or recompile+save) and immediately load.
+        for name in names {
+            scope.spawn(|| {
+                let store = ArtifactStore::open(&dir).unwrap();
+                let model = demo_model(name).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let session =
+                        Session::compile_stored(model.clone(), McfConfig::default(), Some(&store))
+                            .unwrap();
+                    let key = ArtifactKey::of(session.model(), session.mcf());
+                    // A concurrent gc may evict between the write and
+                    // this load; a miss is legal, an error is not.
+                    let _ = store.load_session(key);
+                }
+            });
+        }
+        // GC: zero budget, so every pass tries to evict everything the
+        // writers produce — maximum contention on the scan/delete race.
+        for _ in 0..50 {
+            let report = store.gc(0);
+            assert_eq!(report.corrupt_evicted, 0, "GC saw a torn write");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // The store remains fully usable: every model recompiles against
+    // it and then round-trips.
+    for name in names {
+        let session = Session::compile_stored(
+            demo_model(name).unwrap(),
+            McfConfig::default(),
+            Some(&store),
+        )
+        .unwrap();
+        let key = ArtifactKey::of(session.model(), session.mcf());
+        assert!(store.load_session(key).is_some(), "{name}");
+    }
+}
+
+/// GC satellite 3: corrupt entries are reclaimed even when the byte
+/// budget would allow keeping them — corruption is never "retained".
+#[test]
+fn gc_reclaims_corrupt_entries_whatever_the_budget() {
+    let dir = temp_dir("gc-corrupt");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let good = store
+        .save_session(&Session::new(demo_model("sample").unwrap()).unwrap())
+        .unwrap();
+    let bad = store
+        .save_session(&Session::new(demo_model("kernel6").unwrap()).unwrap())
+        .unwrap();
+    let bad_path = store.entry_path(bad);
+    let mut bytes = std::fs::read(&bad_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&bad_path, &bytes).unwrap();
+
+    let report = store.gc(u64::MAX);
+    assert_eq!(report.corrupt_evicted, 1, "{report:?}");
+    assert_eq!(report.lru_evicted, 0, "budget was unlimited");
+    assert!(!bad_path.exists(), "corrupt entry must be reclaimed");
+    assert!(report.bytes_reclaimed >= bytes.len() as u64 - 1);
+    assert!(store.load_session(good).is_some(), "valid entry untouched");
+}
+
 #[test]
 fn builder_and_parsed_spellings_share_one_artifact() {
     // The store keys on canonical content, so a builder-built model and
